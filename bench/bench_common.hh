@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared harness for the figure/table benches: runs dd on the
+ * paper's validation topology and collects the quantities Fig. 9
+ * reports (throughput, replay fraction, timeout rate).
+ *
+ * Block sizes default to 1/32 of the paper's 64-512 MB sweep so
+ * every bench finishes in seconds; pass --paper-scale for the full
+ * sizes (the dynamics are steady-state within a few MB, so the
+ * shapes are identical; only the fixed per-invocation overhead
+ * amortizes differently, and that effect keeps its direction).
+ */
+
+#ifndef PCIESIM_BENCH_BENCH_COMMON_HH
+#define PCIESIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "topo/storage_system.hh"
+
+namespace bench
+{
+
+using namespace pciesim;
+
+/** Result of one dd run. */
+struct DdResult
+{
+    double gbps = 0.0;
+    /** Replayed / transmitted TLPs, upstream direction, both
+     *  links (the paper's "replay percentage"). */
+    double replayFraction = 0.0;
+    /** Replay-timer timeouts as a fraction of transmitted TLPs. */
+    double timeoutFraction = 0.0;
+    std::uint64_t timeouts = 0;
+};
+
+/** Block sizes in bytes for the sweep. */
+inline std::vector<std::uint64_t>
+blockSizes(bool paper_scale)
+{
+    std::vector<std::uint64_t> mb =
+        paper_scale ? std::vector<std::uint64_t>{64, 128, 256, 512}
+                    : std::vector<std::uint64_t>{2, 4, 8, 16};
+    std::vector<std::uint64_t> out;
+    for (auto m : mb)
+        out.push_back(m << 20);
+    return out;
+}
+
+inline const char *
+blockLabel(std::uint64_t bytes)
+{
+    static char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lluMB",
+                  static_cast<unsigned long long>(bytes >> 20));
+    return buf;
+}
+
+inline bool
+paperScale(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paper-scale") == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Run dd once on the validation topology. */
+inline DdResult
+runDd(const SystemConfig &config, std::uint64_t block_bytes)
+{
+    Simulation sim;
+    StorageSystem system(sim, config);
+    DdWorkloadParams dd;
+    dd.blockBytes = block_bytes;
+
+    DdResult r;
+    r.gbps = system.runDd(dd);
+
+    auto &reg = sim.statsRegistry();
+    std::uint64_t tx =
+        reg.counterValue("system.downLink.down.txTlps") +
+        reg.counterValue("system.upLink.down.txTlps");
+    std::uint64_t replays =
+        reg.counterValue("system.downLink.down.replayedTlps") +
+        reg.counterValue("system.upLink.down.replayedTlps");
+    r.timeouts = reg.counterValue("system.downLink.down.timeouts") +
+                 reg.counterValue("system.upLink.down.timeouts");
+    if (tx != 0) {
+        r.replayFraction = static_cast<double>(replays) /
+                           static_cast<double>(tx);
+        r.timeoutFraction = static_cast<double>(r.timeouts) /
+                            static_cast<double>(tx);
+    }
+    return r;
+}
+
+} // namespace bench
+
+#endif // PCIESIM_BENCH_BENCH_COMMON_HH

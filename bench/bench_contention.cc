@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Extension: fabric sharing. N DMA-writing devices behind one
+ * switch share a Gen 2 x4 upstream link; sweep the number of
+ * concurrently active devices and report aggregate goodput - the
+ * "processor simultaneously communicating with multiple devices"
+ * scenario from the paper's introduction, now measurable with the
+ * detailed interconnect model.
+ */
+
+#include <cstdio>
+
+#include "topo/multi_device_system.hh"
+
+using namespace pciesim;
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    std::printf("=== Extension: multi-device contention on a shared "
+                "x4 upstream link ===\n");
+    std::printf("%-18s %12s %14s\n", "active devices",
+                "aggregate", "per-device");
+
+    for (unsigned active : {1u, 2u, 3u, 4u}) {
+        Simulation sim;
+        MultiDeviceConfig cfg;
+        cfg.numDevices = 4;
+        cfg.deviceLinkWidth = 1;
+        cfg.base.upstreamLinkWidth = 4;
+        MultiDeviceSystem system(sim, cfg);
+        double gbps = system.runConcurrentWrites(active, 256, 4096);
+        std::printf("%-18u %9.3f Gb %11.3f Gb\n", active, gbps,
+                    gbps / active);
+    }
+    std::printf("expected shape: aggregate scales with device count "
+                "until the shared x4 upstream\nlink / DMA drain "
+                "saturates, then per-device bandwidth falls\n");
+    return 0;
+}

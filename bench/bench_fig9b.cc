@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 9(b): dd throughput vs block size for Gen 2 link widths
+ * x1/x2/x4/x8 (all links in the fabric widened together).
+ *
+ * Paper shape: x1 -> x2 gives ~1.67x; x2 -> x4 a smaller increase;
+ * x4 -> x8 a throughput DROP, with ~27% of transmitted packets
+ * experiencing replay at x8 and almost zero at x2/x4.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    bool paper = paperScale(argc, argv);
+    auto blocks = blockSizes(paper);
+
+    std::printf("=== Fig 9(b): dd throughput (Gbps), link width "
+                "sweep, Gen2 ===\n");
+    std::printf("%-6s", "width");
+    for (auto b : blocks)
+        std::printf(" %10s", blockLabel(b));
+    std::printf(" %12s\n", "replay-frac");
+
+    double prev = 0.0;
+    for (unsigned width : {1u, 2u, 4u, 8u}) {
+        std::printf("x%-5u", width);
+        double last = 0.0;
+        double replay = 0.0;
+        for (auto b : blocks) {
+            SystemConfig cfg;
+            cfg.upstreamLinkWidth = width;
+            cfg.downstreamLinkWidth = width;
+            DdResult r = runDd(cfg, b);
+            std::printf(" %10.3f", r.gbps);
+            last = r.gbps;
+            replay = r.replayFraction;
+        }
+        std::printf(" %11.1f%%", replay * 100.0);
+        if (prev != 0.0)
+            std::printf("   (%.2fx)", last / prev);
+        std::printf("\n");
+        prev = last;
+    }
+    std::printf("paper shape: x1->x2 = 1.67x, smaller x2->x4 gain, "
+                "x4->x8 DROP with ~27%% replay\n");
+    return 0;
+}

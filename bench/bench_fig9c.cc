@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 9(c): dd throughput on an all-x8 Gen 2 fabric while the
+ * replay buffer size sweeps 1..4.
+ *
+ * Paper shape: sizes 1-2 beat 3-4 (source throttling avoids the
+ * buffer overruns); timeout rates ~0% / 6% / 27% / 27%.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    bool paper = paperScale(argc, argv);
+    auto blocks = blockSizes(paper);
+
+    std::printf("=== Fig 9(c): dd throughput (Gbps), x8, replay "
+                "buffer sweep ===\n");
+    std::printf("%-8s", "replay");
+    for (auto b : blocks)
+        std::printf(" %10s", blockLabel(b));
+    std::printf(" %12s\n", "timeout-frac");
+
+    for (std::size_t replay : {1u, 2u, 3u, 4u}) {
+        std::printf("%-8zu", replay);
+        double timeout_frac = 0.0;
+        for (auto b : blocks) {
+            SystemConfig cfg;
+            cfg.upstreamLinkWidth = 8;
+            cfg.downstreamLinkWidth = 8;
+            cfg.replayBufferSize = replay;
+            DdResult r = runDd(cfg, b);
+            std::printf(" %10.3f", r.gbps);
+            timeout_frac = r.timeoutFraction;
+        }
+        std::printf(" %11.2f%%\n", timeout_frac * 100.0);
+    }
+    std::printf("paper shape: replay 1-2 beat 3-4; timeouts "
+                "0%% / 6%% / ~27%% / ~27%%\n");
+    return 0;
+}

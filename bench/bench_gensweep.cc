@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Extension: future-system exploration across PCI-Express
+ * generations, the direction the paper's title promises. Runs the
+ * validation topology's dd workload over Gen 1/2/3 at several
+ * widths, showing where the interconnect stops being the
+ * bottleneck.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    (void)argc;
+    (void)argv;
+
+    std::printf("=== Extension: dd throughput (Gbps) across "
+                "generations and widths (4MB blocks) ===\n");
+    std::printf("%-6s %10s %10s %10s\n", "width", "Gen1", "Gen2",
+                "Gen3");
+
+    for (unsigned width : {1u, 2u, 4u}) {
+        std::printf("x%-5u", width);
+        for (PcieGen gen :
+             {PcieGen::Gen1, PcieGen::Gen2, PcieGen::Gen3}) {
+            SystemConfig cfg;
+            cfg.gen = gen;
+            cfg.upstreamLinkWidth = width == 1 ? 4 : width;
+            cfg.downstreamLinkWidth = width;
+            DdResult r = runDd(cfg, 4 << 20);
+            std::printf(" %10.3f", r.gbps);
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: throughput follows the per-lane "
+                "rate (2.5/5/8 GT/s) and the\nencoding change "
+                "(8b/10b -> 128b/130b) until the DMA drain rate "
+                "dominates\n");
+    return 0;
+}

@@ -1,0 +1,166 @@
+#include "dma_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+DmaEngine::DmaEngine(SimObject &owner, MasterPort &port,
+                     const std::string &name,
+                     const DmaEngineParams &params)
+    : owner_(owner), port_(port), name_(name), params_(params),
+      issueEvent_([this] { issue(); }, name + ".issueEvent")
+{
+    panicIf(params_.packetSize == 0, "DMA packet size must be > 0");
+}
+
+void
+DmaEngine::startWrite(Addr addr, std::uint64_t len,
+                      std::function<void()> on_complete)
+{
+    onData_ = nullptr;
+    writePayload_.clear();
+    start(params_.postedWrites ? MemCmd::PostedWriteReq
+                               : MemCmd::WriteReq,
+          addr, len, std::move(on_complete));
+}
+
+void
+DmaEngine::startWriteData(Addr addr, const std::uint8_t *data,
+                          unsigned len,
+                          std::function<void()> on_complete)
+{
+    panicIf(len > params_.packetSize,
+            "payload write larger than one packet");
+    onData_ = nullptr;
+    writePayload_.assign(data, data + len);
+    start(MemCmd::WriteReq, addr, len, std::move(on_complete));
+}
+
+void
+DmaEngine::startMessage(Addr addr, std::uint16_t data,
+                        std::function<void()> on_complete)
+{
+    onData_ = nullptr;
+    writePayload_ = {static_cast<std::uint8_t>(data & 0xff),
+                     static_cast<std::uint8_t>((data >> 8) & 0xff)};
+    start(MemCmd::MessageReq, addr, 2, std::move(on_complete));
+}
+
+void
+DmaEngine::startRead(Addr addr, std::uint64_t len,
+                     std::function<void()> on_complete,
+                     std::function<void(const PacketPtr &)> on_data)
+{
+    onData_ = std::move(on_data);
+    writePayload_.clear();
+    start(MemCmd::ReadReq, addr, len, std::move(on_complete));
+}
+
+void
+DmaEngine::start(MemCmd cmd, Addr addr, std::uint64_t len,
+                 std::function<void()> on_complete)
+{
+    panicIf(busy_, "DMA engine '", name_,
+            "' started while a transfer is in flight");
+    panicIf(len == 0, "zero-length DMA transfer");
+
+    busy_ = true;
+    cmd_ = cmd;
+    nextAddr_ = addr;
+    remaining_ = len;
+    outstanding_ = 0;
+    waitingRetry_ = false;
+    onComplete_ = std::move(on_complete);
+
+    if (!issueEvent_.scheduled())
+        owner_.schedule(issueEvent_, 0);
+}
+
+void
+DmaEngine::issue()
+{
+    while (remaining_ > 0 && outstanding_ < params_.maxOutstanding) {
+        unsigned size = static_cast<unsigned>(
+            std::min<std::uint64_t>(params_.packetSize, remaining_));
+        PacketPtr pkt = Packet::makeRequest(cmd_, nextAddr_, size);
+        pkt->setCreationTick(owner_.curTick());
+        if (!writePayload_.empty() &&
+            (cmd_ == MemCmd::WriteReq ||
+             cmd_ == MemCmd::MessageReq)) {
+            pkt->setData(writePayload_.data(), size);
+        }
+
+        // Account before sending: a peer may respond synchronously
+        // from within sendTimingReq (which also flips the packet to
+        // a response in place - snapshot its posted-ness first).
+        bool posted = !pkt->needsResponse();
+        nextAddr_ += size;
+        remaining_ -= size;
+        ++outstanding_;
+        ++totalPackets_;
+
+        if (!port_.sendTimingReq(pkt)) {
+            // Refused: rewind and wait for the retry.
+            nextAddr_ -= size;
+            remaining_ += size;
+            --outstanding_;
+            --totalPackets_;
+            waitingRetry_ = true;
+            return;
+        }
+        if (posted) {
+            // Posted: completes at issue (the data link layer
+            // guarantees delivery hop by hop).
+            --outstanding_;
+            totalBytes_ += size;
+        }
+    }
+    maybeComplete();
+}
+
+void
+DmaEngine::maybeComplete()
+{
+    if (busy_ && remaining_ == 0 && outstanding_ == 0) {
+        busy_ = false;
+        if (onComplete_) {
+            auto cb = std::move(onComplete_);
+            onComplete_ = nullptr;
+            cb();
+        }
+    }
+}
+
+bool
+DmaEngine::recvResp(const PacketPtr &pkt)
+{
+    panicIf(!busy_, "DMA engine '", name_, "' got stray response");
+    panicIf(outstanding_ == 0,
+            "DMA engine '", name_, "' response underflow");
+    --outstanding_;
+    totalBytes_ += pkt->size();
+
+    if (onData_ && pkt->isRead())
+        onData_(pkt);
+
+    if (remaining_ > 0 && !waitingRetry_ &&
+        !issueEvent_.scheduled()) {
+        owner_.schedule(issueEvent_, 0);
+    }
+
+    maybeComplete();
+    return true;
+}
+
+void
+DmaEngine::recvRetry()
+{
+    if (!waitingRetry_)
+        return;
+    waitingRetry_ = false;
+    if (!issueEvent_.scheduled())
+        owner_.schedule(issueEvent_, 0);
+}
+
+} // namespace pciesim

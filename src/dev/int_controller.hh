@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A GIC-like interrupt controller delivering level-triggered legacy
+ * INTx lines to the kernel model's registered handlers.
+ */
+
+#ifndef PCIESIM_DEV_INT_CONTROLLER_HH
+#define PCIESIM_DEV_INT_CONTROLLER_HH
+
+#include <functional>
+#include <map>
+
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/** Configuration for an IntController. */
+struct IntControllerParams
+{
+    /** Delivery latency from line assertion to handler dispatch. */
+    Tick deliveryLatency = nanoseconds(200);
+    /** Address window accepting MSI message writes (in-band
+     *  interrupts arriving through the fabric). */
+    AddrRange msiRange{0x10000000, 0x10001000};
+};
+
+/**
+ * Level-triggered interrupt controller.
+ *
+ * A handler registered for a line is invoked (after the delivery
+ * latency) whenever the line goes high, and again if the line is
+ * still / again high after the handler completes and re-enables -
+ * approximated by re-dispatching while the level stays asserted
+ * after each handler return.
+ */
+class IntController : public SimObject
+{
+  public:
+    IntController(Simulation &sim, const std::string &name,
+                  const IntControllerParams &params = {});
+    ~IntController() override;
+
+    /** Device side: drive the level of @p line. */
+    void setLevel(unsigned line, bool asserted);
+
+    /** Kernel side: install the handler for @p line. */
+    void registerHandler(unsigned line, std::function<void()> handler);
+
+    /**
+     * Slave port accepting MSI message TLPs; bind behind a MemBus
+     * master port. A message's data payload selects the handler
+     * line; MSIs are edge triggered (one dispatch per message).
+     */
+    SlavePort &msiPort();
+
+    /** MSI messages received. */
+    std::uint64_t msisReceived() const { return msis_.value(); }
+
+    void init() override;
+
+    bool level(unsigned line) const;
+
+    std::uint64_t dispatched() const { return dispatched_.value(); }
+
+  private:
+    class MsiPort;
+
+    bool handleMsi(const PacketPtr &pkt);
+
+    struct Line
+    {
+        bool asserted = false;
+        bool dispatchPending = false;
+        std::function<void()> handler;
+        std::unique_ptr<EventFunctionWrapper> dispatchEvent;
+    };
+
+    void dispatch(unsigned line);
+    Line &getLine(unsigned line);
+
+    IntControllerParams params_;
+    std::unique_ptr<MsiPort> msiPort_;
+    std::map<unsigned, Line> lines_;
+    stats::Counter dispatched_;
+    stats::Counter msis_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_DEV_INT_CONTROLLER_HH

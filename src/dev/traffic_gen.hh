@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A synthetic DMA traffic generator endpoint: a PCI-Express device
+ * that reads or writes host memory at a programmed request rate,
+ * for fabric stress tests and multi-device contention studies (the
+ * paper's motivation: PCI-Express "enables the processor to
+ * simultaneously communicate with multiple devices").
+ *
+ * Register interface (BAR0, memory space):
+ *   0x00  CTRL      bit0 start (write 1), bit1 stop
+ *   0x08  ADDR_LO   target DMA address low 32 bits
+ *   0x0c  ADDR_HI   target DMA address high 32 bits
+ *   0x10  LENGTH    bytes per burst
+ *   0x14  COUNT     bursts to issue (0 = run until stopped)
+ *   0x18  MODE      0 = DMA write, 1 = DMA read
+ *   0x20  DONE      completed bursts (read only)
+ */
+
+#ifndef PCIESIM_DEV_TRAFFIC_GEN_HH
+#define PCIESIM_DEV_TRAFFIC_GEN_HH
+
+#include <memory>
+
+#include "dev/dma_engine.hh"
+#include "pci/pci_device.hh"
+
+namespace pciesim
+{
+
+namespace tgen
+{
+
+constexpr Addr regCtrl = 0x00;
+constexpr Addr regAddrLo = 0x08;
+constexpr Addr regAddrHi = 0x0c;
+constexpr Addr regLength = 0x10;
+constexpr Addr regCount = 0x14;
+constexpr Addr regMode = 0x18;
+constexpr Addr regDone = 0x20;
+
+constexpr std::uint32_t ctrlStart = 1u << 0;
+constexpr std::uint32_t ctrlStop = 1u << 1;
+
+/** Device ID of the generator (fictional, test vendor space). */
+constexpr std::uint16_t deviceId = 0x7e57;
+
+} // namespace tgen
+
+/** Configuration for a TrafficGen. */
+struct TrafficGenParams
+{
+    /** Gap between burst completion and the next burst's start. */
+    Tick interBurstGap = 0;
+    Tick pioLatency = nanoseconds(30);
+    bool postedWrites = false;
+};
+
+/**
+ * The generator device. Raises INTx when the programmed burst
+ * count completes.
+ */
+class TrafficGen : public PciDevice
+{
+  public:
+    TrafficGen(Simulation &sim, const std::string &name,
+               const TrafficGenParams &params = {});
+    ~TrafficGen() override;
+
+    void init() override;
+
+    /** @{ Introspection. */
+    std::uint64_t burstsCompleted() const { return done_; }
+    std::uint64_t bytesMoved() const { return bytes_.value(); }
+    bool running() const { return running_; }
+    /** Bytes per second of DMA goodput while running. */
+    double
+    achievedGbps() const
+    {
+        Tick t = lastDoneTick_ - startTick_;
+        return t == 0 ? 0.0
+                      : static_cast<double>(bytes_.value()) * 8.0 /
+                            ticksToSeconds(t) / 1e9;
+    }
+    /** @} */
+
+  protected:
+    std::uint64_t readReg(unsigned bar, Addr offset,
+                          unsigned size) override;
+    void writeReg(unsigned bar, Addr offset, unsigned size,
+                  std::uint64_t value) override;
+
+    bool recvDmaResp(PacketPtr pkt) override;
+    void recvDmaRetry() override;
+
+  private:
+    void startRun();
+    void nextBurst();
+    void burstDone();
+
+    TrafficGenParams genParams_;
+    std::unique_ptr<DmaEngine> engine_;
+
+    std::uint32_t addrLo_ = 0;
+    std::uint32_t addrHi_ = 0;
+    std::uint32_t length_ = 4096;
+    std::uint32_t count_ = 0;
+    std::uint32_t mode_ = 0;
+    std::uint64_t done_ = 0;
+
+    bool running_ = false;
+    bool stopRequested_ = false;
+    Tick startTick_ = 0;
+    Tick lastDoneTick_ = 0;
+
+    EventFunctionWrapper gapEvent_;
+    stats::Counter bytes_;
+    stats::Counter bursts_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_DEV_TRAFFIC_GEN_HH

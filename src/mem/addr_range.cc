@@ -1,0 +1,40 @@
+#include "addr_range.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace pciesim
+{
+
+std::string
+AddrRange::toString() const
+{
+    std::ostringstream os;
+    os << "[0x" << std::hex << start_ << ", 0x" << end_ << ")";
+    return os.str();
+}
+
+bool
+listContains(const AddrRangeList &l, Addr a)
+{
+    for (const auto &r : l) {
+        if (r.contains(a))
+            return true;
+    }
+    return false;
+}
+
+bool
+listHasOverlap(const AddrRangeList &l)
+{
+    for (auto it = l.begin(); it != l.end(); ++it) {
+        auto jt = it;
+        for (++jt; jt != l.end(); ++jt) {
+            if (it->intersects(*jt))
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pciesim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Physical address ranges used for routing.
+ */
+
+#ifndef PCIESIM_MEM_ADDR_RANGE_HH
+#define PCIESIM_MEM_ADDR_RANGE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+namespace pciesim
+{
+
+/** A physical address. */
+using Addr = std::uint64_t;
+
+/**
+ * A half-open address interval [start, end).
+ *
+ * An empty range (start == end) contains nothing and intersects
+ * nothing; routing components use it as "window disabled", matching
+ * how a PCI bridge with base > limit forwards nothing.
+ */
+class AddrRange
+{
+  public:
+    constexpr AddrRange() = default;
+
+    /** @param start First byte. @param end One past the last byte. */
+    constexpr AddrRange(Addr start, Addr end)
+        : start_(start), end_(end)
+    {}
+
+    constexpr Addr start() const { return start_; }
+    constexpr Addr end() const { return end_; }
+    constexpr Addr size() const { return end_ - start_; }
+    constexpr bool empty() const { return start_ >= end_; }
+
+    constexpr bool
+    contains(Addr a) const
+    {
+        return a >= start_ && a < end_;
+    }
+
+    /** Whether @p other lies fully inside this range. */
+    constexpr bool
+    covers(const AddrRange &other) const
+    {
+        return !other.empty() && other.start_ >= start_ &&
+               other.end_ <= end_;
+    }
+
+    constexpr bool
+    intersects(const AddrRange &other) const
+    {
+        return !empty() && !other.empty() &&
+               start_ < other.end_ && other.start_ < end_;
+    }
+
+    bool
+    operator==(const AddrRange &other) const
+    {
+        return start_ == other.start_ && end_ == other.end_;
+    }
+
+    std::string toString() const;
+
+  private:
+    Addr start_ = 0;
+    Addr end_ = 0;
+};
+
+using AddrRangeList = std::list<AddrRange>;
+
+/** Whether @p a is covered by any range in @p l. */
+bool listContains(const AddrRangeList &l, Addr a);
+
+/** Whether any two ranges in @p l overlap. */
+bool listHasOverlap(const AddrRangeList &l);
+
+} // namespace pciesim
+
+#endif // PCIESIM_MEM_ADDR_RANGE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A gem5-style bridge: a slave port on one interconnect and a master
+ * port on another, with bounded request/response queues and a fixed
+ * forwarding delay (paper Sec. III). The paper builds its root
+ * complex and switch models "upon the gem5 bridge model"; here the
+ * bridge also serves as the IOCache's structural skeleton and as the
+ * baseline (non-PCIe) device attachment.
+ */
+
+#ifndef PCIESIM_MEM_BRIDGE_HH
+#define PCIESIM_MEM_BRIDGE_HH
+
+#include <memory>
+
+#include "mem/packet.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a Bridge. */
+struct BridgeParams
+{
+    /** Forwarding latency applied to every packet, each direction. */
+    Tick delay = nanoseconds(50);
+    /** Request queue capacity (slave -> master direction). */
+    std::size_t reqQueueCapacity = 16;
+    /** Response queue capacity (master -> slave direction). */
+    std::size_t respQueueCapacity = 16;
+    /**
+     * Minimum gap between forwarded packets, each direction
+     * (0 = fully pipelined). Models a bounded service rate.
+     */
+    Tick serviceInterval = 0;
+    /**
+     * Address ranges the bridge claims on its slave side. When
+     * empty, the ranges of the component behind the master port are
+     * passed through.
+     */
+    AddrRangeList ranges;
+};
+
+/**
+ * Forwards requests from its slave port to its master port and
+ * responses the other way.
+ */
+class Bridge : public SimObject
+{
+  public:
+    Bridge(Simulation &sim, const std::string &name,
+           const BridgeParams &params = {});
+    ~Bridge() override;
+
+    SlavePort &slavePort();
+    MasterPort &masterPort();
+
+    void init() override;
+
+    /** Requests refused because the request queue was full. */
+    std::uint64_t reqRefusals() const { return reqRefusals_.value(); }
+
+  private:
+    class BridgeSlavePort;
+    class BridgeMasterPort;
+
+    bool acceptRequest(const PacketPtr &pkt);
+    bool acceptResponse(const PacketPtr &pkt);
+
+    BridgeParams params_;
+    std::unique_ptr<BridgeSlavePort> slavePort_;
+    std::unique_ptr<BridgeMasterPort> masterPort_;
+    std::unique_ptr<PacketQueue> reqQueue_;
+    std::unique_ptr<PacketQueue> respQueue_;
+    bool wantReqRetry_ = false;
+    bool wantRespRetry_ = false;
+
+    stats::Counter fwdRequests_;
+    stats::Counter fwdResponses_;
+    stats::Counter reqRefusals_;
+    stats::Counter respRefusals_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_MEM_BRIDGE_HH

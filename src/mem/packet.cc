@@ -1,0 +1,70 @@
+#include "packet.hh"
+
+#include <sstream>
+
+namespace pciesim
+{
+
+std::uint64_t Packet::liveCount_ = 0;
+std::uint64_t Packet::nextId_ = 0;
+
+MemCmd
+responseCommand(MemCmd c)
+{
+    switch (c) {
+      case MemCmd::ReadReq:
+        return MemCmd::ReadResp;
+      case MemCmd::WriteReq:
+        return MemCmd::WriteResp;
+      case MemCmd::ConfigReadReq:
+        return MemCmd::ConfigReadResp;
+      case MemCmd::ConfigWriteReq:
+        return MemCmd::ConfigWriteResp;
+      default:
+        panic("command has no response form");
+    }
+}
+
+Packet::Packet(MemCmd cmd, Addr addr, unsigned size, RequestorId requestor)
+    : cmd_(cmd), addr_(addr), size_(size), requestorId_(requestor),
+      id_(nextId_++)
+{
+    ++liveCount_;
+}
+
+Packet::~Packet()
+{
+    --liveCount_;
+}
+
+PacketPtr
+Packet::makeRequest(MemCmd cmd, Addr addr, unsigned size,
+                    RequestorId requestor)
+{
+    panicIf(!cmdIsRequest(cmd), "makeRequest with a response command");
+    return PacketPtr(new Packet(cmd, addr, size, requestor));
+}
+
+void
+Packet::makeResponse()
+{
+    panicIf(!needsResponse(), "makeResponse on a non-request packet");
+    cmd_ = responseCommand(cmd_);
+}
+
+std::string
+Packet::toString() const
+{
+    static const char *names[] = {
+        "ReadReq", "ReadResp", "WriteReq", "WriteResp",
+        "ConfigReadReq", "ConfigReadResp", "ConfigWriteReq",
+        "ConfigWriteResp", "MessageReq", "PostedWriteReq",
+    };
+    std::ostringstream os;
+    os << names[static_cast<unsigned>(cmd_)] << " [0x" << std::hex
+       << addr_ << std::dec << " +" << size_ << "] id=" << id_
+       << " bus=" << pciBusNumber_;
+    return os.str();
+}
+
+} // namespace pciesim

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The memory packet: the unit of communication in the memory and I/O
+ * systems, used directly as the PCI-Express TLP (paper Sec. V-C:
+ * "we use gem5 memory packets as our PCI-Express TLPs").
+ *
+ * One Packet object represents one transaction for its whole life:
+ * the completer turns the request into a response in place with
+ * makeResponse() and sends the same object back (gem5 convention).
+ *
+ * Packets are reference counted (PacketPtr) because the PCI-Express
+ * link layer keeps a handle in its replay buffer until the TLP is
+ * acknowledged, which can outlive the transaction's completion.
+ */
+
+#ifndef PCIESIM_MEM_PACKET_HH
+#define PCIESIM_MEM_PACKET_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addr_range.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace pciesim
+{
+
+/** Identifies the component that originated a request. */
+using RequestorId = std::uint16_t;
+
+constexpr RequestorId invalidRequestorId = 0xffff;
+
+/** Memory command carried by a packet. */
+enum class MemCmd : std::uint8_t
+{
+    ReadReq,
+    ReadResp,
+    WriteReq,
+    WriteResp,
+    /** Configuration space accesses (ECAM window). */
+    ConfigReadReq,
+    ConfigReadResp,
+    ConfigWriteReq,
+    ConfigWriteResp,
+    /** Message request (posted); used for MSI writes. */
+    MessageReq,
+    /** Posted memory write: carries data, needs no response
+     *  (real PCI-Express write semantics, paper Sec. VI-B). */
+    PostedWriteReq,
+};
+
+/** Command classification helpers. */
+constexpr bool
+cmdIsRead(MemCmd c)
+{
+    return c == MemCmd::ReadReq || c == MemCmd::ReadResp ||
+           c == MemCmd::ConfigReadReq || c == MemCmd::ConfigReadResp;
+}
+
+constexpr bool
+cmdIsWrite(MemCmd c)
+{
+    return c == MemCmd::WriteReq || c == MemCmd::WriteResp ||
+           c == MemCmd::ConfigWriteReq || c == MemCmd::ConfigWriteResp ||
+           c == MemCmd::MessageReq || c == MemCmd::PostedWriteReq;
+}
+
+constexpr bool
+cmdIsRequest(MemCmd c)
+{
+    return c == MemCmd::ReadReq || c == MemCmd::WriteReq ||
+           c == MemCmd::ConfigReadReq || c == MemCmd::ConfigWriteReq ||
+           c == MemCmd::MessageReq || c == MemCmd::PostedWriteReq;
+}
+
+constexpr bool
+cmdIsResponse(MemCmd c)
+{
+    return !cmdIsRequest(c);
+}
+
+/** Response command corresponding to a request command. */
+MemCmd responseCommand(MemCmd c);
+
+class Packet;
+
+/**
+ * Intrusive, non-atomic reference-counted handle to a Packet.
+ * The simulator is single threaded, so no atomics are needed.
+ */
+class PacketPtr
+{
+  public:
+    PacketPtr() = default;
+    PacketPtr(std::nullptr_t) {}
+    explicit PacketPtr(Packet *pkt);
+    PacketPtr(const PacketPtr &other);
+    PacketPtr(PacketPtr &&other) noexcept;
+    PacketPtr &operator=(const PacketPtr &other);
+    PacketPtr &operator=(PacketPtr &&other) noexcept;
+    ~PacketPtr();
+
+    Packet *get() const { return pkt_; }
+    Packet *operator->() const { return pkt_; }
+    Packet &operator*() const { return *pkt_; }
+    explicit operator bool() const { return pkt_ != nullptr; }
+
+    bool operator==(const PacketPtr &o) const { return pkt_ == o.pkt_; }
+
+    void reset();
+
+  private:
+    Packet *pkt_ = nullptr;
+};
+
+/**
+ * A memory transaction packet.
+ */
+class Packet
+{
+  public:
+    /**
+     * Create a request packet.
+     *
+     * @param cmd Request command.
+     * @param addr Target physical address.
+     * @param size Transaction size in bytes.
+     * @param requestor Originating component id (for tracing).
+     */
+    static PacketPtr
+    makeRequest(MemCmd cmd, Addr addr, unsigned size,
+                RequestorId requestor = invalidRequestorId);
+
+    ~Packet();
+
+    Packet(const Packet &) = delete;
+    Packet &operator=(const Packet &) = delete;
+
+    MemCmd cmd() const { return cmd_; }
+    Addr addr() const { return addr_; }
+    unsigned size() const { return size_; }
+    RequestorId requestorId() const { return requestorId_; }
+    std::uint64_t id() const { return id_; }
+
+    bool isRead() const { return cmdIsRead(cmd_); }
+    bool isWrite() const { return cmdIsWrite(cmd_); }
+    bool isRequest() const { return cmdIsRequest(cmd_); }
+    bool isResponse() const { return cmdIsResponse(cmd_); }
+    bool isConfig() const
+    {
+        return cmd_ == MemCmd::ConfigReadReq ||
+               cmd_ == MemCmd::ConfigReadResp ||
+               cmd_ == MemCmd::ConfigWriteReq ||
+               cmd_ == MemCmd::ConfigWriteResp;
+    }
+
+    /** Posted requests need no response (paper Sec. II-B). */
+    bool needsResponse() const
+    {
+        return isRequest() && cmd_ != MemCmd::MessageReq &&
+               cmd_ != MemCmd::PostedWriteReq;
+    }
+
+    /**
+     * PCI bus number used to route responses back through the
+     * PCI-Express fabric. -1 until a root complex or switch slave
+     * port tags the request (paper Sec. V-A, "Routing of Requests
+     * and Responses").
+     */
+    int pciBusNumber() const { return pciBusNumber_; }
+    void setPciBusNumber(int bus) { pciBusNumber_ = bus; }
+
+    /** Turn this request into the corresponding response in place. */
+    void makeResponse();
+
+    /**
+     * Size of the TLP payload this packet carries on a PCI-Express
+     * link: data-bearing packets (write requests, read responses)
+     * carry size() bytes, others carry none (paper Sec. V-C).
+     */
+    unsigned
+    tlpPayloadSize() const
+    {
+        bool has_data = (isWrite() && isRequest()) ||
+                        (isRead() && isResponse());
+        return has_data ? size_ : 0;
+    }
+
+    /** @{ Payload accessors (lazily allocated). */
+    bool hasData() const { return !data_.empty(); }
+
+    /** Raw payload bytes (may be shorter than size()). */
+    const std::uint8_t *data() const { return data_.data(); }
+    std::size_t dataSize() const { return data_.size(); }
+
+    void
+    setData(const std::uint8_t *data, unsigned len)
+    {
+        panicIf(len > size_, "packet data larger than packet");
+        data_.assign(data, data + len);
+    }
+
+    template <typename T>
+    void
+    set(T v)
+    {
+        panicIf(sizeof(T) > size_, "packet value larger than packet");
+        data_.resize(sizeof(T));
+        std::memcpy(data_.data(), &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    get() const
+    {
+        T v{};
+        panicIf(data_.size() < sizeof(T),
+                "reading ", sizeof(T), " bytes from packet with ",
+                data_.size());
+        std::memcpy(&v, data_.data(), sizeof(T));
+        return v;
+    }
+    /** @} */
+
+    Tick creationTick() const { return creationTick_; }
+    void setCreationTick(Tick t) { creationTick_ = t; }
+
+    /** Number of Packet objects currently alive (leak checking). */
+    static std::uint64_t liveCount() { return liveCount_; }
+
+    std::string toString() const;
+
+  private:
+    friend class PacketPtr;
+
+    Packet(MemCmd cmd, Addr addr, unsigned size, RequestorId requestor);
+
+    MemCmd cmd_;
+    Addr addr_;
+    unsigned size_;
+    RequestorId requestorId_;
+    int pciBusNumber_ = -1;
+    std::uint64_t id_;
+    Tick creationTick_ = 0;
+    std::vector<std::uint8_t> data_;
+    int refCount_ = 0;
+
+    static std::uint64_t liveCount_;
+    static std::uint64_t nextId_;
+};
+
+inline
+PacketPtr::PacketPtr(Packet *pkt)
+    : pkt_(pkt)
+{
+    if (pkt_)
+        ++pkt_->refCount_;
+}
+
+inline
+PacketPtr::PacketPtr(const PacketPtr &other)
+    : pkt_(other.pkt_)
+{
+    if (pkt_)
+        ++pkt_->refCount_;
+}
+
+inline
+PacketPtr::PacketPtr(PacketPtr &&other) noexcept
+    : pkt_(other.pkt_)
+{
+    other.pkt_ = nullptr;
+}
+
+inline PacketPtr &
+PacketPtr::operator=(const PacketPtr &other)
+{
+    if (this == &other)
+        return *this;
+    reset();
+    pkt_ = other.pkt_;
+    if (pkt_)
+        ++pkt_->refCount_;
+    return *this;
+}
+
+inline PacketPtr &
+PacketPtr::operator=(PacketPtr &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    reset();
+    pkt_ = other.pkt_;
+    other.pkt_ = nullptr;
+    return *this;
+}
+
+inline void
+PacketPtr::reset()
+{
+    if (pkt_ && --pkt_->refCount_ == 0)
+        delete pkt_;
+    pkt_ = nullptr;
+}
+
+inline
+PacketPtr::~PacketPtr()
+{
+    reset();
+}
+
+} // namespace pciesim
+
+#endif // PCIESIM_MEM_PACKET_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A DRAM model with fixed access latency and bandwidth regulation,
+ * comparable to gem5's SimpleMemory.
+ */
+
+#ifndef PCIESIM_MEM_SIMPLE_MEMORY_HH
+#define PCIESIM_MEM_SIMPLE_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "mem/packet.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a SimpleMemory. */
+struct SimpleMemoryParams
+{
+    /** Range of physical addresses backed by this memory. */
+    AddrRange range{0x80000000ULL, 0x8080000000ULL};
+    /** Access latency. */
+    Tick latency = nanoseconds(50);
+    /** Bytes per tick of sustainable bandwidth regulation. */
+    double bytesPerTick = 12.8e9 / 1e12; // 12.8 GB/s
+    /** Outstanding-response queue capacity. */
+    std::size_t queueCapacity = 64;
+    /** Whether the memory stores written data (functional backing).
+     *  Disabled for pure bandwidth experiments to save space; reads
+     *  of unwritten locations return zero either way. */
+    bool functional = true;
+};
+
+/**
+ * Memory controller + DRAM. Single slave port; responds to reads and
+ * writes after latency, regulating throughput to bytesPerTick.
+ */
+class SimpleMemory : public SimObject
+{
+  public:
+    SimpleMemory(Simulation &sim, const std::string &name,
+                 const SimpleMemoryParams &params = {});
+    ~SimpleMemory() override;
+
+    SlavePort &port();
+
+    void init() override;
+
+    /** Functional backdoor read (tests, driver models). */
+    std::uint8_t readByte(Addr a) const;
+
+    /** Functional backdoor write. */
+    void writeByte(Addr a, std::uint8_t v);
+
+  private:
+    class MemoryPort;
+
+    bool access(const PacketPtr &pkt);
+
+    SimpleMemoryParams params_;
+    std::unique_ptr<MemoryPort> port_;
+    std::unique_ptr<PacketQueue> respQueue_;
+    bool wantRetry_ = false;
+    /** Earliest tick the data bus is free (bandwidth regulation). */
+    Tick bankFreeAt_ = 0;
+    /** Sparse functional backing store. */
+    std::unordered_map<Addr, std::uint8_t> store_;
+
+    stats::Counter reads_;
+    stats::Counter writes_;
+    stats::Counter refusals_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_MEM_SIMPLE_MEMORY_HH

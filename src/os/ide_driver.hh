@@ -1,0 +1,92 @@
+/**
+ * @file
+ * IDE bus-master DMA driver model: programs the disk's taskfile and
+ * BMDMA registers over timed MMIO, builds PRD entries in kernel DMA
+ * memory, and completes commands from the legacy interrupt handler.
+ * Large requests are split into maximum-size (256-sector) commands,
+ * as the block layer does.
+ */
+
+#ifndef PCIESIM_OS_IDE_DRIVER_HH
+#define PCIESIM_OS_IDE_DRIVER_HH
+
+#include <functional>
+
+#include "dev/ide_disk.hh"
+#include "os/kernel.hh"
+
+namespace pciesim
+{
+
+/** Configuration for an IdeDriver. */
+struct IdeDriverParams
+{
+    /** Software time from completion interrupt to the next command
+     *  being programmed (IRQ exit, block layer, queue restart). */
+    Tick perCommandOverhead = nanoseconds(600);
+};
+
+/**
+ * The driver. Register it with the kernel before probeDrivers().
+ */
+class IdeDriver : public Driver
+{
+  public:
+    explicit IdeDriver(const IdeDriverParams &params = {})
+        : params_(params)
+    {}
+
+    std::vector<MatchEntry>
+    moduleDeviceTable() const override
+    {
+        return {{0x8086, 0x7111}};
+    }
+
+    void probe(Kernel &kernel, const EnumeratedFunction &fn) override;
+
+    bool bound() const override { return probed_; }
+
+    bool probed() const { return probed_; }
+
+    /**
+     * Read @p bytes from the disk (LBA 0 upward) into the DMA
+     * buffer at @p buf_addr; @p done fires when the final command's
+     * completion interrupt has been handled.
+     */
+    void read(Addr buf_addr, std::uint64_t bytes,
+              std::function<void()> done);
+
+    /** Number of DMA commands issued so far. */
+    std::uint64_t commandsIssued() const { return commandsIssued_; }
+
+  private:
+    void issueCommand();
+    void handleIrq();
+
+    IdeDriverParams params_;
+    Kernel *kernel_ = nullptr;
+    bool probed_ = false;
+
+    /** Resources discovered at probe time. */
+    Addr cmdBase_ = 0;   //!< BAR0 (I/O)
+    Addr ctrlBase_ = 0;  //!< BAR1 (I/O)
+    Addr bmBase_ = 0;    //!< BAR4 (I/O)
+    unsigned irqLine_ = 0;
+    Addr prdAddr_ = 0;
+
+    /** In-flight request state. */
+    bool busy_ = false;
+    /** ISR in progress: masks re-dispatch of the level-triggered
+     *  line while the (asynchronous) MMIO chain of the handler is
+     *  still clearing the interrupt condition. */
+    bool irqInProgress_ = false;
+    Addr bufAddr_ = 0;
+    std::uint64_t bytesLeft_ = 0;
+    std::uint32_t nextLba_ = 0;
+    std::function<void()> onDone_;
+    std::uint64_t commandsIssued_ = 0;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_OS_IDE_DRIVER_HH

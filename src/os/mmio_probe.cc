@@ -1,0 +1,45 @@
+#include "mmio_probe.hh"
+
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+void
+MmioProbe::run(unsigned iterations, std::function<void()> done)
+{
+    panicIf(iterations == 0, "probe needs at least one iteration");
+    remaining_ = iterations;
+    samples_.clear();
+    samples_.reserve(iterations);
+    onDone_ = std::move(done);
+    issueOne();
+}
+
+void
+MmioProbe::issueOne()
+{
+    issueTick_ = kernel_.curTick();
+    kernel_.mmioRead(target_, 4, [this](std::uint64_t) {
+        samples_.push_back(kernel_.curTick() - issueTick_);
+        if (--remaining_ > 0) {
+            issueOne();
+        } else if (onDone_) {
+            auto cb = std::move(onDone_);
+            onDone_ = nullptr;
+            cb();
+        }
+    });
+}
+
+Tick
+MmioProbe::meanLatency() const
+{
+    panicIf(samples_.empty(), "no probe samples recorded");
+    Tick sum = 0;
+    for (Tick t : samples_)
+        sum += t;
+    return sum / samples_.size();
+}
+
+} // namespace pciesim

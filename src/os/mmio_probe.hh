@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Table II kernel module: times 4-byte MMIO reads of a NIC
+ * register ("We create a kernel module and measure the time taken
+ * to access a location in the NIC memory space", paper Sec. VI-B).
+ */
+
+#ifndef PCIESIM_OS_MMIO_PROBE_HH
+#define PCIESIM_OS_MMIO_PROBE_HH
+
+#include <functional>
+#include <vector>
+
+#include "os/kernel.hh"
+
+namespace pciesim
+{
+
+/**
+ * Issues N back-to-back 4-byte MMIO reads and records the latency
+ * of each (request issue to response delivery, the device-register
+ * load latency a kernel module observes).
+ */
+class MmioProbe
+{
+  public:
+    MmioProbe(Kernel &kernel, Addr target) :
+        kernel_(kernel), target_(target)
+    {}
+
+    /** Run @p iterations reads; @p done fires after the last. */
+    void run(unsigned iterations, std::function<void()> done);
+
+    /** Mean read latency in ticks. */
+    Tick meanLatency() const;
+
+    const std::vector<Tick> &samples() const { return samples_; }
+
+  private:
+    void issueOne();
+
+    Kernel &kernel_;
+    Addr target_;
+    unsigned remaining_ = 0;
+    Tick issueTick_ = 0;
+    std::vector<Tick> samples_;
+    std::function<void()> onDone_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_OS_MMIO_PROBE_HH

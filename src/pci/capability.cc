@@ -1,0 +1,165 @@
+#include "capability.hh"
+
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+void
+CapabilityChain::link(unsigned offset, std::uint8_t cap_id)
+{
+    panicIf(offset < cfg::headerSize ||
+            offset >= cfg::pciConfigSize,
+            "capability offset 0x", offset,
+            " outside the R2 capability space");
+    space_.init8(offset, cap_id);
+    space_.init8(offset + 1, 0); // end of chain until another add
+    if (first_ == 0)
+        first_ = offset;
+    else
+        space_.init8(last_ + 1, static_cast<std::uint8_t>(offset));
+    last_ = offset;
+}
+
+unsigned
+CapabilityChain::addPowerManagement(unsigned offset)
+{
+    link(offset, cfg::capIdPm);
+    // PMC: version 3, no PME support => driver cannot use PM events.
+    space_.init16(offset + 2, 0x0003);
+    // PMCSR: power state D0; read-only (mask 0) so the device cannot
+    // be moved out of D0 -- PM is effectively disabled.
+    space_.init16(offset + 4, 0x0000);
+    space_.mask16(offset + 4, 0x0000);
+    return offset;
+}
+
+unsigned
+CapabilityChain::addMsi(unsigned offset, bool enable_writable)
+{
+    link(offset, cfg::capIdMsi);
+    // Message control: 64-bit capable. With the enable bit (bit 0)
+    // read-only zero, pci_enable_msi() fails and drivers fall back
+    // to INTx (the paper's template); writable enables real MSI.
+    space_.init16(offset + 2, 0x0080);
+    space_.mask16(offset + 2, enable_writable ? 0x0001 : 0x0000);
+    // Message address / upper address / data are writable scratch.
+    space_.mask32(offset + 4, 0xffffffff);
+    space_.mask32(offset + 8, 0xffffffff);
+    space_.mask16(offset + 12, 0xffff);
+    return offset;
+}
+
+unsigned
+CapabilityChain::addMsix(unsigned offset, std::uint16_t table_size)
+{
+    link(offset, cfg::capIdMsix);
+    // Message control: table size in bits 10:0 (N-1 encoding);
+    // MSI-X Enable (bit 15) and Function Mask (bit 14) read-only 0.
+    std::uint16_t ctrl = table_size == 0
+        ? 0
+        : static_cast<std::uint16_t>((table_size - 1) & 0x7ff);
+    space_.init16(offset + 2, ctrl);
+    space_.mask16(offset + 2, 0x0000);
+    // Table offset/BIR and PBA offset/BIR: zero (unimplemented).
+    space_.init32(offset + 4, 0);
+    space_.init32(offset + 8, 0);
+    return offset;
+}
+
+unsigned
+CapabilityChain::addPcie(unsigned offset, const PcieCapParams &params)
+{
+    link(offset, cfg::capIdPcie);
+
+    // PCIe Capabilities Register: capability version 2 (bits 3:0),
+    // device/port type (bits 7:4), slot implemented (bit 8).
+    std::uint16_t cap = 0x0002;
+    cap |= static_cast<std::uint16_t>(params.portType) << 4;
+    if (params.slotImplemented)
+        cap |= 1 << 8;
+    space_.init16(offset + cfg::pcieCapReg, cap);
+
+    // Device Capabilities: max payload size supported (bits 2:0).
+    space_.init32(offset + cfg::pcieDevCap,
+                  params.maxPayloadEncoding & 0x7);
+
+    // Device Control: MPS field (bits 7:5) writable; defaults 128 B.
+    space_.init16(offset + cfg::pcieDevCtrl, 0x0000);
+    space_.mask16(offset + cfg::pcieDevCtrl, 0x00e0);
+    space_.init16(offset + cfg::pcieDevStatus, 0x0000);
+
+    // Link Capabilities: max link speed (bits 3:0, 1=2.5G 2=5G
+    // 3=8G), max link width (bits 9:4), port number (bits 31:24).
+    std::uint32_t link_cap = (params.linkGen & 0xf) |
+                             ((params.linkWidth & 0x3f) << 4);
+    space_.init32(offset + cfg::pcieLinkCap, link_cap);
+
+    // Link Control: writable scratch (ASPM etc. ignored).
+    space_.init16(offset + cfg::pcieLinkCtrl, 0x0000);
+    space_.mask16(offset + cfg::pcieLinkCtrl, 0x0fff);
+
+    // Link Status: current (negotiated) speed and width.
+    std::uint16_t link_status =
+        static_cast<std::uint16_t>((params.linkGen & 0xf) |
+                                   ((params.linkWidth & 0x3f) << 4));
+    space_.init16(offset + cfg::pcieLinkStatus, link_status);
+
+    if (params.slotImplemented) {
+        // C2: slot registers, all features absent.
+        space_.init32(offset + cfg::pcieSlotCap, 0);
+        space_.init16(offset + cfg::pcieSlotCtrl, 0);
+        space_.mask16(offset + cfg::pcieSlotCtrl, 0x1fff);
+        space_.init16(offset + cfg::pcieSlotStatus, 0);
+    }
+
+    if (params.rootPort) {
+        // C3: root control/status, PME reporting disabled.
+        space_.init16(offset + cfg::pcieRootCtrl, 0);
+        space_.mask16(offset + cfg::pcieRootCtrl, 0x001f);
+        space_.init32(offset + cfg::pcieRootStatus, 0);
+    }
+
+    return offset;
+}
+
+void
+CapabilityChain::finalize()
+{
+    if (first_ == 0)
+        return;
+    space_.init8(cfg::capPtr, static_cast<std::uint8_t>(first_));
+    space_.update16(cfg::status,
+                    space_.raw16(cfg::status) | cfg::statusCapList);
+}
+
+unsigned
+CapabilityWalker::find(const ConfigSpace &space, std::uint8_t cap_id)
+{
+    if ((space.raw16(cfg::status) & cfg::statusCapList) == 0)
+        return 0;
+    unsigned offset = space.raw8(cfg::capPtr);
+    unsigned guard = 0;
+    while (offset != 0 && guard++ < 64) {
+        if (space.raw8(offset) == cap_id)
+            return offset;
+        offset = space.raw8(offset + 1);
+    }
+    return 0;
+}
+
+unsigned
+CapabilityWalker::count(const ConfigSpace &space)
+{
+    if ((space.raw16(cfg::status) & cfg::statusCapList) == 0)
+        return 0;
+    unsigned offset = space.raw8(cfg::capPtr);
+    unsigned n = 0;
+    while (offset != 0 && n < 64) {
+        ++n;
+        offset = space.raw8(offset + 1);
+    }
+    return n;
+}
+
+} // namespace pciesim

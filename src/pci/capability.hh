@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Builders for PCI capability structures in the R2 capability space
+ * (paper Fig. 4/Fig. 5): Power Management, MSI, MSI-X and the
+ * PCI-Express capability structure.
+ *
+ * The paper's device template disables PM, MSI and MSI-X "by
+ * appropriately setting register values" so the driver falls back to
+ * legacy interrupts; the builders encode exactly that (the enable
+ * bits are read-only zero).
+ */
+
+#ifndef PCIESIM_PCI_CAPABILITY_HH
+#define PCIESIM_PCI_CAPABILITY_HH
+
+#include <cstdint>
+
+#include "pci/config_regs.hh"
+#include "pci/config_space.hh"
+
+namespace pciesim
+{
+
+/** Parameters of a PCI-Express capability structure. */
+struct PcieCapParams
+{
+    cfg::PciePortType portType = cfg::PciePortType::Endpoint;
+    /** Link width advertised in Link Capabilities/Status. */
+    unsigned linkWidth = 1;
+    /** Link generation (1, 2, 3) => max link speed encoding. */
+    unsigned linkGen = 2;
+    /** Whether the port is connected to a slot (C2 registers). */
+    bool slotImplemented = false;
+    /** Whether the function is a root port (C3 registers). */
+    bool rootPort = false;
+    /** Max payload size supported, as spec encoding (0 = 128 B). */
+    unsigned maxPayloadEncoding = 0;
+};
+
+/**
+ * Builds a chain of capability structures inside a ConfigSpace.
+ *
+ * Capabilities are appended in call order; finalize() writes the
+ * header capability pointer and the Status CapList bit.
+ */
+class CapabilityChain
+{
+  public:
+    explicit CapabilityChain(ConfigSpace &space) : space_(space) {}
+
+    /** Power Management capability (8 B), hard-wired to D0. */
+    unsigned addPowerManagement(unsigned offset);
+
+    /**
+     * MSI capability (14 B). With @p enable_writable false (the
+     * paper's template) the MSI Enable bit is hard-wired zero so
+     * drivers fall back to INTx; with true the function supports
+     * real message-signaled interrupts.
+     */
+    unsigned addMsi(unsigned offset, bool enable_writable = false);
+
+    /** MSI-X capability (12 B), enable bit read-only zero. */
+    unsigned addMsix(unsigned offset, std::uint16_t table_size = 0);
+
+    /** PCI-Express capability structure (0x24 B, paper Fig. 5). */
+    unsigned addPcie(unsigned offset, const PcieCapParams &params);
+
+    /**
+     * Link the chain: writes the previous capability's next pointer
+     * on each add; finalize() sets the header Cap Ptr and the
+     * Status register CapList bit.
+     */
+    void finalize();
+
+    /** Offset of the first capability (0 when empty). */
+    unsigned first() const { return first_; }
+
+  private:
+    void link(unsigned offset, std::uint8_t cap_id);
+
+    ConfigSpace &space_;
+    unsigned first_ = 0;
+    unsigned last_ = 0;
+};
+
+/**
+ * Read-side helpers for walking a capability chain the way a driver
+ * does (used by the e1000e driver model and by tests).
+ */
+struct CapabilityWalker
+{
+    /**
+     * Find a capability by ID.
+     * @return its offset, or 0 when absent.
+     */
+    static unsigned find(const ConfigSpace &space, std::uint8_t cap_id);
+
+    /** Number of capabilities in the chain. */
+    static unsigned count(const ConfigSpace &space);
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCI_CAPABILITY_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * PCI / PCI-Express configuration register offsets and encodings.
+ *
+ * Covers the type-0 endpoint header (paper Fig. 4, region R1), the
+ * type-1 PCI bridge header (paper Fig. 7), the capability space
+ * (region R2) and the capability-structure layouts (paper Fig. 5).
+ */
+
+#ifndef PCIESIM_PCI_CONFIG_REGS_HH
+#define PCIESIM_PCI_CONFIG_REGS_HH
+
+#include <cstdint>
+
+namespace pciesim::cfg
+{
+
+/** Sizes of the configuration regions (paper Fig. 4). */
+constexpr unsigned headerSize = 64;         //!< R1
+constexpr unsigned pciConfigSize = 256;     //!< R1 + R2 (PCI device)
+constexpr unsigned pcieConfigSize = 4096;   //!< R1 + R2 + R3 (PCIe)
+constexpr unsigned extendedCapBase = 0x100; //!< start of R3
+
+/** @{ Common header registers (type 0 and type 1). */
+constexpr unsigned vendorId = 0x00;     // 16 bit
+constexpr unsigned deviceId = 0x02;     // 16 bit
+constexpr unsigned command = 0x04;      // 16 bit
+constexpr unsigned status = 0x06;       // 16 bit
+constexpr unsigned revisionId = 0x08;   // 8 bit
+constexpr unsigned classCode = 0x09;    // 24 bit
+constexpr unsigned cacheLineSize = 0x0c; // 8 bit
+constexpr unsigned latencyTimer = 0x0d; // 8 bit
+constexpr unsigned headerType = 0x0e;   // 8 bit
+constexpr unsigned bist = 0x0f;         // 8 bit
+constexpr unsigned capPtr = 0x34;       // 8 bit
+constexpr unsigned interruptLine = 0x3c; // 8 bit
+constexpr unsigned interruptPin = 0x3d; // 8 bit
+/** @} */
+
+/** @{ Type-0 (endpoint) header registers. */
+constexpr unsigned bar0 = 0x10;
+constexpr unsigned bar1 = 0x14;
+constexpr unsigned bar2 = 0x18;
+constexpr unsigned bar3 = 0x1c;
+constexpr unsigned bar4 = 0x20;
+constexpr unsigned bar5 = 0x24;
+constexpr unsigned subsystemVendorId = 0x2c;
+constexpr unsigned subsystemId = 0x2e;
+constexpr unsigned expansionRom = 0x30;
+constexpr unsigned minGrant = 0x3e;
+constexpr unsigned maxLatency = 0x3f;
+constexpr unsigned numBars = 6;
+/** @} */
+
+/** @{ Type-1 (PCI-to-PCI bridge) header registers (paper Fig. 7). */
+constexpr unsigned briBar0 = 0x10;
+constexpr unsigned briBar1 = 0x14;
+constexpr unsigned primaryBus = 0x18;     // 8 bit
+constexpr unsigned secondaryBus = 0x19;   // 8 bit
+constexpr unsigned subordinateBus = 0x1a; // 8 bit
+constexpr unsigned secLatencyTimer = 0x1b;
+constexpr unsigned ioBase = 0x1c;        // 8 bit
+constexpr unsigned ioLimit = 0x1d;       // 8 bit
+constexpr unsigned secondaryStatus = 0x1e; // 16 bit
+constexpr unsigned memoryBase = 0x20;    // 16 bit
+constexpr unsigned memoryLimit = 0x22;   // 16 bit
+constexpr unsigned prefMemBase = 0x24;   // 16 bit
+constexpr unsigned prefMemLimit = 0x26;  // 16 bit
+constexpr unsigned prefBaseUpper32 = 0x28;
+constexpr unsigned prefLimitUpper32 = 0x2c;
+constexpr unsigned ioBaseUpper16 = 0x30;  // 16 bit
+constexpr unsigned ioLimitUpper16 = 0x32; // 16 bit
+constexpr unsigned briCapPtr = 0x34;
+constexpr unsigned briExpansionRom = 0x38;
+constexpr unsigned bridgeControl = 0x3e; // 16 bit
+/** @} */
+
+/** Command register bits. */
+constexpr std::uint16_t cmdIoEnable = 1 << 0;
+constexpr std::uint16_t cmdMemEnable = 1 << 1;
+constexpr std::uint16_t cmdBusMaster = 1 << 2;
+constexpr std::uint16_t cmdIntxDisable = 1 << 10;
+
+/** Status register bits. */
+constexpr std::uint16_t statusCapList = 1 << 4;
+constexpr std::uint16_t statusIntx = 1 << 3;
+
+/** Header type encodings (bit 7 = multi-function). */
+constexpr std::uint8_t headerTypeEndpoint = 0x00;
+constexpr std::uint8_t headerTypeBridge = 0x01;
+
+/** BAR encodings. */
+constexpr std::uint32_t barIoSpace = 0x1;
+constexpr std::uint32_t barMem32 = 0x0 << 1;
+constexpr std::uint32_t barMem64 = 0x2 << 1;
+constexpr std::uint32_t barPrefetchable = 1 << 3;
+
+/** Capability IDs (in R2). */
+constexpr std::uint8_t capIdPm = 0x01;
+constexpr std::uint8_t capIdMsi = 0x05;
+constexpr std::uint8_t capIdPcie = 0x10;
+constexpr std::uint8_t capIdMsix = 0x11;
+
+/** @{ PCI-Express capability structure offsets (paper Fig. 5),
+ *     relative to the capability base. */
+constexpr unsigned pcieCapReg = 0x02;     // 16 bit
+constexpr unsigned pcieDevCap = 0x04;     // 32 bit
+constexpr unsigned pcieDevCtrl = 0x08;    // 16 bit
+constexpr unsigned pcieDevStatus = 0x0a;  // 16 bit
+constexpr unsigned pcieLinkCap = 0x0c;    // 32 bit
+constexpr unsigned pcieLinkCtrl = 0x10;   // 16 bit
+constexpr unsigned pcieLinkStatus = 0x12; // 16 bit
+constexpr unsigned pcieSlotCap = 0x14;    // 32 bit
+constexpr unsigned pcieSlotCtrl = 0x18;   // 16 bit
+constexpr unsigned pcieSlotStatus = 0x1a; // 16 bit
+constexpr unsigned pcieRootCtrl = 0x1c;   // 16 bit
+constexpr unsigned pcieRootStatus = 0x20; // 32 bit
+constexpr unsigned pcieCapLength = 0x24;
+/** @} */
+
+/** Device/port type field of the PCIe capabilities register
+ *  (bits 7:4). */
+enum class PciePortType : std::uint8_t
+{
+    Endpoint = 0x0,
+    LegacyEndpoint = 0x1,
+    RootPort = 0x4,
+    SwitchUpstream = 0x5,
+    SwitchDownstream = 0x6,
+    PcieToPciBridge = 0x7,
+    RootComplexIntegrated = 0x9,
+};
+
+/** Class codes used by the models. */
+constexpr std::uint32_t classNetworkEthernet = 0x020000;
+constexpr std::uint32_t classStorageIde = 0x010185;
+constexpr std::uint32_t classBridgeP2p = 0x060400;
+
+/** Vendor / device IDs (paper Sec. IV & V-A). */
+constexpr std::uint16_t vendorIntel = 0x8086;
+constexpr std::uint16_t device8254xPcie = 0x10d3; //!< triggers e1000e
+constexpr std::uint16_t deviceWildcatRp0 = 0x9c90;
+constexpr std::uint16_t deviceWildcatRp1 = 0x9c92;
+constexpr std::uint16_t deviceWildcatRp2 = 0x9c94;
+constexpr std::uint16_t deviceIdeCtrl = 0x7111;
+constexpr std::uint16_t deviceSwitchPort = 0x8796; //!< PEX8796-like
+
+/** Value returned for accesses to non-existent devices. */
+constexpr std::uint32_t allOnes = 0xffffffffU;
+
+} // namespace pciesim::cfg
+
+#endif // PCIESIM_PCI_CONFIG_REGS_HH

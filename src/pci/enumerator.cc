@@ -1,0 +1,234 @@
+#include "enumerator.hh"
+
+#include "pci/bridge_header.hh"
+#include "pci/config_regs.hh"
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+const EnumeratedFunction *
+Enumerator::Result::find(std::uint16_t vendor,
+                         std::uint16_t device) const
+{
+    for (const auto &f : functions) {
+        if (f.vendorId == vendor && f.deviceId == device)
+            return &f;
+    }
+    return nullptr;
+}
+
+const EnumeratedFunction *
+Enumerator::Result::find(Bdf bdf) const
+{
+    for (const auto &f : functions) {
+        if (f.bdf == bdf)
+            return &f;
+    }
+    return nullptr;
+}
+
+Addr
+Enumerator::Allocator::alloc(Addr size, Addr align)
+{
+    Addr base = (cur + align - 1) & ~(align - 1);
+    fatalIf(base + size > end,
+            "PCI resource window exhausted (need ", size, " at 0x",
+            base, ", window ends at 0x", end, ")");
+    cur = base + size;
+    return base;
+}
+
+void
+Enumerator::Allocator::alignTo(Addr align)
+{
+    cur = (cur + align - 1) & ~(align - 1);
+}
+
+Enumerator::Enumerator(PciHost &host, AddrRange mem_window,
+                       AddrRange io_window, std::uint8_t first_irq)
+    : host_(host), mem_{mem_window.start(), mem_window.end()},
+      io_{io_window.start(), io_window.end()}, nextIrq_(first_irq)
+{
+    // Never hand out address 0: a zero BAR reads as "unassigned".
+    if (mem_.cur == 0)
+        mem_.cur = 0x1000;
+    if (io_.cur == 0)
+        io_.cur = 0x1000;
+}
+
+std::uint32_t
+Enumerator::read32(Bdf b, unsigned off)
+{
+    return host_.configRead(b, off, 4);
+}
+
+std::uint16_t
+Enumerator::read16(Bdf b, unsigned off)
+{
+    return static_cast<std::uint16_t>(host_.configRead(b, off, 2));
+}
+
+std::uint8_t
+Enumerator::read8(Bdf b, unsigned off)
+{
+    return static_cast<std::uint8_t>(host_.configRead(b, off, 1));
+}
+
+void
+Enumerator::write32(Bdf b, unsigned off, std::uint32_t v)
+{
+    host_.configWrite(b, off, 4, v);
+}
+
+void
+Enumerator::write16(Bdf b, unsigned off, std::uint16_t v)
+{
+    host_.configWrite(b, off, 2, v);
+}
+
+void
+Enumerator::write8(Bdf b, unsigned off, std::uint8_t v)
+{
+    host_.configWrite(b, off, 1, v);
+}
+
+Enumerator::Result
+Enumerator::enumerate()
+{
+    Result result;
+    busCounter_ = 0;
+    scanBus(0, result);
+    result.numBuses = busCounter_ + 1;
+
+    // Sanity: every function registered with the host must have
+    // been discovered; anything else means the static bus/device
+    // assignment of the topology disagrees with the DFS order.
+    for (const auto &[key, fn] : host_.functions()) {
+        (void)key;
+        fatalIf(result.find(fn->bdf()) == nullptr,
+                "function '", fn->pciName(), "' at ",
+                fn->bdf().toString(),
+                " was never discovered by enumeration; its assigned "
+                "bus number does not match the DFS order");
+    }
+    return result;
+}
+
+void
+Enumerator::scanBus(unsigned bus, Result &result)
+{
+    for (unsigned dev = 0; dev < 32; ++dev) {
+        Bdf bdf{static_cast<std::uint8_t>(bus),
+                static_cast<std::uint8_t>(dev), 0};
+        std::uint16_t vendor = read16(bdf, cfg::vendorId);
+        if (vendor == 0xffff)
+            continue; // no device in this slot
+
+        EnumeratedFunction rec;
+        rec.bdf = bdf;
+        rec.vendorId = vendor;
+        rec.deviceId = read16(bdf, cfg::deviceId);
+
+        std::uint8_t header = read8(bdf, cfg::headerType) & 0x7f;
+        if (header == cfg::headerTypeBridge) {
+            rec.isBridge = true;
+            configureBridge(bdf, rec, result);
+        } else {
+            configureEndpoint(bdf, rec);
+        }
+        result.functions.push_back(rec);
+    }
+}
+
+void
+Enumerator::configureBridge(Bdf bdf, EnumeratedFunction &rec,
+                            Result &result)
+{
+    // Assign bus numbers: primary = our bus, secondary = next free,
+    // subordinate temporarily maxed out so configuration cycles can
+    // reach everything below during the recursive scan.
+    unsigned secondary = ++busCounter_;
+    write8(bdf, cfg::primaryBus, static_cast<std::uint8_t>(bdf.bus));
+    write8(bdf, cfg::secondaryBus,
+           static_cast<std::uint8_t>(secondary));
+    write8(bdf, cfg::subordinateBus, 0xff);
+
+    // Record the window start positions; everything allocated while
+    // scanning the subtree lands inside the bridge windows.
+    mem_.alignTo(0x100000); // memory windows have 1 MB granularity
+    io_.alignTo(0x1000);    // I/O windows have 4 KB granularity
+    Addr mem_start = mem_.cur;
+    Addr io_start = io_.cur;
+
+    scanBus(secondary, result);
+
+    // Close the windows.
+    mem_.alignTo(0x100000);
+    io_.alignTo(0x1000);
+    Addr mem_end = mem_.cur;
+    Addr io_end = io_.cur;
+
+    PciFunction *fn = host_.lookup(bdf);
+    panicIf(fn == nullptr, "bridge vanished during enumeration");
+    if (mem_end > mem_start) {
+        BridgeHeader::programMemWindow(fn->config(), mem_start,
+                                       mem_end - 1);
+    }
+    if (io_end > io_start) {
+        BridgeHeader::programIoWindow(fn->config(), io_start,
+                                      io_end - 1);
+    }
+
+    write8(bdf, cfg::subordinateBus,
+           static_cast<std::uint8_t>(busCounter_));
+    rec.secondaryBus = secondary;
+    rec.subordinateBus = busCounter_;
+
+    // Enable forwarding and downstream bus mastering
+    // (paper Sec. V-A, Command Register).
+    write16(bdf, cfg::command,
+            cfg::cmdIoEnable | cfg::cmdMemEnable | cfg::cmdBusMaster);
+}
+
+void
+Enumerator::configureEndpoint(Bdf bdf, EnumeratedFunction &rec)
+{
+    rec.bars.assign(cfg::numBars, AddrRange{});
+    rec.barIsIo.assign(cfg::numBars, false);
+
+    for (unsigned bar = 0; bar < cfg::numBars; ++bar) {
+        unsigned off = cfg::bar0 + 4 * bar;
+        write32(bdf, off, 0xffffffffU);
+        std::uint32_t mask = read32(bdf, off);
+        if (mask == 0)
+            continue; // BAR not implemented
+
+        bool is_io = mask & cfg::barIoSpace;
+        std::uint32_t size_mask = is_io ? (mask & ~0x3U)
+                                        : (mask & ~0xfU);
+        Addr size = (~size_mask + 1) & 0xffffffffULL;
+        fatalIf(size == 0, "BAR ", bar, " of ", bdf.toString(),
+                " reports zero size mask 0x", mask);
+
+        Addr base = is_io ? io_.alloc(size, size)
+                          : mem_.alloc(size, size);
+        write32(bdf, off, static_cast<std::uint32_t>(base));
+
+        rec.bars[bar] = AddrRange{base, base + size};
+        rec.barIsIo[bar] = is_io;
+    }
+
+    // Interrupt assignment: devices with an interrupt pin get the
+    // next platform interrupt line.
+    std::uint8_t pin = read8(bdf, cfg::interruptPin);
+    if (pin != 0) {
+        rec.irqLine = nextIrq_++;
+        write8(bdf, cfg::interruptLine, rec.irqLine);
+    }
+
+    write16(bdf, cfg::command,
+            cfg::cmdIoEnable | cfg::cmdMemEnable | cfg::cmdBusMaster);
+}
+
+} // namespace pciesim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The enumeration software: the part of BIOS / kernel that
+ * discovers devices with a depth-first configuration-space walk,
+ * sizes their BARs, allocates memory / I/O windows, programs bridge
+ * bus numbers and windows, and assigns interrupt resources
+ * (paper Sec. II-A and V-A).
+ */
+
+#ifndef PCIESIM_PCI_ENUMERATOR_HH
+#define PCIESIM_PCI_ENUMERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr_range.hh"
+#include "pci/pci_host.hh"
+#include "pci/platform.hh"
+
+namespace pciesim
+{
+
+/** One discovered function and the resources assigned to it. */
+struct EnumeratedFunction
+{
+    Bdf bdf;
+    std::uint16_t vendorId = 0;
+    std::uint16_t deviceId = 0;
+    bool isBridge = false;
+    /** Assigned BAR ranges (empty ranges for absent BARs). */
+    std::vector<AddrRange> bars;
+    /** Which BARs are I/O space. */
+    std::vector<bool> barIsIo;
+    /** Assigned legacy interrupt line (0 = none). */
+    std::uint8_t irqLine = 0;
+    /** Bridge only: programmed secondary/subordinate bus numbers. */
+    unsigned secondaryBus = 0;
+    unsigned subordinateBus = 0;
+};
+
+/**
+ * Depth-first PCI bus enumerator.
+ */
+class Enumerator
+{
+  public:
+    /** Result of an enumeration pass. */
+    struct Result
+    {
+        std::vector<EnumeratedFunction> functions;
+        /** Total number of buses discovered (highest + 1). */
+        unsigned numBuses = 0;
+
+        /** Find a function by vendor/device id (first match). */
+        const EnumeratedFunction *find(std::uint16_t vendor,
+                                       std::uint16_t device) const;
+
+        /** Find the record for @p bdf. */
+        const EnumeratedFunction *find(Bdf bdf) const;
+    };
+
+    /**
+     * @param host Configuration access mechanism.
+     * @param mem_window Memory-space allocation pool.
+     * @param io_window I/O-space allocation pool.
+     * @param first_irq First legacy interrupt line to hand out.
+     */
+    explicit Enumerator(PciHost &host,
+                        AddrRange mem_window = platform::memRange,
+                        AddrRange io_window = platform::ioRange,
+                        std::uint8_t first_irq = 32);
+
+    /** Run the full enumeration starting from bus 0. */
+    Result enumerate();
+
+  private:
+    /** A bump allocator over an address window. */
+    struct Allocator
+    {
+        Addr cur;
+        Addr end;
+
+        Addr alloc(Addr size, Addr align);
+        void alignTo(Addr align);
+    };
+
+    void scanBus(unsigned bus, Result &result);
+    void configureEndpoint(Bdf bdf, EnumeratedFunction &rec);
+    void configureBridge(Bdf bdf, EnumeratedFunction &rec,
+                         Result &result);
+
+    std::uint32_t read32(Bdf b, unsigned off);
+    std::uint16_t read16(Bdf b, unsigned off);
+    std::uint8_t read8(Bdf b, unsigned off);
+    void write32(Bdf b, unsigned off, std::uint32_t v);
+    void write16(Bdf b, unsigned off, std::uint16_t v);
+    void write8(Bdf b, unsigned off, std::uint8_t v);
+
+    PciHost &host_;
+    Allocator mem_;
+    Allocator io_;
+    unsigned busCounter_ = 0;
+    std::uint8_t nextIrq_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCI_ENUMERATOR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A PCI function: the unit that owns a configuration space and is
+ * addressable by bus/device/function numbers. Endpoints and virtual
+ * PCI-to-PCI bridges are both functions.
+ */
+
+#ifndef PCIESIM_PCI_PCI_FUNCTION_HH
+#define PCIESIM_PCI_PCI_FUNCTION_HH
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "pci/config_space.hh"
+
+namespace pciesim
+{
+
+/** A bus/device/function address. */
+struct Bdf
+{
+    std::uint8_t bus = 0;
+    std::uint8_t dev = 0;
+    std::uint8_t fn = 0;
+
+    auto operator<=>(const Bdf &) const = default;
+
+    std::string toString() const;
+
+    /** Flatten to a registry key. */
+    std::uint32_t
+    key() const
+    {
+        return (static_cast<std::uint32_t>(bus) << 8) |
+               (static_cast<std::uint32_t>(dev) << 3) | fn;
+    }
+};
+
+/**
+ * Base class for anything with a configuration space.
+ *
+ * The default configRead/configWrite operate directly on the
+ * ConfigSpace; devices override them to intercept registers with
+ * side effects (BAR sizing, command register).
+ */
+class PciFunction
+{
+  public:
+    explicit PciFunction(std::string pci_name)
+        : pciName_(std::move(pci_name))
+    {}
+
+    virtual ~PciFunction() = default;
+
+    PciFunction(const PciFunction &) = delete;
+    PciFunction &operator=(const PciFunction &) = delete;
+
+    /** Software (enumeration/driver) configuration read. */
+    virtual std::uint32_t
+    configRead(unsigned offset, unsigned size)
+    {
+        return config_.read(offset, size);
+    }
+
+    /** Software configuration write. */
+    virtual void
+    configWrite(unsigned offset, unsigned size, std::uint32_t value)
+    {
+        config_.write(offset, size, value);
+    }
+
+    ConfigSpace &config() { return config_; }
+    const ConfigSpace &config() const { return config_; }
+
+    const std::string &pciName() const { return pciName_; }
+
+    /** Assigned by PciHost at registration time. */
+    Bdf bdf() const { return bdf_; }
+    void setBdf(Bdf bdf) { bdf_ = bdf; }
+
+  protected:
+    ConfigSpace config_;
+
+  private:
+    std::string pciName_;
+    Bdf bdf_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCI_PCI_FUNCTION_HH

@@ -1,0 +1,95 @@
+#include "pci_host.hh"
+
+#include "pci/config_regs.hh"
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+PciHost::PciHost(Simulation &sim, const std::string &name)
+    : SimObject(sim, name)
+{}
+
+void
+PciHost::registerFunction(PciFunction &fn, Bdf bdf)
+{
+    auto it = functions_.find(bdf.key());
+    if (it != functions_.end()) {
+        fatal("PCI function '", fn.pciName(), "' at ",
+              bdf.toString(), " collides with '",
+              it->second->pciName(), "'");
+    }
+    fn.setBdf(bdf);
+    functions_[bdf.key()] = &fn;
+}
+
+PciFunction *
+PciHost::lookup(Bdf bdf) const
+{
+    auto it = functions_.find(bdf.key());
+    return it == functions_.end() ? nullptr : it->second;
+}
+
+std::uint32_t
+PciHost::configRead(Bdf bdf, unsigned offset, unsigned size)
+{
+    PciFunction *fn = lookup(bdf);
+    if (fn == nullptr) {
+        // Absent device: data field all ones (paper Sec. III).
+        return cfg::allOnes >> (8 * (4 - size));
+    }
+    return fn->configRead(offset, size);
+}
+
+void
+PciHost::configWrite(Bdf bdf, unsigned offset, unsigned size,
+                     std::uint32_t value)
+{
+    PciFunction *fn = lookup(bdf);
+    if (fn != nullptr)
+        fn->configWrite(offset, size, value);
+}
+
+Addr
+PciHost::ecamAddr(Bdf bdf, unsigned offset)
+{
+    return platform::confBase |
+           (static_cast<Addr>(bdf.bus) << 20) |
+           (static_cast<Addr>(bdf.dev) << 15) |
+           (static_cast<Addr>(bdf.fn) << 12) | (offset & 0xfff);
+}
+
+bool
+PciHost::decodeEcam(Addr addr, Bdf &bdf, unsigned &offset)
+{
+    if (!platform::confRange.contains(addr))
+        return false;
+    Addr rel = addr - platform::confBase;
+    bdf.bus = (rel >> 20) & 0xff;
+    bdf.dev = (rel >> 15) & 0x1f;
+    bdf.fn = (rel >> 12) & 0x7;
+    offset = rel & 0xfff;
+    return true;
+}
+
+std::uint32_t
+PciHost::configReadAddr(Addr addr, unsigned size)
+{
+    Bdf bdf;
+    unsigned offset = 0;
+    panicIf(!decodeEcam(addr, bdf, offset),
+            "config read outside the ECAM window");
+    return configRead(bdf, offset, size);
+}
+
+void
+PciHost::configWriteAddr(Addr addr, unsigned size, std::uint32_t value)
+{
+    Bdf bdf;
+    unsigned offset = 0;
+    panicIf(!decodeEcam(addr, bdf, offset),
+            "config write outside the ECAM window");
+    configWrite(bdf, offset, size, value);
+}
+
+} // namespace pciesim

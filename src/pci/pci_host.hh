@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The PCI Host: gem5's functional host-to-PCI bridge (paper
+ * Sec. III). It claims the whole ECAM configuration window,
+ * maintains the registry of PCI functions keyed by bus/device/
+ * function, forwards configuration accesses to them, and completes
+ * accesses to absent devices with all-ones.
+ */
+
+#ifndef PCIESIM_PCI_PCI_HOST_HH
+#define PCIESIM_PCI_PCI_HOST_HH
+
+#include <map>
+
+#include "mem/addr_range.hh"
+#include "pci/pci_function.hh"
+#include "pci/platform.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/**
+ * Registry + Enhanced Configuration Access Mechanism decoding.
+ *
+ * All PCI functions (endpoints and virtual PCI-to-PCI bridges)
+ * register themselves here; the enumeration software and drivers
+ * perform configuration accesses through this object.
+ */
+class PciHost : public SimObject
+{
+  public:
+    PciHost(Simulation &sim, const std::string &name);
+
+    /** Register @p fn at @p bdf; duplicate registration is fatal. */
+    void registerFunction(PciFunction &fn, Bdf bdf);
+
+    /** @return the function at @p bdf, or nullptr when absent. */
+    PciFunction *lookup(Bdf bdf) const;
+
+    /**
+     * Configuration read. Absent devices complete with all-ones
+     * (the PCI-Express "unsupported request" convention).
+     */
+    std::uint32_t configRead(Bdf bdf, unsigned offset, unsigned size);
+
+    /** Configuration write; silently dropped for absent devices. */
+    void configWrite(Bdf bdf, unsigned offset, unsigned size,
+                     std::uint32_t value);
+
+    /** ECAM address of a register: base + bus<<20|dev<<15|fn<<12. */
+    static Addr ecamAddr(Bdf bdf, unsigned offset);
+
+    /**
+     * Decode an ECAM address.
+     * @return false when outside the configuration window.
+     */
+    static bool decodeEcam(Addr addr, Bdf &bdf, unsigned &offset);
+
+    /** Configuration read through an ECAM address. */
+    std::uint32_t configReadAddr(Addr addr, unsigned size);
+
+    /** Configuration write through an ECAM address. */
+    void configWriteAddr(Addr addr, unsigned size, std::uint32_t value);
+
+    /** All registered functions, keyed by Bdf::key(). */
+    const std::map<std::uint32_t, PciFunction *> &
+    functions() const
+    {
+        return functions_;
+    }
+
+  private:
+    std::map<std::uint32_t, PciFunction *> functions_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCI_PCI_HOST_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Address map of the modelled platform, following the ARM
+ * VExpress_GEM5_V1 machine type used by the paper (Sec. III):
+ *
+ *   PCI configuration space  0x30000000 - 0x3fffffff (256 MB, ECAM)
+ *   PCI I/O space            0x2f000000 - 0x2fffffff (16 MB)
+ *   PCI memory space         0x40000000 - 0x7fffffff (1 GB)
+ *   DRAM                     0x80000000 -            (>= 2 GB)
+ *
+ * Because all PCI spaces sit below 2 GB, devices can use 32-bit BARs.
+ */
+
+#ifndef PCIESIM_PCI_PLATFORM_HH
+#define PCIESIM_PCI_PLATFORM_HH
+
+#include "mem/addr_range.hh"
+
+namespace pciesim::platform
+{
+
+/** ECAM configuration-space window. */
+constexpr Addr confBase = 0x30000000ULL;
+constexpr Addr confEnd = 0x40000000ULL;
+
+/** Port-mapped I/O window. */
+constexpr Addr ioBase = 0x2f000000ULL;
+constexpr Addr ioEnd = 0x30000000ULL;
+
+/** Memory-mapped I/O window. */
+constexpr Addr memBase = 0x40000000ULL;
+constexpr Addr memEnd = 0x80000000ULL;
+
+/** DRAM. */
+constexpr Addr dramBase = 0x80000000ULL;
+constexpr Addr dramEnd = 0x8080000000ULL; // 512 GB ceiling
+
+constexpr AddrRange confRange{confBase, confEnd};
+constexpr AddrRange ioRange{ioBase, ioEnd};
+constexpr AddrRange memRange{memBase, memEnd};
+constexpr AddrRange dramRange{dramBase, dramEnd};
+
+/** The whole off-chip (PCI) region routed from the MemBus. */
+constexpr AddrRange offChipRange{ioBase, memEnd};
+
+} // namespace pciesim::platform
+
+#endif // PCIESIM_PCI_PLATFORM_HH

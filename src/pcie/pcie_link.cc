@@ -1,0 +1,435 @@
+#include "pcie_link.hh"
+
+namespace pciesim
+{
+
+//
+// UnidirectionalLink
+//
+
+UnidirectionalLink::UnidirectionalLink(PcieLink &link,
+                                       const std::string &name,
+                                       bool toward_upstream)
+    : link_(link), towardUpstream_(toward_upstream),
+      deliverEvent_([this] { deliver(); }, name + ".deliverEvent")
+{}
+
+void
+UnidirectionalLink::send(const PciePkt &pkt)
+{
+    Tick now = link_.curTick();
+    panicIf(busy(now), "unidirectional link transmit while busy");
+
+    Tick wire = pkt.wireTime(link_.params().gen, link_.params().width);
+    busyUntil_ = now + wire;
+    Tick arrive = busyUntil_ + link_.params().propagationDelay;
+
+    inFlight_.push_back({arrive, pkt});
+    if (!deliverEvent_.scheduled())
+        link_.eventq().schedule(&deliverEvent_, arrive);
+}
+
+void
+UnidirectionalLink::deliver()
+{
+    panicIf(inFlight_.empty(), "link delivery with nothing in flight");
+    PciePkt pkt = inFlight_.front().second;
+    inFlight_.pop_front();
+    if (!inFlight_.empty())
+        link_.eventq().schedule(&deliverEvent_, inFlight_.front().first);
+
+    LinkInterface &sink = towardUpstream_ ? link_.upstreamIf()
+                                          : link_.downstreamIf();
+    sink.recvFromWire(pkt);
+}
+
+//
+// LinkInterface ports
+//
+
+class LinkInterface::ExtMasterPort : public MasterPort
+{
+  public:
+    ExtMasterPort(LinkInterface &iface, const std::string &name)
+        : MasterPort(name), iface_(iface)
+    {}
+
+    bool
+    recvTimingResp(PacketPtr pkt) override
+    {
+        // A response entering the link is just another TLP.
+        return iface_.acceptTlp(pkt);
+    }
+
+    void
+    recvReqRetry() override
+    {
+        // The link does not hold refused deliveries; recovery is by
+        // replay timeout (paper Sec. V-C). Ignore.
+    }
+
+  private:
+    LinkInterface &iface_;
+};
+
+class LinkInterface::ExtSlavePort : public SlavePort
+{
+  public:
+    ExtSlavePort(LinkInterface &iface, const std::string &name)
+        : SlavePort(name), iface_(iface)
+    {}
+
+    bool
+    recvTimingReq(PacketPtr pkt) override
+    {
+        return iface_.acceptTlp(pkt);
+    }
+
+    void
+    recvRespRetry() override
+    {
+        // See ExtMasterPort::recvReqRetry.
+    }
+
+    AddrRangeList
+    getAddrRanges() const override
+    {
+        // The link is transparent: it reaches whatever sits behind
+        // the far interface's master port.
+        return iface_.peer_->extMaster().peer().getAddrRanges();
+    }
+
+  private:
+    LinkInterface &iface_;
+};
+
+//
+// LinkInterface
+//
+
+LinkInterface::LinkInterface(PcieLink &link, const std::string &name,
+                             bool is_upstream)
+    : link_(link), name_(name), isUpstream_(is_upstream),
+      replayBuffer_(link.params().replayBufferSize),
+      txEvent_([this] { tryTransmit(); }, name + ".txEvent"),
+      ackTimerEvent_([this] { ackTimerFired(); }, name + ".ackTimer"),
+      replayTimerEvent_([this] { replayTimerFired(); },
+                        name + ".replayTimer")
+{
+    extMaster_ = std::make_unique<ExtMasterPort>(*this,
+                                                 name + ".extMaster");
+    extSlave_ = std::make_unique<ExtSlavePort>(*this,
+                                               name + ".extSlave");
+}
+
+MasterPort &
+LinkInterface::extMaster()
+{
+    return *extMaster_;
+}
+
+SlavePort &
+LinkInterface::extSlave()
+{
+    return *extSlave_;
+}
+
+void
+LinkInterface::registerStats()
+{
+    auto &reg = link_.statsRegistry();
+    reg.add(name_ + ".txTlps", &txTlps_,
+            "TLPs transmitted (including replays)");
+    reg.add(name_ + ".txDllps", &txDllps_, "DLLPs transmitted");
+    reg.add(name_ + ".rxTlps", &rxTlps_, "TLPs received");
+    reg.add(name_ + ".rxDllps", &rxDllps_, "DLLPs received");
+    reg.add(name_ + ".replayedTlps", &replayedTlps_,
+            "TLP retransmissions");
+    reg.add(name_ + ".timeouts", &timeouts_, "replay timer timeouts");
+    reg.add(name_ + ".duplicateTlps", &duplicateTlps_,
+            "received duplicate TLPs discarded");
+    reg.add(name_ + ".outOfOrderDrops", &outOfOrderDrops_,
+            "TLPs dropped behind a refused delivery");
+    reg.add(name_ + ".deliveryRefusals", &deliveryRefusals_,
+            "TLPs refused by the connected port (dropped, replayed)");
+    reg.add(name_ + ".acceptRefusals", &acceptRefusals_,
+            "TLPs refused from external ports (replay buffer full)");
+}
+
+bool
+LinkInterface::canAcceptTlp() const
+{
+    // Source throttling: the replay buffer bounds the TLPs that may
+    // be in flight; retransmission pauses new acceptance
+    // (paper Sec. V-C).
+    return replayQueue_.empty() &&
+           replayBuffer_.size() + newQueue_.size() <
+               replayBuffer_.capacity();
+}
+
+bool
+LinkInterface::acceptTlp(const PacketPtr &pkt)
+{
+    if (!canAcceptTlp()) {
+        ++acceptRefusals_;
+        if (pkt->isRequest())
+            wantReqRetry_ = true;
+        else
+            wantRespRetry_ = true;
+        return false;
+    }
+    newQueue_.push_back(PciePkt::makeTlp(pkt, sendSeq_++));
+    scheduleTx();
+    return true;
+}
+
+void
+LinkInterface::scheduleTx()
+{
+    if (txEvent_.scheduled())
+        return;
+    if (!ackPending_ && replayQueue_.empty() && newQueue_.empty())
+        return;
+    Tick when = std::max(link_.curTick(), txLink_->freeAt());
+    link_.eventq().schedule(&txEvent_, when);
+}
+
+void
+LinkInterface::tryTransmit()
+{
+    Tick now = link_.curTick();
+    if (txLink_->busy(now)) {
+        scheduleTx();
+        return;
+    }
+
+    // Priority: ACK DLLPs, then retransmissions, then new TLPs
+    // (paper Sec. V-C).
+    if (ackPending_) {
+        ackPending_ = false;
+        ++txDllps_;
+        txLink_->send(PciePkt::makeDllp(DllpType::Ack, ackSeq_));
+    } else if (!replayQueue_.empty()) {
+        PciePkt pkt = replayQueue_.front();
+        replayQueue_.pop_front();
+        ++txTlps_;
+        ++replayedTlps_;
+        txLink_->send(pkt);
+        startReplayTimer();
+        if (replayQueue_.empty())
+            notifyExternalRetry(); // acceptance may resume
+    } else if (!newQueue_.empty()) {
+        PciePkt pkt = newQueue_.front();
+        newQueue_.pop_front();
+        replayBuffer_.push(pkt);
+        ++txTlps_;
+        txLink_->send(pkt);
+        startReplayTimer();
+    } else {
+        return;
+    }
+    scheduleTx();
+}
+
+void
+LinkInterface::startReplayTimer()
+{
+    if (!replayTimerEvent_.scheduled()) {
+        link_.eventq().schedule(&replayTimerEvent_,
+                                link_.curTick() +
+                                    link_.replayTimeoutTicks());
+    }
+}
+
+void
+LinkInterface::replayTimerFired()
+{
+    if (replayBuffer_.empty())
+        return;
+
+    ++timeouts_;
+    // Retransmit every unacknowledged TLP in sequence order; new
+    // TLP acceptance halts until the replay drains (paper Sec. V-C).
+    replayQueue_.assign(replayBuffer_.entries().begin(),
+                        replayBuffer_.entries().end());
+    startReplayTimer();
+    scheduleTx();
+}
+
+void
+LinkInterface::recvFromWire(const PciePkt &pkt)
+{
+    if (pkt.isDllp()) {
+        ++rxDllps_;
+        processAck(pkt.seq());
+    } else {
+        ++rxTlps_;
+        processTlp(pkt);
+    }
+}
+
+void
+LinkInterface::processAck(SeqNum seq)
+{
+    replayBuffer_.ack(seq);
+    // Drop now-acknowledged entries from a retransmission in
+    // progress as well (spec: purge before replaying).
+    while (!replayQueue_.empty() && replayQueue_.front().seq() <= seq)
+        replayQueue_.pop_front();
+
+    // Reset the replay timer; restart only while TLPs remain
+    // unacknowledged (paper Sec. V-C).
+    if (replayTimerEvent_.scheduled())
+        link_.eventq().deschedule(&replayTimerEvent_);
+    if (!replayBuffer_.empty()) {
+        link_.eventq().schedule(&replayTimerEvent_,
+                                link_.curTick() +
+                                    link_.replayTimeoutTicks());
+    }
+
+    notifyExternalRetry();
+    scheduleTx();
+}
+
+void
+LinkInterface::processTlp(const PciePkt &pkt)
+{
+    if (pkt.seq() == recvSeq_) {
+        const PacketPtr &tlp = pkt.tlp();
+        bool delivered = tlp->isRequest()
+            ? extMaster_->sendTimingReq(tlp)
+            : extSlave_->sendTimingResp(tlp);
+        if (delivered) {
+            ackSeq_ = recvSeq_;
+            ++recvSeq_;
+            scheduleAckDllp(link_.params().ackImmediate);
+        } else {
+            // The connected port refused; no ACK is generated and
+            // the sender's replay timeout recovers the TLP
+            // (paper Sec. V-C).
+            ++deliveryRefusals_;
+        }
+    } else if (pkt.seq() < recvSeq_) {
+        // Duplicate from a spurious replay: discard and re-ACK
+        // immediately so the sender purges its replay buffer.
+        ++duplicateTlps_;
+        ackSeq_ = recvSeq_ - 1;
+        scheduleAckDllp(true);
+    } else {
+        // A gap: an earlier TLP's delivery was refused (no ACK was
+        // generated), and this later TLP was already in flight.
+        // Drop it; the sender's replay timeout resends everything
+        // from the missing sequence number in order.
+        ++outOfOrderDrops_;
+    }
+}
+
+void
+LinkInterface::scheduleAckDllp(bool immediate)
+{
+    if (immediate) {
+        if (ackTimerEvent_.scheduled())
+            link_.eventq().deschedule(&ackTimerEvent_);
+        ackPending_ = true;
+        scheduleTx();
+    } else if (!ackTimerEvent_.scheduled() && !ackPending_) {
+        link_.eventq().schedule(&ackTimerEvent_,
+                                link_.curTick() +
+                                    link_.ackPeriodTicks());
+    }
+}
+
+void
+LinkInterface::ackTimerFired()
+{
+    ackPending_ = true;
+    scheduleTx();
+}
+
+void
+LinkInterface::notifyExternalRetry()
+{
+    if (!canAcceptTlp())
+        return;
+    if (wantReqRetry_) {
+        wantReqRetry_ = false;
+        extSlave_->sendRetryReq();
+    }
+    if (wantRespRetry_ && canAcceptTlp()) {
+        wantRespRetry_ = false;
+        extMaster_->sendRetryResp();
+    }
+}
+
+//
+// PcieLink
+//
+
+PcieLink::PcieLink(Simulation &sim, const std::string &name,
+                   const PcieLinkParams &params)
+    : SimObject(sim, name), params_(params),
+      replayTimeout_(static_cast<Tick>(
+          static_cast<double>(replayTimeout(params.gen, params.width,
+                                            params.maxPayload)) *
+          params.replayTimeoutScale)),
+      ackPeriod_(ackTimerPeriod(params.gen, params.width,
+                                params.maxPayload))
+{
+    fatalIf(params_.width == 0 || params_.width > 32,
+            "link '", name, "': width must be 1..32");
+    fatalIf(params_.replayBufferSize == 0,
+            "link '", name, "': replay buffer needs >= 1 entry");
+
+    upstreamIf_ = std::make_unique<LinkInterface>(*this, name + ".up",
+                                                  true);
+    downstreamIf_ = std::make_unique<LinkInterface>(*this,
+                                                    name + ".down",
+                                                    false);
+    toUpstream_ = std::make_unique<UnidirectionalLink>(
+        *this, name + ".wireUp", true);
+    toDownstream_ = std::make_unique<UnidirectionalLink>(
+        *this, name + ".wireDown", false);
+
+    upstreamIf_->setTxLink(toDownstream_.get());
+    downstreamIf_->setTxLink(toUpstream_.get());
+    upstreamIf_->setPeer(downstreamIf_.get());
+    downstreamIf_->setPeer(upstreamIf_.get());
+}
+
+PcieLink::~PcieLink() = default;
+
+MasterPort &
+PcieLink::upMaster()
+{
+    return upstreamIf_->extMaster();
+}
+
+SlavePort &
+PcieLink::upSlave()
+{
+    return upstreamIf_->extSlave();
+}
+
+MasterPort &
+PcieLink::downMaster()
+{
+    return downstreamIf_->extMaster();
+}
+
+SlavePort &
+PcieLink::downSlave()
+{
+    return downstreamIf_->extSlave();
+}
+
+void
+PcieLink::init()
+{
+    upstreamIf_->registerStats();
+    downstreamIf_->registerStats();
+    fatalIf(!upMaster().isBound() || !upSlave().isBound() ||
+            !downMaster().isBound() || !downSlave().isBound(),
+            "link '", name(), "' has unbound ports");
+}
+
+} // namespace pciesim

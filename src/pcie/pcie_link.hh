@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The PCI-Express link model (paper Sec. V-C, Fig. 8): two
+ * unidirectional serializing links plus a link interface at each
+ * end implementing a simplified data link layer - sequence numbers,
+ * a bounded replay buffer, ACK DLLPs, a replay timer with the
+ * spec timeout formula, and an ACK timer at 1/3 of it.
+ *
+ * Transmission priority (paper Sec. V-C):
+ *   1. ACK DLLPs   2. retransmitted TLPs   3. new TLPs.
+ *
+ * Backpressure semantics: an interface accepts a TLP from its
+ * external ports only while its replay buffer has room (source
+ * throttling); a TLP whose delivery is refused by the far end's
+ * connected port is dropped there and recovered by the sender's
+ * replay timeout - exactly the mechanism behind the paper's x8
+ * congestion results.
+ */
+
+#ifndef PCIESIM_PCIE_PCIE_LINK_HH
+#define PCIESIM_PCIE_PCIE_LINK_HH
+
+#include <deque>
+#include <memory>
+
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "pcie/pcie_pkt.hh"
+#include "pcie/pcie_timing.hh"
+#include "pcie/replay_buffer.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a PcieLink. */
+struct PcieLinkParams
+{
+    PcieGen gen = PcieGen::Gen2;
+    /** Number of lanes (1..32). */
+    unsigned width = 1;
+    /** Signal propagation delay per direction. */
+    Tick propagationDelay = nanoseconds(1);
+    /** MaxPayloadSize used in the replay-timer formula; the paper
+     *  sets it to the cache-line size. */
+    unsigned maxPayload = 64;
+    /** Replay buffer capacity per interface (paper default 4). */
+    std::size_t replayBufferSize = 4;
+    /** Send ACKs immediately instead of on the ACK timer. */
+    bool ackImmediate = false;
+    /**
+     * Multiplier on the spec replay-timeout formula. The formula's
+     * InternalDelay term (receiver/transmitter internal processing)
+     * is zero in the paper's model; real devices add hundreds of
+     * symbol times. A scale > 1 approximates that without a
+     * separate InternalDelay parameter.
+     */
+    double replayTimeoutScale = 1.0;
+};
+
+class PcieLink;
+
+/**
+ * One direction of the link: serializes a PciePkt for its wire time
+ * and delivers it to the sink interface after propagation.
+ */
+class UnidirectionalLink
+{
+  public:
+    UnidirectionalLink(PcieLink &link, const std::string &name,
+                       bool toward_upstream);
+
+    /** Earliest tick a new packet may start serializing. */
+    Tick freeAt() const { return busyUntil_; }
+    bool busy(Tick now) const { return busyUntil_ > now; }
+
+    /** Begin transmitting; panics when busy. */
+    void send(const PciePkt &pkt);
+
+  private:
+    void deliver();
+
+    PcieLink &link_;
+    bool towardUpstream_;
+    Tick busyUntil_ = 0;
+    std::deque<std::pair<Tick, PciePkt>> inFlight_;
+    EventFunctionWrapper deliverEvent_;
+};
+
+/**
+ * The TX + RX logic at one end of the link (Fig. 8).
+ *
+ * External connection points: extMaster() delivers requests into
+ * the adjacent component and receives its responses; extSlave()
+ * accepts requests from it and delivers responses to it.
+ */
+class LinkInterface
+{
+  public:
+    LinkInterface(PcieLink &link, const std::string &name,
+                  bool is_upstream);
+
+    MasterPort &extMaster();
+    SlavePort &extSlave();
+
+    /** @{ Hooks called by the owning PcieLink. */
+    void setTxLink(UnidirectionalLink *tx) { txLink_ = tx; }
+    void setPeer(LinkInterface *peer) { peer_ = peer; }
+    void recvFromWire(const PciePkt &pkt);
+    void registerStats();
+    /** @} */
+
+    /** @{ Introspection for tests and benches. */
+    std::uint64_t txTlps() const { return txTlps_.value(); }
+    std::uint64_t replayedTlps() const { return replayedTlps_.value(); }
+    std::uint64_t timeouts() const { return timeouts_.value(); }
+    std::uint64_t deliveryRefusals() const
+    {
+        return deliveryRefusals_.value();
+    }
+    /** @} */
+
+  private:
+    class ExtMasterPort;
+    class ExtSlavePort;
+
+    /** Accept a TLP from an external port. */
+    bool acceptTlp(const PacketPtr &pkt);
+
+    /** Whether a new TLP can be accepted right now. */
+    bool canAcceptTlp() const;
+
+    /** Try to start a transmission if the wire is free. */
+    void tryTransmit();
+    void scheduleTx();
+
+    void processAck(SeqNum seq);
+    void processTlp(const PciePkt &pkt);
+
+    void scheduleAckDllp(bool immediate);
+    void ackTimerFired();
+    void replayTimerFired();
+    void startReplayTimer();
+
+    /** Issue protocol retries after replay-buffer space frees. */
+    void notifyExternalRetry();
+
+    PcieLink &link_;
+    std::string name_;
+    bool isUpstream_;
+    UnidirectionalLink *txLink_ = nullptr;
+    LinkInterface *peer_ = nullptr;
+
+    std::unique_ptr<ExtMasterPort> extMaster_;
+    std::unique_ptr<ExtSlavePort> extSlave_;
+
+    ReplayBuffer replayBuffer_;
+    /** Next sequence number to assign (TX). */
+    SeqNum sendSeq_ = 0;
+    /** Next sequence number expected (RX). */
+    SeqNum recvSeq_ = 0;
+
+    /** Accepted TLPs waiting for first transmission. */
+    std::deque<PciePkt> newQueue_;
+    /** TLPs queued for retransmission after a timeout. */
+    std::deque<PciePkt> replayQueue_;
+    /** Coalesced pending ACK. */
+    bool ackPending_ = false;
+    SeqNum ackSeq_ = 0;
+
+    bool wantReqRetry_ = false;
+    bool wantRespRetry_ = false;
+
+    EventFunctionWrapper txEvent_;
+    EventFunctionWrapper ackTimerEvent_;
+    EventFunctionWrapper replayTimerEvent_;
+
+    stats::Counter txTlps_;
+    stats::Counter txDllps_;
+    stats::Counter rxTlps_;
+    stats::Counter rxDllps_;
+    stats::Counter replayedTlps_;
+    stats::Counter timeouts_;
+    stats::Counter duplicateTlps_;
+    stats::Counter outOfOrderDrops_;
+    stats::Counter deliveryRefusals_;
+    stats::Counter acceptRefusals_;
+
+    friend class PcieLink;
+};
+
+/**
+ * A full PCI-Express link: upstream interface + downstream
+ * interface + two unidirectional links.
+ *
+ * Wiring convention: the upstream interface faces the root complex
+ * or a switch downstream port; the downstream interface faces a
+ * device or a switch upstream port.
+ */
+class PcieLink : public SimObject
+{
+  public:
+    PcieLink(Simulation &sim, const std::string &name,
+             const PcieLinkParams &params = {});
+    ~PcieLink() override;
+
+    /** @{ Upstream-side connection points (toward the RC). */
+    MasterPort &upMaster();
+    SlavePort &upSlave();
+    /** @} */
+
+    /** @{ Downstream-side connection points (toward the device). */
+    MasterPort &downMaster();
+    SlavePort &downSlave();
+    /** @} */
+
+    void init() override;
+
+    const PcieLinkParams &params() const { return params_; }
+
+    /** The replay timeout for this link's configuration. */
+    Tick replayTimeoutTicks() const { return replayTimeout_; }
+
+    /** The ACK timer period for this link's configuration. */
+    Tick ackPeriodTicks() const { return ackPeriod_; }
+
+    LinkInterface &upstreamIf() { return *upstreamIf_; }
+    LinkInterface &downstreamIf() { return *downstreamIf_; }
+
+  private:
+    friend class UnidirectionalLink;
+    friend class LinkInterface;
+
+    PcieLinkParams params_;
+    Tick replayTimeout_;
+    Tick ackPeriod_;
+    std::unique_ptr<LinkInterface> upstreamIf_;
+    std::unique_ptr<LinkInterface> downstreamIf_;
+    std::unique_ptr<UnidirectionalLink> toUpstream_;
+    std::unique_ptr<UnidirectionalLink> toDownstream_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCIE_PCIE_LINK_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The pcie-pkt wrapper class (paper Sec. V-C): encapsulates either a
+ * TLP (a gem5-style memory Packet) or a DLLP, and reports its wire
+ * size including the Table I overheads. Since both DLLPs and TLPs
+ * travel over the same unidirectional link, the link deals only in
+ * PciePkt objects.
+ */
+
+#ifndef PCIESIM_PCIE_PCIE_PKT_HH
+#define PCIESIM_PCIE_PCIE_PKT_HH
+
+#include <cstdint>
+
+#include "mem/packet.hh"
+#include "pcie/pcie_timing.hh"
+
+namespace pciesim
+{
+
+/** Sequence number carried by TLPs and acknowledged by DLLPs. */
+using SeqNum = std::uint32_t;
+
+/** Kind of data-link-layer packet. */
+enum class DllpType : std::uint8_t
+{
+    Ack,
+    Nak,
+};
+
+/**
+ * A packet on a PCI-Express link: a TLP or a DLLP.
+ *
+ * The TLP wire size is snapshotted at construction because the
+ * underlying Packet may be turned into a response (in place) by the
+ * completer while a copy still sits in the sender's replay buffer.
+ */
+class PciePkt
+{
+  public:
+    /** Wrap a TLP with its assigned sequence number. */
+    static PciePkt
+    makeTlp(const PacketPtr &tlp, SeqNum seq)
+    {
+        PciePkt p;
+        p.isTlp_ = true;
+        p.tlp_ = tlp;
+        p.seq_ = seq;
+        p.payloadSize_ = tlp->tlpPayloadSize();
+        return p;
+    }
+
+    /** Create an ACK/NAK DLLP acknowledging up to @p seq. */
+    static PciePkt
+    makeDllp(DllpType type, SeqNum seq)
+    {
+        PciePkt p;
+        p.isTlp_ = false;
+        p.dllpType_ = type;
+        p.seq_ = seq;
+        return p;
+    }
+
+    PciePkt() = default;
+
+    bool isTlp() const { return isTlp_; }
+    bool isDllp() const { return !isTlp_; }
+
+    const PacketPtr &tlp() const { return tlp_; }
+    DllpType dllpType() const { return dllpType_; }
+    SeqNum seq() const { return seq_; }
+
+    /**
+     * Size on the wire in symbols (bytes before line encoding),
+     * per Table I: a TLP carries its payload plus 20 B of header,
+     * sequence number, LCRC and framing; a DLLP is 8 B.
+     */
+    unsigned
+    wireSymbols() const
+    {
+        return isTlp_ ? payloadSize_ + overhead::tlpTotal
+                      : overhead::dllpTotal;
+    }
+
+    /** Serialization delay of this packet on a given link. */
+    Tick
+    wireTime(PcieGen gen, unsigned width) const
+    {
+        return serializationTime(gen, width, wireSymbols());
+    }
+
+  private:
+    bool isTlp_ = false;
+    PacketPtr tlp_;
+    DllpType dllpType_ = DllpType::Ack;
+    SeqNum seq_ = 0;
+    unsigned payloadSize_ = 0;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCIE_PCIE_PKT_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The PCI-Express switch model (paper Sec. V-B): one upstream port
+ * and one or more downstream ports, every port fronted by a VP2P
+ * (in contrast to the root complex, where only root ports have
+ * VP2Ps). The model is store-and-forward with a configurable switch
+ * latency; a typical market part is ~150 ns cut-through, which the
+ * paper sweeps 50-150 ns.
+ *
+ * Unlike the root complex, the upstream slave port accepts the
+ * address range programmed into the *upstream* VP2P's base/limit
+ * registers (paper Sec. V-B).
+ */
+
+#ifndef PCIESIM_PCIE_PCIE_SWITCH_HH
+#define PCIESIM_PCIE_PCIE_SWITCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "pcie/vp2p.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a PcieSwitch. */
+struct PcieSwitchParams
+{
+    unsigned numDownstreamPorts = 2;
+    /** Store-and-forward switching latency. */
+    Tick latency = nanoseconds(150);
+    /** Egress buffer capacity per master or slave port. */
+    std::size_t portBufferSize = 16;
+    unsigned linkWidth = 1;
+    unsigned linkGen = 2;
+};
+
+/**
+ * A PCI-Express switch.
+ *
+ * Wiring: upstreamSlavePort() <- upstream link downMaster;
+ * upstreamMasterPort() -> upstream link downSlave;
+ * downstreamMaster(i) -> downstream link i upSlave;
+ * downstreamSlave(i) <- downstream link i upMaster.
+ *
+ * The caller (system builder) registers upstreamVp2p() and each
+ * downstreamVp2p(i) with the PciHost at BDFs matching the
+ * enumeration DFS order.
+ */
+class PcieSwitch : public SimObject
+{
+  public:
+    PcieSwitch(Simulation &sim, const std::string &name,
+               const PcieSwitchParams &params = {});
+    ~PcieSwitch() override;
+
+    SlavePort &upstreamSlavePort();
+    MasterPort &upstreamMasterPort();
+    MasterPort &downstreamMaster(unsigned i);
+    SlavePort &downstreamSlave(unsigned i);
+
+    Vp2p &upstreamVp2p();
+    Vp2p &downstreamVp2p(unsigned i);
+
+    unsigned numDownstreamPorts() const
+    {
+        return params_.numDownstreamPorts;
+    }
+
+    void init() override;
+
+    std::uint64_t bufferRefusals() const
+    {
+        return bufferRefusals_.value();
+    }
+
+  private:
+    class UpSlavePort;
+    class UpMasterPort;
+    class DownMasterPort;
+    class DownSlavePort;
+
+    bool handleDownwardRequest(const PacketPtr &pkt);
+    bool handleUpwardRequest(const PacketPtr &pkt, unsigned i);
+    bool handleDownwardResponse(const PacketPtr &pkt);
+    bool handleUpwardResponse(const PacketPtr &pkt, unsigned i);
+
+    int routeByAddress(Addr addr) const;
+    int routeByBus(int bus) const;
+
+    PcieSwitchParams params_;
+
+    std::unique_ptr<UpSlavePort> upSlave_;
+    std::unique_ptr<UpMasterPort> upMaster_;
+    std::vector<std::unique_ptr<DownMasterPort>> downMasters_;
+    std::vector<std::unique_ptr<DownSlavePort>> downSlaves_;
+    std::unique_ptr<Vp2p> upVp2p_;
+    std::vector<std::unique_ptr<Vp2p>> downVp2ps_;
+
+    std::unique_ptr<PacketQueue> upReqQueue_;
+    std::unique_ptr<PacketQueue> upRespQueue_;
+    std::vector<std::unique_ptr<PacketQueue>> downReqQueues_;
+    std::vector<std::unique_ptr<PacketQueue>> downRespQueues_;
+
+    stats::Counter fwdDownRequests_;
+    stats::Counter fwdUpRequests_;
+    stats::Counter fwdDownResponses_;
+    stats::Counter fwdUpResponses_;
+    stats::Counter bufferRefusals_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCIE_PCIE_SWITCH_HH

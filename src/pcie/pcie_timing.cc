@@ -1,0 +1,71 @@
+#include "pcie_timing.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+double
+ackFactor(unsigned max_payload, unsigned width)
+{
+    // PCI-Express Base Specification Ack transmission latency
+    // table. Values for widths between table columns use the next
+    // larger width's factor. Payloads of 128 B or less share the
+    // first row; the paper's 64 B MaxPayloadSize uses it.
+    struct Row
+    {
+        unsigned payload;
+        double x1, x2, x4, x8, x12plus;
+    };
+    static constexpr Row rows[] = {
+        {128, 1.4, 1.4, 1.4, 2.5, 3.0},
+        {256, 1.4, 1.4, 1.4, 2.5, 3.0},
+        {512, 1.4, 1.4, 1.4, 2.5, 3.0},
+        {1024, 2.4, 2.4, 1.4, 2.5, 3.0},
+        {2048, 1.4, 1.4, 1.4, 2.5, 3.0},
+        {4096, 1.4, 1.4, 1.4, 2.5, 3.0},
+    };
+
+    const Row *row = &rows[0];
+    for (const Row &r : rows) {
+        row = &r;
+        if (max_payload <= r.payload)
+            break;
+    }
+
+    if (width <= 1)
+        return row->x1;
+    if (width <= 2)
+        return row->x2;
+    if (width <= 4)
+        return row->x4;
+    if (width <= 8)
+        return row->x8;
+    return row->x12plus;
+}
+
+Tick
+replayTimeout(PcieGen gen, unsigned width, unsigned max_payload)
+{
+    panicIf(width == 0 || width > 32,
+            "PCI-Express link width must be 1..32, got ", width);
+    double symbols =
+        (static_cast<double>(max_payload) +
+         overhead::replayFormulaTlpOverhead) /
+            static_cast<double>(width) *
+            ackFactor(max_payload, width) * 3.0;
+    Tick t = static_cast<Tick>(
+        std::ceil(symbols * static_cast<double>(symbolTime(gen))));
+    return t == 0 ? 1 : t;
+}
+
+Tick
+ackTimerPeriod(PcieGen gen, unsigned width, unsigned max_payload)
+{
+    Tick t = replayTimeout(gen, width, max_payload) / 3;
+    return t == 0 ? 1 : t;
+}
+
+} // namespace pciesim

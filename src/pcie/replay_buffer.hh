@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The replay buffer of a PCI-Express link interface (paper
+ * Sec. V-C): a bounded FIFO of transmitted-but-unacknowledged TLPs
+ * in sequence-number order. A full replay buffer halts TLP
+ * transmission (source throttling); an ACK purges every entry with
+ * a sequence number at or below the acknowledged one.
+ */
+
+#ifndef PCIESIM_PCIE_REPLAY_BUFFER_HH
+#define PCIESIM_PCIE_REPLAY_BUFFER_HH
+
+#include <deque>
+
+#include "pcie/pcie_pkt.hh"
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+class ReplayBuffer
+{
+  public:
+    /** @param capacity Maximum resident TLPs (paper sweeps 1..4). */
+    explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity)
+    {
+        panicIf(capacity == 0, "replay buffer needs capacity >= 1");
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Record a transmitted TLP; entries stay in seq order. */
+    void
+    push(const PciePkt &pkt)
+    {
+        panicIf(!pkt.isTlp(), "only TLPs enter the replay buffer");
+        panicIf(full(), "replay buffer overflow");
+        panicIf(!entries_.empty() &&
+                pkt.seq() <= entries_.back().seq(),
+                "replay buffer sequence numbers must increase");
+        entries_.push_back(pkt);
+    }
+
+    /**
+     * Process an ACK: drop all TLPs with seq <= @p acked.
+     * @return number of purged entries.
+     */
+    std::size_t
+    ack(SeqNum acked)
+    {
+        std::size_t purged = 0;
+        while (!entries_.empty() && entries_.front().seq() <= acked) {
+            entries_.pop_front();
+            ++purged;
+        }
+        return purged;
+    }
+
+    /** Iterate resident TLPs in sequence order (for replay). */
+    const std::deque<PciePkt> &entries() const { return entries_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<PciePkt> entries_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCIE_REPLAY_BUFFER_HH

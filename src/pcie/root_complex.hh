@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The root complex model (paper Sec. V-A, Fig. 6): connects the
+ * PCI-Express hierarchy to the MemBus (upstream slave port) and the
+ * IOCache (upstream master port, for DMA), with three root ports
+ * each fronted by a virtual PCI-to-PCI bridge.
+ *
+ * Requests are routed downstream by matching the packet address
+ * against each VP2P's software-programmed memory / I/O windows;
+ * responses are routed by the PCI bus number field that slave ports
+ * stamp into request packets (upstream slave stamps 0, each root
+ * port slave stamps its VP2P's secondary bus number).
+ */
+
+#ifndef PCIESIM_PCIE_ROOT_COMPLEX_HH
+#define PCIESIM_PCIE_ROOT_COMPLEX_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "pci/pci_host.hh"
+#include "pcie/vp2p.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a RootComplex. */
+struct RootComplexParams
+{
+    /** Number of root ports (the paper implements three). */
+    unsigned numRootPorts = 3;
+    /** Request/response processing (switching) latency. */
+    Tick latency = nanoseconds(150);
+    /** Egress buffer capacity per master or slave port. */
+    std::size_t portBufferSize = 16;
+    /** Link width/gen advertised in each VP2P's PCIe capability. */
+    unsigned linkWidth = 4;
+    unsigned linkGen = 2;
+};
+
+/**
+ * The root complex.
+ *
+ * Wiring: upstreamSlavePort() <- MemBus master port;
+ * upstreamMasterPort() -> IOCache slave port;
+ * rootPortMaster(i) -> link upSlave; rootPortSlave(i) <- link
+ * upMaster.
+ */
+class RootComplex : public SimObject
+{
+  public:
+    RootComplex(Simulation &sim, const std::string &name,
+                PciHost &host, const RootComplexParams &params = {});
+    ~RootComplex() override;
+
+    SlavePort &upstreamSlavePort();
+    MasterPort &upstreamMasterPort();
+    MasterPort &rootPortMaster(unsigned i);
+    SlavePort &rootPortSlave(unsigned i);
+
+    /** The VP2P fronting root port @p i. */
+    Vp2p &vp2p(unsigned i);
+
+    unsigned numRootPorts() const { return params_.numRootPorts; }
+
+    void init() override;
+
+    /** Requests dropped/refused due to full port buffers. */
+    std::uint64_t bufferRefusals() const
+    {
+        return bufferRefusals_.value();
+    }
+
+  private:
+    class UpSlavePort;
+    class UpMasterPort;
+    class RootMasterPort;
+    class RootSlavePort;
+
+    /** CPU-originated request from the MemBus. */
+    bool handleUpstreamRequest(const PacketPtr &pkt);
+    /** DMA request arriving at root port @p i. */
+    bool handleDownstreamRequest(const PacketPtr &pkt, unsigned i);
+    /** DMA response returning from the IOCache. */
+    bool handleUpstreamResponse(const PacketPtr &pkt);
+    /** PIO (or peer-to-peer) response from root port @p i. */
+    bool handleDownstreamResponse(const PacketPtr &pkt, unsigned i);
+
+    /** Root port whose VP2P claims @p addr; -1 when none. */
+    int routeByAddress(Addr addr) const;
+
+    /** Root port whose VP2P bus range covers @p bus; -1 when none. */
+    int routeByBus(int bus) const;
+
+    RootComplexParams params_;
+    PciHost &host_;
+
+    std::unique_ptr<UpSlavePort> upSlave_;
+    std::unique_ptr<UpMasterPort> upMaster_;
+    std::vector<std::unique_ptr<RootMasterPort>> rootMasters_;
+    std::vector<std::unique_ptr<RootSlavePort>> rootSlaves_;
+    std::vector<std::unique_ptr<Vp2p>> vp2ps_;
+
+    /** Egress queues. */
+    std::unique_ptr<PacketQueue> upReqQueue_;   //!< to IOCache
+    std::unique_ptr<PacketQueue> upRespQueue_;  //!< to MemBus
+    std::vector<std::unique_ptr<PacketQueue>> downReqQueues_;
+    std::vector<std::unique_ptr<PacketQueue>> downRespQueues_;
+
+    /** Refused-sender bookkeeping for protocol retries. */
+    bool memBusWantsRetry_ = false;
+    bool ioCacheWantsRetryResp_ = false;
+    std::vector<bool> linkWantsReqRetry_;
+    std::vector<bool> linkWantsRespRetry_;
+
+    stats::Counter fwdDownRequests_;
+    stats::Counter fwdUpRequests_;
+    stats::Counter fwdDownResponses_;
+    stats::Counter fwdUpResponses_;
+    stats::Counter bufferRefusals_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCIE_ROOT_COMPLEX_HH

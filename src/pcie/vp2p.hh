@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The virtual PCI-to-PCI bridge (paper Sec. V-A): a type-1
+ * configuration header plus a PCI-Express capability structure,
+ * registered with the PCI Host like an endpoint. One VP2P fronts
+ * each root complex root port and each switch port; the routing
+ * logic of those components consults the VP2P's software-programmed
+ * windows and bus numbers on every packet.
+ */
+
+#ifndef PCIESIM_PCIE_VP2P_HH
+#define PCIESIM_PCIE_VP2P_HH
+
+#include "mem/addr_range.hh"
+#include "pci/bridge_header.hh"
+#include "pci/capability.hh"
+#include "pci/config_regs.hh"
+#include "pci/pci_function.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a Vp2p. */
+struct Vp2pParams
+{
+    std::uint16_t vendorId = cfg::vendorIntel;
+    std::uint16_t deviceId = cfg::deviceWildcatRp0;
+    cfg::PciePortType portType = cfg::PciePortType::RootPort;
+    unsigned linkWidth = 1;
+    unsigned linkGen = 2;
+    /** Ports connected to a slot expose the C2 slot registers. */
+    bool slotImplemented = true;
+};
+
+/**
+ * A virtual PCI-to-PCI bridge function.
+ */
+class Vp2p : public PciFunction
+{
+  public:
+    Vp2p(const std::string &name, const Vp2pParams &params);
+
+    /** @{ Decoded software-programmed state. */
+    unsigned primaryBus() const;
+    unsigned secondaryBus() const;
+    unsigned subordinateBus() const;
+    AddrRange memWindow() const;
+    AddrRange ioWindow() const;
+    AddrRange prefWindow() const;
+    /** @} */
+
+    /** Whether @p addr falls inside any forwarding window. */
+    bool claims(Addr addr) const;
+
+    /** Whether @p bus is within [secondary, subordinate]. */
+    bool busInRange(unsigned bus) const;
+
+    /** Whether the bridge forwards memory/I/O transactions
+     *  (Command register enables, paper Sec. V-A). */
+    bool forwardingEnabled() const;
+
+    /** Whether downstream devices may master DMA transactions. */
+    bool busMasterEnabled() const;
+
+    /**
+     * Offset of the PCI-Express capability structure; the paper
+     * places it at 0xd8.
+     */
+    static constexpr unsigned pcieCapOffset = 0xd8;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCIE_VP2P_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Event base classes for the discrete-event kernel.
+ *
+ * An Event is owned by the component that declares it (usually as a
+ * data member) and can be in the event queue at most once. The queue
+ * never owns events. EventFunctionWrapper binds an arbitrary callable,
+ * which is how nearly all components express their timed behaviour.
+ */
+
+#ifndef PCIESIM_SIM_EVENT_HH
+#define PCIESIM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ticks.hh"
+
+namespace pciesim
+{
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled to happen at a particular tick.
+ *
+ * Events scheduled for the same tick fire in scheduling order
+ * (FIFO), which keeps simulations deterministic.
+ */
+class Event
+{
+  public:
+    /**
+     * @param name Diagnostic name, shown in panics and traces.
+     */
+    explicit Event(std::string name = "anon.event")
+        : name_(std::move(name))
+    {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the event queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Whether the event is currently in an event queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event will fire at; only valid when scheduled(). */
+    Tick when() const { return when_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    Tick when_ = 0;
+    bool scheduled_ = false;
+    /** Bumped on every (re)schedule so stale heap entries are
+     *  recognisable; see EventQueue. */
+    std::uint64_t generation_ = 0;
+};
+
+/** An event that runs a bound callable when it fires. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name = "anon.wrapped.event")
+        : Event(std::move(name)), callback_(std::move(callback))
+    {}
+
+    void process() override { callback_(); }
+
+  private:
+    std::function<void()> callback_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_EVENT_HH

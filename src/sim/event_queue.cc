@@ -1,0 +1,97 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace pciesim
+{
+
+Event::~Event() = default;
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    panicIf(event == nullptr, "scheduling null event");
+    panicIf(event->scheduled_,
+            "event '", event->name(), "' scheduled twice");
+    panicIf(when < curTick_,
+            "event '", event->name(), "' scheduled in the past (",
+            when, " < ", curTick_, ")");
+
+    event->when_ = when;
+    event->scheduled_ = true;
+    ++event->generation_;
+    heap_.push({when, nextOrder_++, event->generation_, event});
+    ++numLive_;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    panicIf(event == nullptr, "descheduling null event");
+    panicIf(!event->scheduled_,
+            "event '", event->name(), "' descheduled while not scheduled");
+    // Lazy removal: bump the generation so the heap entry is stale.
+    event->scheduled_ = false;
+    ++event->generation_;
+    --numLive_;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->scheduled_)
+        deschedule(event);
+    schedule(event, when);
+}
+
+bool
+EventQueue::isStale(const HeapEntry &e) const
+{
+    return !e.event->scheduled_ || e.generation != e.event->generation_;
+}
+
+void
+EventQueue::skim() const
+{
+    while (!heap_.empty() && isStale(heap_.top()))
+        heap_.pop();
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skim();
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+bool
+EventQueue::step(Tick max_tick)
+{
+    skim();
+    if (heap_.empty() || heap_.top().when > max_tick)
+        return false;
+
+    HeapEntry top = heap_.top();
+    heap_.pop();
+
+    curTick_ = top.when;
+    top.event->scheduled_ = false;
+    --numLive_;
+    ++numProcessed_;
+    top.event->process();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick max_tick)
+{
+    while (step(max_tick)) {
+    }
+    // Time advances to max_tick if the caller gave a horizon and
+    // events remain beyond it; otherwise stay at the last event.
+    if (max_tick != maxTick && curTick_ < max_tick)
+        curTick_ = max_tick;
+    return curTick_;
+}
+
+} // namespace pciesim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The central event queue driving the simulation.
+ */
+
+#ifndef PCIESIM_SIM_EVENT_QUEUE_HH
+#define PCIESIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "event.hh"
+#include "ticks.hh"
+
+namespace pciesim
+{
+
+/**
+ * A min-heap event queue with deterministic same-tick ordering.
+ *
+ * Descheduling is lazy: the heap entry is left in place and
+ * recognised as stale by a per-event generation counter when popped.
+ * This keeps schedule/deschedule O(log n) without heap surgery.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule @p event to fire at absolute tick @p when.
+     * It is a panic to schedule in the past or to schedule an
+     * already-scheduled event (use reschedule()).
+     */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *event);
+
+    /** Move a scheduled (or unscheduled) event to tick @p when. */
+    void reschedule(Event *event, Tick when);
+
+    /** Whether any live events remain. */
+    bool empty() const { return numLive_ == 0; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t size() const { return numLive_; }
+
+    /**
+     * Run until the queue is empty or @p maxTick is passed.
+     * @return the tick of the last processed event.
+     */
+    Tick run(Tick max_tick = maxTick);
+
+    /**
+     * Process a single event if one exists at or before @p maxTick.
+     * @return true if an event was processed.
+     */
+    bool step(Tick max_tick = maxTick);
+
+    /** Tick of the next live event, or maxTick when empty. */
+    Tick nextTick() const;
+
+    /** Total number of events processed so far. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t order;
+        std::uint64_t generation;
+        Event *event;
+
+        bool
+        operator>(const HeapEntry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return order > o.order;
+        }
+    };
+
+    /** Pop stale (descheduled/rescheduled) entries off the top. */
+    void skim() const;
+
+    bool isStale(const HeapEntry &e) const;
+
+    mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                std::greater<HeapEntry>> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextOrder_ = 0;
+    std::uint64_t numProcessed_ = 0;
+    std::size_t numLive_ = 0;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_EVENT_QUEUE_HH

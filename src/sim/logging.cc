@@ -1,0 +1,65 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pciesim
+{
+
+namespace
+{
+
+bool loggingThrows = false;
+bool informEnabled = true;
+
+} // namespace
+
+void
+setLoggingThrows(bool throws)
+{
+    loggingThrows = throws;
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+namespace logging_detail
+{
+
+void
+panicImpl(const std::string &msg)
+{
+    if (loggingThrows)
+        throw PanicError("panic: " + msg);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    if (loggingThrows)
+        throw FatalError("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (informEnabled)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace logging_detail
+
+} // namespace pciesim

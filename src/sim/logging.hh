@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Error and status reporting, modelled on gem5's base/logging.hh.
+ *
+ * panic()  - a simulator bug; something that must never happen.
+ * fatal()  - a user error (bad configuration); simulation cannot go on.
+ * warn()   - suspicious but survivable condition.
+ * inform() - normal status output.
+ *
+ * Messages are built with ostream insertion so any streamable type can
+ * be passed: panic("bad seq ", seq, " at tick ", tick).
+ */
+
+#ifndef PCIESIM_SIM_LOGGING_HH
+#define PCIESIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pciesim
+{
+
+namespace logging_detail
+{
+
+/** Concatenate all arguments using ostream insertion. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Abort: an internal simulator invariant was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logging_detail::panicImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Exit: the user's configuration made continuing impossible. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logging_detail::fatalImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about questionable behaviour and continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging_detail::warnImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logging_detail::informImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Panic if a condition does not hold; used for internal invariants
+ * that must survive release builds (unlike assert).
+ */
+template <typename... Args>
+void
+panicIf(bool cond, Args &&...args)
+{
+    if (cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Fatal if a condition holds; for configuration validation. */
+template <typename... Args>
+void
+fatalIf(bool cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/**
+ * Whether panic()/fatal() throw exceptions instead of aborting the
+ * process. Tests enable this to assert on error paths.
+ */
+void setLoggingThrows(bool throws);
+
+/** Suppress inform() output (benches with formatted tables). */
+void setInformEnabled(bool enabled);
+
+/** Exception type thrown by panic() when setLoggingThrows(true). */
+struct PanicError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Exception type thrown by fatal() when setLoggingThrows(true). */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_LOGGING_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Base class for all named simulation components.
+ */
+
+#ifndef PCIESIM_SIM_SIM_OBJECT_HH
+#define PCIESIM_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "ticks.hh"
+
+namespace pciesim
+{
+
+class Simulation;
+class EventQueue;
+class Event;
+namespace stats { class Registry; }
+
+/**
+ * A named component registered with a Simulation.
+ *
+ * Life cycle: construct (wire ports) -> init() on every object
+ * (register stats, sanity-check wiring) -> startup() on every object
+ * (schedule initial events) -> event loop.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param sim  The owning simulation; the object registers itself.
+     * @param name Hierarchical instance name, e.g. "system.rc".
+     */
+    SimObject(Simulation &sim, std::string name);
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Register statistics, validate wiring. Called once. */
+    virtual void init() {}
+
+    /** Schedule initial events. Called once, after every init(). */
+    virtual void startup() {}
+
+    Simulation &sim() { return sim_; }
+
+    /** Shorthand accessors used throughout component code. */
+    Tick curTick() const;
+    EventQueue &eventq();
+    stats::Registry &statsRegistry();
+
+    /** Schedule @p event @p delay ticks from now. */
+    void schedule(Event &event, Tick delay);
+
+    /** Schedule @p event at absolute tick @p when. */
+    void scheduleAbs(Event &event, Tick when);
+
+  private:
+    Simulation &sim_;
+    std::string name_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,83 @@
+#include "simulation.hh"
+
+#include "logging.hh"
+#include "sim_object.hh"
+
+namespace pciesim
+{
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::registerObject(SimObject *obj)
+{
+    panicIf(initialized_,
+            "object '", obj->name(), "' created after initialize()");
+    objects_.push_back(obj);
+}
+
+void
+Simulation::initialize()
+{
+    if (initialized_)
+        return;
+    initialized_ = true;
+    for (SimObject *obj : objects_)
+        obj->init();
+    for (SimObject *obj : objects_)
+        obj->startup();
+}
+
+Tick
+Simulation::run(Tick max_tick)
+{
+    initialize();
+    return eventq_.run(max_tick);
+}
+
+Tick
+Simulation::runFor(Tick duration)
+{
+    initialize();
+    return eventq_.run(eventq_.curTick() + duration);
+}
+
+SimObject::SimObject(Simulation &sim, std::string name)
+    : sim_(sim), name_(std::move(name))
+{
+    sim.registerObject(this);
+}
+
+Tick
+SimObject::curTick() const
+{
+    return sim_.curTick();
+}
+
+EventQueue &
+SimObject::eventq()
+{
+    return sim_.eventq();
+}
+
+stats::Registry &
+SimObject::statsRegistry()
+{
+    return sim_.statsRegistry();
+}
+
+void
+SimObject::schedule(Event &event, Tick delay)
+{
+    sim_.eventq().schedule(&event, sim_.curTick() + delay);
+}
+
+void
+SimObject::scheduleAbs(Event &event, Tick when)
+{
+    sim_.eventq().schedule(&event, when);
+}
+
+} // namespace pciesim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level simulation context: owns the event queue, the stats
+ * registry, and the list of simulation objects.
+ */
+
+#ifndef PCIESIM_SIM_SIMULATION_HH
+#define PCIESIM_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event_queue.hh"
+#include "stats.hh"
+#include "ticks.hh"
+
+namespace pciesim
+{
+
+class SimObject;
+
+/**
+ * A complete simulation instance.
+ *
+ * Components are constructed against a Simulation, wired together
+ * through their ports, and then driven by run()/runFor(). Simulation
+ * does not own SimObjects by default (they are usually members of a
+ * System struct); own() can adopt heap-allocated helpers.
+ */
+class Simulation
+{
+  public:
+    Simulation();
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &eventq() { return eventq_; }
+    const EventQueue &eventq() const { return eventq_; }
+    stats::Registry &statsRegistry() { return stats_; }
+
+    Tick curTick() const { return eventq_.curTick(); }
+
+    /** Called by the SimObject constructor. */
+    void registerObject(SimObject *obj);
+
+    /** Adopt ownership of a heap-allocated object. */
+    template <typename T>
+    T *
+    own(std::unique_ptr<T> obj)
+    {
+        T *raw = obj.get();
+        owned_.emplace_back(std::move(obj));
+        return raw;
+    }
+
+    /** Run init()/startup() phases once; implied by run(). */
+    void initialize();
+
+    /** Run until the event queue drains or @p max_tick passes. */
+    Tick run(Tick max_tick = maxTick);
+
+    /** Run for a further @p duration ticks. */
+    Tick runFor(Tick duration);
+
+  private:
+    EventQueue eventq_;
+    stats::Registry stats_;
+    std::vector<SimObject *> objects_;
+    std::vector<std::unique_ptr<SimObject>> owned_;
+    bool initialized_ = false;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_SIMULATION_HH

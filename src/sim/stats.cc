@@ -1,0 +1,144 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace pciesim::stats
+{
+
+void
+Distribution::init(double min, double max, std::size_t buckets)
+{
+    panicIf(buckets == 0, "distribution needs at least one bucket");
+    panicIf(max <= min, "distribution max must exceed min");
+    bucketMin_ = min;
+    bucketMax_ = max;
+    buckets_.assign(buckets, 0);
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (samples_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    samples_ += count;
+    sum_ += v * static_cast<double>(count);
+
+    if (!buckets_.empty()) {
+        double span = bucketMax_ - bucketMin_;
+        double pos = (v - bucketMin_) / span *
+                     static_cast<double>(buckets_.size());
+        auto idx = static_cast<std::ptrdiff_t>(pos);
+        idx = std::clamp<std::ptrdiff_t>(
+            idx, 0, static_cast<std::ptrdiff_t>(buckets_.size()) - 1);
+        buckets_[static_cast<std::size_t>(idx)] += count;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+Registry::add(const std::string &name, Counter *stat,
+              const std::string &desc)
+{
+    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
+    entries_[name] = Entry{stat, nullptr, nullptr, desc};
+}
+
+void
+Registry::add(const std::string &name, Scalar *stat,
+              const std::string &desc)
+{
+    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
+    entries_[name] = Entry{nullptr, stat, nullptr, desc};
+}
+
+void
+Registry::add(const std::string &name, Distribution *stat,
+              const std::string &desc)
+{
+    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
+    entries_[name] = Entry{nullptr, nullptr, stat, desc};
+}
+
+std::uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.counter == nullptr)
+        return 0;
+    return it->second.counter->value();
+}
+
+double
+Registry::scalarValue(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.scalar == nullptr)
+        return 0.0;
+    return it->second.scalar->value();
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    return entries_.count(name) != 0;
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto &[name, e] : entries_) {
+        os << std::left << std::setw(56) << name << " ";
+        if (e.counter) {
+            os << e.counter->value();
+        } else if (e.scalar) {
+            os << e.scalar->value();
+        } else if (e.dist) {
+            os << "samples=" << e.dist->samples()
+               << " mean=" << e.dist->mean()
+               << " min=" << e.dist->min()
+               << " max=" << e.dist->max();
+        }
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &[name, e] : entries_) {
+        (void)name;
+        if (e.counter)
+            e.counter->reset();
+        else if (e.scalar)
+            e.scalar->reset();
+        else if (e.dist)
+            e.dist->reset();
+    }
+}
+
+} // namespace pciesim::stats

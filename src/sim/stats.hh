@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A small statistics package: named scalar and distribution
+ * statistics registered in a per-simulation registry, dumpable as
+ * text. Components hold the stat objects; the registry holds
+ * non-owning pointers for enumeration.
+ */
+
+#ifndef PCIESIM_SIM_STATS_HH
+#define PCIESIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pciesim::stats
+{
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** An arbitrary scalar quantity. */
+class Scalar
+{
+  public:
+    Scalar &operator=(double v) { value_ = v; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A running sample distribution (mean/min/max, fixed buckets). */
+class Distribution
+{
+  public:
+    /** Configure bucketing: [min, max) split into @p buckets. */
+    void init(double min, double max, std::size_t buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    void reset();
+
+  private:
+    double bucketMin_ = 0.0;
+    double bucketMax_ = 1.0;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A registry of named statistics.
+ *
+ * Registration stores non-owning pointers; the registering component
+ * must outlive the registry's use. Names are hierarchical by
+ * convention: "system.rootComplex.port0.fwdPackets".
+ */
+class Registry
+{
+  public:
+    void add(const std::string &name, Counter *stat,
+             const std::string &desc = "");
+    void add(const std::string &name, Scalar *stat,
+             const std::string &desc = "");
+    void add(const std::string &name, Distribution *stat,
+             const std::string &desc = "");
+
+    /** Look up a counter value by full name; 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Look up a scalar value by full name; 0.0 when absent. */
+    double scalarValue(const std::string &name) const;
+
+    /** Whether a stat with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Dump all statistics in name order. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+  private:
+    struct Entry
+    {
+        Counter *counter = nullptr;
+        Scalar *scalar = nullptr;
+        Distribution *dist = nullptr;
+        std::string desc;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace pciesim::stats
+
+#endif // PCIESIM_SIM_STATS_HH

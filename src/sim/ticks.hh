@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * One Tick is one picosecond, matching gem5's default tick frequency.
+ * All latencies, link serialization times, and timer periods in the
+ * simulator are expressed in Ticks.
+ */
+
+#ifndef PCIESIM_SIM_TICKS_HH
+#define PCIESIM_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace pciesim
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that never occurs; used as "not scheduled". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per common time unit. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000 * tickPerPs;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerS = 1000 * tickPerMs;
+
+/** Convert a duration to ticks. */
+constexpr Tick
+picoseconds(std::uint64_t v)
+{
+    return v * tickPerPs;
+}
+
+constexpr Tick
+nanoseconds(std::uint64_t v)
+{
+    return v * tickPerNs;
+}
+
+constexpr Tick
+microseconds(std::uint64_t v)
+{
+    return v * tickPerUs;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t v)
+{
+    return v * tickPerMs;
+}
+
+constexpr Tick
+seconds(std::uint64_t v)
+{
+    return v * tickPerS;
+}
+
+/** Convert ticks to floating-point seconds (for reporting). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerS);
+}
+
+/** Convert ticks to floating-point nanoseconds (for reporting). */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+namespace literals
+{
+
+constexpr Tick operator""_ps(unsigned long long v) { return picoseconds(v); }
+constexpr Tick operator""_ns(unsigned long long v) { return nanoseconds(v); }
+constexpr Tick operator""_us(unsigned long long v) { return microseconds(v); }
+constexpr Tick operator""_ms(unsigned long long v) { return milliseconds(v); }
+constexpr Tick operator""_s(unsigned long long v) { return seconds(v); }
+
+} // namespace literals
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_TICKS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The baseline topology: mainline gem5's off-chip attachment that
+ * the paper improves upon (Sec. I / III) - devices hang off a
+ * non-coherent IOBus crossbar behind a plain bridge, with no link
+ * serialization and no data link layer:
+ *
+ *   Kernel(CPU) -- MemBus -- Bridge -- IOBus -- Disk (PIO)
+ *                     |                  |
+ *                   DRAM  <- IOCache <---+     (DMA path)
+ *
+ * Used by the ablation bench to quantify what the PCIe model adds.
+ */
+
+#ifndef PCIESIM_TOPO_BASELINE_SYSTEM_HH
+#define PCIESIM_TOPO_BASELINE_SYSTEM_HH
+
+#include <memory>
+
+#include "mem/bridge.hh"
+#include "pci/pci_host.hh"
+#include "topo/system_config.hh"
+
+namespace pciesim
+{
+
+class BaselineSystem
+{
+  public:
+    BaselineSystem(Simulation &sim, const SystemConfig &config);
+    ~BaselineSystem();
+
+    void boot();
+
+    Kernel &kernel() { return *kernel_; }
+    IdeDriver &ideDriver() { return *ideDriver_; }
+    IdeDisk &disk() { return *disk_; }
+
+    /** Run a dd workload; @return reported throughput in Gbit/s. */
+    double runDd(const DdWorkloadParams &dd);
+
+  private:
+    Simulation &sim_;
+    SystemConfig config_;
+
+    std::unique_ptr<XBar> membus_;
+    std::unique_ptr<XBar> iobus_;
+    std::unique_ptr<Bridge> bridge_;
+    std::unique_ptr<SimpleMemory> dram_;
+    std::unique_ptr<PciHost> pciHost_;
+    std::unique_ptr<IntController> gic_;
+    std::unique_ptr<IOCache> ioCache_;
+    std::unique_ptr<IdeDisk> disk_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<IdeDriver> ideDriver_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_BASELINE_SYSTEM_HH

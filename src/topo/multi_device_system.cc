@@ -1,0 +1,172 @@
+#include "multi_device_system.hh"
+
+#include "pci/config_regs.hh"
+#include "pci/platform.hh"
+
+namespace pciesim
+{
+
+MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
+                                     const MultiDeviceConfig &config)
+    : sim_(sim), config_(config)
+{
+    const SystemConfig &base = config.base;
+    fatalIf(config_.numDevices == 0 || config_.numDevices > 16,
+            "multi-device system supports 1..16 devices");
+
+    membus_ = std::make_unique<XBar>(sim, "system.membus",
+                                     base.membus);
+    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
+                                           base.dram);
+    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
+    gic_ = std::make_unique<IntController>(sim, "system.gic",
+                                           base.gic);
+
+    IOCacheParams ioc = base.ioCache;
+    if (ioc.ranges.empty())
+        ioc.ranges = {platform::dramRange};
+    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
+
+    RootComplexParams rcp;
+    rcp.latency = base.rcLatency;
+    rcp.portBufferSize = base.portBufferSize;
+    rcp.linkWidth = base.upstreamLinkWidth;
+    rcp.linkGen = static_cast<unsigned>(base.gen);
+    rootComplex_ = std::make_unique<RootComplex>(sim, "system.rc",
+                                                 *pciHost_, rcp);
+
+    PcieSwitchParams swp;
+    swp.numDownstreamPorts = config_.numDevices;
+    swp.latency = base.switchLatency;
+    swp.portBufferSize = base.portBufferSize;
+    swp.linkWidth = config_.deviceLinkWidth;
+    swp.linkGen = static_cast<unsigned>(base.gen);
+    switch_ = std::make_unique<PcieSwitch>(sim, "system.switch", swp);
+
+    PcieLinkParams upl;
+    upl.gen = base.gen;
+    upl.width = base.upstreamLinkWidth;
+    upl.propagationDelay = base.linkPropagation;
+    upl.replayBufferSize = base.replayBufferSize;
+    upl.ackImmediate = base.ackImmediate;
+    upl.replayTimeoutScale = base.replayTimeoutScale;
+    upLink_ = std::make_unique<PcieLink>(sim, "system.upLink", upl);
+
+    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
+                                       *pciHost_, *gic_, *dram_,
+                                       base.kernel);
+
+    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
+    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
+    membus_->addMasterPort("dramMaster").bind(dram_->port());
+    membus_->addMasterPort("rcMaster")
+        .bind(rootComplex_->upstreamSlavePort());
+    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
+
+    rootComplex_->rootPortMaster(0).bind(upLink_->upSlave());
+    upLink_->upMaster().bind(rootComplex_->rootPortSlave(0));
+    upLink_->downMaster().bind(switch_->upstreamSlavePort());
+    switch_->upstreamMasterPort().bind(upLink_->downSlave());
+
+    // Registry: bus 1 = switch upstream VP2P, bus 2 = internal bus
+    // (downstream VP2Ps), bus 3+i = device i.
+    pciHost_->registerFunction(switch_->upstreamVp2p(), Bdf{1, 0, 0});
+    for (unsigned i = 0; i < config_.numDevices; ++i) {
+        pciHost_->registerFunction(
+            switch_->downstreamVp2p(i),
+            Bdf{2, static_cast<std::uint8_t>(i), 0});
+
+        PcieLinkParams dl = upl;
+        dl.width = config_.deviceLinkWidth;
+        devLinks_.push_back(std::make_unique<PcieLink>(
+            sim, "system.devLink" + std::to_string(i), dl));
+        gens_.push_back(std::make_unique<TrafficGen>(
+            sim, "system.tgen" + std::to_string(i), config_.gen));
+
+        switch_->downstreamMaster(i).bind(devLinks_[i]->upSlave());
+        devLinks_[i]->upMaster().bind(switch_->downstreamSlave(i));
+        devLinks_[i]->downMaster().bind(gens_[i]->pioPort());
+        gens_[i]->dmaPort().bind(devLinks_[i]->downSlave());
+
+        TrafficGen *gen = gens_[i].get();
+        gens_[i]->setIntxSink([this, gen](bool asserted) {
+            gic_->setLevel(gen->config().raw8(cfg::interruptLine),
+                           asserted);
+        });
+        pciHost_->registerFunction(
+            *gens_[i], Bdf{static_cast<std::uint8_t>(3 + i), 0, 0});
+    }
+}
+
+MultiDeviceSystem::~MultiDeviceSystem() = default;
+
+void
+MultiDeviceSystem::boot()
+{
+    if (booted_)
+        return;
+    booted_ = true;
+    sim_.initialize();
+    kernel_->enumerate();
+}
+
+Addr
+MultiDeviceSystem::genMmioBase(unsigned i)
+{
+    boot();
+    const EnumeratedFunction *fn =
+        kernel_->enumerate().find(gens_.at(i)->bdf());
+    panicIf(fn == nullptr || fn->bars.empty(),
+            "traffic generator was not enumerated");
+    return fn->bars[0].start();
+}
+
+double
+MultiDeviceSystem::runConcurrentWrites(unsigned active,
+                                       unsigned bursts,
+                                       std::uint32_t burst_bytes)
+{
+    boot();
+    panicIf(active == 0 || active > config_.numDevices,
+            "bad active device count");
+
+    // The level-triggered line may re-dispatch the handler while
+    // the asynchronous DONE read is still deasserting it; use
+    // per-device idempotent completion flags.
+    std::vector<bool> done_flags(active, false);
+    Tick start = sim_.curTick();
+    for (unsigned i = 0; i < active; ++i) {
+        Addr mmio = genMmioBase(i);
+        Addr target = kernel_->allocDma(burst_bytes, 4096);
+        Kernel &k = *kernel_;
+        k.mmioWrite(mmio + tgen::regAddrLo, 4,
+                    target & 0xffffffff, [] {});
+        k.mmioWrite(mmio + tgen::regAddrHi, 4, target >> 32, [] {});
+        k.mmioWrite(mmio + tgen::regLength, 4, burst_bytes, [] {});
+        k.mmioWrite(mmio + tgen::regCount, 4, bursts, [] {});
+        k.mmioWrite(mmio + tgen::regMode, 4, 0, [] {});
+        unsigned line = kernel_->enumerate()
+                            .find(gens_[i]->bdf())->irqLine;
+        k.registerIrqHandler(line, [this, i, mmio, &done_flags] {
+            // ISR: read DONE (deasserts INTx), flag completion.
+            kernel_->mmioRead(mmio + tgen::regDone, 4,
+                              [i, &done_flags](std::uint64_t) {
+                done_flags[i] = true;
+            });
+        });
+        k.mmioWrite(mmio + tgen::regCtrl, 4, tgen::ctrlStart, [] {});
+    }
+    sim_.run();
+    unsigned completed = 0;
+    for (bool f : done_flags)
+        completed += f ? 1 : 0;
+    fatalIf(completed != active,
+            "concurrent run did not complete (", completed, " of ",
+            active, ")");
+
+    Tick elapsed = sim_.curTick() - start;
+    double bytes = static_cast<double>(active) * bursts * burst_bytes;
+    return bytes * 8.0 / ticksToSeconds(elapsed) / 1e9;
+}
+
+} // namespace pciesim

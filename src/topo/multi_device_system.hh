@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-device exploration topology: N synthetic DMA generators
+ * behind one switch share a single upstream link to the root
+ * complex - the fabric-sharing scenario the paper's introduction
+ * motivates (a processor simultaneously communicating with several
+ * off-chip devices over point-to-point links).
+ *
+ *   Kernel ── MemBus ── RC ═upstream═ Switch ═x1═ TrafficGen 0
+ *                │        │              ═x1═ TrafficGen 1
+ *              DRAM    IOCache           ═x1═ ...
+ */
+
+#ifndef PCIESIM_TOPO_MULTI_DEVICE_SYSTEM_HH
+#define PCIESIM_TOPO_MULTI_DEVICE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dev/traffic_gen.hh"
+#include "pci/pci_host.hh"
+#include "pcie/pcie_link.hh"
+#include "pcie/pcie_switch.hh"
+#include "pcie/root_complex.hh"
+#include "topo/system_config.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a MultiDeviceSystem. */
+struct MultiDeviceConfig
+{
+    SystemConfig base;
+    unsigned numDevices = 4;
+    /** Width of each generator's link. */
+    unsigned deviceLinkWidth = 1;
+    TrafficGenParams gen;
+};
+
+class MultiDeviceSystem
+{
+  public:
+    MultiDeviceSystem(Simulation &sim,
+                      const MultiDeviceConfig &config);
+    ~MultiDeviceSystem();
+
+    void boot();
+
+    Kernel &kernel() { return *kernel_; }
+    TrafficGen &device(unsigned i) { return *gens_.at(i); }
+    unsigned numDevices() const { return config_.numDevices; }
+    RootComplex &rootComplex() { return *rootComplex_; }
+    PcieSwitch &pcieSwitch() { return *switch_; }
+
+    /** BAR0 base of generator @p i (valid after boot). */
+    Addr genMmioBase(unsigned i);
+
+    /**
+     * Program and start @p active generators, each DMA-writing
+     * @p bursts bursts of @p burst_bytes into its own DRAM region,
+     * run to completion, and return the aggregate goodput in Gbps.
+     */
+    double runConcurrentWrites(unsigned active, unsigned bursts,
+                               std::uint32_t burst_bytes);
+
+  private:
+    Simulation &sim_;
+    MultiDeviceConfig config_;
+
+    std::unique_ptr<XBar> membus_;
+    std::unique_ptr<SimpleMemory> dram_;
+    std::unique_ptr<PciHost> pciHost_;
+    std::unique_ptr<IntController> gic_;
+    std::unique_ptr<IOCache> ioCache_;
+    std::unique_ptr<RootComplex> rootComplex_;
+    std::unique_ptr<PcieSwitch> switch_;
+    std::unique_ptr<PcieLink> upLink_;
+    std::vector<std::unique_ptr<PcieLink>> devLinks_;
+    std::vector<std::unique_ptr<TrafficGen>> gens_;
+    std::unique_ptr<Kernel> kernel_;
+    bool booted_ = false;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_MULTI_DEVICE_SYSTEM_HH

@@ -1,0 +1,142 @@
+#include "nic_system.hh"
+
+#include "pci/config_regs.hh"
+#include "pci/platform.hh"
+
+namespace pciesim
+{
+
+NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
+    : sim_(sim), config_(config)
+{
+    const SystemConfig &base = config.base;
+
+    membus_ = std::make_unique<XBar>(sim, "system.membus",
+                                     base.membus);
+    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
+                                           base.dram);
+    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
+    gic_ = std::make_unique<IntController>(sim, "system.gic",
+                                           base.gic);
+
+    IOCacheParams ioc = base.ioCache;
+    if (ioc.ranges.empty())
+        ioc.ranges = {platform::dramRange};
+    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
+
+    RootComplexParams rcp;
+    rcp.latency = base.rcLatency;
+    rcp.portBufferSize = base.portBufferSize;
+    rcp.linkWidth = config.nicLinkWidth;
+    rcp.linkGen = static_cast<unsigned>(base.gen);
+    rootComplex_ = std::make_unique<RootComplex>(sim, "system.rc",
+                                                 *pciHost_, rcp);
+
+    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
+                                       *pciHost_, *gic_, *dram_,
+                                       base.kernel);
+
+    wire_ = std::make_unique<EtherWire>(sim, "system.wire",
+                                        config.wire);
+
+    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
+    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
+    membus_->addMasterPort("dramMaster").bind(dram_->port());
+    membus_->addMasterPort("rcMaster")
+        .bind(rootComplex_->upstreamSlavePort());
+    membus_->addMasterPort("msiMaster").bind(gic_->msiPort());
+    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
+
+    unsigned num_nics = config.twoNics ? 2 : 1;
+    for (unsigned i = 0; i < num_nics; ++i) {
+        std::string idx = std::to_string(i);
+        PcieLinkParams lp;
+        lp.gen = base.gen;
+        lp.width = config.nicLinkWidth;
+        lp.propagationDelay = base.linkPropagation;
+        lp.replayBufferSize = base.replayBufferSize;
+        lp.ackImmediate = base.ackImmediate;
+        lp.replayTimeoutScale = base.replayTimeoutScale;
+        links_[i] = std::make_unique<PcieLink>(
+            sim, "system.nicLink" + idx, lp);
+        nics_[i] = std::make_unique<Nic8254xPcie>(
+            sim, "system.nic" + idx, config.nic);
+        drivers_[i] = std::make_unique<E1000eDriver>(config.driver);
+
+        rootComplex_->rootPortMaster(i).bind(links_[i]->upSlave());
+        links_[i]->upMaster().bind(rootComplex_->rootPortSlave(i));
+        links_[i]->downMaster().bind(nics_[i]->pioPort());
+        nics_[i]->dmaPort().bind(links_[i]->downSlave());
+
+        nics_[i]->attachWire(*wire_, i);
+        Nic8254xPcie *nic = nics_[i].get();
+        nics_[i]->setIntxSink([this, nic](bool asserted) {
+            gic_->setLevel(nic->config().raw8(cfg::interruptLine),
+                           asserted);
+        });
+
+        // Bus numbering: root port i's subtree is bus i+1 (each
+        // NIC is the only device below its root port and DFS visits
+        // root ports in device order: root port 0 -> bus 1, root
+        // port 1 -> bus 2).
+        pciHost_->registerFunction(
+            *nics_[i], Bdf{static_cast<std::uint8_t>(i + 1), 0, 0});
+        kernel_->registerDriver(*drivers_[i]);
+    }
+}
+
+NicSystem::~NicSystem() = default;
+
+Nic8254xPcie &
+NicSystem::nic(unsigned i)
+{
+    panicIf(nics_[i] == nullptr, "NIC ", i, " not instantiated");
+    return *nics_[i];
+}
+
+E1000eDriver &
+NicSystem::driver(unsigned i)
+{
+    panicIf(drivers_[i] == nullptr, "driver ", i, " not instantiated");
+    return *drivers_[i];
+}
+
+void
+NicSystem::boot()
+{
+    if (booted_)
+        return;
+    booted_ = true;
+    sim_.initialize();
+    kernel_->enumerate();
+    kernel_->probeDrivers();
+    // Let the timed probe sequence (reset, EEPROM, rings) finish.
+    sim_.run();
+    fatalIf(!drivers_[0]->probed(),
+            "boot failed: e1000e driver did not finish probing");
+}
+
+Addr
+NicSystem::nicMmioBase(unsigned i)
+{
+    const auto &result = kernel_->enumerate();
+    const EnumeratedFunction *fn = result.find(nics_[i]->bdf());
+    panicIf(fn == nullptr || fn->bars.empty(),
+            "NIC was not enumerated");
+    return fn->bars[0].start();
+}
+
+Tick
+NicSystem::measureMmioReadLatency(unsigned iterations)
+{
+    boot();
+    // Read the STATUS register, as a kernel module would.
+    MmioProbe probe(*kernel_, nicMmioBase(0) + nicreg::status);
+    bool done = false;
+    probe.run(iterations, [&done] { done = true; });
+    sim_.run();
+    fatalIf(!done, "MMIO probe did not complete");
+    return probe.meanLatency();
+}
+
+} // namespace pciesim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Table II topology: a gem5-style NIC model connected directly
+ * to a root complex root port ("we connect a gem5 NIC model to a
+ * root port and sweep the root complex latency", paper Sec. VI-B),
+ * plus an Ethernet wire so two NICs (or a loopback) can exchange
+ * frames for the networking examples.
+ */
+
+#ifndef PCIESIM_TOPO_NIC_SYSTEM_HH
+#define PCIESIM_TOPO_NIC_SYSTEM_HH
+
+#include <memory>
+
+#include "dev/ether_wire.hh"
+#include "dev/nic_8254x.hh"
+#include "os/e1000e_driver.hh"
+#include "os/mmio_probe.hh"
+#include "pci/pci_host.hh"
+#include "topo/system_config.hh"
+
+namespace pciesim
+{
+
+/** Configuration for a NicSystem on top of the common knobs. */
+struct NicSystemConfig
+{
+    SystemConfig base;
+    NicParams nic;
+    E1000eDriverParams driver;
+    EtherWireParams wire;
+    /** Attach a second NIC on root port 1 (else loopback wire). */
+    bool twoNics = false;
+    /** Link width for the NIC links. */
+    unsigned nicLinkWidth = 1;
+};
+
+class NicSystem
+{
+  public:
+    NicSystem(Simulation &sim, const NicSystemConfig &config);
+    ~NicSystem();
+
+    /** Run enumeration and driver probing, then let the timed
+     *  probe/config sequence finish. */
+    void boot();
+
+    Simulation &sim() { return sim_; }
+    Kernel &kernel() { return *kernel_; }
+    Nic8254xPcie &nic(unsigned i = 0);
+    E1000eDriver &driver(unsigned i = 0);
+    RootComplex &rootComplex() { return *rootComplex_; }
+    EtherWire &wire() { return *wire_; }
+    PciHost &pciHost() { return *pciHost_; }
+    IntController &gic() { return *gic_; }
+
+    /** BAR0 base of NIC @p i (valid after boot). */
+    Addr nicMmioBase(unsigned i = 0);
+
+    /** Run the Table II measurement: mean 4-byte MMIO read latency
+     *  of a NIC register over @p iterations reads. */
+    Tick measureMmioReadLatency(unsigned iterations = 100);
+
+  private:
+    Simulation &sim_;
+    NicSystemConfig config_;
+
+    std::unique_ptr<XBar> membus_;
+    std::unique_ptr<SimpleMemory> dram_;
+    std::unique_ptr<PciHost> pciHost_;
+    std::unique_ptr<IntController> gic_;
+    std::unique_ptr<IOCache> ioCache_;
+    std::unique_ptr<RootComplex> rootComplex_;
+    std::unique_ptr<PcieLink> links_[2];
+    std::unique_ptr<Nic8254xPcie> nics_[2];
+    std::unique_ptr<E1000eDriver> drivers_[2];
+    std::unique_ptr<EtherWire> wire_;
+    std::unique_ptr<Kernel> kernel_;
+    bool booted_ = false;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_NIC_SYSTEM_HH

@@ -1,0 +1,155 @@
+#include "storage_system.hh"
+
+#include "pci/config_regs.hh"
+#include "pci/platform.hh"
+
+namespace pciesim
+{
+
+StorageSystem::StorageSystem(Simulation &sim,
+                             const SystemConfig &config)
+    : sim_(sim), config_(config)
+{
+    membus_ = std::make_unique<XBar>(sim, "system.membus",
+                                     config.membus);
+    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
+                                           config.dram);
+    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
+    gic_ = std::make_unique<IntController>(sim, "system.gic",
+                                           config.gic);
+
+    IOCacheParams ioc = config.ioCache;
+    if (ioc.ranges.empty())
+        ioc.ranges = {platform::dramRange};
+    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
+
+    RootComplexParams rcp;
+    rcp.latency = config.rcLatency;
+    rcp.portBufferSize = config.portBufferSize;
+    rcp.linkWidth = config.upstreamLinkWidth;
+    rcp.linkGen = static_cast<unsigned>(config.gen);
+    rootComplex_ = std::make_unique<RootComplex>(sim, "system.rc",
+                                                 *pciHost_, rcp);
+
+    PcieSwitchParams swp;
+    swp.numDownstreamPorts = config.switchDownstreamPorts;
+    swp.latency = config.switchLatency;
+    swp.portBufferSize = config.portBufferSize;
+    swp.linkWidth = config.downstreamLinkWidth;
+    swp.linkGen = static_cast<unsigned>(config.gen);
+    switch_ = std::make_unique<PcieSwitch>(sim, "system.switch", swp);
+
+    PcieLinkParams upl;
+    upl.gen = config.gen;
+    upl.width = config.upstreamLinkWidth;
+    upl.propagationDelay = config.linkPropagation;
+    upl.replayBufferSize = config.replayBufferSize;
+    upl.ackImmediate = config.ackImmediate;
+    upl.replayTimeoutScale = config.replayTimeoutScale;
+    upLink_ = std::make_unique<PcieLink>(sim, "system.upLink", upl);
+
+    PcieLinkParams dnl = upl;
+    dnl.width = config.downstreamLinkWidth;
+    downLink_ = std::make_unique<PcieLink>(sim, "system.downLink",
+                                           dnl);
+
+    disk_ = std::make_unique<IdeDisk>(sim, "system.disk",
+                                      config.disk);
+    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
+                                       *pciHost_, *gic_, *dram_,
+                                       config.kernel);
+    ideDriver_ = std::make_unique<IdeDriver>(config.ideDriver);
+
+    //
+    // Wiring (paper Fig. 6 + Sec. VI-A).
+    //
+
+    // MemBus: CPU and IOCache in, DRAM and root complex out.
+    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
+    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
+    membus_->addMasterPort("dramMaster").bind(dram_->port());
+    membus_->addMasterPort("rcMaster")
+        .bind(rootComplex_->upstreamSlavePort());
+
+    // DMA path: root complex -> IOCache -> MemBus.
+    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
+
+    // Root port 0 <-> x4 link <-> switch upstream port.
+    rootComplex_->rootPortMaster(0).bind(upLink_->upSlave());
+    upLink_->upMaster().bind(rootComplex_->rootPortSlave(0));
+    upLink_->downMaster().bind(switch_->upstreamSlavePort());
+    switch_->upstreamMasterPort().bind(upLink_->downSlave());
+
+    // Switch downstream port 0 <-> x1 link <-> disk.
+    switch_->downstreamMaster(0).bind(downLink_->upSlave());
+    downLink_->upMaster().bind(switch_->downstreamSlave(0));
+    downLink_->downMaster().bind(disk_->pioPort());
+    disk_->dmaPort().bind(downLink_->downSlave());
+
+    // Legacy interrupt: the disk asserts whatever line enumeration
+    // programmed into its Interrupt Line register.
+    disk_->setIntxSink([this](bool asserted) {
+        gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
+                       asserted);
+    });
+
+    //
+    // PCI registry. The root complex registered its VP2Ps on bus 0
+    // (devices 0..2). The depth-first enumeration then assigns:
+    // bus 1 = below root port 0 (the switch upstream VP2P), bus 2 =
+    // the switch internal bus (downstream VP2Ps), bus 3 = below
+    // switch downstream port 0 (the disk), bus 4.. = the remaining
+    // empty downstream ports / root ports.
+    //
+    pciHost_->registerFunction(switch_->upstreamVp2p(), Bdf{1, 0, 0});
+    for (unsigned i = 0; i < switch_->numDownstreamPorts(); ++i) {
+        pciHost_->registerFunction(
+            switch_->downstreamVp2p(i),
+            Bdf{2, static_cast<std::uint8_t>(i), 0});
+    }
+    pciHost_->registerFunction(*disk_, Bdf{3, 0, 0});
+
+    kernel_->registerDriver(*ideDriver_);
+}
+
+StorageSystem::~StorageSystem() = default;
+
+void
+StorageSystem::boot()
+{
+    sim_.initialize();
+    kernel_->enumerate();
+    kernel_->probeDrivers();
+    fatalIf(!ideDriver_->probed(),
+            "boot failed: the IDE driver did not probe the disk");
+}
+
+double
+StorageSystem::runDd(const DdWorkloadParams &dd)
+{
+    boot();
+    DdWorkload workload(*kernel_, *ideDriver_, dd);
+    bool done = false;
+    workload.run([&done] { done = true; });
+    sim_.run();
+    fatalIf(!done, "dd did not complete (deadlock?)");
+    return workload.throughputGbps();
+}
+
+double
+StorageSystem::diskUplinkReplayFraction()
+{
+    const auto &iface = downLink_->downstreamIf();
+    std::uint64_t tx = iface.txTlps();
+    return tx == 0 ? 0.0
+                   : static_cast<double>(iface.replayedTlps()) /
+                         static_cast<double>(tx);
+}
+
+std::uint64_t
+StorageSystem::diskUplinkTimeouts()
+{
+    return downLink_->downstreamIf().timeouts();
+}
+
+} // namespace pciesim

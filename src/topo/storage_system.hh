@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's validation topology (Sec. VI-A):
+ *
+ *   Kernel(CPU) -- MemBus -- RootComplex ==x4== Switch ==x1== Disk
+ *                     |          |
+ *                   DRAM      IOCache (DMA path back to MemBus)
+ *
+ * plus the PCI Host, interrupt controller, IDE driver, and a dd
+ * workload harness. One object owns and wires everything; this is
+ * the topology every dd figure (Fig. 9a-d) runs on.
+ */
+
+#ifndef PCIESIM_TOPO_STORAGE_SYSTEM_HH
+#define PCIESIM_TOPO_STORAGE_SYSTEM_HH
+
+#include <memory>
+
+#include "pci/pci_host.hh"
+#include "topo/system_config.hh"
+
+namespace pciesim
+{
+
+class StorageSystem
+{
+  public:
+    StorageSystem(Simulation &sim, const SystemConfig &config);
+    ~StorageSystem();
+
+    /** Run enumeration and driver probing (functional). */
+    void boot();
+
+    /** @{ Component access. */
+    Simulation &sim() { return sim_; }
+    Kernel &kernel() { return *kernel_; }
+    IdeDriver &ideDriver() { return *ideDriver_; }
+    IdeDisk &disk() { return *disk_; }
+    PciHost &pciHost() { return *pciHost_; }
+    RootComplex &rootComplex() { return *rootComplex_; }
+    PcieSwitch &pcieSwitch() { return *switch_; }
+    PcieLink &upstreamLink() { return *upLink_; }
+    PcieLink &downstreamLink() { return *downLink_; }
+    IOCache &ioCache() { return *ioCache_; }
+    SimpleMemory &dram() { return *dram_; }
+    IntController &gic() { return *gic_; }
+    /** @} */
+
+    /**
+     * Run a dd workload to completion.
+     * @return the reported throughput in Gbit/s.
+     */
+    double runDd(const DdWorkloadParams &dd);
+
+    /** Fraction of transmitted TLPs that were replayed on the
+     *  disk -> switch upstream direction (paper Sec. VI-B). */
+    double diskUplinkReplayFraction();
+
+    /** Timeout count on the disk -> switch upstream direction. */
+    std::uint64_t diskUplinkTimeouts();
+
+  private:
+    Simulation &sim_;
+    SystemConfig config_;
+
+    std::unique_ptr<XBar> membus_;
+    std::unique_ptr<SimpleMemory> dram_;
+    std::unique_ptr<PciHost> pciHost_;
+    std::unique_ptr<IntController> gic_;
+    std::unique_ptr<IOCache> ioCache_;
+    std::unique_ptr<RootComplex> rootComplex_;
+    std::unique_ptr<PcieSwitch> switch_;
+    std::unique_ptr<PcieLink> upLink_;
+    std::unique_ptr<PcieLink> downLink_;
+    std::unique_ptr<IdeDisk> disk_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<IdeDriver> ideDriver_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_STORAGE_SYSTEM_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Every knob of the modelled systems in one place. The defaults
+ * reproduce the paper's validation configuration (Sec. VI-A): a Gen
+ * 2 interconnect, root complex latency 150 ns, switch latency
+ * 150 ns, 16-packet port buffers, 4-entry replay buffers, root
+ * port -> switch x4 and switch -> disk x1 links.
+ */
+
+#ifndef PCIESIM_TOPO_SYSTEM_CONFIG_HH
+#define PCIESIM_TOPO_SYSTEM_CONFIG_HH
+
+#include "dev/ide_disk.hh"
+#include "dev/int_controller.hh"
+#include "mem/io_cache.hh"
+#include "mem/simple_memory.hh"
+#include "mem/xbar.hh"
+#include "os/dd_workload.hh"
+#include "os/ide_driver.hh"
+#include "os/kernel.hh"
+#include "pcie/pcie_link.hh"
+#include "pcie/pcie_switch.hh"
+#include "pcie/root_complex.hh"
+
+namespace pciesim
+{
+
+/** Configuration of a full system. */
+struct SystemConfig
+{
+    /** @{ PCI-Express fabric. */
+    PcieGen gen = PcieGen::Gen2;
+    /** Width of the root port -> switch link. */
+    unsigned upstreamLinkWidth = 4;
+    /** Width of the switch -> device link. */
+    unsigned downstreamLinkWidth = 1;
+    Tick rcLatency = nanoseconds(150);
+    Tick switchLatency = nanoseconds(150);
+    std::size_t portBufferSize = 16;
+    std::size_t replayBufferSize = 4;
+    Tick linkPropagation = nanoseconds(1);
+    bool ackImmediate = false;
+    /**
+     * Replay-timeout scale (see PcieLinkParams): the calibrated
+     * default of 10 brings the paper's simplified formula
+     * (InternalDelay = 0) up to the magnitude of the spec's
+     * REPLAY_TIMER limit table, which includes receiver internal
+     * delay; this is what makes timeouts costly enough to produce
+     * the Fig. 9b-9d throughput effects.
+     */
+    double replayTimeoutScale = 10.0;
+    unsigned switchDownstreamPorts = 2;
+    /** @} */
+
+    /** @{ Substrates. */
+    XBarParams membus;
+    IOCacheParams ioCache;
+    SimpleMemoryParams dram;
+    IntControllerParams gic;
+    /** @} */
+
+    /** @{ Software + devices. */
+    KernelParams kernel;
+    IdeDiskParams disk;
+    IdeDriverParams ideDriver;
+    DdWorkloadParams dd;
+    /** @} */
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_SYSTEM_CONFIG_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the device DMA engine: packetization, the
+ * non-posted completion barrier, and retry handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "dev/dma_engine.hh"
+#include "sim/sim_object.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+
+namespace
+{
+
+/** Owns the engine and its master port, like a device would. */
+class EngineHarness : public SimObject
+{
+  public:
+    class Port : public MasterPort
+    {
+      public:
+        explicit Port(EngineHarness &h)
+            : MasterPort("harness.port"), h_(h)
+        {}
+
+        bool
+        recvTimingResp(PacketPtr pkt) override
+        {
+            return h_.engine->recvResp(pkt);
+        }
+
+        void recvReqRetry() override { h_.engine->recvRetry(); }
+
+      private:
+        EngineHarness &h_;
+    };
+
+    explicit EngineHarness(Simulation &sim,
+                           const DmaEngineParams &params = {})
+        : SimObject(sim, "harness"), port(*this)
+    {
+        engine = std::make_unique<DmaEngine>(*this, port,
+                                             "harness.dma", params);
+    }
+
+    Port port;
+    std::unique_ptr<DmaEngine> engine;
+};
+
+} // namespace
+
+TEST(DmaEngineTest, SplitsTransferIntoCacheLinePackets)
+{
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    mem.autoRespond = true;
+    h.port.bind(mem);
+    sim.initialize();
+
+    bool done = false;
+    h.engine->startWrite(0x1000, 4096, [&] { done = true; });
+    sim.run();
+
+    EXPECT_TRUE(done);
+    ASSERT_EQ(mem.requests.size(), 64u);
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(mem.requests[i]->addr(), 0x1000 + 64 * i);
+        EXPECT_EQ(mem.requests[i]->size(), 64u);
+    }
+    EXPECT_EQ(h.engine->bytesTransferred(), 4096u);
+    EXPECT_EQ(h.engine->packetsIssued(), 64u);
+    EXPECT_FALSE(h.engine->busy());
+}
+
+TEST(DmaEngineTest, CompletionWaitsForAllResponses)
+{
+    // Non-posted writes (paper Sec. VI-B): the transfer is only
+    // complete when every response has returned.
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    h.port.bind(mem); // no autoRespond: responses held back
+    sim.initialize();
+
+    bool done = false;
+    h.engine->startWrite(0, 256, [&] { done = true; });
+    sim.run();
+    ASSERT_EQ(mem.requests.size(), 4u);
+    EXPECT_FALSE(done);
+
+    // Complete three of four responses: still not done.
+    for (int i = 0; i < 3; ++i) {
+        mem.requests[i]->makeResponse();
+        EXPECT_TRUE(mem.sendTimingResp(mem.requests[i]));
+    }
+    EXPECT_FALSE(done);
+    mem.requests[3]->makeResponse();
+    mem.sendTimingResp(mem.requests[3]);
+    EXPECT_TRUE(done);
+}
+
+TEST(DmaEngineTest, ShortTailPacket)
+{
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    mem.autoRespond = true;
+    h.port.bind(mem);
+    sim.initialize();
+
+    bool done = false;
+    h.engine->startWrite(0, 100, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(mem.requests.size(), 2u);
+    EXPECT_EQ(mem.requests[0]->size(), 64u);
+    EXPECT_EQ(mem.requests[1]->size(), 36u);
+}
+
+TEST(DmaEngineTest, HoldsAfterRefusalUntilRetry)
+{
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    mem.autoRespond = true;
+    mem.refuseRequests = 1;
+    h.port.bind(mem);
+    sim.initialize();
+
+    bool done = false;
+    h.engine->startWrite(0, 128, [&] { done = true; });
+    sim.run();
+    EXPECT_FALSE(done);
+    EXPECT_EQ(mem.requests.size(), 0u);
+
+    mem.sendRetryReq();
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(mem.requests.size(), 2u);
+}
+
+TEST(DmaEngineTest, MaxOutstandingBoundsInFlight)
+{
+    Simulation sim;
+    DmaEngineParams params;
+    params.maxOutstanding = 2;
+    EngineHarness h(sim, params);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    h.port.bind(mem);
+    sim.initialize();
+
+    h.engine->startWrite(0, 4096, [] {});
+    sim.run();
+    EXPECT_EQ(mem.requests.size(), 2u); // window of 2
+
+    mem.requests[0]->makeResponse();
+    mem.sendTimingResp(mem.requests[0]);
+    sim.run();
+    EXPECT_EQ(mem.requests.size(), 3u); // one more admitted
+}
+
+TEST(DmaEngineTest, ReadDeliversPayloadThroughCallback)
+{
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    mem.onRequest = [&](const PacketPtr &p) {
+        if (p->needsResponse()) {
+            p->makeResponse();
+            p->set<std::uint64_t>(0xfeedfacecafebeefull);
+            mem.sendTimingResp(p);
+        }
+    };
+    h.port.bind(mem);
+    sim.initialize();
+
+    std::uint64_t seen = 0;
+    bool done = false;
+    h.engine->startRead(
+        0x2000, 8, [&] { done = true; },
+        [&](const PacketPtr &p) { seen = p->get<std::uint64_t>(); });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(seen, 0xfeedfacecafebeefull);
+}
+
+TEST(DmaEngineTest, WritePayloadRidesTheWire)
+{
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    mem.autoRespond = true;
+    h.port.bind(mem);
+    sim.initialize();
+
+    std::uint8_t bytes[4] = {0xde, 0xad, 0xbe, 0xef};
+    bool done = false;
+    h.engine->startWriteData(0x3000, bytes, 4, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(mem.requests.size(), 1u);
+    EXPECT_TRUE(mem.requests[0]->hasData());
+    EXPECT_EQ(mem.requests[0]->data()[0], 0xde);
+    EXPECT_EQ(mem.requests[0]->data()[3], 0xef);
+}
+
+TEST(DmaEngineTest, DoubleStartPanics)
+{
+    setLoggingThrows(true);
+    Simulation sim;
+    EngineHarness h(sim);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    h.port.bind(mem);
+    sim.initialize();
+
+    h.engine->startWrite(0, 4096, [] {});
+    EXPECT_THROW(h.engine->startWrite(0, 64, [] {}), PanicError);
+    EXPECT_THROW(h.engine->startWrite(0, 0, [] {}), PanicError);
+    setLoggingThrows(false);
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the 8254x-pcie NIC model (paper Sec. IV):
+ * capability chain, EEPROM, interrupt logic, and the descriptor
+ * TX/RX data path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "dev/nic_8254x.hh"
+#include "mem/simple_memory.hh"
+#include "pci/capability.hh"
+#include "pci/config_regs.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+using namespace pciesim::literals;
+
+namespace
+{
+
+struct NicFixture : ::testing::Test
+{
+    NicFixture()
+    {
+        nic = std::make_unique<Nic8254xPcie>(sim, "nic");
+
+        SimpleMemoryParams mp;
+        mp.range = {0x80000000, 0x90000000};
+        mem = std::make_unique<SimpleMemory>(sim, "mem", mp);
+
+        EtherWireParams wp;
+        wp.latency = 100_ns;
+        wire = std::make_unique<EtherWire>(sim, "wire", wp);
+
+        cpu.bind(nic->pioPort());
+        nic->dmaPort().bind(mem->port());
+        nic->attachWire(*wire, 0);
+        nic->setIntxSink([this](bool v) { irqLine = v; });
+
+        nic->configWrite(cfg::bar0, 4, mmioBase);
+        nic->configWrite(cfg::command, 2,
+                         cfg::cmdMemEnable | cfg::cmdBusMaster);
+    }
+
+    void
+    reg32(Addr offset, std::uint32_t v)
+    {
+        PacketPtr p = Packet::makeRequest(MemCmd::WriteReq,
+                                          mmioBase + offset, 4);
+        p->set<std::uint32_t>(v);
+        ASSERT_TRUE(cpu.sendTimingReq(p));
+    }
+
+    std::uint32_t
+    read32(Addr offset)
+    {
+        PacketPtr p = Packet::makeRequest(MemCmd::ReadReq,
+                                          mmioBase + offset, 4);
+        EXPECT_TRUE(cpu.sendTimingReq(p));
+        // Step until *this* packet's response is *delivered* back
+        // (the device flips it synchronously; delivery also drains
+        // earlier write responses from the PIO queue).
+        while ((cpu.responses.empty() || cpu.responses.back() != p) &&
+               sim.eventq().step()) {
+        }
+        return p->get<std::uint32_t>();
+    }
+
+    /** Write a 16 B descriptor into DRAM. */
+    void
+    writeDesc(Addr desc, std::uint64_t d0, std::uint64_t d1)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            mem->writeByte(desc + i, (d0 >> (8 * i)) & 0xff);
+            mem->writeByte(desc + 8 + i, (d1 >> (8 * i)) & 0xff);
+        }
+    }
+
+    static constexpr Addr mmioBase = 0x40000000;
+    static constexpr Addr txRing = 0x80001000;
+    static constexpr Addr rxRing = 0x80002000;
+    static constexpr Addr txBuf = 0x80010000;
+    static constexpr Addr rxBuf = 0x80020000;
+
+    Simulation sim;
+    std::unique_ptr<Nic8254xPcie> nic;
+    std::unique_ptr<SimpleMemory> mem;
+    std::unique_ptr<EtherWire> wire;
+    RecordingMasterPort cpu{"cpu"};
+    bool irqLine = false;
+};
+
+} // namespace
+
+TEST_F(NicFixture, CapabilityChainMatchesPaperTemplate)
+{
+    const ConfigSpace &cs = nic->config();
+    EXPECT_EQ(nic->configRead(cfg::deviceId, 2), 0x10d3u);
+    EXPECT_EQ(CapabilityWalker::count(cs), 4u);
+    EXPECT_EQ(cs.raw8(cfg::capPtr), 0xc8); // PM first
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdPm), 0xc8u);
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdMsi), 0xd0u);
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdPcie), 0xe0u);
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdMsix), 0xa0u);
+}
+
+TEST_F(NicFixture, EepromReadViaEerd)
+{
+    sim.initialize();
+    reg32(nicreg::eerd, nicreg::eerdStart | (0 << 8));
+    std::uint32_t v = read32(nicreg::eerd);
+    EXPECT_NE(v & nicreg::eerdDone, 0u);
+    EXPECT_EQ(v >> 16, 0x1200u); // first MAC word
+}
+
+TEST_F(NicFixture, InterruptFollowsIcrAndMask)
+{
+    sim.initialize();
+    reg32(nicreg::ims, nicreg::icrTxdw);
+
+    // Cause set without mask match: no interrupt.
+    // (Drive ICR indirectly through a TX completion below; here
+    // check that reading ICR clears it.)
+    EXPECT_EQ(read32(nicreg::icr), 0u);
+    EXPECT_FALSE(irqLine);
+}
+
+TEST_F(NicFixture, TxDescriptorFlowTransmitsAndWritesBack)
+{
+    sim.initialize();
+    // One descriptor: 256 B frame, EOP | RS.
+    writeDesc(txRing, txBuf,
+              256 | (static_cast<std::uint64_t>(
+                         nicreg::txCmdEop | nicreg::txCmdRs) << 24));
+
+    reg32(nicreg::tdbal, txRing & 0xffffffff);
+    reg32(nicreg::tdbah, 0);
+    reg32(nicreg::tdlen, 4 * nicreg::descSize);
+    reg32(nicreg::tdh, 0);
+    reg32(nicreg::tdt, 0);
+    reg32(nicreg::ims, nicreg::icrTxdw);
+    reg32(nicreg::tctl, nicreg::ctlEn);
+    reg32(nicreg::tdt, 1); // doorbell
+    sim.run();
+
+    EXPECT_EQ(nic->framesTransmitted(), 1u);
+    EXPECT_EQ(wire->framesDelivered() + wire->framesDropped(), 1u);
+    EXPECT_EQ(read32(nicreg::tdh), 1u);
+    // DD written back into the descriptor status byte.
+    EXPECT_NE(mem->readByte(txRing + 12) & nicreg::staDd, 0u);
+    // TXDW interrupt raised (loopback RX may also be pending).
+    EXPECT_TRUE(irqLine);
+    std::uint32_t icr = read32(nicreg::icr);
+    EXPECT_NE(icr & nicreg::icrTxdw, 0u);
+    EXPECT_FALSE(irqLine); // reading ICR deasserts
+}
+
+TEST_F(NicFixture, RxPathWritesDataAndDescriptor)
+{
+    sim.initialize();
+    // RX ring with 4 descriptors, one armed buffer.
+    writeDesc(rxRing, rxBuf, 0);
+    reg32(nicreg::rdbal, rxRing & 0xffffffff);
+    reg32(nicreg::rdbah, 0);
+    reg32(nicreg::rdlen, 4 * nicreg::descSize);
+    reg32(nicreg::rdh, 0);
+    reg32(nicreg::rdt, 1);
+    reg32(nicreg::ims, nicreg::icrRxt0);
+    reg32(nicreg::rctl, nicreg::ctlEn);
+    sim.run();
+
+    EtherFrame frame;
+    frame.size = 128;
+    EXPECT_TRUE(wire->transmit(1, frame)); // far end -> NIC
+    sim.run();
+
+    EXPECT_EQ(nic->framesReceived(), 1u);
+    EXPECT_EQ(read32(nicreg::rdh), 1u);
+    // Descriptor writeback: length and DD|EOP status.
+    EXPECT_EQ(mem->readByte(rxRing + 8), 128);
+    EXPECT_NE(mem->readByte(rxRing + 12) & nicreg::staDd, 0u);
+    EXPECT_TRUE(irqLine);
+}
+
+TEST_F(NicFixture, RxWithoutDescriptorsCountsMissed)
+{
+    sim.initialize();
+    reg32(nicreg::rctl, nicreg::ctlEn); // enabled, but RDH == RDT
+    sim.run();
+
+    EtherFrame frame;
+    frame.size = 64;
+    wire->transmit(1, frame);
+    sim.run();
+    EXPECT_EQ(nic->framesReceived(), 0u);
+    EXPECT_EQ(nic->framesMissed(), 1u);
+}
+
+TEST_F(NicFixture, RxDisabledRejectsFrames)
+{
+    sim.initialize();
+    EtherFrame frame;
+    frame.size = 64;
+    wire->transmit(1, frame);
+    sim.run();
+    EXPECT_EQ(wire->framesDropped(), 1u);
+}
+
+TEST_F(NicFixture, ResetClearsRingsAndMask)
+{
+    sim.initialize();
+    reg32(nicreg::tdt, 5);
+    reg32(nicreg::ims, 0xff);
+    reg32(nicreg::ctrl, nicreg::ctrlRst);
+    sim.run();
+    EXPECT_EQ(read32(nicreg::tdt), 0u);
+    EXPECT_EQ(read32(nicreg::ims), 0u);
+    EXPECT_EQ(read32(nicreg::ctrl) & nicreg::ctrlRst, 0u);
+}
+
+TEST_F(NicFixture, StatusReportsLinkUp)
+{
+    sim.initialize();
+    EXPECT_NE(read32(nicreg::status) & nicreg::statusLu, 0u);
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the synthetic DMA traffic generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "dev/traffic_gen.hh"
+#include "mem/simple_memory.hh"
+#include "pci/config_regs.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+using namespace pciesim::literals;
+
+namespace
+{
+
+struct TgenFixture : ::testing::Test
+{
+    TgenFixture()
+    {
+        gen = std::make_unique<TrafficGen>(sim, "tgen");
+        SimpleMemoryParams mp;
+        mp.range = {0x80000000, 0x90000000};
+        mem = std::make_unique<SimpleMemory>(sim, "mem", mp);
+        cpu.bind(gen->pioPort());
+        gen->dmaPort().bind(mem->port());
+        gen->setIntxSink([this](bool v) { irq = v; });
+        gen->configWrite(cfg::bar0, 4, mmio);
+        gen->configWrite(cfg::command, 2,
+                         cfg::cmdMemEnable | cfg::cmdBusMaster);
+    }
+
+    void
+    reg32(Addr offset, std::uint32_t v)
+    {
+        PacketPtr p = Packet::makeRequest(MemCmd::WriteReq,
+                                          mmio + offset, 4);
+        p->set<std::uint32_t>(v);
+        ASSERT_TRUE(cpu.sendTimingReq(p));
+    }
+
+    std::uint32_t
+    read32(Addr offset)
+    {
+        PacketPtr p = Packet::makeRequest(MemCmd::ReadReq,
+                                          mmio + offset, 4);
+        EXPECT_TRUE(cpu.sendTimingReq(p));
+        while ((cpu.responses.empty() || cpu.responses.back() != p) &&
+               sim.eventq().step()) {
+        }
+        return p->get<std::uint32_t>();
+    }
+
+    static constexpr Addr mmio = 0x40000000;
+
+    Simulation sim;
+    std::unique_ptr<TrafficGen> gen;
+    std::unique_ptr<SimpleMemory> mem;
+    RecordingMasterPort cpu{"cpu"};
+    bool irq = false;
+};
+
+} // namespace
+
+TEST_F(TgenFixture, RegistersReadBack)
+{
+    sim.initialize();
+    reg32(tgen::regAddrLo, 0x80001000);
+    reg32(tgen::regLength, 8192);
+    reg32(tgen::regCount, 7);
+    reg32(tgen::regMode, 1);
+    EXPECT_EQ(read32(tgen::regAddrLo), 0x80001000u);
+    EXPECT_EQ(read32(tgen::regLength), 8192u);
+    EXPECT_EQ(read32(tgen::regCount), 7u);
+    EXPECT_EQ(read32(tgen::regMode), 1u);
+    EXPECT_EQ(read32(tgen::regDone), 0u);
+}
+
+TEST_F(TgenFixture, WriteBurstsCompleteAndInterrupt)
+{
+    sim.initialize();
+    reg32(tgen::regAddrLo, 0x80002000);
+    reg32(tgen::regLength, 4096);
+    reg32(tgen::regCount, 3);
+    reg32(tgen::regMode, 0);
+    reg32(tgen::regCtrl, tgen::ctrlStart);
+    sim.run();
+
+    EXPECT_EQ(gen->burstsCompleted(), 3u);
+    EXPECT_EQ(gen->bytesMoved(), 3u * 4096);
+    EXPECT_FALSE(gen->running());
+    EXPECT_TRUE(irq);
+    EXPECT_GT(gen->achievedGbps(), 0.0);
+    // Reading DONE deasserts the interrupt.
+    EXPECT_EQ(read32(tgen::regDone), 3u);
+    EXPECT_FALSE(irq);
+}
+
+TEST_F(TgenFixture, ReadModeIssuesReads)
+{
+    sim.initialize();
+    reg32(tgen::regAddrLo, 0x80002000);
+    reg32(tgen::regLength, 256);
+    reg32(tgen::regCount, 2);
+    reg32(tgen::regMode, 1);
+    reg32(tgen::regCtrl, tgen::ctrlStart);
+    sim.run();
+    EXPECT_EQ(gen->burstsCompleted(), 2u);
+    auto &reg = sim.statsRegistry();
+    EXPECT_GE(reg.counterValue("mem.reads"), 8u); // 2 x 4 packets
+}
+
+TEST_F(TgenFixture, StopEndsAnUnboundedRun)
+{
+    sim.initialize();
+    reg32(tgen::regAddrLo, 0x80002000);
+    reg32(tgen::regLength, 4096);
+    reg32(tgen::regCount, 0); // run until stopped
+    reg32(tgen::regCtrl, tgen::ctrlStart);
+    sim.runFor(20_us);
+    EXPECT_TRUE(gen->running());
+    std::uint64_t so_far = gen->burstsCompleted();
+    EXPECT_GT(so_far, 0u);
+
+    reg32(tgen::regCtrl, tgen::ctrlStop);
+    sim.run();
+    EXPECT_FALSE(gen->running());
+    EXPECT_TRUE(irq);
+    EXPECT_GE(gen->burstsCompleted(), so_far);
+}
+
+TEST_F(TgenFixture, InterBurstGapPacesTraffic)
+{
+    // Rebuild with a gap and compare against the gapless run time.
+    auto elapsed = [](Tick gap) {
+        Simulation sim;
+        TrafficGenParams params;
+        params.interBurstGap = gap;
+        TrafficGen gen(sim, "tgen", params);
+        SimpleMemoryParams mp;
+        mp.range = {0x80000000, 0x90000000};
+        SimpleMemory mem(sim, "mem", mp);
+        RecordingMasterPort cpu("cpu");
+        cpu.bind(gen.pioPort());
+        gen.dmaPort().bind(mem.port());
+        gen.configWrite(cfg::bar0, 4, 0x40000000);
+        gen.configWrite(cfg::command, 2,
+                        cfg::cmdMemEnable | cfg::cmdBusMaster);
+        sim.initialize();
+        auto w = [&](Addr off, std::uint32_t v) {
+            PacketPtr p = Packet::makeRequest(
+                MemCmd::WriteReq, 0x40000000 + off, 4);
+            p->set<std::uint32_t>(v);
+            EXPECT_TRUE(cpu.sendTimingReq(p));
+        };
+        w(tgen::regAddrLo, 0x80002000);
+        w(tgen::regLength, 1024);
+        w(tgen::regCount, 4);
+        w(tgen::regCtrl, tgen::ctrlStart);
+        sim.run();
+        EXPECT_EQ(gen.burstsCompleted(), 4u);
+        return sim.curTick();
+    };
+    EXPECT_GT(elapsed(10_us), elapsed(0));
+}
+
+TEST_F(TgenFixture, StartWithoutBusMasterPanics)
+{
+    setLoggingThrows(true);
+    sim.initialize();
+    gen->configWrite(cfg::command, 2, cfg::cmdMemEnable); // no master
+    reg32(tgen::regAddrLo, 0x80002000);
+    reg32(tgen::regLength, 64);
+    reg32(tgen::regCount, 1);
+    EXPECT_THROW(reg32(tgen::regCtrl, tgen::ctrlStart), PanicError);
+    setLoggingThrows(false);
+}

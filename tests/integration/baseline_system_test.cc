@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Integration tests for the baseline (crossbar-only, stock-gem5
+ * style) topology, and the ablation property that the PCIe model's
+ * link serialization makes the detailed topology slower.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/baseline_system.hh"
+#include "topo/storage_system.hh"
+
+using namespace pciesim;
+
+TEST(BaselineSystem, BootsAndRunsDd)
+{
+    Simulation sim;
+    SystemConfig cfg;
+    BaselineSystem system(sim, cfg);
+
+    DdWorkloadParams dd;
+    dd.blockBytes = 1 << 20;
+    double gbps = system.runDd(dd);
+    EXPECT_GT(gbps, 1.0);
+    EXPECT_EQ(system.disk().bytesTransferred(), 1u << 20);
+    EXPECT_EQ(Packet::liveCount(), 0u);
+}
+
+TEST(BaselineSystem, FasterThanPcieX1Model)
+{
+    // The whole point of the paper: the stock crossbar attachment
+    // has no Gen 2 x1 serialization bottleneck, so it overestimates
+    // I/O throughput relative to the detailed PCIe model.
+    DdWorkloadParams dd;
+    dd.blockBytes = 2 << 20;
+
+    Simulation sim_base;
+    BaselineSystem baseline(sim_base, SystemConfig{});
+    double base_gbps = baseline.runDd(dd);
+
+    Simulation sim_pcie;
+    StorageSystem pcie(sim_pcie, SystemConfig{});
+    double pcie_gbps = pcie.runDd(dd);
+
+    EXPECT_GT(base_gbps, pcie_gbps * 1.3)
+        << "baseline " << base_gbps << " vs pcie " << pcie_gbps;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for address ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr_range.hh"
+
+using namespace pciesim;
+
+TEST(AddrRangeTest, BasicProperties)
+{
+    AddrRange r{0x1000, 0x2000};
+    EXPECT_EQ(r.start(), 0x1000u);
+    EXPECT_EQ(r.end(), 0x2000u);
+    EXPECT_EQ(r.size(), 0x1000u);
+    EXPECT_FALSE(r.empty());
+}
+
+TEST(AddrRangeTest, DefaultIsEmpty)
+{
+    AddrRange r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.contains(0));
+    EXPECT_FALSE(r.intersects(AddrRange{0, 100}));
+}
+
+TEST(AddrRangeTest, ContainsIsHalfOpen)
+{
+    AddrRange r{100, 200};
+    EXPECT_FALSE(r.contains(99));
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_TRUE(r.contains(199));
+    EXPECT_FALSE(r.contains(200));
+}
+
+struct IntersectCase
+{
+    AddrRange a;
+    AddrRange b;
+    bool intersects;
+    bool a_covers_b;
+};
+
+class AddrRangeIntersect
+    : public ::testing::TestWithParam<IntersectCase>
+{};
+
+TEST_P(AddrRangeIntersect, MatchesExpectation)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(c.a.intersects(c.b), c.intersects);
+    EXPECT_EQ(c.b.intersects(c.a), c.intersects);
+    EXPECT_EQ(c.a.covers(c.b), c.a_covers_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, AddrRangeIntersect,
+    ::testing::Values(
+        IntersectCase{{0, 100}, {100, 200}, false, false},   // adjacent
+        IntersectCase{{0, 100}, {50, 150}, true, false},     // overlap
+        IntersectCase{{0, 100}, {20, 80}, true, true},       // nested
+        IntersectCase{{0, 100}, {0, 100}, true, true},       // equal
+        IntersectCase{{0, 100}, {200, 300}, false, false},   // disjoint
+        IntersectCase{{0, 100}, {}, false, false},           // empty b
+        IntersectCase{{}, {0, 100}, false, false}));         // empty a
+
+TEST(AddrRangeTest, ListHelpers)
+{
+    AddrRangeList l{{0, 10}, {20, 30}};
+    EXPECT_TRUE(listContains(l, 5));
+    EXPECT_TRUE(listContains(l, 25));
+    EXPECT_FALSE(listContains(l, 15));
+    EXPECT_FALSE(listHasOverlap(l));
+
+    l.push_back({25, 40});
+    EXPECT_TRUE(listHasOverlap(l));
+}
+
+TEST(AddrRangeTest, ToStringIsHex)
+{
+    AddrRange r{0x10, 0x20};
+    EXPECT_EQ(r.toString(), "[0x10, 0x20)");
+}

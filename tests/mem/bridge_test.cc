@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the bridge (and, through it, the IOCache).
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "mem/bridge.hh"
+#include "mem/io_cache.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+using namespace pciesim::literals;
+
+TEST(BridgeTest, ForwardsRequestsAfterDelay)
+{
+    Simulation sim;
+    BridgeParams params;
+    params.delay = nanoseconds(50);
+    Bridge bridge(sim, "bridge", params);
+    RecordingMasterPort src("src");
+    RecordingSlavePort dst("dst", {AddrRange{0, 0x1000}});
+    src.bind(bridge.slavePort());
+    bridge.masterPort().bind(dst);
+    sim.initialize();
+
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x10, 4);
+    EXPECT_TRUE(src.sendTimingReq(p));
+    sim.run();
+    ASSERT_EQ(dst.requests.size(), 1u);
+    EXPECT_EQ(sim.curTick(), nanoseconds(50));
+}
+
+TEST(BridgeTest, ForwardsResponsesBack)
+{
+    Simulation sim;
+    Bridge bridge(sim, "bridge");
+    RecordingMasterPort src("src");
+    RecordingSlavePort dst("dst", {AddrRange{0, 0x1000}});
+    dst.autoRespond = true;
+    src.bind(bridge.slavePort());
+    bridge.masterPort().bind(dst);
+    sim.initialize();
+
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x10, 4);
+    src.sendTimingReq(p);
+    sim.run();
+    ASSERT_EQ(src.responses.size(), 1u);
+    // Request delay + response delay = 100 ns.
+    EXPECT_EQ(sim.curTick(), nanoseconds(100));
+}
+
+TEST(BridgeTest, ExplicitRangesOverridePassthrough)
+{
+    Simulation sim;
+    BridgeParams params;
+    params.ranges = {AddrRange{0x4000, 0x5000}};
+    Bridge bridge(sim, "bridge", params);
+    RecordingMasterPort src("src");
+    RecordingSlavePort dst("dst", {AddrRange{0, 0x1000}});
+    src.bind(bridge.slavePort());
+    bridge.masterPort().bind(dst);
+    sim.initialize();
+
+    AddrRangeList ranges = bridge.slavePort().getAddrRanges();
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges.front(), (AddrRange{0x4000, 0x5000}));
+}
+
+TEST(BridgeTest, PassthroughRangesComeFromPeer)
+{
+    Simulation sim;
+    Bridge bridge(sim, "bridge");
+    RecordingMasterPort src("src");
+    RecordingSlavePort dst("dst", {AddrRange{0x7000, 0x8000}});
+    src.bind(bridge.slavePort());
+    bridge.masterPort().bind(dst);
+    sim.initialize();
+
+    AddrRangeList ranges = bridge.slavePort().getAddrRanges();
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges.front(), (AddrRange{0x7000, 0x8000}));
+}
+
+TEST(BridgeTest, RefusesWhenRequestQueueFullAndRetriesLater)
+{
+    Simulation sim;
+    BridgeParams params;
+    params.reqQueueCapacity = 2;
+    Bridge bridge(sim, "bridge", params);
+    RecordingMasterPort src("src");
+    RecordingSlavePort dst("dst", {AddrRange{0, 0x10000}});
+    dst.refuseRequests = 1000000;
+    src.bind(bridge.slavePort());
+    bridge.masterPort().bind(dst);
+    sim.initialize();
+
+    EXPECT_TRUE(src.sendTimingReq(
+        Packet::makeRequest(MemCmd::WriteReq, 0, 4)));
+    EXPECT_TRUE(src.sendTimingReq(
+        Packet::makeRequest(MemCmd::WriteReq, 4, 4)));
+    sim.run();
+    EXPECT_FALSE(src.sendTimingReq(
+        Packet::makeRequest(MemCmd::WriteReq, 8, 4)));
+    EXPECT_EQ(bridge.reqRefusals(), 1u);
+
+    dst.refuseRequests = 0;
+    EventFunctionWrapper unjam([&] { dst.sendRetryReq(); }, "unjam");
+    sim.eventq().schedule(&unjam, sim.curTick() + 10);
+    sim.run();
+    EXPECT_GE(src.reqRetries, 1u);
+    EXPECT_EQ(dst.requests.size(), 2u);
+}
+
+TEST(IOCacheTest, ServiceIntervalThrottlesDrainRate)
+{
+    Simulation sim;
+    IOCacheParams params;
+    params.latency = nanoseconds(10);
+    params.serviceInterval = nanoseconds(100);
+    params.queueCapacity = 8;
+    IOCache cache(sim, "ioc", params);
+    RecordingMasterPort src("src");
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    std::vector<Tick> arrival;
+    mem.onRequest = [&](const PacketPtr &) {
+        arrival.push_back(sim.curTick());
+    };
+    src.bind(cache.slavePort());
+    cache.masterPort().bind(mem);
+    sim.initialize();
+
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(src.sendTimingReq(
+            Packet::makeRequest(MemCmd::WriteReq, 64 * i, 64)));
+    }
+    sim.run();
+    ASSERT_EQ(arrival.size(), 4u);
+    // First after the lookup latency, then one per service interval.
+    EXPECT_EQ(arrival[0], nanoseconds(10));
+    EXPECT_EQ(arrival[1], nanoseconds(110));
+    EXPECT_EQ(arrival[2], nanoseconds(210));
+    EXPECT_EQ(arrival[3], nanoseconds(310));
+}

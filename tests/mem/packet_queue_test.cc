@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the bounded outbound packet queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/packet_queue.hh"
+#include "sim/simulation.hh"
+
+using namespace pciesim;
+using namespace pciesim::literals;
+
+namespace
+{
+
+PacketPtr
+mkPkt(Addr a = 0)
+{
+    return Packet::makeRequest(MemCmd::ReadReq, a, 4);
+}
+
+} // namespace
+
+TEST(PacketQueueTest, EmitsAtReadyTime)
+{
+    Simulation sim;
+    std::vector<std::pair<Tick, Addr>> sent;
+    PacketQueue q(sim.eventq(), "q",
+                  [&](const PacketPtr &p) {
+                      sent.push_back({sim.curTick(), p->addr()});
+                      return true;
+                  });
+    q.push(mkPkt(1), 100);
+    q.push(mkPkt(2), 250);
+    sim.run();
+    ASSERT_EQ(sent.size(), 2u);
+    EXPECT_EQ(sent[0], (std::pair<Tick, Addr>{100, 1}));
+    EXPECT_EQ(sent[1], (std::pair<Tick, Addr>{250, 2}));
+}
+
+TEST(PacketQueueTest, ServiceIntervalPacesEmissions)
+{
+    Simulation sim;
+    std::vector<Tick> times;
+    PacketQueue q(sim.eventq(), "q",
+                  [&](const PacketPtr &) {
+                      times.push_back(sim.curTick());
+                      return true;
+                  },
+                  0, 50);
+    for (int i = 0; i < 4; ++i)
+        q.push(mkPkt(), 10);
+    sim.run();
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_EQ(times[0], 10u);
+    EXPECT_EQ(times[1], 60u);
+    EXPECT_EQ(times[2], 110u);
+    EXPECT_EQ(times[3], 160u);
+}
+
+TEST(PacketQueueTest, CapacityAndFull)
+{
+    Simulation sim;
+    PacketQueue q(sim.eventq(), "q",
+                  [](const PacketPtr &) { return true; }, 2);
+    EXPECT_FALSE(q.full());
+    q.push(mkPkt(), 100);
+    q.push(mkPkt(), 100);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(PacketQueueTest, BlocksOnRefusalAndResumesOnRetry)
+{
+    Simulation sim;
+    int refusals_left = 2;
+    std::vector<Tick> sent;
+    PacketQueue q(sim.eventq(), "q",
+                  [&](const PacketPtr &) {
+                      if (refusals_left > 0) {
+                          --refusals_left;
+                          return false;
+                      }
+                      sent.push_back(sim.curTick());
+                      return true;
+                  });
+    q.push(mkPkt(), 10);
+    sim.run();
+    EXPECT_TRUE(sent.empty()); // blocked after refusal
+    EXPECT_EQ(refusals_left, 1);
+
+    // Retry at t=500: refused again, still blocked.
+    EventFunctionWrapper retry1([&] { q.retryNotify(); }, "r1");
+    sim.eventq().schedule(&retry1, 500);
+    sim.run();
+    EXPECT_TRUE(sent.empty());
+
+    EventFunctionWrapper retry2([&] { q.retryNotify(); }, "r2");
+    sim.eventq().schedule(&retry2, 600);
+    sim.run();
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0], 600u);
+}
+
+TEST(PacketQueueTest, OnSpaceFreedFiresPerEmission)
+{
+    Simulation sim;
+    int freed = 0;
+    PacketQueue q(sim.eventq(), "q",
+                  [](const PacketPtr &) { return true; }, 4);
+    q.setOnSpaceFreed([&] { ++freed; });
+    q.push(mkPkt(), 1);
+    q.push(mkPkt(), 2);
+    sim.run();
+    EXPECT_EQ(freed, 2);
+}
+
+TEST(PacketQueueTest, PushIntoFullQueuePanics)
+{
+    setLoggingThrows(true);
+    Simulation sim;
+    PacketQueue q(sim.eventq(), "q",
+                  [](const PacketPtr &) { return true; }, 1);
+    q.push(mkPkt(), 100);
+    EXPECT_THROW(q.push(mkPkt(), 100), PanicError);
+    setLoggingThrows(false);
+}
+
+TEST(PacketQueueTest, ReadyInThePastSendsNow)
+{
+    Simulation sim;
+    EventFunctionWrapper advance([] {}, "advance");
+    sim.eventq().schedule(&advance, 1000);
+    sim.run();
+
+    std::vector<Tick> sent;
+    PacketQueue q(sim.eventq(), "q",
+                  [&](const PacketPtr &) {
+                      sent.push_back(sim.curTick());
+                      return true;
+                  });
+    q.push(mkPkt(), 10); // ready tick already passed
+    sim.run();
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0], 1000u);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the memory packet / TLP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/packet.hh"
+
+using namespace pciesim;
+
+struct CmdCase
+{
+    MemCmd cmd;
+    bool isRequest;
+    bool isRead;
+    bool needsResponse;
+};
+
+class PacketCmdTest : public ::testing::TestWithParam<CmdCase>
+{};
+
+TEST_P(PacketCmdTest, Classification)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(cmdIsRequest(c.cmd), c.isRequest);
+    EXPECT_EQ(cmdIsResponse(c.cmd), !c.isRequest);
+    EXPECT_EQ(cmdIsRead(c.cmd), c.isRead);
+    EXPECT_EQ(cmdIsWrite(c.cmd), !c.isRead);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCommands, PacketCmdTest,
+    ::testing::Values(
+        CmdCase{MemCmd::ReadReq, true, true, true},
+        CmdCase{MemCmd::ReadResp, false, true, false},
+        CmdCase{MemCmd::WriteReq, true, false, true},
+        CmdCase{MemCmd::WriteResp, false, false, false},
+        CmdCase{MemCmd::ConfigReadReq, true, true, true},
+        CmdCase{MemCmd::ConfigReadResp, false, true, false},
+        CmdCase{MemCmd::ConfigWriteReq, true, false, true},
+        CmdCase{MemCmd::ConfigWriteResp, false, false, false}));
+
+TEST(PacketTest, MessageRequestIsPosted)
+{
+    PacketPtr p = Packet::makeRequest(MemCmd::MessageReq, 0xfee0, 4);
+    EXPECT_TRUE(p->isRequest());
+    EXPECT_FALSE(p->needsResponse());
+}
+
+TEST(PacketTest, MakeResponseFlipsCommandInPlace)
+{
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x100, 64);
+    Packet *raw = p.get();
+    p->makeResponse();
+    EXPECT_EQ(p->cmd(), MemCmd::ReadResp);
+    EXPECT_EQ(p.get(), raw); // same object
+    EXPECT_EQ(p->addr(), 0x100u);
+    EXPECT_EQ(p->size(), 64u);
+}
+
+TEST(PacketTest, TlpPayloadFollowsDataBearingRule)
+{
+    // Paper Sec. V-C: payload is 0 for a read request or a write
+    // response, and the transfer size for a write request or read
+    // response.
+    PacketPtr rd = Packet::makeRequest(MemCmd::ReadReq, 0, 64);
+    EXPECT_EQ(rd->tlpPayloadSize(), 0u);
+    rd->makeResponse();
+    EXPECT_EQ(rd->tlpPayloadSize(), 64u);
+
+    PacketPtr wr = Packet::makeRequest(MemCmd::WriteReq, 0, 64);
+    EXPECT_EQ(wr->tlpPayloadSize(), 64u);
+    wr->makeResponse();
+    EXPECT_EQ(wr->tlpPayloadSize(), 0u);
+}
+
+TEST(PacketTest, PciBusNumberDefaultsToMinusOne)
+{
+    // Paper Sec. V-A: "we create a PCI bus number field in the
+    // packet class, and initialize it to -1".
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0, 4);
+    EXPECT_EQ(p->pciBusNumber(), -1);
+    p->setPciBusNumber(3);
+    EXPECT_EQ(p->pciBusNumber(), 3);
+    // The bus number survives the response conversion.
+    p->makeResponse();
+    EXPECT_EQ(p->pciBusNumber(), 3);
+}
+
+TEST(PacketTest, TypedPayloadAccessors)
+{
+    PacketPtr p = Packet::makeRequest(MemCmd::WriteReq, 0, 8);
+    p->set<std::uint32_t>(0xdeadbeef);
+    EXPECT_TRUE(p->hasData());
+    EXPECT_EQ(p->get<std::uint32_t>(), 0xdeadbeefu);
+
+    std::uint8_t raw[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    p->setData(raw, 8);
+    EXPECT_EQ(p->get<std::uint64_t>(), 0x0807060504030201ull);
+    EXPECT_EQ(p->dataSize(), 8u);
+}
+
+TEST(PacketTest, ReferenceCountingFreesExactlyOnce)
+{
+    std::uint64_t before = Packet::liveCount();
+    {
+        PacketPtr a = Packet::makeRequest(MemCmd::ReadReq, 0, 4);
+        EXPECT_EQ(Packet::liveCount(), before + 1);
+        PacketPtr b = a;
+        PacketPtr c = std::move(b);
+        EXPECT_FALSE(b);
+        EXPECT_TRUE(c);
+        EXPECT_EQ(Packet::liveCount(), before + 1);
+        c.reset();
+        EXPECT_EQ(Packet::liveCount(), before + 1); // a still holds
+    }
+    EXPECT_EQ(Packet::liveCount(), before);
+}
+
+TEST(PacketTest, SelfAssignmentIsSafe)
+{
+    PacketPtr a = Packet::makeRequest(MemCmd::ReadReq, 0, 4);
+    PacketPtr &ref = a;
+    a = ref;
+    EXPECT_TRUE(a);
+}
+
+TEST(PacketTest, UniqueIdsAndToString)
+{
+    PacketPtr a = Packet::makeRequest(MemCmd::ReadReq, 0x30, 4);
+    PacketPtr b = Packet::makeRequest(MemCmd::WriteReq, 0x40, 4);
+    EXPECT_NE(a->id(), b->id());
+    EXPECT_NE(a->toString().find("ReadReq"), std::string::npos);
+    EXPECT_NE(b->toString().find("WriteReq"), std::string::npos);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "mem/simple_memory.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+using namespace pciesim::literals;
+
+namespace
+{
+
+struct MemFixture : ::testing::Test
+{
+    MemFixture()
+    {
+        SimpleMemoryParams params;
+        params.range = {0x1000, 0x100000};
+        params.latency = nanoseconds(50);
+        params.bytesPerTick = 64.0 / 1000.0; // 64 B per ns
+        mem = std::make_unique<SimpleMemory>(sim, "mem", params);
+        cpu.bind(mem->port());
+    }
+
+    Simulation sim;
+    std::unique_ptr<SimpleMemory> mem;
+    RecordingMasterPort cpu{"cpu"};
+};
+
+} // namespace
+
+TEST_F(MemFixture, RespondsAfterLatencyPlusOccupancy)
+{
+    sim.initialize();
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x1000, 64);
+    EXPECT_TRUE(cpu.sendTimingReq(p));
+    sim.run();
+    ASSERT_EQ(cpu.responses.size(), 1u);
+    // 64 B / (64 B/ns) = 1 ns occupancy + 50 ns latency.
+    EXPECT_EQ(sim.curTick(), nanoseconds(51));
+}
+
+TEST_F(MemFixture, BandwidthRegulationSerializesBursts)
+{
+    sim.initialize();
+    std::vector<Tick> times;
+    cpu.onResponse = [&](const PacketPtr &) {
+        times.push_back(sim.curTick());
+    };
+    for (int i = 0; i < 3; ++i) {
+        cpu.sendTimingReq(
+            Packet::makeRequest(MemCmd::ReadReq, 0x1000 + 64 * i, 64));
+    }
+    sim.run();
+    ASSERT_EQ(times.size(), 3u);
+    // Bank occupancy accumulates: 1, 2, 3 ns + latency.
+    EXPECT_EQ(times[0], nanoseconds(51));
+    EXPECT_EQ(times[1], nanoseconds(52));
+    EXPECT_EQ(times[2], nanoseconds(53));
+}
+
+TEST_F(MemFixture, WritesGetResponsesTooNonPosted)
+{
+    sim.initialize();
+    PacketPtr p = Packet::makeRequest(MemCmd::WriteReq, 0x2000, 64);
+    cpu.sendTimingReq(p);
+    sim.run();
+    ASSERT_EQ(cpu.responses.size(), 1u);
+    EXPECT_EQ(cpu.responses[0]->cmd(), MemCmd::WriteResp);
+}
+
+TEST_F(MemFixture, FunctionalStoreRoundTrips)
+{
+    sim.initialize();
+    PacketPtr w = Packet::makeRequest(MemCmd::WriteReq, 0x3000, 8);
+    w->set<std::uint64_t>(0x1122334455667788ull);
+    cpu.sendTimingReq(w);
+    sim.run();
+
+    PacketPtr r = Packet::makeRequest(MemCmd::ReadReq, 0x3000, 8);
+    cpu.sendTimingReq(r);
+    sim.run();
+    ASSERT_EQ(cpu.responses.size(), 2u);
+    EXPECT_EQ(cpu.responses[1]->get<std::uint64_t>(),
+              0x1122334455667788ull);
+
+    // Backdoor agrees.
+    EXPECT_EQ(mem->readByte(0x3000), 0x88);
+    EXPECT_EQ(mem->readByte(0x3007), 0x11);
+}
+
+TEST_F(MemFixture, BackdoorWriteVisibleToTimingRead)
+{
+    sim.initialize();
+    mem->writeByte(0x4000, 0xab);
+    PacketPtr r = Packet::makeRequest(MemCmd::ReadReq, 0x4000, 1);
+    cpu.sendTimingReq(r);
+    sim.run();
+    EXPECT_EQ(cpu.responses[0]->get<std::uint8_t>(), 0xab);
+}
+
+TEST_F(MemFixture, OutOfRangeAccessPanics)
+{
+    setLoggingThrows(true);
+    sim.initialize();
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x10, 4);
+    EXPECT_THROW(cpu.sendTimingReq(p), PanicError);
+    setLoggingThrows(false);
+}
+
+TEST(SimpleMemoryBackpressure, RefusesWhenQueueFull)
+{
+    Simulation sim;
+    SimpleMemoryParams params;
+    params.range = {0, 0x10000};
+    params.queueCapacity = 2;
+    params.latency = microseconds(1);
+    SimpleMemory mem(sim, "mem", params);
+    RecordingMasterPort cpu("cpu");
+    cpu.refuseResponses = 1000000; // never accept, keep queue full
+    cpu.bind(mem.port());
+    sim.initialize();
+
+    EXPECT_TRUE(cpu.sendTimingReq(
+        Packet::makeRequest(MemCmd::ReadReq, 0, 4)));
+    EXPECT_TRUE(cpu.sendTimingReq(
+        Packet::makeRequest(MemCmd::ReadReq, 4, 4)));
+    EXPECT_FALSE(cpu.sendTimingReq(
+        Packet::makeRequest(MemCmd::ReadReq, 8, 4)));
+}

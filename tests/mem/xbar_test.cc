@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the crossbar (MemBus / IOBus model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "mem/xbar.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+using namespace pciesim::literals;
+
+namespace
+{
+
+struct XBarFixture : ::testing::Test
+{
+    XBarFixture()
+        : xbar(sim, "xbar"),
+          cpu("cpu"),
+          devA("devA", {AddrRange{0x1000, 0x2000}}),
+          devB("devB", {AddrRange{0x2000, 0x3000}})
+    {
+        cpu.bind(xbar.addSlavePort("cpuSlave"));
+        xbar.addMasterPort("aMaster").bind(devA);
+        xbar.addMasterPort("bMaster").bind(devB);
+    }
+
+    Simulation sim;
+    XBar xbar;
+    RecordingMasterPort cpu;
+    RecordingSlavePort devA;
+    RecordingSlavePort devB;
+};
+
+} // namespace
+
+TEST_F(XBarFixture, RoutesByAddressRange)
+{
+    sim.initialize();
+    PacketPtr pa = Packet::makeRequest(MemCmd::ReadReq, 0x1800, 4);
+    PacketPtr pb = Packet::makeRequest(MemCmd::ReadReq, 0x2800, 4);
+    EXPECT_TRUE(cpu.sendTimingReq(pa));
+    EXPECT_TRUE(cpu.sendTimingReq(pb));
+    sim.run();
+    ASSERT_EQ(devA.requests.size(), 1u);
+    ASSERT_EQ(devB.requests.size(), 1u);
+    EXPECT_EQ(devA.requests[0]->addr(), 0x1800u);
+    EXPECT_EQ(devB.requests[0]->addr(), 0x2800u);
+}
+
+TEST_F(XBarFixture, AppliesFrontendLatency)
+{
+    sim.initialize();
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x1000, 4);
+    Tick sent_at = sim.curTick();
+    cpu.sendTimingReq(p);
+    sim.run();
+    ASSERT_EQ(devA.requests.size(), 1u);
+    // Default frontend latency is 5 ns.
+    EXPECT_GE(sim.curTick(), sent_at + nanoseconds(5));
+}
+
+TEST_F(XBarFixture, ResponseReturnsToOriginatingPort)
+{
+    devA.autoRespond = true;
+    sim.initialize();
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x1000, 4);
+    cpu.sendTimingReq(p);
+    sim.run();
+    ASSERT_EQ(cpu.responses.size(), 1u);
+    EXPECT_TRUE(cpu.responses[0]->isResponse());
+    EXPECT_EQ(cpu.responses[0].get(), p.get());
+}
+
+TEST_F(XBarFixture, RoutedRangesIsUnionOfPeers)
+{
+    sim.initialize();
+    AddrRangeList ranges = xbar.routedRanges();
+    EXPECT_EQ(ranges.size(), 2u);
+    EXPECT_TRUE(listContains(ranges, 0x1500));
+    EXPECT_TRUE(listContains(ranges, 0x2500));
+    EXPECT_FALSE(listContains(ranges, 0x3500));
+}
+
+TEST_F(XBarFixture, UnroutableAddressPanics)
+{
+    setLoggingThrows(true);
+    sim.initialize();
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x9000, 4);
+    EXPECT_THROW(cpu.sendTimingReq(p), PanicError);
+    setLoggingThrows(false);
+}
+
+TEST(XBarDefaultPort, ClaimsUnmatchedAddresses)
+{
+    Simulation sim;
+    XBar xbar(sim, "xbar");
+    RecordingMasterPort cpu("cpu");
+    RecordingSlavePort dev("dev", {AddrRange{0x1000, 0x2000}});
+    RecordingSlavePort fallback("fallback", {});
+
+    cpu.bind(xbar.addSlavePort("cpuSlave"));
+    xbar.addMasterPort("devMaster").bind(dev);
+    MasterPort &def = xbar.addMasterPort("defMaster");
+    def.bind(fallback);
+    xbar.setDefaultPort(def);
+    sim.initialize();
+
+    PacketPtr p = Packet::makeRequest(MemCmd::ReadReq, 0x9000, 4);
+    cpu.sendTimingReq(p);
+    sim.run();
+    ASSERT_EQ(fallback.requests.size(), 1u);
+}
+
+TEST(XBarBackpressure, RefusesWhenEgressQueueFullThenRetries)
+{
+    Simulation sim;
+    XBarParams params;
+    params.queueCapacity = 2;
+    XBar xbar(sim, "xbar", params);
+    RecordingMasterPort cpu("cpu");
+    RecordingSlavePort dev("dev", {AddrRange{0, 0x10000}});
+    dev.refuseRequests = 1000000; // jam the device
+
+    cpu.bind(xbar.addSlavePort("cpuSlave"));
+    xbar.addMasterPort("devMaster").bind(dev);
+    sim.initialize();
+
+    // Two packets fill the egress queue; the third is refused.
+    EXPECT_TRUE(cpu.sendTimingReq(Packet::makeRequest(
+        MemCmd::WriteReq, 0, 4)));
+    EXPECT_TRUE(cpu.sendTimingReq(Packet::makeRequest(
+        MemCmd::WriteReq, 4, 4)));
+    sim.run();
+    EXPECT_FALSE(cpu.sendTimingReq(Packet::makeRequest(
+        MemCmd::WriteReq, 8, 4)));
+
+    // Unjam: the queue drains and the waiting source is retried.
+    dev.refuseRequests = 0;
+    EventFunctionWrapper unjam([&] { dev.sendRetryReq(); }, "unjam");
+    sim.eventq().schedule(&unjam, sim.curTick() + 100);
+    sim.run();
+    EXPECT_GE(cpu.reqRetries, 1u);
+    EXPECT_EQ(dev.requests.size(), 2u);
+}
+
+TEST(XBarConfig, UnboundPortIsFatalAtInit)
+{
+    setLoggingThrows(true);
+    Simulation sim;
+    XBar xbar(sim, "xbar");
+    xbar.addMasterPort("dangling");
+    EXPECT_THROW(sim.initialize(), FatalError);
+    setLoggingThrows(false);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for capability structures (paper Fig. 4 / Fig. 5):
+ * chain linking, the disabled PM/MSI/MSI-X encodings the paper's
+ * device template uses, and the PCI-Express capability registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "pci/capability.hh"
+#include "pci/config_regs.hh"
+
+using namespace pciesim;
+
+TEST(CapabilityChain, EmptyChainHasNoCapList)
+{
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    chain.finalize();
+    EXPECT_EQ(cs.raw8(cfg::capPtr), 0);
+    EXPECT_EQ(cs.raw16(cfg::status) & cfg::statusCapList, 0);
+    EXPECT_EQ(CapabilityWalker::count(cs), 0u);
+}
+
+TEST(CapabilityChain, LinksInCallOrder)
+{
+    // The paper's NIC chain: PM (0xc8) -> MSI (0xd0) -> PCIe (0xe0)
+    // -> MSI-X (0xa0), with Cap Ptr pointing at PM (Sec. IV).
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    chain.addPowerManagement(0xc8);
+    chain.addMsi(0xd0);
+    chain.addPcie(0xe0, PcieCapParams{});
+    chain.addMsix(0xa0, 5);
+    chain.finalize();
+
+    EXPECT_EQ(cs.raw8(cfg::capPtr), 0xc8);
+    EXPECT_EQ(cs.raw8(0xc8), cfg::capIdPm);
+    EXPECT_EQ(cs.raw8(0xc8 + 1), 0xd0);
+    EXPECT_EQ(cs.raw8(0xd0), cfg::capIdMsi);
+    EXPECT_EQ(cs.raw8(0xd0 + 1), 0xe0);
+    EXPECT_EQ(cs.raw8(0xe0), cfg::capIdPcie);
+    EXPECT_EQ(cs.raw8(0xe0 + 1), 0xa0);
+    EXPECT_EQ(cs.raw8(0xa0), cfg::capIdMsix);
+    EXPECT_EQ(cs.raw8(0xa0 + 1), 0x00); // end of chain
+    EXPECT_NE(cs.raw16(cfg::status) & cfg::statusCapList, 0);
+    EXPECT_EQ(CapabilityWalker::count(cs), 4u);
+}
+
+TEST(CapabilityWalker, FindsById)
+{
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    chain.addPowerManagement(0x40);
+    chain.addPcie(0x50, PcieCapParams{});
+    chain.finalize();
+
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdPm), 0x40u);
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdPcie), 0x50u);
+    EXPECT_EQ(CapabilityWalker::find(cs, cfg::capIdMsi), 0u);
+}
+
+TEST(Capability, MsiEnableIsReadOnlyZero)
+{
+    // The paper disables MSI so the driver falls back to INTx.
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    unsigned msi = chain.addMsi(0xd0);
+    chain.finalize();
+
+    cs.write(msi + 2, 2, 0x0001); // attempt to set MSI Enable
+    EXPECT_EQ(cs.read(msi + 2, 2) & 0x0001, 0u);
+    // The address/data registers stay writable scratch.
+    cs.write(msi + 4, 4, 0xfee00000);
+    EXPECT_EQ(cs.read(msi + 4, 4), 0xfee00000u);
+}
+
+TEST(Capability, MsixEnableIsReadOnlyZero)
+{
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    unsigned msix = chain.addMsix(0xa0, 5);
+    chain.finalize();
+
+    EXPECT_EQ(cs.read(msix + 2, 2) & 0x7ff, 4u); // table size N-1
+    cs.write(msix + 2, 2, 0x8000);
+    EXPECT_EQ(cs.read(msix + 2, 2) & 0x8000, 0u);
+}
+
+TEST(Capability, PowerManagementStuckInD0)
+{
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    unsigned pm = chain.addPowerManagement(0xc8);
+    chain.finalize();
+
+    cs.write(pm + 4, 2, 0x0003); // try to enter D3hot
+    EXPECT_EQ(cs.read(pm + 4, 2) & 0x3, 0u);
+}
+
+struct PcieCapCase
+{
+    cfg::PciePortType type;
+    unsigned width;
+    unsigned gen;
+    bool slot;
+    bool root;
+};
+
+class PcieCapability : public ::testing::TestWithParam<PcieCapCase>
+{};
+
+TEST_P(PcieCapability, EncodesFig5Registers)
+{
+    const auto &c = GetParam();
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    PcieCapParams params;
+    params.portType = c.type;
+    params.linkWidth = c.width;
+    params.linkGen = c.gen;
+    params.slotImplemented = c.slot;
+    params.rootPort = c.root;
+    unsigned base = chain.addPcie(0xd8, params);
+    chain.finalize();
+
+    std::uint16_t cap = cs.raw16(base + cfg::pcieCapReg);
+    EXPECT_EQ(cap & 0xf, 2u); // capability version
+    EXPECT_EQ((cap >> 4) & 0xf, static_cast<unsigned>(c.type));
+    EXPECT_EQ((cap >> 8) & 1, c.slot ? 1u : 0u);
+
+    std::uint32_t link_cap = cs.raw32(base + cfg::pcieLinkCap);
+    EXPECT_EQ(link_cap & 0xf, c.gen);
+    EXPECT_EQ((link_cap >> 4) & 0x3f, c.width);
+
+    std::uint16_t link_status = cs.raw16(base + cfg::pcieLinkStatus);
+    EXPECT_EQ(link_status & 0xfu, c.gen);
+    EXPECT_EQ((link_status >> 4) & 0x3f, c.width);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PortTypes, PcieCapability,
+    ::testing::Values(
+        PcieCapCase{cfg::PciePortType::Endpoint, 1, 2, false, false},
+        PcieCapCase{cfg::PciePortType::RootPort, 4, 2, true, true},
+        PcieCapCase{cfg::PciePortType::SwitchUpstream, 4, 3, false,
+                    false},
+        PcieCapCase{cfg::PciePortType::SwitchDownstream, 1, 1, true,
+                    false},
+        PcieCapCase{cfg::PciePortType::Endpoint, 8, 3, false, false},
+        PcieCapCase{cfg::PciePortType::Endpoint, 16, 2, false,
+                    false},
+        PcieCapCase{cfg::PciePortType::Endpoint, 32, 1, false,
+                    false}));
+
+TEST(Capability, DeviceControlMpsIsWritable)
+{
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    unsigned base = chain.addPcie(0xd8, PcieCapParams{});
+    chain.finalize();
+
+    cs.write(base + cfg::pcieDevCtrl, 2, 2 << 5); // MPS = 512 B
+    EXPECT_EQ((cs.read(base + cfg::pcieDevCtrl, 2) >> 5) & 0x7, 2u);
+}
+
+TEST(Capability, OffsetOutsideR2Panics)
+{
+    setLoggingThrows(true);
+    ConfigSpace cs;
+    CapabilityChain chain(cs);
+    EXPECT_THROW(chain.addMsi(0x20), PanicError);   // inside header
+    EXPECT_THROW(chain.addMsi(0x100), PanicError);  // in R3
+    setLoggingThrows(false);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the configuration-space backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pci/config_space.hh"
+#include "sim/logging.hh"
+
+using namespace pciesim;
+
+TEST(ConfigSpaceTest, StartsAllZero)
+{
+    ConfigSpace cs;
+    EXPECT_EQ(cs.read(0, 4), 0u);
+    EXPECT_EQ(cs.read(cfg::pcieConfigSize - 4, 4), 0u);
+}
+
+TEST(ConfigSpaceTest, InitAndReadBackAllSizes)
+{
+    ConfigSpace cs;
+    cs.init32(0x10, 0xaabbccdd);
+    EXPECT_EQ(cs.read(0x10, 4), 0xaabbccddu);
+    EXPECT_EQ(cs.read(0x10, 2), 0xccddu);
+    EXPECT_EQ(cs.read(0x12, 2), 0xaabbu);
+    EXPECT_EQ(cs.read(0x10, 1), 0xddu);
+    EXPECT_EQ(cs.read(0x13, 1), 0xaau);
+}
+
+TEST(ConfigSpaceTest, WritesHonourWriteMask)
+{
+    ConfigSpace cs;
+    cs.init16(0x04, 0x1234);
+    // Only the low byte is writable.
+    cs.mask16(0x04, 0x00ff);
+    cs.write(0x04, 2, 0xffff);
+    EXPECT_EQ(cs.read(0x04, 2), 0x12ffu);
+}
+
+TEST(ConfigSpaceTest, DefaultMaskIsReadOnly)
+{
+    ConfigSpace cs;
+    cs.init32(0x00, 0x10d38086);
+    cs.write(0x00, 4, 0xffffffff);
+    EXPECT_EQ(cs.read(0x00, 4), 0x10d38086u);
+}
+
+TEST(ConfigSpaceTest, Init24LeavesTopByte)
+{
+    // The class code is a 24-bit field sharing a dword with the
+    // revision ID; init24 must not clobber the fourth byte.
+    ConfigSpace cs;
+    cs.init8(0x0b, 0x77);
+    cs.init24(0x08, 0x020000);
+    EXPECT_EQ(cs.raw8(0x08), 0x00);
+    EXPECT_EQ(cs.raw8(0x09), 0x00);
+    EXPECT_EQ(cs.raw8(0x0a), 0x02);
+    EXPECT_EQ(cs.raw8(0x0b), 0x77);
+}
+
+TEST(ConfigSpaceTest, SubByteMaskWithinWord)
+{
+    ConfigSpace cs;
+    cs.mask32(0x10, 0xffff0000);
+    cs.write(0x10, 4, 0x12345678);
+    EXPECT_EQ(cs.read(0x10, 4), 0x12340000u);
+}
+
+class ConfigSpaceAccessSize
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ConfigSpaceAccessSize, AlignedAccessWorks)
+{
+    unsigned size = GetParam();
+    ConfigSpace cs;
+    cs.mask32(0x40, 0xffffffff);
+    cs.write(0x40, size, 0xffffffff);
+    std::uint32_t expect =
+        size == 4 ? 0xffffffffu : (1u << (8 * size)) - 1;
+    EXPECT_EQ(cs.read(0x40, size), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConfigSpaceAccessSize,
+                         ::testing::Values(1u, 2u, 4u));
+
+TEST(ConfigSpaceTest, BadAccessesPanic)
+{
+    setLoggingThrows(true);
+    ConfigSpace cs;
+    EXPECT_THROW(cs.read(0x01, 2), PanicError);  // unaligned
+    EXPECT_THROW(cs.read(0x00, 3), PanicError);  // bad size
+    EXPECT_THROW(cs.read(4096, 4), PanicError);  // out of range
+    EXPECT_THROW(cs.write(4094, 4, 0), PanicError);
+    setLoggingThrows(false);
+}

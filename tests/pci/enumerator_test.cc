@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the enumeration software: depth-first discovery,
+ * BAR sizing and allocation, bridge window/bus programming
+ * (paper Sec. II-A and V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "../common/test_ports.hh"
+#include "pci/enumerator.hh"
+#include "pci/config_regs.hh"
+#include "pci/pci_device.hh"
+#include "pcie/vp2p.hh"
+
+using namespace pciesim;
+using namespace pciesim::test;
+
+namespace
+{
+
+class StubEndpoint : public PciDevice
+{
+  public:
+    StubEndpoint(Simulation &sim, const std::string &name,
+                 std::vector<BarSpec> bars,
+                 std::uint16_t device_id = 0x1000)
+        : PciDevice(sim, name,
+                    [&] {
+                        PciDeviceParams p;
+                        p.deviceId = device_id;
+                        p.bars = std::move(bars);
+                        return p;
+                    }())
+    {}
+
+    std::uint64_t readReg(unsigned, Addr, unsigned) override
+    {
+        return 0;
+    }
+    void writeReg(unsigned, Addr, unsigned, std::uint64_t) override {}
+};
+
+struct EnumFixture : ::testing::Test
+{
+    Simulation sim;
+    PciHost host{sim, "host"};
+};
+
+} // namespace
+
+TEST_F(EnumFixture, FlatBusWithOneEndpoint)
+{
+    StubEndpoint dev(sim, "dev",
+                     {BarSpec{0x1000, false}, BarSpec{64, true}});
+    host.registerFunction(dev, Bdf{0, 0, 0});
+
+    Enumerator e(host);
+    auto result = e.enumerate();
+
+    ASSERT_EQ(result.functions.size(), 1u);
+    const auto &fn = result.functions[0];
+    EXPECT_FALSE(fn.isBridge);
+    EXPECT_EQ(fn.deviceId, 0x1000);
+
+    // BAR0: memory space, aligned to its size.
+    EXPECT_EQ(fn.bars[0].size(), 0x1000u);
+    EXPECT_TRUE(platform::memRange.covers(fn.bars[0]));
+    EXPECT_EQ(fn.bars[0].start() % 0x1000, 0u);
+    EXPECT_FALSE(fn.barIsIo[0]);
+
+    // BAR1: I/O space.
+    EXPECT_EQ(fn.bars[1].size(), 64u);
+    EXPECT_TRUE(platform::ioRange.covers(fn.bars[1]));
+    EXPECT_TRUE(fn.barIsIo[1]);
+
+    // Device enabled and given an interrupt.
+    EXPECT_TRUE(dev.memEnabled());
+    EXPECT_TRUE(dev.ioEnabled());
+    EXPECT_TRUE(dev.busMaster());
+    EXPECT_NE(fn.irqLine, 0);
+
+    // The device decodes its assigned ranges.
+    EXPECT_EQ(dev.barRange(0), fn.bars[0]);
+    EXPECT_EQ(dev.barRange(1), fn.bars[1]);
+}
+
+TEST_F(EnumFixture, MultipleDevicesGetDisjointResources)
+{
+    StubEndpoint a(sim, "a", {BarSpec{0x4000, false}}, 0x1001);
+    StubEndpoint b(sim, "b", {BarSpec{0x1000, false}}, 0x1002);
+    StubEndpoint c(sim, "c", {BarSpec{128, true}}, 0x1003);
+    host.registerFunction(a, Bdf{0, 0, 0});
+    host.registerFunction(b, Bdf{0, 5, 0});
+    host.registerFunction(c, Bdf{0, 31, 0});
+
+    Enumerator e(host);
+    auto result = e.enumerate();
+    ASSERT_EQ(result.functions.size(), 3u);
+
+    AddrRangeList all;
+    for (const auto &fn : result.functions) {
+        for (const auto &bar : fn.bars) {
+            if (!bar.empty())
+                all.push_back(bar);
+        }
+    }
+    EXPECT_EQ(all.size(), 3u);
+    EXPECT_FALSE(listHasOverlap(all));
+
+    // Distinct interrupt lines.
+    EXPECT_NE(result.functions[0].irqLine,
+              result.functions[1].irqLine);
+    EXPECT_NE(result.functions[1].irqLine,
+              result.functions[2].irqLine);
+}
+
+TEST_F(EnumFixture, BridgeHierarchyDepthFirstBusNumbers)
+{
+    // bus0: bridgeA (-> bus1: dev1), bridgeB (-> bus2: dev2).
+    Vp2p bridge_a("bridgeA", Vp2pParams{});
+    Vp2p bridge_b("bridgeB", Vp2pParams{});
+    StubEndpoint dev1(sim, "dev1", {BarSpec{0x1000, false}}, 0x2001);
+    StubEndpoint dev2(sim, "dev2", {BarSpec{0x1000, false}}, 0x2002);
+    host.registerFunction(bridge_a, Bdf{0, 0, 0});
+    host.registerFunction(bridge_b, Bdf{0, 1, 0});
+    host.registerFunction(dev1, Bdf{1, 0, 0});
+    host.registerFunction(dev2, Bdf{2, 0, 0});
+
+    Enumerator e(host);
+    auto result = e.enumerate();
+    EXPECT_EQ(result.numBuses, 3u);
+
+    const auto *ra = result.find(Bdf{0, 0, 0});
+    const auto *rb = result.find(Bdf{0, 1, 0});
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_TRUE(ra->isBridge);
+    EXPECT_EQ(ra->secondaryBus, 1u);
+    EXPECT_EQ(ra->subordinateBus, 1u);
+    EXPECT_EQ(rb->secondaryBus, 2u);
+    EXPECT_EQ(rb->subordinateBus, 2u);
+
+    // Bridge windows cover exactly their child's BAR.
+    const auto *r1 = result.find(Bdf{1, 0, 0});
+    ASSERT_NE(r1, nullptr);
+    EXPECT_TRUE(bridge_a.memWindow().covers(r1->bars[0]));
+    EXPECT_FALSE(bridge_b.memWindow().covers(r1->bars[0]));
+    EXPECT_FALSE(bridge_a.memWindow()
+                     .intersects(bridge_b.memWindow()));
+    EXPECT_TRUE(bridge_a.forwardingEnabled());
+    EXPECT_TRUE(bridge_a.busMasterEnabled());
+}
+
+TEST_F(EnumFixture, NestedBridgesGetNestedWindowsAndBusRanges)
+{
+    // bus0: rootBridge -> bus1: innerBridge -> bus2: leaf.
+    Vp2p root("root", Vp2pParams{});
+    Vp2pParams inner_params;
+    inner_params.portType = cfg::PciePortType::SwitchUpstream;
+    Vp2p inner("inner", inner_params);
+    StubEndpoint leaf(sim, "leaf", {BarSpec{0x2000, false},
+                                    BarSpec{32, true}});
+    host.registerFunction(root, Bdf{0, 0, 0});
+    host.registerFunction(inner, Bdf{1, 0, 0});
+    host.registerFunction(leaf, Bdf{2, 0, 0});
+
+    Enumerator e(host);
+    auto result = e.enumerate();
+    EXPECT_EQ(result.numBuses, 3u);
+
+    EXPECT_EQ(root.secondaryBus(), 1u);
+    EXPECT_EQ(root.subordinateBus(), 2u);
+    EXPECT_EQ(inner.primaryBus(), 1u);
+    EXPECT_EQ(inner.secondaryBus(), 2u);
+    EXPECT_EQ(inner.subordinateBus(), 2u);
+
+    const auto *rl = result.find(Bdf{2, 0, 0});
+    ASSERT_NE(rl, nullptr);
+    EXPECT_TRUE(inner.memWindow().covers(rl->bars[0]));
+    EXPECT_TRUE(root.memWindow().covers(inner.memWindow()));
+    EXPECT_TRUE(inner.ioWindow().covers(rl->bars[1]));
+    EXPECT_TRUE(root.ioWindow().covers(inner.ioWindow()));
+
+    EXPECT_TRUE(root.busInRange(2));
+    EXPECT_TRUE(root.claims(rl->bars[0].start()));
+    EXPECT_TRUE(inner.claims(rl->bars[0].start()));
+}
+
+TEST_F(EnumFixture, EmptyBridgeGetsNoWindows)
+{
+    Vp2p bridge("bridge", Vp2pParams{});
+    host.registerFunction(bridge, Bdf{0, 0, 0});
+    Enumerator e(host);
+    auto result = e.enumerate();
+    EXPECT_TRUE(bridge.memWindow().empty());
+    EXPECT_TRUE(bridge.ioWindow().empty());
+}
+
+TEST_F(EnumFixture, MisregisteredBusNumberIsFatal)
+{
+    // A device registered on a bus the DFS never assigns.
+    setLoggingThrows(true);
+    StubEndpoint orphan(sim, "orphan", {BarSpec{0x1000, false}});
+    host.registerFunction(orphan, Bdf{7, 0, 0});
+    Enumerator e(host);
+    EXPECT_THROW(e.enumerate(), FatalError);
+    setLoggingThrows(false);
+}
+
+TEST_F(EnumFixture, ResultFindHelpers)
+{
+    StubEndpoint dev(sim, "dev", {BarSpec{0x1000, false}}, 0x7111);
+    host.registerFunction(dev, Bdf{0, 3, 0});
+    Enumerator e(host);
+    auto result = e.enumerate();
+    EXPECT_NE(result.find(0x8086, 0x7111), nullptr);
+    EXPECT_EQ(result.find(0x8086, 0x9999), nullptr);
+    EXPECT_NE(result.find(Bdf{0, 3, 0}), nullptr);
+    EXPECT_EQ(result.find(Bdf{0, 4, 0}), nullptr);
+}

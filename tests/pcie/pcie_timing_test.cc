@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for PCI-Express timing: generation parameters, Table I
+ * overheads, serialization times, and the replay-timeout formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcie/pcie_pkt.hh"
+#include "pcie/pcie_timing.hh"
+
+using namespace pciesim;
+using namespace pciesim::literals;
+
+TEST(PcieTimingTest, SymbolTimesPerGeneration)
+{
+    // Gen1: 10 bits at 2.5 Gbps = 4 ns; Gen2: 2 ns;
+    // Gen3: 8 * 130/128 bits at 8 Gbps ~ 1.0156 ns.
+    EXPECT_EQ(symbolTime(PcieGen::Gen1), 4000u);
+    EXPECT_EQ(symbolTime(PcieGen::Gen2), 2000u);
+    EXPECT_EQ(symbolTime(PcieGen::Gen3), 1015u);
+}
+
+TEST(PcieTimingTest, TableIOverheads)
+{
+    EXPECT_EQ(overhead::tlpHeader, 12u);
+    EXPECT_EQ(overhead::tlpSeqNum, 2u);
+    EXPECT_EQ(overhead::tlpLcrc, 4u);
+    EXPECT_EQ(overhead::framing, 2u);
+    EXPECT_EQ(overhead::tlpTotal, 20u);
+    EXPECT_EQ(overhead::dllpTotal, 8u);
+}
+
+TEST(PcieTimingTest, CacheLineTlpOnGen2X1Takes168ns)
+{
+    // The paper's device-level number: a 64 B payload TLP occupies
+    // 84 symbols; at 2 ns each that is 168 ns, i.e. 3.05 Gbps -
+    // the "3.072 Gbps" of Sec. VI-B.
+    PacketPtr pkt = Packet::makeRequest(MemCmd::WriteReq, 0, 64);
+    PciePkt tlp = PciePkt::makeTlp(pkt, 0);
+    EXPECT_EQ(tlp.wireSymbols(), 84u);
+    EXPECT_EQ(tlp.wireTime(PcieGen::Gen2, 1), 168_ns);
+}
+
+struct SerializationCase
+{
+    PcieGen gen;
+    unsigned width;
+    unsigned symbols;
+    Tick expect;
+};
+
+class SerializationTime
+    : public ::testing::TestWithParam<SerializationCase>
+{};
+
+TEST_P(SerializationTime, MatchesHandComputation)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(serializationTime(c.gen, c.width, c.symbols), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SerializationTime,
+    ::testing::Values(
+        // 84 symbols striped across lanes, per-lane count rounded up
+        SerializationCase{PcieGen::Gen2, 1, 84, 168_ns},
+        SerializationCase{PcieGen::Gen2, 2, 84, 84_ns},
+        SerializationCase{PcieGen::Gen2, 4, 84, 42_ns},
+        SerializationCase{PcieGen::Gen2, 8, 84, 22_ns}, // ceil(84/8)=11
+        SerializationCase{PcieGen::Gen1, 1, 84, 336_ns},
+        SerializationCase{PcieGen::Gen3, 1, 84,
+                          Tick{84} * 1015},
+        // a DLLP (8 symbols)
+        SerializationCase{PcieGen::Gen2, 1, 8, 16_ns},
+        SerializationCase{PcieGen::Gen2, 8, 8, 2_ns},
+        SerializationCase{PcieGen::Gen2, 32, 8, 2_ns}));
+
+TEST(PcieTimingTest, AckFactorTable)
+{
+    // Small payloads: 1.4 up to x4, 2.5 at x8, 3.0 beyond.
+    EXPECT_DOUBLE_EQ(ackFactor(64, 1), 1.4);
+    EXPECT_DOUBLE_EQ(ackFactor(64, 2), 1.4);
+    EXPECT_DOUBLE_EQ(ackFactor(64, 4), 1.4);
+    EXPECT_DOUBLE_EQ(ackFactor(64, 8), 2.5);
+    EXPECT_DOUBLE_EQ(ackFactor(64, 16), 3.0);
+    EXPECT_DOUBLE_EQ(ackFactor(64, 32), 3.0);
+}
+
+TEST(PcieTimingTest, ReplayTimeoutFormula)
+{
+    // ((MaxPayload + 28) / Width * AckFactor + 0) * 3 symbol times.
+    // Gen2 x1, 64 B: (92 / 1 * 1.4) * 3 = 386.4 symbols * 2 ns.
+    Tick t = replayTimeout(PcieGen::Gen2, 1, 64);
+    EXPECT_EQ(t, static_cast<Tick>(
+                     std::ceil(92.0 * 1.4 * 3.0 * 2000.0 / 1.0)));
+    // Gen2 x8: (92 / 8 * 2.5) * 3 = 86.25 symbols * 2 ns = 172.5 ns.
+    Tick t8 = replayTimeout(PcieGen::Gen2, 8, 64);
+    EXPECT_EQ(t8, 172500u);
+}
+
+TEST(PcieTimingTest, AckTimerIsAThirdOfReplayTimeout)
+{
+    for (unsigned w : {1u, 2u, 4u, 8u, 16u}) {
+        EXPECT_EQ(ackTimerPeriod(PcieGen::Gen2, w, 64),
+                  replayTimeout(PcieGen::Gen2, w, 64) / 3);
+    }
+}
+
+class TimeoutMonotonicity
+    : public ::testing::TestWithParam<PcieGen>
+{};
+
+TEST_P(TimeoutMonotonicity, WiderLinksTimeOutFasterWithinAckClass)
+{
+    // Within a constant AckFactor class the per-lane symbol count
+    // shrinks with width, so the timeout shrinks too.
+    PcieGen gen = GetParam();
+    EXPECT_GT(replayTimeout(gen, 1, 64), replayTimeout(gen, 2, 64));
+    EXPECT_GT(replayTimeout(gen, 2, 64), replayTimeout(gen, 4, 64));
+    // Larger payloads mean longer timeouts at fixed width.
+    EXPECT_GT(replayTimeout(gen, 4, 256), replayTimeout(gen, 4, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gens, TimeoutMonotonicity,
+                         ::testing::Values(PcieGen::Gen1,
+                                           PcieGen::Gen2,
+                                           PcieGen::Gen3));
+
+TEST(PciePktTest, DllpWireSize)
+{
+    PciePkt ack = PciePkt::makeDllp(DllpType::Ack, 7);
+    EXPECT_TRUE(ack.isDllp());
+    EXPECT_EQ(ack.seq(), 7u);
+    EXPECT_EQ(ack.wireSymbols(), 8u);
+}
+
+TEST(PciePktTest, WireSizeSnapshotSurvivesResponseConversion)
+{
+    // The completer flips the packet to a response in place while a
+    // copy sits in the replay buffer; the wrapper's recorded size
+    // must not change (it represents what went on the wire).
+    PacketPtr pkt = Packet::makeRequest(MemCmd::WriteReq, 0, 64);
+    PciePkt tlp = PciePkt::makeTlp(pkt, 1);
+    EXPECT_EQ(tlp.wireSymbols(), 84u);
+    pkt->makeResponse(); // write response: payload would now be 0
+    EXPECT_EQ(tlp.wireSymbols(), 84u);
+}
+
+TEST(PciePktTest, ReadRequestCarriesNoPayload)
+{
+    PacketPtr pkt = Packet::makeRequest(MemCmd::ReadReq, 0, 64);
+    PciePkt tlp = PciePkt::makeTlp(pkt, 0);
+    EXPECT_EQ(tlp.wireSymbols(), 20u); // header-only TLP
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the replay buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "pcie/replay_buffer.hh"
+
+using namespace pciesim;
+
+namespace
+{
+
+PciePkt
+tlp(SeqNum seq)
+{
+    return PciePkt::makeTlp(
+        Packet::makeRequest(MemCmd::WriteReq, 0, 64), seq);
+}
+
+} // namespace
+
+TEST(ReplayBufferTest, FillsToCapacity)
+{
+    ReplayBuffer rb(4);
+    EXPECT_TRUE(rb.empty());
+    for (SeqNum s = 0; s < 4; ++s) {
+        EXPECT_FALSE(rb.full());
+        rb.push(tlp(s));
+    }
+    EXPECT_TRUE(rb.full());
+    EXPECT_EQ(rb.size(), 4u);
+    EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(ReplayBufferTest, AckPurgesUpToAndIncluding)
+{
+    ReplayBuffer rb(8);
+    for (SeqNum s = 0; s < 6; ++s)
+        rb.push(tlp(s));
+    EXPECT_EQ(rb.ack(2), 3u); // purge 0,1,2
+    EXPECT_EQ(rb.size(), 3u);
+    EXPECT_EQ(rb.entries().front().seq(), 3u);
+    EXPECT_EQ(rb.ack(10), 3u); // purge the rest
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.ack(10), 0u); // idempotent
+}
+
+TEST(ReplayBufferTest, EntriesStayInSequenceOrder)
+{
+    ReplayBuffer rb(4);
+    rb.push(tlp(5));
+    rb.push(tlp(6));
+    rb.push(tlp(9));
+    SeqNum prev = 0;
+    for (const auto &e : rb.entries()) {
+        EXPECT_GT(e.seq(), prev);
+        prev = e.seq();
+    }
+}
+
+TEST(ReplayBufferTest, ViolationsPanic)
+{
+    setLoggingThrows(true);
+    ReplayBuffer rb(2);
+    rb.push(tlp(3));
+    EXPECT_THROW(rb.push(tlp(2)), PanicError); // non-increasing
+    EXPECT_THROW(rb.push(PciePkt::makeDllp(DllpType::Ack, 0)),
+                 PanicError); // not a TLP
+    rb.push(tlp(4));
+    EXPECT_THROW(rb.push(tlp(5)), PanicError); // overflow
+    EXPECT_THROW(ReplayBuffer(0), PanicError); // zero capacity
+    setLoggingThrows(false);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the virtual PCI-to-PCI bridge function
+ * (paper Sec. V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pci/bridge_header.hh"
+#include "pci/config_regs.hh"
+#include "pcie/vp2p.hh"
+
+using namespace pciesim;
+
+TEST(Vp2pTest, PowerOnStateForwardsNothing)
+{
+    Vp2p vp("vp", Vp2pParams{});
+    EXPECT_FALSE(vp.forwardingEnabled());
+    EXPECT_FALSE(vp.busMasterEnabled());
+    EXPECT_FALSE(vp.claims(0x40000000));
+    EXPECT_TRUE(vp.memWindow().empty());
+    EXPECT_TRUE(vp.ioWindow().empty());
+    // Bus 0 must never match an unconfigured bridge (responses with
+    // bus number 0 belong upstream).
+    EXPECT_FALSE(vp.busInRange(0));
+}
+
+TEST(Vp2pTest, CapabilityPointerIsD8)
+{
+    // Paper Sec. V-A: "Capability Pointer. Set to 0xD8".
+    Vp2p vp("vp", Vp2pParams{});
+    EXPECT_EQ(vp.config().raw8(cfg::capPtr), 0xd8);
+    EXPECT_EQ(vp.config().raw8(0xd8), cfg::capIdPcie);
+    // Status bit 4 set: capability list implemented (the paper's
+    // Status Register description).
+    EXPECT_NE(vp.config().raw16(cfg::status) & cfg::statusCapList,
+              0);
+}
+
+TEST(Vp2pTest, ClaimsRequireCommandEnableAndWindow)
+{
+    Vp2p vp("vp", Vp2pParams{});
+    BridgeHeader::programMemWindow(vp.config(), 0x40000000,
+                                   0x401fffff);
+    // Window programmed but forwarding not enabled yet.
+    EXPECT_FALSE(vp.claims(0x40100000));
+
+    vp.config().write(cfg::command, 2,
+                      cfg::cmdMemEnable | cfg::cmdBusMaster);
+    EXPECT_TRUE(vp.claims(0x40100000));
+    EXPECT_FALSE(vp.claims(0x40200000));
+    EXPECT_TRUE(vp.busMasterEnabled());
+}
+
+TEST(Vp2pTest, IoWindowClaims)
+{
+    Vp2p vp("vp", Vp2pParams{});
+    BridgeHeader::programIoWindow(vp.config(), 0x2f000000,
+                                  0x2f000fff);
+    vp.config().write(cfg::command, 2, cfg::cmdIoEnable);
+    EXPECT_TRUE(vp.claims(0x2f000800));
+    EXPECT_FALSE(vp.claims(0x2f001000));
+}
+
+struct PortTypeCase
+{
+    cfg::PciePortType type;
+    std::uint16_t deviceId;
+};
+
+class Vp2pPortType : public ::testing::TestWithParam<PortTypeCase>
+{};
+
+TEST_P(Vp2pPortType, EncodedInPcieCapability)
+{
+    const auto &c = GetParam();
+    Vp2pParams params;
+    params.portType = c.type;
+    params.deviceId = c.deviceId;
+    Vp2p vp("vp", params);
+    EXPECT_EQ(vp.config().raw16(cfg::deviceId), c.deviceId);
+    std::uint16_t cap =
+        vp.config().raw16(Vp2p::pcieCapOffset + cfg::pcieCapReg);
+    EXPECT_EQ((cap >> 4) & 0xf, static_cast<unsigned>(c.type));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, Vp2pPortType,
+    ::testing::Values(
+        PortTypeCase{cfg::PciePortType::RootPort, 0x9c90},
+        PortTypeCase{cfg::PciePortType::SwitchUpstream, 0x8796},
+        PortTypeCase{cfg::PciePortType::SwitchDownstream, 0x8796}));
+
+TEST(Vp2pTest, SoftwareProgrammedBusRangeMatches)
+{
+    Vp2p vp("vp", Vp2pParams{});
+    BridgeHeader::programBusNumbers(vp.config(), 0, 2, 6);
+    EXPECT_EQ(vp.primaryBus(), 0u);
+    EXPECT_EQ(vp.secondaryBus(), 2u);
+    EXPECT_EQ(vp.subordinateBus(), 6u);
+    EXPECT_TRUE(vp.busInRange(2));
+    EXPECT_TRUE(vp.busInRange(6));
+    EXPECT_FALSE(vp.busInRange(1));
+    EXPECT_FALSE(vp.busInRange(7));
+}

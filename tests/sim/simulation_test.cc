@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for Simulation / SimObject life cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+using namespace pciesim;
+
+namespace
+{
+
+class ProbeObject : public SimObject
+{
+  public:
+    ProbeObject(Simulation &sim, const std::string &name,
+                std::vector<std::string> &log)
+        : SimObject(sim, name), log_(log),
+          tickEvent_([this] { log_.push_back(this->name() + ".tick"); },
+                     name + ".tick")
+    {}
+
+    void init() override { log_.push_back(name() + ".init"); }
+
+    void
+    startup() override
+    {
+        log_.push_back(name() + ".startup");
+        schedule(tickEvent_, 100);
+    }
+
+  private:
+    std::vector<std::string> &log_;
+    EventFunctionWrapper tickEvent_;
+};
+
+} // namespace
+
+TEST(SimulationTest, InitRunsBeforeStartupAcrossAllObjects)
+{
+    Simulation sim;
+    std::vector<std::string> log;
+    ProbeObject a(sim, "a", log);
+    ProbeObject b(sim, "b", log);
+
+    sim.run();
+
+    ASSERT_EQ(log.size(), 6u);
+    EXPECT_EQ(log[0], "a.init");
+    EXPECT_EQ(log[1], "b.init");
+    EXPECT_EQ(log[2], "a.startup");
+    EXPECT_EQ(log[3], "b.startup");
+    EXPECT_EQ(log[4], "a.tick");
+    EXPECT_EQ(log[5], "b.tick");
+}
+
+TEST(SimulationTest, InitializeIsIdempotent)
+{
+    Simulation sim;
+    std::vector<std::string> log;
+    ProbeObject a(sim, "a", log);
+    sim.initialize();
+    sim.initialize();
+    EXPECT_EQ(log.size(), 2u); // init + startup once
+}
+
+TEST(SimulationTest, RunForAdvancesRelativeTime)
+{
+    Simulation sim;
+    std::vector<std::string> log;
+    ProbeObject a(sim, "a", log); // ticks at 100
+    sim.runFor(50);
+    EXPECT_EQ(sim.curTick(), 50u);
+    EXPECT_EQ(log.size(), 2u);
+    sim.runFor(50);
+    EXPECT_EQ(sim.curTick(), 100u);
+    EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(SimulationTest, OwnAdoptsObjects)
+{
+    Simulation sim;
+    std::vector<std::string> log;
+    auto *obj = sim.own(
+        std::make_unique<ProbeObject>(sim, "owned", log));
+    EXPECT_EQ(obj->name(), "owned");
+    sim.run();
+    EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(SimulationTest, SimObjectScheduleHelpers)
+{
+    Simulation sim;
+    std::vector<std::string> log;
+    ProbeObject a(sim, "a", log);
+    sim.initialize();
+
+    int fired = 0;
+    EventFunctionWrapper e([&] { ++fired; }, "helper");
+    a.schedule(e, 10);
+    sim.run();
+    EXPECT_EQ(fired, 1);
+
+    a.scheduleAbs(e, sim.curTick() + 5);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}

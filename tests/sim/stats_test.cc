@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+using namespace pciesim;
+using namespace pciesim::stats;
+
+TEST(StatsCounter, IncrementsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsScalar, AssignAndAccumulate)
+{
+    Scalar s;
+    s = 2.5;
+    s += 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsDistribution, TracksMeanMinMax)
+{
+    Distribution d;
+    d.init(0, 100, 10);
+    d.sample(10);
+    d.sample(20);
+    d.sample(60);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 60.0);
+}
+
+TEST(StatsDistribution, BucketsClampOutOfRange)
+{
+    Distribution d;
+    d.init(0, 100, 10);
+    d.sample(-5);
+    d.sample(1000);
+    d.sample(55);
+    EXPECT_EQ(d.buckets().front(), 1u);
+    EXPECT_EQ(d.buckets().back(), 1u);
+    EXPECT_EQ(d.buckets()[5], 1u);
+}
+
+TEST(StatsDistribution, WeightedSamples)
+{
+    Distribution d;
+    d.init(0, 10, 2);
+    d.sample(1.0, 3);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+}
+
+TEST(StatsRegistry, LooksUpByName)
+{
+    Registry r;
+    Counter c;
+    Scalar s;
+    c += 7;
+    s = 3.5;
+    r.add("a.counter", &c);
+    r.add("a.scalar", &s);
+    EXPECT_EQ(r.counterValue("a.counter"), 7u);
+    EXPECT_DOUBLE_EQ(r.scalarValue("a.scalar"), 3.5);
+    EXPECT_TRUE(r.has("a.counter"));
+    EXPECT_FALSE(r.has("missing"));
+    EXPECT_EQ(r.counterValue("missing"), 0u);
+}
+
+TEST(StatsRegistry, DumpContainsNamesValuesAndDescriptions)
+{
+    Registry r;
+    Counter c;
+    c += 42;
+    r.add("x.count", &c, "things counted");
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("x.count"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+    EXPECT_NE(os.str().find("things counted"), std::string::npos);
+}
+
+TEST(StatsRegistry, ResetAllZeroesEverything)
+{
+    Registry r;
+    Counter c;
+    Scalar s;
+    Distribution d;
+    d.init(0, 10, 2);
+    c += 3;
+    s = 1.0;
+    d.sample(5);
+    r.add("c", &c);
+    r.add("s", &s);
+    r.add("d", &d);
+    r.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(StatsRegistry, DuplicateNamePanics)
+{
+    setLoggingThrows(true);
+    Registry r;
+    Counter a, b;
+    r.add("dup", &a);
+    EXPECT_THROW(r.add("dup", &b), PanicError);
+    setLoggingThrows(false);
+}
+
+TEST(Logging, ConcatenatesHeterogeneousArguments)
+{
+    setLoggingThrows(true);
+    try {
+        panic("x=", 42, " y=", 2.5, " z=", "str");
+        FAIL();
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: x=42 y=2.5 z=str");
+    }
+    setLoggingThrows(false);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    EXPECT_THROW(fatalIf(true, "bad"), FatalError);
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    setLoggingThrows(false);
+}
+
+TEST(Ticks, ConversionsAreConsistent)
+{
+    using namespace pciesim::literals;
+    EXPECT_EQ(1_ns, 1000u);
+    EXPECT_EQ(1_us, 1000u * 1000u);
+    EXPECT_EQ(1_ms, 1000u * 1000u * 1000u);
+    EXPECT_EQ(2_s, 2000ull * 1000ull * 1000ull * 1000ull);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(seconds(3)), 3.0);
+    EXPECT_DOUBLE_EQ(ticksToNs(nanoseconds(7)), 7.0);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gensweep.dir/bench_gensweep.cc.o"
+  "CMakeFiles/bench_gensweep.dir/bench_gensweep.cc.o.d"
+  "bench_gensweep"
+  "bench_gensweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gensweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

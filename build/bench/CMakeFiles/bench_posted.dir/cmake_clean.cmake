@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_posted.dir/bench_posted.cc.o"
+  "CMakeFiles/bench_posted.dir/bench_posted.cc.o.d"
+  "bench_posted"
+  "bench_posted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_posted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_mmio.dir/nic_mmio.cpp.o"
+  "CMakeFiles/nic_mmio.dir/nic_mmio.cpp.o.d"
+  "nic_mmio"
+  "nic_mmio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_mmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_dd.dir/storage_dd.cpp.o"
+  "CMakeFiles/storage_dd.dir/storage_dd.cpp.o.d"
+  "storage_dd"
+  "storage_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/dma_engine.cc" "src/dev/CMakeFiles/pciesim_dev.dir/dma_engine.cc.o" "gcc" "src/dev/CMakeFiles/pciesim_dev.dir/dma_engine.cc.o.d"
+  "/root/repo/src/dev/ether_wire.cc" "src/dev/CMakeFiles/pciesim_dev.dir/ether_wire.cc.o" "gcc" "src/dev/CMakeFiles/pciesim_dev.dir/ether_wire.cc.o.d"
+  "/root/repo/src/dev/ide_disk.cc" "src/dev/CMakeFiles/pciesim_dev.dir/ide_disk.cc.o" "gcc" "src/dev/CMakeFiles/pciesim_dev.dir/ide_disk.cc.o.d"
+  "/root/repo/src/dev/int_controller.cc" "src/dev/CMakeFiles/pciesim_dev.dir/int_controller.cc.o" "gcc" "src/dev/CMakeFiles/pciesim_dev.dir/int_controller.cc.o.d"
+  "/root/repo/src/dev/nic_8254x.cc" "src/dev/CMakeFiles/pciesim_dev.dir/nic_8254x.cc.o" "gcc" "src/dev/CMakeFiles/pciesim_dev.dir/nic_8254x.cc.o.d"
+  "/root/repo/src/dev/traffic_gen.cc" "src/dev/CMakeFiles/pciesim_dev.dir/traffic_gen.cc.o" "gcc" "src/dev/CMakeFiles/pciesim_dev.dir/traffic_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pci/CMakeFiles/pciesim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pciesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

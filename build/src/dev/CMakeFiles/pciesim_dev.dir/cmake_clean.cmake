@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_dev.dir/dma_engine.cc.o"
+  "CMakeFiles/pciesim_dev.dir/dma_engine.cc.o.d"
+  "CMakeFiles/pciesim_dev.dir/ether_wire.cc.o"
+  "CMakeFiles/pciesim_dev.dir/ether_wire.cc.o.d"
+  "CMakeFiles/pciesim_dev.dir/ide_disk.cc.o"
+  "CMakeFiles/pciesim_dev.dir/ide_disk.cc.o.d"
+  "CMakeFiles/pciesim_dev.dir/int_controller.cc.o"
+  "CMakeFiles/pciesim_dev.dir/int_controller.cc.o.d"
+  "CMakeFiles/pciesim_dev.dir/nic_8254x.cc.o"
+  "CMakeFiles/pciesim_dev.dir/nic_8254x.cc.o.d"
+  "CMakeFiles/pciesim_dev.dir/traffic_gen.cc.o"
+  "CMakeFiles/pciesim_dev.dir/traffic_gen.cc.o.d"
+  "libpciesim_dev.a"
+  "libpciesim_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addr_range.cc" "src/mem/CMakeFiles/pciesim_mem.dir/addr_range.cc.o" "gcc" "src/mem/CMakeFiles/pciesim_mem.dir/addr_range.cc.o.d"
+  "/root/repo/src/mem/bridge.cc" "src/mem/CMakeFiles/pciesim_mem.dir/bridge.cc.o" "gcc" "src/mem/CMakeFiles/pciesim_mem.dir/bridge.cc.o.d"
+  "/root/repo/src/mem/packet.cc" "src/mem/CMakeFiles/pciesim_mem.dir/packet.cc.o" "gcc" "src/mem/CMakeFiles/pciesim_mem.dir/packet.cc.o.d"
+  "/root/repo/src/mem/port.cc" "src/mem/CMakeFiles/pciesim_mem.dir/port.cc.o" "gcc" "src/mem/CMakeFiles/pciesim_mem.dir/port.cc.o.d"
+  "/root/repo/src/mem/simple_memory.cc" "src/mem/CMakeFiles/pciesim_mem.dir/simple_memory.cc.o" "gcc" "src/mem/CMakeFiles/pciesim_mem.dir/simple_memory.cc.o.d"
+  "/root/repo/src/mem/xbar.cc" "src/mem/CMakeFiles/pciesim_mem.dir/xbar.cc.o" "gcc" "src/mem/CMakeFiles/pciesim_mem.dir/xbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_mem.dir/addr_range.cc.o"
+  "CMakeFiles/pciesim_mem.dir/addr_range.cc.o.d"
+  "CMakeFiles/pciesim_mem.dir/bridge.cc.o"
+  "CMakeFiles/pciesim_mem.dir/bridge.cc.o.d"
+  "CMakeFiles/pciesim_mem.dir/packet.cc.o"
+  "CMakeFiles/pciesim_mem.dir/packet.cc.o.d"
+  "CMakeFiles/pciesim_mem.dir/port.cc.o"
+  "CMakeFiles/pciesim_mem.dir/port.cc.o.d"
+  "CMakeFiles/pciesim_mem.dir/simple_memory.cc.o"
+  "CMakeFiles/pciesim_mem.dir/simple_memory.cc.o.d"
+  "CMakeFiles/pciesim_mem.dir/xbar.cc.o"
+  "CMakeFiles/pciesim_mem.dir/xbar.cc.o.d"
+  "libpciesim_mem.a"
+  "libpciesim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/dd_workload.cc" "src/os/CMakeFiles/pciesim_os.dir/dd_workload.cc.o" "gcc" "src/os/CMakeFiles/pciesim_os.dir/dd_workload.cc.o.d"
+  "/root/repo/src/os/e1000e_driver.cc" "src/os/CMakeFiles/pciesim_os.dir/e1000e_driver.cc.o" "gcc" "src/os/CMakeFiles/pciesim_os.dir/e1000e_driver.cc.o.d"
+  "/root/repo/src/os/ide_driver.cc" "src/os/CMakeFiles/pciesim_os.dir/ide_driver.cc.o" "gcc" "src/os/CMakeFiles/pciesim_os.dir/ide_driver.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/pciesim_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/pciesim_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/mmio_probe.cc" "src/os/CMakeFiles/pciesim_os.dir/mmio_probe.cc.o" "gcc" "src/os/CMakeFiles/pciesim_os.dir/mmio_probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dev/CMakeFiles/pciesim_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/pciesim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pciesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_os.dir/dd_workload.cc.o"
+  "CMakeFiles/pciesim_os.dir/dd_workload.cc.o.d"
+  "CMakeFiles/pciesim_os.dir/e1000e_driver.cc.o"
+  "CMakeFiles/pciesim_os.dir/e1000e_driver.cc.o.d"
+  "CMakeFiles/pciesim_os.dir/ide_driver.cc.o"
+  "CMakeFiles/pciesim_os.dir/ide_driver.cc.o.d"
+  "CMakeFiles/pciesim_os.dir/kernel.cc.o"
+  "CMakeFiles/pciesim_os.dir/kernel.cc.o.d"
+  "CMakeFiles/pciesim_os.dir/mmio_probe.cc.o"
+  "CMakeFiles/pciesim_os.dir/mmio_probe.cc.o.d"
+  "libpciesim_os.a"
+  "libpciesim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpciesim_os.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pci/bridge_header.cc" "src/pci/CMakeFiles/pciesim_pci.dir/bridge_header.cc.o" "gcc" "src/pci/CMakeFiles/pciesim_pci.dir/bridge_header.cc.o.d"
+  "/root/repo/src/pci/capability.cc" "src/pci/CMakeFiles/pciesim_pci.dir/capability.cc.o" "gcc" "src/pci/CMakeFiles/pciesim_pci.dir/capability.cc.o.d"
+  "/root/repo/src/pci/config_space.cc" "src/pci/CMakeFiles/pciesim_pci.dir/config_space.cc.o" "gcc" "src/pci/CMakeFiles/pciesim_pci.dir/config_space.cc.o.d"
+  "/root/repo/src/pci/enumerator.cc" "src/pci/CMakeFiles/pciesim_pci.dir/enumerator.cc.o" "gcc" "src/pci/CMakeFiles/pciesim_pci.dir/enumerator.cc.o.d"
+  "/root/repo/src/pci/pci_device.cc" "src/pci/CMakeFiles/pciesim_pci.dir/pci_device.cc.o" "gcc" "src/pci/CMakeFiles/pciesim_pci.dir/pci_device.cc.o.d"
+  "/root/repo/src/pci/pci_host.cc" "src/pci/CMakeFiles/pciesim_pci.dir/pci_host.cc.o" "gcc" "src/pci/CMakeFiles/pciesim_pci.dir/pci_host.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/pciesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

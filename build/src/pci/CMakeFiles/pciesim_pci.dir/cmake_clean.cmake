@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_pci.dir/bridge_header.cc.o"
+  "CMakeFiles/pciesim_pci.dir/bridge_header.cc.o.d"
+  "CMakeFiles/pciesim_pci.dir/capability.cc.o"
+  "CMakeFiles/pciesim_pci.dir/capability.cc.o.d"
+  "CMakeFiles/pciesim_pci.dir/config_space.cc.o"
+  "CMakeFiles/pciesim_pci.dir/config_space.cc.o.d"
+  "CMakeFiles/pciesim_pci.dir/enumerator.cc.o"
+  "CMakeFiles/pciesim_pci.dir/enumerator.cc.o.d"
+  "CMakeFiles/pciesim_pci.dir/pci_device.cc.o"
+  "CMakeFiles/pciesim_pci.dir/pci_device.cc.o.d"
+  "CMakeFiles/pciesim_pci.dir/pci_host.cc.o"
+  "CMakeFiles/pciesim_pci.dir/pci_host.cc.o.d"
+  "libpciesim_pci.a"
+  "libpciesim_pci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

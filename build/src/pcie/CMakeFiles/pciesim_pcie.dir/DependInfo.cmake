@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/pcie_link.cc" "src/pcie/CMakeFiles/pciesim_pcie.dir/pcie_link.cc.o" "gcc" "src/pcie/CMakeFiles/pciesim_pcie.dir/pcie_link.cc.o.d"
+  "/root/repo/src/pcie/pcie_switch.cc" "src/pcie/CMakeFiles/pciesim_pcie.dir/pcie_switch.cc.o" "gcc" "src/pcie/CMakeFiles/pciesim_pcie.dir/pcie_switch.cc.o.d"
+  "/root/repo/src/pcie/pcie_timing.cc" "src/pcie/CMakeFiles/pciesim_pcie.dir/pcie_timing.cc.o" "gcc" "src/pcie/CMakeFiles/pciesim_pcie.dir/pcie_timing.cc.o.d"
+  "/root/repo/src/pcie/root_complex.cc" "src/pcie/CMakeFiles/pciesim_pcie.dir/root_complex.cc.o" "gcc" "src/pcie/CMakeFiles/pciesim_pcie.dir/root_complex.cc.o.d"
+  "/root/repo/src/pcie/vp2p.cc" "src/pcie/CMakeFiles/pciesim_pcie.dir/vp2p.cc.o" "gcc" "src/pcie/CMakeFiles/pciesim_pcie.dir/vp2p.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pci/CMakeFiles/pciesim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pciesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

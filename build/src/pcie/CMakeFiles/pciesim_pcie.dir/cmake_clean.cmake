@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_pcie.dir/pcie_link.cc.o"
+  "CMakeFiles/pciesim_pcie.dir/pcie_link.cc.o.d"
+  "CMakeFiles/pciesim_pcie.dir/pcie_switch.cc.o"
+  "CMakeFiles/pciesim_pcie.dir/pcie_switch.cc.o.d"
+  "CMakeFiles/pciesim_pcie.dir/pcie_timing.cc.o"
+  "CMakeFiles/pciesim_pcie.dir/pcie_timing.cc.o.d"
+  "CMakeFiles/pciesim_pcie.dir/root_complex.cc.o"
+  "CMakeFiles/pciesim_pcie.dir/root_complex.cc.o.d"
+  "CMakeFiles/pciesim_pcie.dir/vp2p.cc.o"
+  "CMakeFiles/pciesim_pcie.dir/vp2p.cc.o.d"
+  "libpciesim_pcie.a"
+  "libpciesim_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pciesim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pciesim_sim.dir/logging.cc.o"
+  "CMakeFiles/pciesim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/pciesim_sim.dir/simulation.cc.o"
+  "CMakeFiles/pciesim_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/pciesim_sim.dir/stats.cc.o"
+  "CMakeFiles/pciesim_sim.dir/stats.cc.o.d"
+  "libpciesim_sim.a"
+  "libpciesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/baseline_system.cc" "src/topo/CMakeFiles/pciesim_topo.dir/baseline_system.cc.o" "gcc" "src/topo/CMakeFiles/pciesim_topo.dir/baseline_system.cc.o.d"
+  "/root/repo/src/topo/multi_device_system.cc" "src/topo/CMakeFiles/pciesim_topo.dir/multi_device_system.cc.o" "gcc" "src/topo/CMakeFiles/pciesim_topo.dir/multi_device_system.cc.o.d"
+  "/root/repo/src/topo/nic_system.cc" "src/topo/CMakeFiles/pciesim_topo.dir/nic_system.cc.o" "gcc" "src/topo/CMakeFiles/pciesim_topo.dir/nic_system.cc.o.d"
+  "/root/repo/src/topo/storage_system.cc" "src/topo/CMakeFiles/pciesim_topo.dir/storage_system.cc.o" "gcc" "src/topo/CMakeFiles/pciesim_topo.dir/storage_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/pciesim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/pciesim_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/pciesim_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/pciesim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pciesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pciesim_topo.dir/baseline_system.cc.o"
+  "CMakeFiles/pciesim_topo.dir/baseline_system.cc.o.d"
+  "CMakeFiles/pciesim_topo.dir/multi_device_system.cc.o"
+  "CMakeFiles/pciesim_topo.dir/multi_device_system.cc.o.d"
+  "CMakeFiles/pciesim_topo.dir/nic_system.cc.o"
+  "CMakeFiles/pciesim_topo.dir/nic_system.cc.o.d"
+  "CMakeFiles/pciesim_topo.dir/storage_system.cc.o"
+  "CMakeFiles/pciesim_topo.dir/storage_system.cc.o.d"
+  "libpciesim_topo.a"
+  "libpciesim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pciesim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addr_range_test.dir/mem/addr_range_test.cc.o"
+  "CMakeFiles/addr_range_test.dir/mem/addr_range_test.cc.o.d"
+  "addr_range_test"
+  "addr_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addr_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

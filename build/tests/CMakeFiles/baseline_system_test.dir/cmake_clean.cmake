@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_system_test.dir/integration/baseline_system_test.cc.o"
+  "CMakeFiles/baseline_system_test.dir/integration/baseline_system_test.cc.o.d"
+  "baseline_system_test"
+  "baseline_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

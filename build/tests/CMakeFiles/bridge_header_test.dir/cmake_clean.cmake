@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_header_test.dir/pci/bridge_header_test.cc.o"
+  "CMakeFiles/bridge_header_test.dir/pci/bridge_header_test.cc.o.d"
+  "bridge_header_test"
+  "bridge_header_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

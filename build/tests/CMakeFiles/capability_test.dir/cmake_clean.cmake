@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_test.dir/pci/capability_test.cc.o"
+  "CMakeFiles/capability_test.dir/pci/capability_test.cc.o.d"
+  "capability_test"
+  "capability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

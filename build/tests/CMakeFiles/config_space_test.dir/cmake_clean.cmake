@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_space_test.dir/pci/config_space_test.cc.o"
+  "CMakeFiles/config_space_test.dir/pci/config_space_test.cc.o.d"
+  "config_space_test"
+  "config_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_test.dir/integration/congestion_test.cc.o"
+  "CMakeFiles/congestion_test.dir/integration/congestion_test.cc.o.d"
+  "congestion_test"
+  "congestion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_workload_test.dir/os/dd_workload_test.cc.o"
+  "CMakeFiles/dd_workload_test.dir/os/dd_workload_test.cc.o.d"
+  "dd_workload_test"
+  "dd_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

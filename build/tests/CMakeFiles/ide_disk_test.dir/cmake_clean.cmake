@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ide_disk_test.dir/dev/ide_disk_test.cc.o"
+  "CMakeFiles/ide_disk_test.dir/dev/ide_disk_test.cc.o.d"
+  "ide_disk_test"
+  "ide_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ide_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

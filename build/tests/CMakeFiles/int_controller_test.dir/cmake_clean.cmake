@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_controller_test.dir/dev/int_controller_test.cc.o"
+  "CMakeFiles/int_controller_test.dir/dev/int_controller_test.cc.o.d"
+  "int_controller_test"
+  "int_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

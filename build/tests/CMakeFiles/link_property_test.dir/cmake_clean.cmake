@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_property_test.dir/pcie/link_property_test.cc.o"
+  "CMakeFiles/link_property_test.dir/pcie/link_property_test.cc.o.d"
+  "link_property_test"
+  "link_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

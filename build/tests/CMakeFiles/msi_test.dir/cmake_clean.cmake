@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msi_test.dir/integration/msi_test.cc.o"
+  "CMakeFiles/msi_test.dir/integration/msi_test.cc.o.d"
+  "msi_test"
+  "msi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

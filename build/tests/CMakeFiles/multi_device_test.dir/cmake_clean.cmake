@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_device_test.dir/integration/multi_device_test.cc.o"
+  "CMakeFiles/multi_device_test.dir/integration/multi_device_test.cc.o.d"
+  "multi_device_test"
+  "multi_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_8254x_test.dir/dev/nic_8254x_test.cc.o"
+  "CMakeFiles/nic_8254x_test.dir/dev/nic_8254x_test.cc.o.d"
+  "nic_8254x_test"
+  "nic_8254x_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_8254x_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_system_test.dir/integration/nic_system_test.cc.o"
+  "CMakeFiles/nic_system_test.dir/integration/nic_system_test.cc.o.d"
+  "nic_system_test"
+  "nic_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

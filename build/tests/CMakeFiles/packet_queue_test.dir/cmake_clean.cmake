@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_queue_test.dir/mem/packet_queue_test.cc.o"
+  "CMakeFiles/packet_queue_test.dir/mem/packet_queue_test.cc.o.d"
+  "packet_queue_test"
+  "packet_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pci_device_test.dir/pci/pci_device_test.cc.o"
+  "CMakeFiles/pci_device_test.dir/pci/pci_device_test.cc.o.d"
+  "pci_device_test"
+  "pci_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pci_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pci_host_test.dir/pci/pci_host_test.cc.o"
+  "CMakeFiles/pci_host_test.dir/pci/pci_host_test.cc.o.d"
+  "pci_host_test"
+  "pci_host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pci_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

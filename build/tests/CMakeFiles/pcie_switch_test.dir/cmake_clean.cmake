@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_switch_test.dir/pcie/pcie_switch_test.cc.o"
+  "CMakeFiles/pcie_switch_test.dir/pcie/pcie_switch_test.cc.o.d"
+  "pcie_switch_test"
+  "pcie_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_timing_test.dir/pcie/pcie_timing_test.cc.o"
+  "CMakeFiles/pcie_timing_test.dir/pcie/pcie_timing_test.cc.o.d"
+  "pcie_timing_test"
+  "pcie_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posted_write_test.dir/integration/posted_write_test.cc.o"
+  "CMakeFiles/posted_write_test.dir/integration/posted_write_test.cc.o.d"
+  "posted_write_test"
+  "posted_write_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posted_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

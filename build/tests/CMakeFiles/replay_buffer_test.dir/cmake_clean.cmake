@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_buffer_test.dir/pcie/replay_buffer_test.cc.o"
+  "CMakeFiles/replay_buffer_test.dir/pcie/replay_buffer_test.cc.o.d"
+  "replay_buffer_test"
+  "replay_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

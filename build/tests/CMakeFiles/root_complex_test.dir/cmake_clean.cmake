@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_complex_test.dir/pcie/root_complex_test.cc.o"
+  "CMakeFiles/root_complex_test.dir/pcie/root_complex_test.cc.o.d"
+  "root_complex_test"
+  "root_complex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_memory_test.dir/mem/simple_memory_test.cc.o"
+  "CMakeFiles/simple_memory_test.dir/mem/simple_memory_test.cc.o.d"
+  "simple_memory_test"
+  "simple_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_system_test.dir/integration/storage_system_test.cc.o"
+  "CMakeFiles/storage_system_test.dir/integration/storage_system_test.cc.o.d"
+  "storage_system_test"
+  "storage_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_gen_test.dir/dev/traffic_gen_test.cc.o"
+  "CMakeFiles/traffic_gen_test.dir/dev/traffic_gen_test.cc.o.d"
+  "traffic_gen_test"
+  "traffic_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

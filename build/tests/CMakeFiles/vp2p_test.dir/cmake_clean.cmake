@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp2p_test.dir/pcie/vp2p_test.cc.o"
+  "CMakeFiles/vp2p_test.dir/pcie/vp2p_test.cc.o.d"
+  "vp2p_test"
+  "vp2p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

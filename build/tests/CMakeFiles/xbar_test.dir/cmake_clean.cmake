@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_test.dir/mem/xbar_test.cc.o"
+  "CMakeFiles/xbar_test.dir/mem/xbar_test.cc.o.d"
+  "xbar_test"
+  "xbar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

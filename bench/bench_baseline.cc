@@ -16,42 +16,61 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    bool paper = paperScale(argc, argv);
-    auto blocks = blockSizes(paper);
+    BenchArgs args = parseArgs(argc, argv);
+    auto blocks = blockSizes(args.scale);
+    JsonEmitter json("baseline", args.json);
 
-    std::printf("=== Ablation: stock-gem5 crossbar baseline vs PCIe "
-                "model (Gbps) ===\n");
-    std::printf("%-22s", "config");
-    for (auto b : blocks)
-        std::printf(" %10s", blockLabel(b));
-    std::printf("\n");
+    if (!args.json) {
+        std::printf("=== Ablation: stock-gem5 crossbar baseline vs "
+                    "PCIe model (Gbps) ===\n");
+        std::printf("%-22s", "config");
+        for (auto b : blocks)
+            std::printf(" %10s", blockLabel(b).c_str());
+        std::printf("\n");
 
-    std::printf("%-22s", "baseline (crossbar)");
+        std::printf("%-22s", "baseline (crossbar)");
+    }
     std::vector<double> base;
     for (auto b : blocks) {
         Simulation sim;
         BaselineSystem system(sim, SystemConfig{});
         DdWorkloadParams dd;
         dd.blockBytes = b;
+        WallTimer timer;
         base.push_back(system.runDd(dd));
-        std::printf(" %10.3f", base.back());
+        double wall_ms = timer.elapsedMs();
+        if (!args.json)
+            std::printf(" %10.3f", base.back());
+        double eps = wall_ms > 0.0
+            ? static_cast<double>(sim.eventq().numProcessed()) /
+                  (wall_ms / 1e3)
+            : 0.0;
+        json.record("crossbar/" + blockLabel(b),
+                    {{"gbps", base.back()},
+                     {"wall_ms", wall_ms},
+                     {"events_per_sec", eps}});
     }
-    std::printf("\n");
-
-    std::printf("%-22s", "pcie model (x1 Gen2)");
+    if (!args.json) {
+        std::printf("\n");
+        std::printf("%-22s", "pcie model (x1 Gen2)");
+    }
     std::vector<double> pcie;
     for (auto b : blocks) {
         DdResult r = runDd(SystemConfig{}, b);
         pcie.push_back(r.gbps);
-        std::printf(" %10.3f", r.gbps);
+        if (!args.json)
+            std::printf(" %10.3f", r.gbps);
+        json.record("pcie/" + blockLabel(b), r);
     }
-    std::printf("\n");
-
-    std::printf("%-22s", "overestimate");
-    for (std::size_t i = 0; i < blocks.size(); ++i)
-        std::printf(" %9.2fx", base[i] / pcie[i]);
-    std::printf("\n");
-    std::printf("the baseline has no Gen2 x1 serialization "
-                "bottleneck, so it overestimates I/O throughput\n");
+    if (!args.json) {
+        std::printf("\n");
+        std::printf("%-22s", "overestimate");
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            std::printf(" %9.2fx", base[i] / pcie[i]);
+        std::printf("\n");
+        std::printf("the baseline has no Gen2 x1 serialization "
+                    "bottleneck, so it overestimates I/O "
+                    "throughput\n");
+    }
     return 0;
 }

@@ -2,21 +2,28 @@
  * @file
  * Shared harness for the figure/table benches: runs dd on the
  * paper's validation topology and collects the quantities Fig. 9
- * reports (throughput, replay fraction, timeout rate).
+ * reports (throughput, replay fraction, timeout rate), plus the
+ * simulator-performance quantities (wall clock, events/sec) the
+ * perf trajectory tracks.
  *
  * Block sizes default to 1/32 of the paper's 64-512 MB sweep so
  * every bench finishes in seconds; pass --paper-scale for the full
  * sizes (the dynamics are steady-state within a few MB, so the
  * shapes are identical; only the fixed per-invocation overhead
  * amortizes differently, and that effect keeps its direction).
+ * --smoke shrinks to one tiny block for CI, and --json switches
+ * every bench to machine-readable one-object-per-line output
+ * suitable for BENCH_*.json trajectory files.
  */
 
 #ifndef PCIESIM_BENCH_BENCH_COMMON_HH
 #define PCIESIM_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "topo/storage_system.hh"
@@ -25,6 +32,37 @@ namespace bench
 {
 
 using namespace pciesim;
+
+/** Workload scale selected on the command line. */
+enum class Scale
+{
+    Smoke,   ///< One tiny block; CI smoke tests.
+    Default, ///< 1/32 of the paper sweep; seconds per bench.
+    Paper,   ///< The paper's 64-512 MB sweep.
+};
+
+/** Parsed common command-line arguments. */
+struct BenchArgs
+{
+    Scale scale = Scale::Default;
+    /** Emit one JSON object per line instead of tables. */
+    bool json = false;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paper-scale") == 0)
+            args.scale = Scale::Paper;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            args.scale = Scale::Smoke;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            args.json = true;
+    }
+    return args;
+}
 
 /** Result of one dd run. */
 struct DdResult
@@ -36,39 +74,132 @@ struct DdResult
     /** Replay-timer timeouts as a fraction of transmitted TLPs. */
     double timeoutFraction = 0.0;
     std::uint64_t timeouts = 0;
+    /** TLPs transmitted on both links' device-side interfaces. */
+    std::uint64_t txTlps = 0;
+    /** @{ Simulator performance for the run. */
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+    std::uint64_t eventsProcessed = 0;
+    /** @} */
 };
 
 /** Block sizes in bytes for the sweep. */
 inline std::vector<std::uint64_t>
-blockSizes(bool paper_scale)
+blockSizes(Scale scale)
 {
-    std::vector<std::uint64_t> mb =
-        paper_scale ? std::vector<std::uint64_t>{64, 128, 256, 512}
-                    : std::vector<std::uint64_t>{2, 4, 8, 16};
+    std::vector<std::uint64_t> mb;
+    switch (scale) {
+      case Scale::Smoke:
+        mb = {1};
+        break;
+      case Scale::Default:
+        mb = {2, 4, 8, 16};
+        break;
+      case Scale::Paper:
+        mb = {64, 128, 256, 512};
+        break;
+    }
     std::vector<std::uint64_t> out;
     for (auto m : mb)
         out.push_back(m << 20);
     return out;
 }
 
-inline const char *
+inline std::string
 blockLabel(std::uint64_t bytes)
 {
-    static char buf[32];
+    char buf[32];
     std::snprintf(buf, sizeof(buf), "%lluMB",
                   static_cast<unsigned long long>(bytes >> 20));
     return buf;
 }
 
-inline bool
-paperScale(int argc, char **argv)
+/** JSON string escaping for the (plain ASCII) labels benches use. */
+inline std::string
+jsonEscape(const std::string &s)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--paper-scale") == 0)
-            return true;
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
     }
-    return false;
+    return out;
 }
+
+/**
+ * Emits one JSON object per line:
+ *
+ *   {"bench": "fig9b", "config": "x8/16MB", "gbps": ..,
+ *    "replayFraction": .., "timeoutFraction": .., "wall_ms": ..,
+ *    "events_per_sec": ..}
+ *
+ * Collecting a bench's --json stdout into BENCH_<name>.json is the
+ * perf-trajectory recording convention (see DESIGN.md).
+ */
+class JsonEmitter
+{
+  public:
+    JsonEmitter(std::string bench, bool enabled)
+        : bench_(std::move(bench)), enabled_(enabled)
+    {}
+
+    bool enabled() const { return enabled_; }
+
+    /** Record a dd-style result. */
+    void
+    record(const std::string &config, const DdResult &r)
+    {
+        if (!enabled_)
+            return;
+        std::printf("{\"bench\": \"%s\", \"config\": \"%s\", "
+                    "\"gbps\": %.6f, \"replayFraction\": %.6f, "
+                    "\"timeoutFraction\": %.6f, \"wall_ms\": %.3f, "
+                    "\"events_per_sec\": %.0f}\n",
+                    jsonEscape(bench_).c_str(),
+                    jsonEscape(config).c_str(), r.gbps,
+                    r.replayFraction, r.timeoutFraction, r.wall_ms,
+                    r.events_per_sec);
+    }
+
+    /** Record arbitrary numeric fields (non-dd benches). */
+    void
+    record(const std::string &config,
+           std::initializer_list<std::pair<const char *, double>>
+               fields)
+    {
+        if (!enabled_)
+            return;
+        std::printf("{\"bench\": \"%s\", \"config\": \"%s\"",
+                    jsonEscape(bench_).c_str(),
+                    jsonEscape(config).c_str());
+        for (const auto &[key, value] : fields)
+            std::printf(", \"%s\": %.6f", key, value);
+        std::printf("}\n");
+    }
+
+  private:
+    std::string bench_;
+    bool enabled_;
+};
+
+/** Wall-clock stopwatch for simulator-performance measurement. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedMs() const
+    {
+        auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Run dd once on the validation topology. */
 inline DdResult
@@ -80,7 +211,14 @@ runDd(const SystemConfig &config, std::uint64_t block_bytes)
     dd.blockBytes = block_bytes;
 
     DdResult r;
+    WallTimer timer;
     r.gbps = system.runDd(dd);
+    r.wall_ms = timer.elapsedMs();
+    r.eventsProcessed = sim.eventq().numProcessed();
+    if (r.wall_ms > 0.0) {
+        r.events_per_sec = static_cast<double>(r.eventsProcessed) /
+                           (r.wall_ms / 1e3);
+    }
 
     auto &reg = sim.statsRegistry();
     std::uint64_t tx =
@@ -89,6 +227,7 @@ runDd(const SystemConfig &config, std::uint64_t block_bytes)
     std::uint64_t replays =
         reg.counterValue("system.downLink.down.replayedTlps") +
         reg.counterValue("system.upLink.down.replayedTlps");
+    r.txTlps = tx;
     r.timeouts = reg.counterValue("system.downLink.down.timeouts") +
                  reg.counterValue("system.upLink.down.timeouts");
     if (tx != 0) {

@@ -21,37 +21,48 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    bool paper = paperScale(argc, argv);
-    auto blocks = blockSizes(paper);
+    BenchArgs args = parseArgs(argc, argv);
+    auto blocks = blockSizes(args.scale);
+    JsonEmitter json("fig9a", args.json);
 
-    std::printf("=== Fig 9(a): dd throughput (Gbps), switch latency "
-                "sweep, Gen2 x4/x1 ===\n");
-    std::printf("%-10s", "config");
-    for (auto b : blocks)
-        std::printf(" %10s", blockLabel(b));
-    std::printf("\n");
+    if (!args.json) {
+        std::printf("=== Fig 9(a): dd throughput (Gbps), switch "
+                    "latency sweep, Gen2 x4/x1 ===\n");
+        std::printf("%-10s", "config");
+        for (auto b : blocks)
+            std::printf(" %10s", blockLabel(b).c_str());
+        std::printf("\n");
 
-    // Paper-reported physical reference (approximate read-off of
-    // the phys series; the PCH x1 slot caps at 4 Gbps effective).
-    static const double phys[4] = {3.20, 3.35, 3.45, 3.50};
-    std::printf("%-10s", "phys*");
-    for (std::size_t i = 0; i < blocks.size(); ++i)
-        std::printf(" %10.3f", phys[i]);
-    std::printf("\n");
+        // Paper-reported physical reference (approximate read-off of
+        // the phys series; the PCH x1 slot caps at 4 Gbps effective).
+        static const double phys[4] = {3.20, 3.35, 3.45, 3.50};
+        std::printf("%-10s", "phys*");
+        for (std::size_t i = 0; i < blocks.size() && i < 4; ++i)
+            std::printf(" %10.3f", phys[i]);
+        std::printf("\n");
+    }
 
     for (unsigned latency_ns : {50u, 100u, 150u}) {
-        std::printf("L%-9u", latency_ns);
+        if (!args.json)
+            std::printf("L%-9u", latency_ns);
         for (auto b : blocks) {
             SystemConfig cfg;
             cfg.switchLatency = nanoseconds(latency_ns);
             DdResult r = runDd(cfg, b);
-            std::printf(" %10.3f", r.gbps);
+            if (!args.json)
+                std::printf(" %10.3f", r.gbps);
+            json.record("L" + std::to_string(latency_ns) + "/" +
+                            blockLabel(b),
+                        r);
         }
-        std::printf("\n");
+        if (!args.json)
+            std::printf("\n");
     }
-    std::printf("* phys = paper-reported reference "
-                "(not simulated)\n");
-    std::printf("paper shape: gem5 within 80-90%% of phys; 150->50ns "
-                "gains ~80 Mbps (~3%%)\n");
+    if (!args.json) {
+        std::printf("* phys = paper-reported reference "
+                    "(not simulated)\n");
+        std::printf("paper shape: gem5 within 80-90%% of phys; "
+                    "150->50ns gains ~80 Mbps (~3%%)\n");
+    }
     return 0;
 }

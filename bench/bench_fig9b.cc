@@ -16,19 +16,23 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    bool paper = paperScale(argc, argv);
-    auto blocks = blockSizes(paper);
+    BenchArgs args = parseArgs(argc, argv);
+    auto blocks = blockSizes(args.scale);
+    JsonEmitter json("fig9b", args.json);
 
-    std::printf("=== Fig 9(b): dd throughput (Gbps), link width "
-                "sweep, Gen2 ===\n");
-    std::printf("%-6s", "width");
-    for (auto b : blocks)
-        std::printf(" %10s", blockLabel(b));
-    std::printf(" %12s\n", "replay-frac");
+    if (!args.json) {
+        std::printf("=== Fig 9(b): dd throughput (Gbps), link width "
+                    "sweep, Gen2 ===\n");
+        std::printf("%-6s", "width");
+        for (auto b : blocks)
+            std::printf(" %10s", blockLabel(b).c_str());
+        std::printf(" %12s\n", "replay-frac");
+    }
 
     double prev = 0.0;
     for (unsigned width : {1u, 2u, 4u, 8u}) {
-        std::printf("x%-5u", width);
+        if (!args.json)
+            std::printf("x%-5u", width);
         double last = 0.0;
         double replay = 0.0;
         for (auto b : blocks) {
@@ -36,17 +40,25 @@ main(int argc, char **argv)
             cfg.upstreamLinkWidth = width;
             cfg.downstreamLinkWidth = width;
             DdResult r = runDd(cfg, b);
-            std::printf(" %10.3f", r.gbps);
+            if (!args.json)
+                std::printf(" %10.3f", r.gbps);
+            json.record("x" + std::to_string(width) + "/" +
+                            blockLabel(b),
+                        r);
             last = r.gbps;
             replay = r.replayFraction;
         }
-        std::printf(" %11.1f%%", replay * 100.0);
-        if (prev != 0.0)
-            std::printf("   (%.2fx)", last / prev);
-        std::printf("\n");
+        if (!args.json) {
+            std::printf(" %11.1f%%", replay * 100.0);
+            if (prev != 0.0)
+                std::printf("   (%.2fx)", last / prev);
+            std::printf("\n");
+        }
         prev = last;
     }
-    std::printf("paper shape: x1->x2 = 1.67x, smaller x2->x4 gain, "
-                "x4->x8 DROP with ~27%% replay\n");
+    if (!args.json) {
+        std::printf("paper shape: x1->x2 = 1.67x, smaller x2->x4 "
+                    "gain, x4->x8 DROP with ~27%% replay\n");
+    }
     return 0;
 }

@@ -15,18 +15,22 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    bool paper = paperScale(argc, argv);
-    auto blocks = blockSizes(paper);
+    BenchArgs args = parseArgs(argc, argv);
+    auto blocks = blockSizes(args.scale);
+    JsonEmitter json("fig9c", args.json);
 
-    std::printf("=== Fig 9(c): dd throughput (Gbps), x8, replay "
-                "buffer sweep ===\n");
-    std::printf("%-8s", "replay");
-    for (auto b : blocks)
-        std::printf(" %10s", blockLabel(b));
-    std::printf(" %12s\n", "timeout-frac");
+    if (!args.json) {
+        std::printf("=== Fig 9(c): dd throughput (Gbps), x8, replay "
+                    "buffer sweep ===\n");
+        std::printf("%-8s", "replay");
+        for (auto b : blocks)
+            std::printf(" %10s", blockLabel(b).c_str());
+        std::printf(" %12s\n", "timeout-frac");
+    }
 
     for (std::size_t replay : {1u, 2u, 3u, 4u}) {
-        std::printf("%-8zu", replay);
+        if (!args.json)
+            std::printf("%-8zu", replay);
         double timeout_frac = 0.0;
         for (auto b : blocks) {
             SystemConfig cfg;
@@ -34,12 +38,19 @@ main(int argc, char **argv)
             cfg.downstreamLinkWidth = 8;
             cfg.replayBufferSize = replay;
             DdResult r = runDd(cfg, b);
-            std::printf(" %10.3f", r.gbps);
+            if (!args.json)
+                std::printf(" %10.3f", r.gbps);
+            json.record("rb" + std::to_string(replay) + "/" +
+                            blockLabel(b),
+                        r);
             timeout_frac = r.timeoutFraction;
         }
-        std::printf(" %11.2f%%\n", timeout_frac * 100.0);
+        if (!args.json)
+            std::printf(" %11.2f%%\n", timeout_frac * 100.0);
     }
-    std::printf("paper shape: replay 1-2 beat 3-4; timeouts "
-                "0%% / 6%% / ~27%% / ~27%%\n");
+    if (!args.json) {
+        std::printf("paper shape: replay 1-2 beat 3-4; timeouts "
+                    "0%% / 6%% / ~27%% / ~27%%\n");
+    }
     return 0;
 }

@@ -16,18 +16,22 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    bool paper = paperScale(argc, argv);
-    auto blocks = blockSizes(paper);
+    BenchArgs args = parseArgs(argc, argv);
+    auto blocks = blockSizes(args.scale);
+    JsonEmitter json("fig9d", args.json);
 
-    std::printf("=== Fig 9(d): dd throughput (Gbps), x8, port "
-                "buffer sweep ===\n");
-    std::printf("%-8s", "portbuf");
-    for (auto b : blocks)
-        std::printf(" %10s", blockLabel(b));
-    std::printf(" %12s\n", "timeout-frac");
+    if (!args.json) {
+        std::printf("=== Fig 9(d): dd throughput (Gbps), x8, port "
+                    "buffer sweep ===\n");
+        std::printf("%-8s", "portbuf");
+        for (auto b : blocks)
+            std::printf(" %10s", blockLabel(b).c_str());
+        std::printf(" %12s\n", "timeout-frac");
+    }
 
     for (std::size_t buf : {16u, 20u, 24u, 28u}) {
-        std::printf("%-8zu", buf);
+        if (!args.json)
+            std::printf("%-8zu", buf);
         double timeout_frac = 0.0;
         for (auto b : blocks) {
             SystemConfig cfg;
@@ -35,12 +39,19 @@ main(int argc, char **argv)
             cfg.downstreamLinkWidth = 8;
             cfg.portBufferSize = buf;
             DdResult r = runDd(cfg, b);
-            std::printf(" %10.3f", r.gbps);
+            if (!args.json)
+                std::printf(" %10.3f", r.gbps);
+            json.record("pb" + std::to_string(buf) + "/" +
+                            blockLabel(b),
+                        r);
             timeout_frac = r.timeoutFraction;
         }
-        std::printf(" %11.2f%%\n", timeout_frac * 100.0);
+        if (!args.json)
+            std::printf(" %11.2f%%\n", timeout_frac * 100.0);
     }
-    std::printf("paper shape: big jump 16->20, then saturation; "
-                "timeouts fall to zero\n");
+    if (!args.json) {
+        std::printf("paper shape: big jump 16->20, then saturation; "
+                    "timeouts fall to zero\n");
+    }
     return 0;
 }

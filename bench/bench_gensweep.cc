@@ -11,34 +11,60 @@
 
 using namespace bench;
 
+static const char *
+genLabel(PcieGen gen)
+{
+    switch (gen) {
+      case PcieGen::Gen1:
+        return "Gen1";
+      case PcieGen::Gen2:
+        return "Gen2";
+      default:
+        return "Gen3";
+    }
+}
+
 int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    (void)argc;
-    (void)argv;
+    BenchArgs args = parseArgs(argc, argv);
+    JsonEmitter json("gensweep", args.json);
+    std::uint64_t block = args.scale == Scale::Smoke ? (1 << 20)
+                                                     : (4 << 20);
 
-    std::printf("=== Extension: dd throughput (Gbps) across "
-                "generations and widths (4MB blocks) ===\n");
-    std::printf("%-6s %10s %10s %10s\n", "width", "Gen1", "Gen2",
-                "Gen3");
+    if (!args.json) {
+        std::printf("=== Extension: dd throughput (Gbps) across "
+                    "generations and widths (%s blocks) ===\n",
+                    blockLabel(block).c_str());
+        std::printf("%-6s %10s %10s %10s\n", "width", "Gen1", "Gen2",
+                    "Gen3");
+    }
 
     for (unsigned width : {1u, 2u, 4u}) {
-        std::printf("x%-5u", width);
+        if (!args.json)
+            std::printf("x%-5u", width);
         for (PcieGen gen :
              {PcieGen::Gen1, PcieGen::Gen2, PcieGen::Gen3}) {
             SystemConfig cfg;
             cfg.gen = gen;
             cfg.upstreamLinkWidth = width == 1 ? 4 : width;
             cfg.downstreamLinkWidth = width;
-            DdResult r = runDd(cfg, 4 << 20);
-            std::printf(" %10.3f", r.gbps);
+            DdResult r = runDd(cfg, block);
+            if (!args.json)
+                std::printf(" %10.3f", r.gbps);
+            json.record(std::string(genLabel(gen)) + "/x" +
+                            std::to_string(width),
+                        r);
         }
-        std::printf("\n");
+        if (!args.json)
+            std::printf("\n");
     }
-    std::printf("expected shape: throughput follows the per-lane "
-                "rate (2.5/5/8 GT/s) and the\nencoding change "
-                "(8b/10b -> 128b/130b) until the DMA drain rate "
-                "dominates\n");
+    if (!args.json) {
+        std::printf("expected shape: throughput follows the per-lane "
+                    "rate (2.5/5/8 GT/s) and the\nencoding change "
+                    "(8b/10b -> 128b/130b) until the DMA drain rate "
+                    "dominates\n");
+    }
     return 0;
 }

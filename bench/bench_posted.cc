@@ -20,35 +20,48 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    bool paper = paperScale(argc, argv);
-    auto blocks = blockSizes(paper);
+    BenchArgs args = parseArgs(argc, argv);
+    auto blocks = blockSizes(args.scale);
+    JsonEmitter json("posted", args.json);
 
-    std::printf("=== Extension: posted vs non-posted DMA writes "
-                "(Gbps) ===\n");
-    std::printf("%-26s", "config");
-    for (auto b : blocks)
-        std::printf(" %10s", blockLabel(b));
-    std::printf("\n");
+    if (!args.json) {
+        std::printf("=== Extension: posted vs non-posted DMA writes "
+                    "(Gbps) ===\n");
+        std::printf("%-26s", "config");
+        for (auto b : blocks)
+            std::printf(" %10s", blockLabel(b).c_str());
+        std::printf("\n");
+    }
 
     for (unsigned width : {1u, 4u}) {
         for (bool posted : {false, true}) {
-            std::printf("x%u %-23s", width,
-                        posted ? "posted (real PCIe)"
-                               : "non-posted (paper)");
+            if (!args.json) {
+                std::printf("x%u %-23s", width,
+                            posted ? "posted (real PCIe)"
+                                   : "non-posted (paper)");
+            }
             for (auto b : blocks) {
                 SystemConfig cfg;
                 cfg.upstreamLinkWidth = width == 1 ? 4 : width;
                 cfg.downstreamLinkWidth = width;
                 cfg.disk.postedWrites = posted;
                 DdResult r = runDd(cfg, b);
-                std::printf(" %10.3f", r.gbps);
+                if (!args.json)
+                    std::printf(" %10.3f", r.gbps);
+                json.record("x" + std::to_string(width) +
+                                (posted ? "/posted/" : "/nonposted/") +
+                                blockLabel(b),
+                            r);
             }
-            std::printf("\n");
+            if (!args.json)
+                std::printf("\n");
         }
     }
-    std::printf("posted writes remove the per-chunk response "
-                "barrier and the response stream;\nthe paper "
-                "predicts its non-posted model underestimates "
-                "bandwidth - confirmed above\n");
+    if (!args.json) {
+        std::printf("posted writes remove the per-chunk response "
+                    "barrier and the response stream;\nthe paper "
+                    "predicts its non-posted model underestimates "
+                    "bandwidth - confirmed above\n");
+    }
     return 0;
 }

@@ -1,0 +1,28 @@
+# Smoke test for a bench binary: run it with tiny sizes in --json
+# mode and validate that every output line parses as JSON. Keeps the
+# bench binaries and their --json contract from rotting.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_BIN=<bench> -DVALIDATOR=<json_validate> \
+#         -DOUT=<scratch file> -P bench_smoke.cmake
+
+if(NOT BENCH_BIN OR NOT VALIDATOR OR NOT OUT)
+    message(FATAL_ERROR "bench_smoke.cmake needs BENCH_BIN, VALIDATOR and OUT")
+endif()
+
+execute_process(
+    COMMAND "${BENCH_BIN}" --smoke --json
+    OUTPUT_FILE "${OUT}"
+    RESULT_VARIABLE bench_rv
+)
+if(NOT bench_rv EQUAL 0)
+    message(FATAL_ERROR "${BENCH_BIN} --smoke --json exited with ${bench_rv}")
+endif()
+
+execute_process(
+    COMMAND "${VALIDATOR}" "${OUT}"
+    RESULT_VARIABLE validate_rv
+)
+if(NOT validate_rv EQUAL 0)
+    message(FATAL_ERROR "${BENCH_BIN} --json output failed JSON validation")
+endif()

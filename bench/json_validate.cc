@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Strict line-oriented JSON validator for the bench_smoke tests:
+ * every non-empty line of the input file must parse as one JSON
+ * object. Exits 0 on success, 1 with a diagnostic otherwise.
+ *
+ * A real recursive-descent parser (not a regex) so the smoke tests
+ * genuinely prove that "--json output parses": a bench emitting
+ * NaN, a bare trailing comma, or an unescaped quote fails here.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    /** Parse one complete JSON value spanning the whole input. */
+    bool
+    parse(std::string &error)
+    {
+        pos_ = 0;
+        if (!parseValue(error))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error = "trailing characters at offset " +
+                    std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(std::string &error, const std::string &what)
+    {
+        error = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(std::string &error)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail(error, "unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(error);
+        if (c == '[')
+            return parseArray(error);
+        if (c == '"')
+            return parseString(error);
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(error);
+        if (parseLiteral("true") || parseLiteral("false") ||
+            parseLiteral("null"))
+            return true;
+        return fail(error, "unexpected character");
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseObject(std::string &error)
+    {
+        ++pos_; // '{'
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail(error, "expected object key");
+            if (!parseString(error))
+                return false;
+            if (!consume(':'))
+                return fail(error, "expected ':'");
+            if (!parseValue(error))
+                return false;
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail(error, "expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(std::string &error)
+    {
+        ++pos_; // '['
+        if (consume(']'))
+            return true;
+        while (true) {
+            if (!parseValue(error))
+                return false;
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail(error, "expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &error)
+    {
+        ++pos_; // '"'
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_])))
+                            return fail(error, "bad \\u escape");
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return fail(error, "bad escape");
+                }
+            }
+            ++pos_;
+        }
+        return fail(error, "unterminated string");
+    }
+
+    bool
+    parseNumber(std::string &error)
+    {
+        std::size_t start = pos_;
+        if (text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail(error, "bad number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail(error, "bad fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail(error, "bad exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: json_validate <file>\n");
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "json_validate: cannot open %s\n",
+                     argv[1]);
+        return 2;
+    }
+
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t objects = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string error;
+        JsonParser parser(line);
+        if (!parser.parse(error)) {
+            std::fprintf(stderr,
+                         "json_validate: %s:%zu: %s\n  %s\n",
+                         argv[1], lineno, error.c_str(),
+                         line.c_str());
+            return 1;
+        }
+        ++objects;
+    }
+    if (objects == 0) {
+        std::fprintf(stderr, "json_validate: %s: no JSON records\n",
+                     argv[1]);
+        return 1;
+    }
+    std::printf("json_validate: %zu records ok\n", objects);
+    return 0;
+}

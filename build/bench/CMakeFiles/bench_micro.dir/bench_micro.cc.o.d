@@ -227,7 +227,6 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /root/repo/src/sim/event.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/event.hh /root/repo/src/mem/port.hh \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/simulation.hh \
  /root/repo/src/sim/event_queue.hh /root/repo/src/sim/stats.hh \

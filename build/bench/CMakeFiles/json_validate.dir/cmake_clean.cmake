@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_validate.dir/json_validate.cc.o"
+  "CMakeFiles/json_validate.dir/json_validate.cc.o.d"
+  "json_validate"
+  "json_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,23 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_bench_fig9a "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_fig9a" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_fig9a.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_fig9a PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_fig9b "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_fig9b" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_fig9b.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_fig9b PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_fig9c "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_fig9c" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_fig9c.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_fig9c PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_fig9d "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_fig9d" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_fig9d.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_fig9d PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_table2 "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_table2" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_table2.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_table2 PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_baseline "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_baseline" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_baseline.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_baseline PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_posted "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_posted" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_posted.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_posted PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_contention "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_contention" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_contention.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_contention PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_gensweep "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_gensweep" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_gensweep.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_gensweep PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_bench_kernel "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build/bench/bench_kernel" "-DVALIDATOR=/root/repo/build/bench/json_validate" "-DOUT=/root/repo/build/bench/smoke_bench_kernel.json" "-P" "/root/repo/bench/bench_smoke.cmake")
+set_tests_properties(bench_smoke_bench_kernel PROPERTIES  LABELS "tier2" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -218,15 +218,14 @@ src/dev/CMakeFiles/pciesim_dev.dir/ide_disk.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/ticks.hh \
  /root/repo/src/mem/port.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/event.hh /usr/include/c++/12/utility \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/pci/pci_device.hh \
- /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/event.hh /root/repo/src/sim/event_queue.hh \
- /root/repo/src/pci/pci_function.hh /root/repo/src/pci/config_space.hh \
- /root/repo/src/pci/config_regs.hh
+ /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/limits /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/pci/pci_function.hh \
+ /root/repo/src/pci/config_space.hh /root/repo/src/pci/config_regs.hh

@@ -221,8 +221,6 @@ src/dev/CMakeFiles/pciesim_dev.dir/int_controller.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event.hh /usr/include/c++/12/cstddef \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/stats.hh

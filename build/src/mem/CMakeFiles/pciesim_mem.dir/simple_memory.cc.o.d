@@ -217,14 +217,14 @@ src/mem/CMakeFiles/pciesim_mem.dir/simple_memory.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/limits \
- /root/repo/src/sim/event.hh /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/ticks.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
- /root/repo/src/mem/port.hh /root/repo/src/sim/sim_object.hh \
- /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/event.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/ticks.hh /root/repo/src/sim/event_queue.hh \
+ /root/repo/src/sim/event.hh /root/repo/src/mem/port.hh \
+ /root/repo/src/sim/sim_object.hh /root/repo/src/sim/simulation.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

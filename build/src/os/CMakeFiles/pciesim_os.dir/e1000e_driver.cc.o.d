@@ -219,11 +219,11 @@ src/os/CMakeFiles/pciesim_os.dir/e1000e_driver.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/ticks.hh \
  /root/repo/src/mem/port.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/dev/ether_wire.hh \
  /root/repo/src/pci/pci_device.hh /root/repo/src/mem/packet_queue.hh \
  /usr/include/c++/12/limits /root/repo/src/sim/event.hh \

@@ -217,13 +217,12 @@ src/pcie/CMakeFiles/pciesim_pcie.dir/root_complex.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/limits \
- /root/repo/src/sim/event.hh /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/ticks.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
- /root/repo/src/mem/port.hh /root/repo/src/pci/pci_host.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/event.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/ticks.hh /root/repo/src/sim/event_queue.hh \
+ /root/repo/src/sim/event.hh /root/repo/src/mem/port.hh \
+ /root/repo/src/pci/pci_host.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/pci/pci_function.hh /root/repo/src/pci/config_space.hh \
  /root/repo/src/pci/config_regs.hh /root/repo/src/pci/platform.hh \

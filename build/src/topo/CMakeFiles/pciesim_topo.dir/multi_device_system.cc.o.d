@@ -218,26 +218,25 @@ src/topo/CMakeFiles/pciesim_topo.dir/multi_device_system.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/ticks.hh \
  /root/repo/src/mem/port.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/event.hh /usr/include/c++/12/utility \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/pci/pci_device.hh \
- /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/event.hh /root/repo/src/sim/event_queue.hh \
- /root/repo/src/pci/pci_function.hh /root/repo/src/pci/config_space.hh \
- /root/repo/src/pci/config_regs.hh /root/repo/src/pci/pci_host.hh \
- /root/repo/src/pci/platform.hh /root/repo/src/pcie/pcie_link.hh \
- /root/repo/src/pcie/pcie_pkt.hh /root/repo/src/pcie/pcie_timing.hh \
- /root/repo/src/pcie/replay_buffer.hh /root/repo/src/pcie/pcie_switch.hh \
- /root/repo/src/pcie/vp2p.hh /root/repo/src/pci/bridge_header.hh \
- /root/repo/src/pci/capability.hh /root/repo/src/pcie/root_complex.hh \
- /root/repo/src/topo/system_config.hh /root/repo/src/dev/ide_disk.hh \
- /root/repo/src/dev/int_controller.hh /root/repo/src/mem/io_cache.hh \
- /root/repo/src/mem/bridge.hh /root/repo/src/mem/simple_memory.hh \
- /root/repo/src/mem/xbar.hh /root/repo/src/os/dd_workload.hh \
- /root/repo/src/os/ide_driver.hh /root/repo/src/os/kernel.hh \
- /root/repo/src/pci/enumerator.hh
+ /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/limits /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/pci/pci_function.hh \
+ /root/repo/src/pci/config_space.hh /root/repo/src/pci/config_regs.hh \
+ /root/repo/src/pci/pci_host.hh /root/repo/src/pci/platform.hh \
+ /root/repo/src/pcie/pcie_link.hh /root/repo/src/pcie/pcie_pkt.hh \
+ /root/repo/src/pcie/pcie_timing.hh /root/repo/src/pcie/replay_buffer.hh \
+ /root/repo/src/pcie/pcie_switch.hh /root/repo/src/pcie/vp2p.hh \
+ /root/repo/src/pci/bridge_header.hh /root/repo/src/pci/capability.hh \
+ /root/repo/src/pcie/root_complex.hh /root/repo/src/topo/system_config.hh \
+ /root/repo/src/dev/ide_disk.hh /root/repo/src/dev/int_controller.hh \
+ /root/repo/src/mem/io_cache.hh /root/repo/src/mem/bridge.hh \
+ /root/repo/src/mem/simple_memory.hh /root/repo/src/mem/xbar.hh \
+ /root/repo/src/os/dd_workload.hh /root/repo/src/os/ide_driver.hh \
+ /root/repo/src/os/kernel.hh /root/repo/src/pci/enumerator.hh

@@ -201,9 +201,8 @@ src/topo/CMakeFiles/pciesim_topo.dir/nic_system.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/event.hh /usr/include/c++/12/functional \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -213,6 +212,7 @@ src/topo/CMakeFiles/pciesim_topo.dir/nic_system.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \

@@ -209,17 +209,15 @@ src/topo/CMakeFiles/pciesim_topo.dir/storage_system.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/event.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/event.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/stats.hh \
  /root/repo/src/topo/system_config.hh /root/repo/src/dev/ide_disk.hh \
@@ -229,14 +227,16 @@ src/topo/CMakeFiles/pciesim_topo.dir/storage_system.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/ticks.hh \
  /root/repo/src/mem/port.hh /root/repo/src/pci/pci_device.hh \
- /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/event.hh /root/repo/src/sim/event_queue.hh \
- /root/repo/src/dev/int_controller.hh /root/repo/src/mem/io_cache.hh \
- /root/repo/src/mem/bridge.hh /root/repo/src/mem/simple_memory.hh \
- /root/repo/src/mem/xbar.hh /root/repo/src/os/dd_workload.hh \
- /root/repo/src/os/ide_driver.hh /root/repo/src/os/kernel.hh \
- /root/repo/src/pci/enumerator.hh /root/repo/src/pcie/pcie_link.hh \
- /root/repo/src/pcie/pcie_pkt.hh /root/repo/src/pcie/pcie_timing.hh \
- /root/repo/src/pcie/replay_buffer.hh /root/repo/src/pcie/pcie_switch.hh \
- /root/repo/src/pcie/vp2p.hh /root/repo/src/pci/bridge_header.hh \
- /root/repo/src/pci/capability.hh /root/repo/src/pcie/root_complex.hh
+ /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/limits /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/dev/int_controller.hh \
+ /root/repo/src/mem/io_cache.hh /root/repo/src/mem/bridge.hh \
+ /root/repo/src/mem/simple_memory.hh /root/repo/src/mem/xbar.hh \
+ /root/repo/src/os/dd_workload.hh /root/repo/src/os/ide_driver.hh \
+ /root/repo/src/os/kernel.hh /root/repo/src/pci/enumerator.hh \
+ /root/repo/src/pcie/pcie_link.hh /root/repo/src/pcie/pcie_pkt.hh \
+ /root/repo/src/pcie/pcie_timing.hh /root/repo/src/pcie/replay_buffer.hh \
+ /root/repo/src/pcie/pcie_switch.hh /root/repo/src/pcie/vp2p.hh \
+ /root/repo/src/pci/bridge_header.hh /root/repo/src/pci/capability.hh \
+ /root/repo/src/pcie/root_complex.hh

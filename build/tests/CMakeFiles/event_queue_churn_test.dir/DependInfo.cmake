@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_churn_test.cc" "tests/CMakeFiles/event_queue_churn_test.dir/sim/event_queue_churn_test.cc.o" "gcc" "tests/CMakeFiles/event_queue_churn_test.dir/sim/event_queue_churn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/pciesim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/pciesim_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pciesim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/pciesim_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/pci/CMakeFiles/pciesim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pciesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pciesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

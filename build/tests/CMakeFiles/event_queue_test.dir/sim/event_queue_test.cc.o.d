@@ -293,8 +293,5 @@ tests/CMakeFiles/event_queue_test.dir/sim/event_queue_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/event.hh /root/repo/src/sim/ticks.hh \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/ticks.hh /root/repo/src/sim/logging.hh

@@ -297,7 +297,6 @@ tests/CMakeFiles/int_controller_test.dir/dev/int_controller_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/event.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/dev/int_controller.hh /root/repo/src/mem/port.hh \
  /root/repo/src/mem/addr_range.hh /usr/include/c++/12/list \

@@ -297,8 +297,7 @@ tests/CMakeFiles/kernel_test.dir/os/kernel_test.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
  /root/repo/src/sim/stats.hh /root/repo/src/dev/nic_8254x.hh \
  /root/repo/src/dev/dma_engine.hh /root/repo/src/mem/packet.hh \
  /usr/include/c++/12/cstring /root/repo/src/mem/addr_range.hh \

@@ -302,11 +302,10 @@ tests/CMakeFiles/multi_device_test.dir/integration/multi_device_test.cc.o: \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/mem/port.hh /root/repo/src/sim/sim_object.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/event.hh /root/repo/src/sim/stats.hh \
- /root/repo/src/pci/pci_device.hh /root/repo/src/mem/packet_queue.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/pci/pci_device.hh \
+ /root/repo/src/mem/packet_queue.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sim/event.hh /root/repo/src/sim/event_queue.hh \
  /root/repo/src/pci/pci_function.hh /root/repo/src/pci/config_space.hh \
  /root/repo/src/pci/config_regs.hh /root/repo/src/pci/pci_host.hh \

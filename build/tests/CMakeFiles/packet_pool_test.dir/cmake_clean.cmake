@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_pool_test.dir/mem/packet_pool_test.cc.o"
+  "CMakeFiles/packet_pool_test.dir/mem/packet_pool_test.cc.o.d"
+  "packet_pool_test"
+  "packet_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

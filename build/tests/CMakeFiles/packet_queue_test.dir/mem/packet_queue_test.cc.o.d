@@ -300,7 +300,6 @@ tests/CMakeFiles/packet_queue_test.dir/mem/packet_queue_test.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/event.hh /root/repo/src/sim/ticks.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
  /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
  /root/repo/src/sim/stats.hh

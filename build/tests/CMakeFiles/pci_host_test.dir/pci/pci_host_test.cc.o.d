@@ -300,7 +300,4 @@ tests/CMakeFiles/pci_host_test.dir/pci/pci_host_test.cc.o: \
  /root/repo/src/pci/config_regs.hh /root/repo/src/pci/platform.hh \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
- /root/repo/src/sim/stats.hh
+ /root/repo/src/sim/event.hh /root/repo/src/sim/stats.hh

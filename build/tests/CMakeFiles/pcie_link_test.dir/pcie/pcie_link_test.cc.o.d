@@ -300,8 +300,7 @@ tests/CMakeFiles/pcie_link_test.dir/pcie/pcie_link_test.cc.o: \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/mem/packet.hh \
  /usr/include/c++/12/cstring /root/repo/src/sim/logging.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/pcie/pcie_link.hh /root/repo/src/pcie/pcie_pkt.hh \
  /root/repo/src/pcie/pcie_timing.hh /root/repo/src/pcie/replay_buffer.hh \

@@ -300,8 +300,7 @@ tests/CMakeFiles/pcie_switch_test.dir/pcie/pcie_switch_test.cc.o: \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/mem/packet.hh \
  /usr/include/c++/12/cstring /root/repo/src/sim/logging.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/pci/bridge_header.hh /root/repo/src/pci/config_space.hh \
  /root/repo/src/pci/config_regs.hh /root/repo/src/pcie/pcie_switch.hh \

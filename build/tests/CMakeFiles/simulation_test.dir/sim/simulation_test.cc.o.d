@@ -295,7 +295,4 @@ tests/CMakeFiles/simulation_test.dir/sim/simulation_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
- /root/repo/src/sim/stats.hh
+ /root/repo/src/sim/event.hh /root/repo/src/sim/stats.hh

@@ -301,15 +301,14 @@ tests/CMakeFiles/storage_system_test.dir/integration/storage_system_test.cc.o: \
  /root/repo/src/pci/config_regs.hh /root/repo/src/pci/platform.hh \
  /root/repo/src/sim/sim_object.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/sim/simulation.hh /root/repo/src/sim/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
- /root/repo/src/sim/stats.hh /root/repo/src/topo/system_config.hh \
- /root/repo/src/dev/ide_disk.hh /root/repo/src/dev/dma_engine.hh \
- /root/repo/src/mem/packet.hh /usr/include/c++/12/cstring \
- /root/repo/src/sim/logging.hh /root/repo/src/sim/ticks.hh \
- /root/repo/src/mem/port.hh /root/repo/src/pci/pci_device.hh \
- /root/repo/src/mem/packet_queue.hh /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/topo/system_config.hh /root/repo/src/dev/ide_disk.hh \
+ /root/repo/src/dev/dma_engine.hh /root/repo/src/mem/packet.hh \
+ /usr/include/c++/12/cstring /root/repo/src/sim/logging.hh \
+ /root/repo/src/sim/ticks.hh /root/repo/src/mem/port.hh \
+ /root/repo/src/pci/pci_device.hh /root/repo/src/mem/packet_queue.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/event.hh \
  /root/repo/src/sim/event_queue.hh /root/repo/src/dev/int_controller.hh \
  /root/repo/src/mem/io_cache.hh /root/repo/src/mem/bridge.hh \
  /root/repo/src/mem/simple_memory.hh /root/repo/src/mem/xbar.hh \

@@ -300,8 +300,7 @@ tests/CMakeFiles/traffic_gen_test.dir/dev/traffic_gen_test.cc.o: \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/mem/packet.hh \
  /usr/include/c++/12/cstring /root/repo/src/sim/logging.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/simulation.hh \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/event.hh \
+ /root/repo/src/sim/event_queue.hh /root/repo/src/sim/event.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/dev/traffic_gen.hh /root/repo/src/dev/dma_engine.hh \
  /root/repo/src/sim/sim_object.hh /root/repo/src/pci/pci_device.hh \

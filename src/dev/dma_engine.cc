@@ -9,7 +9,7 @@ DmaEngine::DmaEngine(SimObject &owner, MasterPort &port,
                      const std::string &name,
                      const DmaEngineParams &params)
     : owner_(owner), port_(port), name_(name), params_(params),
-      issueEvent_([this] { issue(); }, name + ".issueEvent")
+      issueEvent_(this, name + ".issueEvent")
 {
     panicIf(params_.packetSize == 0, "DMA packet size must be > 0");
 }

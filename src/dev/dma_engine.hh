@@ -119,7 +119,7 @@ class DmaEngine
     std::function<void(const PacketPtr &)> onData_;
     std::vector<std::uint8_t> writePayload_;
 
-    EventFunctionWrapper issueEvent_;
+    MemberEventWrapper<DmaEngine, &DmaEngine::issue> issueEvent_;
 
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalPackets_ = 0;

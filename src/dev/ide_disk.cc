@@ -30,9 +30,8 @@ IdeDisk::IdeDisk(Simulation &sim, const std::string &name,
                  const IdeDiskParams &params)
     : PciDevice(sim, name, makeDeviceParams(params)),
       diskParams_(params),
-      mediaEvent_([this] { mediaAccessDone(); }, name + ".mediaEvent"),
-      chunkGapEvent_([this] { startNextChunk(); },
-                     name + ".chunkGapEvent")
+      mediaEvent_(this, name + ".mediaEvent"),
+      chunkGapEvent_(this, name + ".chunkGapEvent")
 {
     DmaEngineParams ep;
     ep.postedWrites = params.postedWrites;

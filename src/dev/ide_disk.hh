@@ -174,8 +174,8 @@ class IdeDisk : public PciDevice
     Addr nextBufferAddr_ = 0;
     Tick transferStart_ = 0;
 
-    EventFunctionWrapper mediaEvent_;
-    EventFunctionWrapper chunkGapEvent_;
+    MemberEventWrapper<IdeDisk, &IdeDisk::mediaAccessDone> mediaEvent_;
+    MemberEventWrapper<IdeDisk, &IdeDisk::startNextChunk> chunkGapEvent_;
 
     stats::Counter commands_;
     stats::Counter dmaBytes_;

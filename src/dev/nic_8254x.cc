@@ -34,8 +34,8 @@ Nic8254xPcie::Nic8254xPcie(Simulation &sim, const std::string &name,
                            const NicParams &params)
     : PciDevice(sim, name, makeDeviceParams(params)),
       nicParams_(params),
-      txKickEvent_([this] { txKick(); }, name + ".txKickEvent"),
-      txRetryEvent_([this] { txTransmit(); }, name + ".txRetryEvent")
+      txKickEvent_(this, name + ".txKickEvent"),
+      txRetryEvent_(this, name + ".txRetryEvent")
 {
     engine_ = std::make_unique<DmaEngine>(*this, dmaPort(),
                                           name + ".dma");

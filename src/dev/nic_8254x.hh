@@ -195,8 +195,8 @@ class Nic8254xPcie : public PciDevice, public EtherSink
     bool txBusy_ = false;
     std::uint64_t txDescRaw_[2] = {0, 0};
     EtherFrame txFrame_;
-    EventFunctionWrapper txKickEvent_;
-    EventFunctionWrapper txRetryEvent_;
+    MemberEventWrapper<Nic8254xPcie, &Nic8254xPcie::txKick> txKickEvent_;
+    MemberEventWrapper<Nic8254xPcie, &Nic8254xPcie::txTransmit> txRetryEvent_;
 
     /** RX state. */
     std::deque<EtherFrame> rxPending_;

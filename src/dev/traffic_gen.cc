@@ -27,7 +27,7 @@ TrafficGen::TrafficGen(Simulation &sim, const std::string &name,
                        const TrafficGenParams &params)
     : PciDevice(sim, name, makeDeviceParams(params)),
       genParams_(params),
-      gapEvent_([this] { nextBurst(); }, name + ".gapEvent")
+      gapEvent_(this, name + ".gapEvent")
 {
     DmaEngineParams ep;
     ep.postedWrites = params.postedWrites;

@@ -112,7 +112,7 @@ class TrafficGen : public PciDevice
     Tick startTick_ = 0;
     Tick lastDoneTick_ = 0;
 
-    EventFunctionWrapper gapEvent_;
+    MemberEventWrapper<TrafficGen, &TrafficGen::nextBurst> gapEvent_;
     stats::Counter bytes_;
     stats::Counter bursts_;
 };

@@ -8,6 +8,28 @@ namespace pciesim
 std::uint64_t Packet::liveCount_ = 0;
 std::uint64_t Packet::nextId_ = 0;
 
+PacketPool &
+Packet::pool()
+{
+    static PacketPool pool(sizeof(Packet));
+    return pool;
+}
+
+void *
+Packet::operator new(std::size_t size)
+{
+    // Packet is final, so every allocation is exactly one block.
+    panicIf(size != pool().blockSize(), "packet allocation size mismatch");
+    return pool().allocate();
+}
+
+void
+Packet::operator delete(void *p) noexcept
+{
+    if (p != nullptr)
+        pool().deallocate(p);
+}
+
 MemCmd
 responseCommand(MemCmd c)
 {

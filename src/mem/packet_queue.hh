@@ -48,7 +48,7 @@ class PacketQueue
                 std::size_t capacity = 0, Tick service_interval = 0)
         : eventq_(eventq), name_(std::move(name)), send_(std::move(send)),
           capacity_(capacity), serviceInterval_(service_interval),
-          sendEvent_([this] { processSend(); }, name_ + ".sendEvent")
+          sendEvent_(this, name_ + ".sendEvent")
     {}
 
     ~PacketQueue()
@@ -141,7 +141,7 @@ class PacketQueue
     SendFunc send_;
     std::size_t capacity_;
     Tick serviceInterval_;
-    EventFunctionWrapper sendEvent_;
+    MemberEventWrapper<PacketQueue, &PacketQueue::processSend> sendEvent_;
     std::function<void()> onSpaceFreed_;
     std::deque<Entry> queue_;
     Tick nextSendAllowed_ = 0;

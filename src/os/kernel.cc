@@ -61,8 +61,7 @@ Kernel::Kernel(Simulation &sim, const std::string &name, PciHost &host,
                const KernelParams &params)
     : SimObject(sim, name), params_(params), host_(host), gic_(gic),
       dram_(dram),
-      mmioIssueEvent_([this] { issueNextMmio(); },
-                      name + ".mmioIssueEvent"),
+      mmioIssueEvent_(this, name + ".mmioIssueEvent"),
       dmaBrk_(params.dmaRegionBase)
 {
     cpuPort_ = std::make_unique<CpuPort>(*this, name + ".cpuPort");

@@ -71,9 +71,12 @@ struct KernelParams
     /** Software overhead per MMIO access (driver instructions,
      *  uncached-load issue). */
     Tick mmioIssueLatency = nanoseconds(40);
-    /** Base of the DMA region handed to drivers. */
+    /** Base of the DMA region handed to drivers. The region must
+     *  hold the largest dd block (the paper sweeps up to 512 MB),
+     *  so it spans 1 GB; the backing store is sparse, so unused
+     *  space costs nothing. */
     Addr dmaRegionBase = 0x80100000ULL;
-    Addr dmaRegionEnd = 0x90000000ULL;
+    Addr dmaRegionEnd = 0xC0100000ULL;
 };
 
 /**
@@ -182,7 +185,7 @@ class Kernel : public SimObject
     bool mmioInFlight_ = false;
     bool mmioWaitingRetry_ = false;
     PacketPtr mmioPkt_;
-    EventFunctionWrapper mmioIssueEvent_;
+    MemberEventWrapper<Kernel, &Kernel::issueNextMmio> mmioIssueEvent_;
 
     Addr dmaBrk_;
     unsigned nextMsiVector_ = 64;

@@ -11,7 +11,7 @@ UnidirectionalLink::UnidirectionalLink(PcieLink &link,
                                        const std::string &name,
                                        bool toward_upstream)
     : link_(link), towardUpstream_(toward_upstream),
-      deliverEvent_([this] { deliver(); }, name + ".deliverEvent")
+      deliverEvent_(this, name + ".deliverEvent")
 {}
 
 void
@@ -111,10 +111,9 @@ LinkInterface::LinkInterface(PcieLink &link, const std::string &name,
                              bool is_upstream)
     : link_(link), name_(name), isUpstream_(is_upstream),
       replayBuffer_(link.params().replayBufferSize),
-      txEvent_([this] { tryTransmit(); }, name + ".txEvent"),
-      ackTimerEvent_([this] { ackTimerFired(); }, name + ".ackTimer"),
-      replayTimerEvent_([this] { replayTimerFired(); },
-                        name + ".replayTimer")
+      txEvent_(this, name + ".txEvent"),
+      ackTimerEvent_(this, name + ".ackTimer"),
+      replayTimerEvent_(this, name + ".replayTimer")
 {
     extMaster_ = std::make_unique<ExtMasterPort>(*this,
                                                  name + ".extMaster");

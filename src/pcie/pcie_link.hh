@@ -85,7 +85,8 @@ class UnidirectionalLink
     bool towardUpstream_;
     Tick busyUntil_ = 0;
     std::deque<std::pair<Tick, PciePkt>> inFlight_;
-    EventFunctionWrapper deliverEvent_;
+    MemberEventWrapper<UnidirectionalLink,
+                       &UnidirectionalLink::deliver> deliverEvent_;
 };
 
 /**
@@ -172,9 +173,12 @@ class LinkInterface
     bool wantReqRetry_ = false;
     bool wantRespRetry_ = false;
 
-    EventFunctionWrapper txEvent_;
-    EventFunctionWrapper ackTimerEvent_;
-    EventFunctionWrapper replayTimerEvent_;
+    MemberEventWrapper<LinkInterface,
+                       &LinkInterface::tryTransmit> txEvent_;
+    MemberEventWrapper<LinkInterface,
+                       &LinkInterface::ackTimerFired> ackTimerEvent_;
+    MemberEventWrapper<LinkInterface,
+                       &LinkInterface::replayTimerFired> replayTimerEvent_;
 
     stats::Counter txTlps_;
     stats::Counter txDllps_;

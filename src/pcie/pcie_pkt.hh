@@ -35,7 +35,7 @@ enum class DllpType : std::uint8_t
  * underlying Packet may be turned into a response (in place) by the
  * completer while a copy still sits in the sender's replay buffer.
  */
-class PciePkt
+class PciePkt final
 {
   public:
     /** Wrap a TLP with its assigned sequence number. */
@@ -88,6 +88,32 @@ class PciePkt
     {
         return serializationTime(gen, width, wireSymbols());
     }
+
+    /** Freelist recycling heap-allocated PciePkt storage (the same
+     *  PacketPool machinery Packet uses; see packet.hh). */
+    static PacketPool &
+    pool()
+    {
+        static PacketPool pool(sizeof(PciePkt));
+        return pool;
+    }
+
+    /** @{ Pooled storage; PciePkt is final, one block each. */
+    static void *
+    operator new(std::size_t size)
+    {
+        panicIf(size != pool().blockSize(),
+                "pcie-pkt allocation size mismatch");
+        return pool().allocate();
+    }
+
+    static void
+    operator delete(void *p) noexcept
+    {
+        if (p != nullptr)
+            pool().deallocate(p);
+    }
+    /** @} */
 
   private:
     bool isTlp_ = false;

@@ -4,13 +4,22 @@
  *
  * An Event is owned by the component that declares it (usually as a
  * data member) and can be in the event queue at most once. The queue
- * never owns events. EventFunctionWrapper binds an arbitrary callable,
- * which is how nearly all components express their timed behaviour.
+ * never owns events. Components with hot timers bind them with
+ * MemberEventWrapper (a bare object pointer, no allocation);
+ * EventFunctionWrapper binds an arbitrary callable for everything
+ * else.
+ *
+ * Events are intrusive: the queue stores each event's heap slot in
+ * the event itself (heapIndex_), which makes deschedule/reschedule
+ * true O(log n) sift operations with no stale heap entries. Event
+ * names are lazy interned C strings so an idle event carries no
+ * std::string storage.
  */
 
 #ifndef PCIESIM_SIM_EVENT_HH
 #define PCIESIM_SIM_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -24,6 +33,13 @@ namespace pciesim
 class EventQueue;
 
 /**
+ * Intern a dynamically built event name, returning a stable C
+ * string that lives for the process. Names are built once per event
+ * (at component construction), so the intern table stays small.
+ */
+const char *internEventName(const std::string &name);
+
+/**
  * An occurrence scheduled to happen at a particular tick.
  *
  * Events scheduled for the same tick fire in scheduling order
@@ -34,9 +50,13 @@ class Event
   public:
     /**
      * @param name Diagnostic name, shown in panics and traces.
+     * The const char* overload must be a string with static storage
+     * duration (literals); dynamically built names go through the
+     * interning overload.
      */
-    explicit Event(std::string name = "anon.event")
-        : name_(std::move(name))
+    explicit Event(const char *name = "anon.event") : name_(name) {}
+    explicit Event(const std::string &name)
+        : name_(internEventName(name))
     {}
 
     virtual ~Event();
@@ -48,22 +68,23 @@ class Event
     virtual void process() = 0;
 
     /** Whether the event is currently in an event queue. */
-    bool scheduled() const { return scheduled_; }
+    bool scheduled() const { return heapIndex_ != invalidHeapIndex; }
 
     /** Tick the event will fire at; only valid when scheduled(). */
     Tick when() const { return when_; }
 
-    const std::string &name() const { return name_; }
+    const char *name() const { return name_; }
 
   private:
     friend class EventQueue;
 
-    std::string name_;
+    static constexpr std::size_t invalidHeapIndex =
+        ~static_cast<std::size_t>(0);
+
+    const char *name_;
     Tick when_ = 0;
-    bool scheduled_ = false;
-    /** Bumped on every (re)schedule so stale heap entries are
-     *  recognisable; see EventQueue. */
-    std::uint64_t generation_ = 0;
+    /** Slot in the owning queue's heap array; invalid when idle. */
+    std::size_t heapIndex_ = invalidHeapIndex;
 };
 
 /** An event that runs a bound callable when it fires. */
@@ -71,14 +92,49 @@ class EventFunctionWrapper : public Event
 {
   public:
     EventFunctionWrapper(std::function<void()> callback,
-                         std::string name = "anon.wrapped.event")
-        : Event(std::move(name)), callback_(std::move(callback))
+                         const char *name = "anon.wrapped.event")
+        : Event(name), callback_(std::move(callback))
+    {}
+
+    EventFunctionWrapper(std::function<void()> callback,
+                         const std::string &name)
+        : Event(name), callback_(std::move(callback))
     {}
 
     void process() override { callback_(); }
 
   private:
     std::function<void()> callback_;
+};
+
+/**
+ * An event that calls a member function on its owning object.
+ *
+ * Unlike EventFunctionWrapper this stores only a bare object
+ * pointer: no heap-backed std::function, no capture storage, and
+ * the call devirtualizes to a direct member call. Hot timers (link
+ * TX/RX, replay and ACK timers, packet queues, DMA issue) use this.
+ *
+ *     MemberEventWrapper<LinkInterface,
+ *                        &LinkInterface::tryTransmit> txEvent_;
+ */
+template <typename T, void (T::*Fn)()>
+class MemberEventWrapper : public Event
+{
+  public:
+    explicit MemberEventWrapper(T *obj,
+                                const char *name = "anon.member.event")
+        : Event(name), obj_(obj)
+    {}
+
+    MemberEventWrapper(T *obj, const std::string &name)
+        : Event(name), obj_(obj)
+    {}
+
+    void process() override { (obj_->*Fn)(); }
+
+  private:
+    T *obj_;
 };
 
 } // namespace pciesim

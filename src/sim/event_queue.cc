@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include <unordered_set>
+
 #include "logging.hh"
 
 namespace pciesim
@@ -7,78 +9,142 @@ namespace pciesim
 
 Event::~Event() = default;
 
+const char *
+internEventName(const std::string &name)
+{
+    // Node-based set: element addresses are stable across rehash.
+    // Interned names live for the process; events are constructed
+    // once per component, so the table stays small.
+    static std::unordered_set<std::string> names;
+    return names.insert(name).first->c_str();
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Slot s = heap_[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / arity;
+        if (!before(s, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        heap_[i].event->heapIndex_ = i;
+        i = parent;
+    }
+    heap_[i] = s;
+    s.event->heapIndex_ = i;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Slot s = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t first = i * arity + 1;
+        if (first >= n)
+            break;
+        std::size_t last = first + arity < n ? first + arity : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], s))
+            break;
+        heap_[i] = heap_[best];
+        heap_[i].event->heapIndex_ = i;
+        i = best;
+    }
+    heap_[i] = s;
+    s.event->heapIndex_ = i;
+}
+
+void
+EventQueue::siftAny(std::size_t i)
+{
+    if (i > 0 && before(heap_[i], heap_[(i - 1) / arity]))
+        siftUp(i);
+    else
+        siftDown(i);
+}
+
+void
+EventQueue::removeAt(std::size_t i)
+{
+    heap_[i].event->heapIndex_ = Event::invalidHeapIndex;
+    Slot last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+        heap_[i] = last;
+        last.event->heapIndex_ = i;
+        siftAny(i);
+    }
+}
+
 void
 EventQueue::schedule(Event *event, Tick when)
 {
     panicIf(event == nullptr, "scheduling null event");
-    panicIf(event->scheduled_,
+    panicIf(event->scheduled(),
             "event '", event->name(), "' scheduled twice");
     panicIf(when < curTick_,
             "event '", event->name(), "' scheduled in the past (",
             when, " < ", curTick_, ")");
 
     event->when_ = when;
-    event->scheduled_ = true;
-    ++event->generation_;
-    heap_.push({when, nextOrder_++, event->generation_, event});
-    ++numLive_;
+    event->heapIndex_ = heap_.size();
+    heap_.push_back({when, nextOrder_++, event});
+    siftUp(event->heapIndex_);
 }
 
 void
 EventQueue::deschedule(Event *event)
 {
     panicIf(event == nullptr, "descheduling null event");
-    panicIf(!event->scheduled_,
+    panicIf(!event->scheduled(),
             "event '", event->name(), "' descheduled while not scheduled");
-    // Lazy removal: bump the generation so the heap entry is stale.
-    event->scheduled_ = false;
-    ++event->generation_;
-    --numLive_;
+    panicIf(event->heapIndex_ >= heap_.size() ||
+                heap_[event->heapIndex_].event != event,
+            "event '", event->name(), "' heap slot out of sync");
+    removeAt(event->heapIndex_);
 }
 
 void
 EventQueue::reschedule(Event *event, Tick when)
 {
-    if (event->scheduled_)
-        deschedule(event);
-    schedule(event, when);
-}
+    panicIf(event == nullptr, "rescheduling null event");
+    if (!event->scheduled()) {
+        schedule(event, when);
+        return;
+    }
+    panicIf(when < curTick_,
+            "event '", event->name(), "' rescheduled into the past (",
+            when, " < ", curTick_, ")");
+    panicIf(heap_[event->heapIndex_].event != event,
+            "event '", event->name(), "' heap slot out of sync");
 
-bool
-EventQueue::isStale(const HeapEntry &e) const
-{
-    return !e.event->scheduled_ || e.generation != e.event->generation_;
-}
-
-void
-EventQueue::skim() const
-{
-    while (!heap_.empty() && isStale(heap_.top()))
-        heap_.pop();
-}
-
-Tick
-EventQueue::nextTick() const
-{
-    skim();
-    return heap_.empty() ? maxTick : heap_.top().when;
+    // One in-place sift; a fresh order keeps deschedule+schedule's
+    // FIFO position among same-tick events.
+    event->when_ = when;
+    Slot &s = heap_[event->heapIndex_];
+    s.when = when;
+    s.order = nextOrder_++;
+    siftAny(event->heapIndex_);
 }
 
 bool
 EventQueue::step(Tick max_tick)
 {
-    skim();
-    if (heap_.empty() || heap_.top().when > max_tick)
+    if (heap_.empty() || heap_[0].when > max_tick)
         return false;
 
-    HeapEntry top = heap_.top();
-    heap_.pop();
+    Event *event = heap_[0].event;
+    curTick_ = heap_[0].when;
+    removeAt(0);
 
-    curTick_ = top.when;
-    top.event->scheduled_ = false;
-    --numLive_;
     ++numProcessed_;
-    top.event->process();
+    event->process();
     return true;
 }
 

@@ -80,23 +80,25 @@ inform(Args &&...args)
 /**
  * Panic if a condition does not hold; used for internal invariants
  * that must survive release builds (unlike assert).
+ *
+ * A macro rather than a function so the message arguments — which
+ * often build std::strings (pkt->toString() and friends) — are only
+ * evaluated when the condition actually fires. These guards sit on
+ * the per-packet hot path, where eager message construction costs
+ * more than the guarded work itself.
  */
-template <typename... Args>
-void
-panicIf(bool cond, Args &&...args)
-{
-    if (cond)
-        panic(std::forward<Args>(args)...);
-}
+#define panicIf(cond, ...)                                          \
+    do {                                                            \
+        if (static_cast<bool>(cond)) [[unlikely]]                   \
+            ::pciesim::panic(__VA_ARGS__);                          \
+    } while (0)
 
 /** Fatal if a condition holds; for configuration validation. */
-template <typename... Args>
-void
-fatalIf(bool cond, Args &&...args)
-{
-    if (cond)
-        fatal(std::forward<Args>(args)...);
-}
+#define fatalIf(cond, ...)                                          \
+    do {                                                            \
+        if (static_cast<bool>(cond)) [[unlikely]]                   \
+            ::pciesim::fatal(__VA_ARGS__);                          \
+    } while (0)
 
 /**
  * Whether panic()/fatal() throw exceptions instead of aborting the

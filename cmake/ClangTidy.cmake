@@ -1,0 +1,32 @@
+# The run-tidy target: clang-tidy over every src/ translation unit
+# using the exported compile database (.clang-tidy at the repo root
+# holds the check configuration).
+#
+# clang-tidy is optional tooling, not a build dependency: when the
+# binary is absent the target degrades to a no-op that reports the
+# skip and exits 0, so scripts/check.sh works on minimal containers.
+
+find_program(PCIESIM_CLANG_TIDY
+    NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17
+          clang-tidy-16 clang-tidy-15 clang-tidy-14
+    DOC "clang-tidy executable for the run-tidy target")
+
+if(PCIESIM_CLANG_TIDY)
+    file(GLOB_RECURSE PCIESIM_TIDY_SOURCES
+        CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.cc)
+    add_custom_target(run-tidy
+        COMMAND ${PCIESIM_CLANG_TIDY}
+            -p ${CMAKE_BINARY_DIR}
+            --quiet
+            --warnings-as-errors=*
+            ${PCIESIM_TIDY_SOURCES}
+        WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+        COMMENT "clang-tidy over src/ (config: .clang-tidy)"
+        VERBATIM)
+else()
+    add_custom_target(run-tidy
+        COMMAND ${CMAKE_COMMAND} -E echo
+            "run-tidy: clang-tidy not found in PATH, skipping"
+        COMMENT "clang-tidy unavailable"
+        VERBATIM)
+endif()

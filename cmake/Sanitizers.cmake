@@ -1,0 +1,21 @@
+# Sanitizer wiring for the asan-ubsan and tsan presets.
+#
+# PCIESIM_SANITIZE is a comma-separated -fsanitize= argument:
+#   -DPCIESIM_SANITIZE=address,undefined   (the asan-ubsan preset)
+#   -DPCIESIM_SANITIZE=thread              (the tsan preset)
+#
+# Findings are fatal (-fno-sanitize-recover=all) so a sanitized
+# ctest run fails loudly instead of scrolling diagnostics past.
+# Frame pointers are kept for readable sanitizer stack traces.
+
+set(PCIESIM_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to build with (e.g. address,undefined)")
+
+if(PCIESIM_SANITIZE)
+    message(STATUS "Building with -fsanitize=${PCIESIM_SANITIZE}")
+    add_compile_options(
+        -fsanitize=${PCIESIM_SANITIZE}
+        -fno-sanitize-recover=all
+        -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=${PCIESIM_SANITIZE})
+endif()

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+#
+# The full correctness gauntlet, in cheapest-first order:
+#
+#   1. gem5_lint.py over src/ bench/ tests/   (style, seconds)
+#   2. run-tidy                               (clang-tidy, if present)
+#   3. default preset: build + tier-1 ctest
+#   4. asan-ubsan preset: build + tier-1 ctest (pool poisoning live)
+#
+# Any finding or failure exits nonzero. The audit preset is covered
+# by `ctest --preset audit` and is not part of this quick gate; run
+# scripts/check.sh --with-audit to include it.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+with_audit=0
+for arg in "$@"; do
+    case "$arg" in
+      --with-audit) with_audit=1 ;;
+      *) echo "usage: scripts/check.sh [--with-audit]" >&2; exit 2 ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== [1/4] gem5_lint =="
+python3 tools/gem5_lint.py src bench tests
+
+echo "== [2/4] clang-tidy (run-tidy) =="
+cmake --preset default >/dev/null
+cmake --build build --target run-tidy -j "$jobs"
+
+echo "== [3/4] default build + tier-1 ctest =="
+cmake --build build -j "$jobs"
+ctest --test-dir build -LE tier2 -j "$jobs" --output-on-failure
+
+echo "== [4/4] asan-ubsan build + tier-1 ctest =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan -LE tier2 -j "$jobs" --output-on-failure
+
+if [ "$with_audit" = 1 ]; then
+    echo "== [extra] audit build + tier-1 ctest =="
+    cmake --preset audit >/dev/null
+    cmake --build build-audit -j "$jobs"
+    ctest --test-dir build-audit -LE tier2 -j "$jobs" \
+        --output-on-failure
+fi
+
+echo "check.sh: all gates passed"

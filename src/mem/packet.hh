@@ -26,11 +26,48 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "mem/addr_range.hh"
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
+
+/*
+ * AddressSanitizer awareness. A freelist hides use-after-free from
+ * ASan: pooled operator delete keeps the storage alive, so a stale
+ * PacketPtr reads a recycled object instead of faulting. Under ASan
+ * the pool therefore poisons every block parked on the freelist and
+ * unpoisons it on allocation, which restores byte-exact
+ * use-after-free ("use-after-poison") reports while keeping the
+ * recycling fast path.
+ *
+ * GCC advertises ASan with __SANITIZE_ADDRESS__, Clang with
+ * __has_feature(address_sanitizer). If the poisoning interface
+ * header is unavailable the pool falls back to pass-through
+ * ::operator new/delete so ASan's own quarantine catches the bug
+ * (recycling is lost; PacketPool::passThrough tells tests).
+ */
+#if defined(__SANITIZE_ADDRESS__)
+#define PCIESIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PCIESIM_ASAN 1
+#endif
+#endif
+#ifndef PCIESIM_ASAN
+#define PCIESIM_ASAN 0
+#endif
+
+#if PCIESIM_ASAN && __has_include(<sanitizer/asan_interface.h>)
+#include <sanitizer/asan_interface.h>
+#define PCIESIM_POOL_POISONING 1
+#else
+#define PCIESIM_POOL_POISONING 0
+#endif
+
+#define PCIESIM_POOL_PASSTHROUGH (PCIESIM_ASAN && !PCIESIM_POOL_POISONING)
 
 namespace pciesim
 {
@@ -102,11 +139,27 @@ MemCmd responseCommand(MemCmd c);
  * new/delete through a pool, and PciePkt reuses the same class for
  * its own storage (see pcie_pkt.hh).
  *
+ * Under AddressSanitizer freelist blocks are poisoned while parked
+ * (see the PCIESIM_POOL_POISONING block above), so a stale pointer
+ * into recycled storage still produces a precise ASan report. In
+ * audit builds (sim/invariant.hh) the pool additionally tracks the
+ * outstanding-block set to catch double frees and foreign pointers.
+ *
  * The simulator is single threaded; no locking.
  */
 class PacketPool
 {
   public:
+    /**
+     * True when ASan is active without the poisoning interface:
+     * the pool degrades to plain ::operator new/delete (no
+     * recycling), so tests must not assert pointer reuse.
+     */
+    static constexpr bool passThrough = PCIESIM_POOL_PASSTHROUGH;
+
+    /** True when freelist blocks are ASan-poisoned while parked. */
+    static constexpr bool poisoning = PCIESIM_POOL_POISONING;
+
     /** @param block_size Size of each block; at least a pointer. */
     explicit PacketPool(std::size_t block_size)
         : blockSize_(block_size < sizeof(void *) ? sizeof(void *)
@@ -123,23 +176,43 @@ class PacketPool
     allocate()
     {
         ++allocs_;
+        void *p = nullptr;
+#if PCIESIM_POOL_PASSTHROUGH
+        p = ::operator new(blockSize_);
+#else
         if (freeList_ != nullptr) {
             ++recycled_;
-            void *p = freeList_;
+            p = freeList_;
+            // Unpoison before reading the intrusive link stored in
+            // the dead block's own bytes.
+            unpoisonBlock(p);
             freeList_ = *static_cast<void **>(p);
             --freeBlocks_;
-            return p;
+        } else {
+            p = ::operator new(blockSize_);
         }
-        return ::operator new(blockSize_);
+#endif
+        PCIESIM_AUDIT_ONLY(auditLive_.insert(p);)
+        return p;
     }
 
     /** Return a block to the freelist. */
     void
     deallocate(void *p) noexcept
     {
+        PCIESIM_AUDIT(auditLive_.erase(p) == 1,
+                      "pool deallocate of ", p,
+                      ": double free or foreign pointer");
+#if PCIESIM_POOL_PASSTHROUGH
+        ::operator delete(p);
+#else
         *static_cast<void **>(p) = freeList_;
         freeList_ = p;
         ++freeBlocks_;
+        // Park poisoned: any touch before reallocation is a
+        // use-after-poison report with this exact address.
+        poisonBlock(p);
+#endif
     }
 
     /** Release every pooled free block back to the system. */
@@ -148,6 +221,7 @@ class PacketPool
     {
         while (freeList_ != nullptr) {
             void *p = freeList_;
+            unpoisonBlock(p);
             freeList_ = *static_cast<void **>(p);
             ::operator delete(p);
         }
@@ -162,11 +236,33 @@ class PacketPool
     /** @} */
 
   private:
+    void
+    poisonBlock(const void *p) const
+    {
+#if PCIESIM_POOL_POISONING
+        ASAN_POISON_MEMORY_REGION(p, blockSize_);
+#else
+        (void)p;
+#endif
+    }
+
+    void
+    unpoisonBlock(const void *p) const
+    {
+#if PCIESIM_POOL_POISONING
+        ASAN_UNPOISON_MEMORY_REGION(p, blockSize_);
+#else
+        (void)p;
+#endif
+    }
+
     std::size_t blockSize_;
     void *freeList_ = nullptr;
     std::size_t freeBlocks_ = 0;
     std::uint64_t allocs_ = 0;
     std::uint64_t recycled_ = 0;
+    /** Audit builds: every block handed out and not yet returned. */
+    PCIESIM_AUDIT_ONLY(std::unordered_set<void *> auditLive_;)
 };
 
 class Packet;

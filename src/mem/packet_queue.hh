@@ -30,6 +30,11 @@
 namespace pciesim
 {
 
+/**
+ * An ordered queue of deferred packets with a retry-aware drain:
+ * packets wait here until the downstream port accepts them, each
+ * released at or after its ready tick.
+ */
 class PacketQueue
 {
   public:

@@ -1,5 +1,7 @@
 #include "pcie_link.hh"
 
+#include "sim/invariant.hh"
+
 namespace pciesim
 {
 
@@ -178,6 +180,17 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
         return false;
     }
     newQueue_.push_back(PciePkt::makeTlp(pkt, sendSeq_++));
+    // Credit accounting: replay-buffer residents plus queued-new
+    // TLPs may never exceed the replay buffer's capacity, or source
+    // throttling (paper Sec. V-C) has been bypassed.
+    PCIESIM_AUDIT(replayBuffer_.size() + newQueue_.size() <=
+                      replayBuffer_.capacity(),
+                  "link '", name_, "' over credit: ",
+                  replayBuffer_.size(), " unacked + ",
+                  newQueue_.size(), " queued > capacity ",
+                  replayBuffer_.capacity());
+    PCIESIM_AUDIT(newQueue_.back().seq() + 1 == sendSeq_,
+                  "link '", name_, "' send sequence out of step");
     scheduleTx();
     return true;
 }
@@ -211,6 +224,16 @@ LinkInterface::tryTransmit()
     } else if (!replayQueue_.empty()) {
         PciePkt pkt = replayQueue_.front();
         replayQueue_.pop_front();
+        // A retransmitted TLP must still be resident in the replay
+        // buffer: only an ACK may retire it, and ACK processing
+        // purges the replay queue in lockstep.
+        PCIESIM_AUDIT(!replayBuffer_.empty() &&
+                          pkt.seq() >=
+                              replayBuffer_.entries().front().seq() &&
+                          pkt.seq() <=
+                              replayBuffer_.entries().back().seq(),
+                      "link '", name_, "' replaying TLP ", pkt.seq(),
+                      " that is no longer in the replay buffer");
         ++txTlps_;
         ++replayedTlps_;
         txLink_->send(pkt);
@@ -275,6 +298,19 @@ LinkInterface::processAck(SeqNum seq)
     // progress as well (spec: purge before replaying).
     while (!replayQueue_.empty() && replayQueue_.front().seq() <= seq)
         replayQueue_.pop_front();
+
+    // An ACK must purge everything at or below its sequence number;
+    // anything acknowledged left resident would be replayed as a
+    // duplicate after the next timeout.
+    PCIESIM_AUDIT(replayBuffer_.empty() ||
+                      replayBuffer_.entries().front().seq() > seq,
+                  "link '", name_, "' ack ", seq,
+                  " left acknowledged TLP ",
+                  replayBuffer_.entries().front().seq(), " resident");
+    PCIESIM_AUDIT(replayQueue_.empty() ||
+                      replayQueue_.front().seq() > seq,
+                  "link '", name_, "' ack ", seq,
+                  " left acknowledged TLP in the replay queue");
 
     // Reset the replay timer; restart only while TLPs remain
     // unacknowledged (paper Sec. V-C).

@@ -13,11 +13,17 @@
 #include <deque>
 
 #include "pcie/pcie_pkt.hh"
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace pciesim
 {
 
+/**
+ * Bounded FIFO of transmitted-but-unacknowledged TLPs. In audit
+ * builds every mutation re-verifies strict sequence-number
+ * monotonicity and the capacity bound (sim/invariant.hh).
+ */
 class ReplayBuffer
 {
   public:
@@ -42,6 +48,7 @@ class ReplayBuffer
                 pkt.seq() <= entries_.back().seq(),
                 "replay buffer sequence numbers must increase");
         entries_.push_back(pkt);
+        auditSeqOrder();
     }
 
     /**
@@ -56,13 +63,44 @@ class ReplayBuffer
             entries_.pop_front();
             ++purged;
         }
+        auditSeqOrder();
         return purged;
     }
 
     /** Iterate resident TLPs in sequence order (for replay). */
     const std::deque<PciePkt> &entries() const { return entries_; }
 
+    PCIESIM_AUDIT_ONLY(
+    /**
+     * Test hook (audit builds only): rewrite entry @p i with
+     * sequence number @p seq and re-run the monotonicity audit, so
+     * invariant_test can prove the audit fires on corrupted state.
+     */
+    void
+    corruptSeqForAuditTest(std::size_t i, SeqNum seq)
+    {
+        entries_.at(i) = PciePkt::makeTlp(entries_.at(i).tlp(), seq);
+        auditSeqOrder();
+    })
+
   private:
+    /** Audit builds: full monotonicity and capacity sweep. */
+    void
+    auditSeqOrder() const
+    {
+#ifdef PCIESIM_ENABLE_AUDIT
+        PCIESIM_AUDIT(entries_.size() <= capacity_,
+                      "replay buffer holds ", entries_.size(),
+                      " TLPs, capacity ", capacity_);
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            PCIESIM_AUDIT(entries_[i - 1].seq() < entries_[i].seq(),
+                          "replay buffer seq order broken at entry ",
+                          i, " (", entries_[i - 1].seq(), " then ",
+                          entries_[i].seq(), ")");
+        }
+#endif
+    }
+
     std::size_t capacity_;
     std::deque<PciePkt> entries_;
 };

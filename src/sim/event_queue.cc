@@ -83,6 +83,34 @@ EventQueue::removeAt(std::size_t i)
 }
 
 void
+EventQueue::auditHeap() const
+{
+#ifdef PCIESIM_ENABLE_AUDIT
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const Slot &s = heap_[i];
+        PCIESIM_AUDIT(s.event != nullptr,
+                      "heap slot ", i, " holds no event");
+        PCIESIM_AUDIT(s.event->heapIndex_ == i,
+                      "event '", s.event->name(), "' slot index ",
+                      s.event->heapIndex_, " != heap position ", i);
+        PCIESIM_AUDIT(s.when == s.event->when_,
+                      "event '", s.event->name(), "' slot key tick ",
+                      s.when, " != event tick ", s.event->when_);
+        PCIESIM_AUDIT(s.when >= curTick_,
+                      "event '", s.event->name(),
+                      "' scheduled in the past (", s.when, " < ",
+                      curTick_, ")");
+        if (i > 0) {
+            const Slot &parent = heap_[(i - 1) / arity];
+            PCIESIM_AUDIT(!before(s, parent),
+                          "heap order violated between slot ", i,
+                          " ('", s.event->name(), "') and its parent");
+        }
+    }
+#endif
+}
+
+void
 EventQueue::schedule(Event *event, Tick when)
 {
     panicIf(event == nullptr, "scheduling null event");
@@ -96,6 +124,7 @@ EventQueue::schedule(Event *event, Tick when)
     event->heapIndex_ = heap_.size();
     heap_.push_back({when, nextOrder_++, event});
     siftUp(event->heapIndex_);
+    maybeAuditHeap();
 }
 
 void
@@ -142,6 +171,7 @@ EventQueue::step(Tick max_tick)
     Event *event = heap_[0].event;
     curTick_ = heap_[0].when;
     removeAt(0);
+    maybeAuditHeap();
 
     ++numProcessed_;
     event->process();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "event.hh"
+#include "invariant.hh"
 #include "ticks.hh"
 
 namespace pciesim
@@ -89,6 +90,15 @@ class EventQueue
     /** Total number of events processed so far. */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
+    /**
+     * Full structural audit (audit builds; otherwise a no-op):
+     * every slot's event points back at its slot, carries the same
+     * tick as its by-value sort key, and satisfies d-ary heap order
+     * against its parent. O(n); called every auditPeriod mutations
+     * and directly by tests.
+     */
+    void auditHeap() const;
+
   private:
     /** Heap arity; 4 empirically beats 2 for slot heaps. */
     static constexpr std::size_t arity = 4;
@@ -116,10 +126,24 @@ class EventQueue
     /** Detach the event at slot @p i, refilling from the back. */
     void removeAt(std::size_t i);
 
+    /** Audit builds: run auditHeap() every auditPeriod mutations. */
+    void
+    maybeAuditHeap()
+    {
+        PCIESIM_AUDIT_ONLY(
+            if ((++auditCounter_ % auditPeriod) == 0)
+                auditHeap();
+        )
+    }
+
+    /** Mutations between full heap audits (audits are O(n)). */
+    PCIESIM_AUDIT_ONLY(static constexpr std::uint64_t auditPeriod = 64;)
+
     std::vector<Slot> heap_;
     Tick curTick_ = 0;
     std::uint64_t nextOrder_ = 0;
     std::uint64_t numProcessed_ = 0;
+    PCIESIM_AUDIT_ONLY(std::uint64_t auditCounter_ = 0;)
 };
 
 } // namespace pciesim

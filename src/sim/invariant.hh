@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Debug-gated structural self-checks (audits) for the simulator.
+ *
+ * An audit is an internal-consistency sweep that is too expensive
+ * for the per-event hot path of a release build but invaluable when
+ * chasing a divergence in a week-long run: event-queue heap order,
+ * packet-pool double frees, replay-buffer sequence monotonicity,
+ * link credit accounting.
+ *
+ * Audits compile to nothing unless the build defines
+ * PCIESIM_ENABLE_AUDIT (the `audit` CMake preset, or
+ * -DPCIESIM_AUDIT=ON). The macro contract:
+ *
+ *  - PCIESIM_AUDIT(cond, msg...) panics with "audit failed: " and
+ *    the message when @p cond is false. In non-audit builds the
+ *    condition and message arguments are NOT evaluated, so they may
+ *    be arbitrarily expensive (full container scans, toString()).
+ *
+ *  - PCIESIM_AUDIT_ONLY(code) expands @p code only in audit builds;
+ *    use it for audit-only members, counters, and statements.
+ *
+ *  - pciesim::auditEnabled is a constexpr bool for runtime branches
+ *    and test gating.
+ *
+ * The enable flag must be globally consistent within one build
+ * (audit-only members change class layouts); CMake applies it with
+ * add_compile_definitions so every translation unit agrees.
+ */
+
+#ifndef PCIESIM_SIM_INVARIANT_HH
+#define PCIESIM_SIM_INVARIANT_HH
+
+#include "sim/logging.hh"
+
+#ifdef PCIESIM_ENABLE_AUDIT
+
+#define PCIESIM_AUDIT(cond, ...)                                    \
+    do {                                                            \
+        if (!static_cast<bool>(cond)) [[unlikely]]                  \
+            ::pciesim::panic("audit failed: ", __VA_ARGS__);        \
+    } while (0)
+
+#define PCIESIM_AUDIT_ONLY(...) __VA_ARGS__
+
+#else
+
+#define PCIESIM_AUDIT(cond, ...)                                    \
+    do {                                                            \
+    } while (0)
+
+#define PCIESIM_AUDIT_ONLY(...)
+
+#endif // PCIESIM_ENABLE_AUDIT
+
+namespace pciesim
+{
+
+/** Whether this build was compiled with invariant audits enabled. */
+#ifdef PCIESIM_ENABLE_AUDIT
+inline constexpr bool auditEnabled = true;
+#else
+inline constexpr bool auditEnabled = false;
+#endif
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_INVARIANT_HH

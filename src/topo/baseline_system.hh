@@ -24,6 +24,11 @@
 namespace pciesim
 {
 
+/**
+ * The paper's baseline topology (Sec. VI-A): one root complex, one
+ * PCI-Express link, one traffic-generator endpoint, main memory
+ * behind a host bridge.
+ */
 class BaselineSystem
 {
   public:

@@ -37,6 +37,11 @@ struct MultiDeviceConfig
     TrafficGenParams gen;
 };
 
+/**
+ * A fan-out topology: several traffic-generator endpoints behind a
+ * switch share one upstream link, exposing congestion and credit
+ * contention (paper Sec. VI-D).
+ */
 class MultiDeviceSystem
 {
   public:

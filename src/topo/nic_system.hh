@@ -35,6 +35,11 @@ struct NicSystemConfig
     unsigned nicLinkWidth = 1;
 };
 
+/**
+ * The networking topology (paper Sec. VI-C): an 8254x NIC endpoint
+ * with its driver, an Ethernet wire (loopback or NIC-to-NIC), and
+ * DMA traffic through the root complex.
+ */
 class NicSystem
 {
   public:

@@ -22,6 +22,11 @@
 namespace pciesim
 {
 
+/**
+ * The storage topology (paper Sec. VI-B): an IDE disk endpoint
+ * driven by the dd workload through the IDE driver, reproducing the
+ * paper's storage dd experiments.
+ */
 class StorageSystem
 {
   public:

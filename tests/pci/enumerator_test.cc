@@ -8,8 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "../common/test_ports.hh"
-#include "pci/enumerator.hh"
 #include "pci/config_regs.hh"
+#include "pci/enumerator.hh"
 #include "pci/pci_device.hh"
 #include "pcie/vp2p.hh"
 

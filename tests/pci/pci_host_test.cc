@@ -6,10 +6,9 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/logging.hh"
-
-#include "pci/pci_host.hh"
 #include "pci/config_regs.hh"
+#include "pci/pci_host.hh"
+#include "sim/logging.hh"
 #include "sim/simulation.hh"
 
 using namespace pciesim;

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""gem5-style linter for the pciesim tree.
+
+Enforces the subset of the gem5 style guide this repo follows:
+
+  line-length    no line over 79 columns
+  header-guard   .hh guards named PCIESIM_<PATH>_HH (path relative
+                 to src/ for src headers, to the repo root otherwise)
+  include-order  the leading include block of each file: a .cc's own
+                 header first, then <>-style includes before ""-style
+                 includes, each contiguous group internally sorted
+  naming         ClassName for classes/structs/enums (CamelCase, no
+                 underscores); no m_-prefixed members (this repo uses
+                 trailingUnderscore_ members and local_variable locals)
+  doxygen-class  every public class/struct defined at namespace scope
+                 in a header carries a /** ... */ Doxygen comment
+
+Escape hatches:
+
+  // gem5-lint: ignore        suppress findings on this line
+  // gem5-lint: off|on        suppress findings in a region
+  // gem5-lint: ignore-file   (in the first 10 lines) skip the file
+
+Usage: gem5_lint.py [--quiet] PATH [PATH ...]
+Exits 0 when clean, 1 when any finding survives, 2 on usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+EXTENSIONS = {".cc", ".hh", ".cpp", ".h"}
+MAX_COLUMNS = 79
+
+PRAGMA_IGNORE = "gem5-lint: ignore"
+PRAGMA_IGNORE_FILE = "gem5-lint: ignore-file"
+PRAGMA_OFF = "gem5-lint: off"
+PRAGMA_ON = "gem5-lint: on"
+
+CLASS_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(class|struct|enum(?:\s+class)?)\s+"
+    r"(?:alignas\([^)]*\)\s*)?([A-Za-z_]\w*)"
+)
+CAMEL_RE = re.compile(r"^[A-Z][A-Za-z0-9]*$")
+M_PREFIX_RE = re.compile(r"\bm_[a-z]\w*")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+
+
+class Finding:
+    """One lint violation at a file:line location."""
+
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.check,
+                                   self.message)
+
+
+def iter_files(paths):
+    """Expand the given paths into lintable source files."""
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix in EXTENSIONS and f.is_file():
+                    yield f
+        elif p.is_file():
+            yield p
+        else:
+            raise FileNotFoundError(path)
+
+
+def active_lines(lines):
+    """Yield (lineno, line) pairs honouring the off/on pragmas."""
+    on = True
+    for i, line in enumerate(lines, start=1):
+        if PRAGMA_OFF in line:
+            on = False
+            continue
+        if PRAGMA_ON in line:
+            on = True
+            continue
+        if on and PRAGMA_IGNORE not in line:
+            yield i, line
+
+
+def check_line_lengths(path, lines, findings):
+    for i, line in active_lines(lines):
+        if len(line.rstrip("\n")) > MAX_COLUMNS:
+            findings.append(Finding(
+                path, i, "line-length",
+                "line is %d columns; limit is %d"
+                % (len(line.rstrip("\n")), MAX_COLUMNS)))
+
+
+def expected_guard(path, repo_root):
+    """PCIESIM_<PATH>_HH: path sans src/ prefix and extension."""
+    rel = path.resolve().relative_to(repo_root)
+    parts = list(rel.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    parts[-1] = Path(parts[-1]).stem
+    return "PCIESIM_" + "_".join(
+        re.sub(r"[^A-Za-z0-9]", "_", p).upper() for p in parts) + "_HH"
+
+
+def check_header_guard(path, lines, repo_root, findings):
+    if path.suffix not in (".hh", ".h"):
+        return
+    want = expected_guard(path, repo_root)
+    directives = [(i, l.strip()) for i, l in active_lines(lines)
+                  if l.lstrip().startswith("#")]
+    if len(directives) < 2:
+        findings.append(Finding(path, 1, "header-guard",
+                                "missing header guard %s" % want))
+        return
+    (i_ifndef, ifndef), (i_define, define) = directives[0], directives[1]
+    m1 = re.match(r"#\s*ifndef\s+(\S+)", ifndef)
+    m2 = re.match(r"#\s*define\s+(\S+)", define)
+    if not m1 or not m2:
+        findings.append(Finding(
+            path, i_ifndef, "header-guard",
+            "first directives must be '#ifndef %s' / '#define'" % want))
+        return
+    if m1.group(1) != want:
+        findings.append(Finding(
+            path, i_ifndef, "header-guard",
+            "guard is %s, expected %s" % (m1.group(1), want)))
+    elif m2.group(1) != want:
+        findings.append(Finding(
+            path, i_define, "header-guard",
+            "#define %s does not match guard %s"
+            % (m2.group(1), want)))
+    last = next((x for x in reversed(list(active_lines(lines)))
+                 if x[1].strip()), None)
+    if last and not re.match(r"#\s*endif\b", last[1].strip()):
+        findings.append(Finding(
+            path, last[0], "header-guard",
+            "file must end with '#endif // %s'" % want))
+
+
+def leading_includes(lines):
+    """Collect the file's leading include block as (lineno, style,
+    target, raw) tuples, grouped into blank-line-separated runs.
+
+    Scanning starts after any initial comment and header guard and
+    stops at the first line of real code (or conditional
+    compilation), so sanitizer/feature-gated includes deeper in the
+    file are exempt.
+    """
+    runs = []
+    run = []
+    in_block_comment = False
+    seen_any = False
+    for i, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.startswith("/*"):
+            if "*/" not in line:
+                in_block_comment = True
+            continue
+        if not line or line.startswith("//"):
+            if run:
+                runs.append(run)
+                run = []
+            continue
+        m = INCLUDE_RE.match(raw)
+        if m:
+            run.append((i, m.group(1), m.group(2), raw))
+            seen_any = True
+            continue
+        if re.match(r"#\s*(ifndef|define)\b", line) and not seen_any:
+            continue
+        break
+    if run:
+        runs.append(run)
+    return runs
+
+
+def check_include_order(path, lines, findings):
+    runs = leading_includes(lines)
+    if not runs:
+        return
+
+    flat = [inc for run in runs for inc in run]
+    start = 0
+
+    # A .cc file's first include must be its own header when a
+    # sibling header of the same stem exists.
+    if path.suffix in (".cc", ".cpp"):
+        own = path.with_suffix(".hh")
+        if own.exists():
+            first = flat[0]
+            target_stem = Path(first[2]).stem
+            if first[1] != '"' or target_stem != path.stem:
+                findings.append(Finding(
+                    path, first[0], "include-order",
+                    "first include must be the file's own header "
+                    "\"%s\"" % own.name))
+            else:
+                # The primary header is its own group; drop it from
+                # style/order consideration.
+                if runs[0][0] is first:
+                    if len(runs[0]) == 1:
+                        runs = runs[1:]
+                    else:
+                        runs[0] = runs[0][1:]
+
+    # Within each run: homogeneous style and sorted order. Across
+    # runs: all <> runs before any "" run.
+    seen_quote_run = False
+    for run in runs:
+        styles = {inc[1] for inc in run}
+        if len(styles) > 1:
+            findings.append(Finding(
+                path, run[0][0], "include-order",
+                "mixed <> and \"\" includes in one block; separate "
+                "with a blank line"))
+        targets = [inc[2] for inc in run]
+        if targets != sorted(targets):
+            findings.append(Finding(
+                path, run[0][0], "include-order",
+                "includes not alphabetically sorted within block"))
+        if styles == {"<"}:
+            if seen_quote_run:
+                findings.append(Finding(
+                    path, run[0][0], "include-order",
+                    "<> system includes must precede \"\" project "
+                    "includes"))
+        elif styles == {'"'}:
+            seen_quote_run = True
+
+
+def check_naming(path, lines, findings):
+    for i, line in active_lines(lines):
+        m = CLASS_RE.match(line)
+        if m:
+            kind, name = m.group(1), m.group(2)
+            # Skip macro-ish or documentation matches.
+            if not CAMEL_RE.match(name):
+                findings.append(Finding(
+                    path, i, "naming",
+                    "%s '%s' must be CamelCase (ClassName)"
+                    % (kind.split()[0], name)))
+        stripped = re.sub(r"//.*$", "", line)
+        mp = M_PREFIX_RE.search(stripped)
+        if mp and '"' not in stripped:
+            findings.append(Finding(
+                path, i, "naming",
+                "'%s': members use a trailing underscore "
+                "(memberVariable_), not an m_ prefix" % mp.group(0)))
+
+
+def check_doxygen_class(path, lines, findings):
+    """Namespace-scope classes/structs in headers need /** docs."""
+    if path.suffix not in (".hh", ".h"):
+        return
+    for i, line in active_lines(lines):
+        m = re.match(r"^(class|struct)\s+([A-Za-z_]\w*)", line)
+        if not m:
+            continue
+        # Forward declarations are exempt.
+        stripped = line.strip()
+        if stripped.endswith(";") and "{" not in stripped:
+            continue
+        # Walk back over blank lines and template<> headers to find
+        # the documentation block terminator.
+        j = i - 2
+        while j >= 0 and (not lines[j].strip() or
+                          lines[j].strip().startswith("template")):
+            j -= 1
+        prev = lines[j].strip() if j >= 0 else ""
+        if not (prev.endswith("*/") or prev.startswith("///")):
+            findings.append(Finding(
+                path, i, "doxygen-class",
+                "public %s '%s' needs a /** ... */ Doxygen comment"
+                % (m.group(1), m.group(2))))
+
+
+def lint_file(path, repo_root):
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if any(PRAGMA_IGNORE_FILE in l for l in lines[:10]):
+        return []
+    findings = []
+    check_line_lengths(path, lines, findings)
+    check_header_guard(path, lines, repo_root, findings)
+    check_include_order(path, lines, findings)
+    check_naming(path, lines, findings)
+    check_doxygen_class(path, lines, findings)
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="gem5-style linter for the pciesim tree")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+
+    all_findings = []
+    nfiles = 0
+    try:
+        for f in iter_files(args.paths):
+            nfiles += 1
+            all_findings.extend(lint_file(f, repo_root))
+    except FileNotFoundError as e:
+        print("gem5_lint: no such path: %s" % e, file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        for finding in all_findings:
+            print(finding)
+    print("gem5_lint: %d file(s), %d finding(s)"
+          % (nfiles, len(all_findings)))
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

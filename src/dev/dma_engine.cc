@@ -9,7 +9,8 @@ DmaEngine::DmaEngine(SimObject &owner, MasterPort &port,
                      const std::string &name,
                      const DmaEngineParams &params)
     : owner_(owner), port_(port), name_(name), params_(params),
-      issueEvent_(this, name + ".issueEvent")
+      issueEvent_(this, name + ".issueEvent"),
+      watchdogEvent_(this, name + ".watchdogEvent")
 {
     panicIf(params_.packetSize == 0, "DMA packet size must be > 0");
 }
@@ -73,8 +74,37 @@ DmaEngine::start(MemCmd cmd, Addr addr, std::uint64_t len,
     waitingRetry_ = false;
     onComplete_ = std::move(on_complete);
 
+    armWatchdog();
     if (!issueEvent_.scheduled())
         owner_.schedule(issueEvent_, 0);
+}
+
+void
+DmaEngine::armWatchdog()
+{
+    if (params_.completionTimeout == 0)
+        return;
+    if (watchdogEvent_.scheduled())
+        owner_.eventq().deschedule(&watchdogEvent_);
+    owner_.schedule(watchdogEvent_, params_.completionTimeout);
+}
+
+void
+DmaEngine::completionTimedOut()
+{
+    if (!busy_)
+        return;
+    ++completionTimeouts_;
+    inform("dma engine '", name_, "': transfer timed out with ",
+           outstanding_, " responses outstanding; aborting");
+    // Abort: forget what is still owed (recvResp drops the
+    // stragglers) and complete so the owning device's state
+    // machine can report the error and move on.
+    staleResponses_ += outstanding_;
+    outstanding_ = 0;
+    remaining_ = 0;
+    waitingRetry_ = false;
+    maybeComplete();
 }
 
 void
@@ -124,6 +154,8 @@ DmaEngine::maybeComplete()
 {
     if (busy_ && remaining_ == 0 && outstanding_ == 0) {
         busy_ = false;
+        if (watchdogEvent_.scheduled())
+            owner_.eventq().deschedule(&watchdogEvent_);
         if (onComplete_) {
             auto cb = std::move(onComplete_);
             onComplete_ = nullptr;
@@ -135,11 +167,17 @@ DmaEngine::maybeComplete()
 bool
 DmaEngine::recvResp(const PacketPtr &pkt)
 {
+    if (staleResponses_ > 0) {
+        // A completion owed by a transfer the watchdog aborted.
+        --staleResponses_;
+        return true;
+    }
     panicIf(!busy_, "DMA engine '", name_, "' got stray response");
     panicIf(outstanding_ == 0,
             "DMA engine '", name_, "' response underflow");
     --outstanding_;
     totalBytes_ += pkt->size();
+    armWatchdog();
 
     if (onData_ && pkt->isRead())
         onData_(pkt);

@@ -38,6 +38,14 @@ struct DmaEngineParams
      * non-posted (Sec. VI-B); this is the extension it names.
      */
     bool postedWrites = false;
+    /**
+     * Completion timeout: fail the transfer when no response (nor
+     * initial acceptance) arrives for this long, so a dead
+     * endpoint or link degrades to a counted error instead of a
+     * hung simulation. 0 disables. Responses still owed by an
+     * aborted transfer are dropped on arrival.
+     */
+    Tick completionTimeout = 0;
 };
 
 /**
@@ -98,11 +106,20 @@ class DmaEngine
     std::uint64_t bytesTransferred() const { return totalBytes_; }
     std::uint64_t packetsIssued() const { return totalPackets_; }
 
+    /** Transfers aborted by the completion timeout. */
+    std::uint64_t
+    completionTimeouts() const
+    {
+        return completionTimeouts_;
+    }
+
   private:
     void start(MemCmd cmd, Addr addr, std::uint64_t len,
                std::function<void()> on_complete);
     void issue();
     void maybeComplete();
+    void armWatchdog();
+    void completionTimedOut();
 
     SimObject &owner_;
     MasterPort &port_;
@@ -120,9 +137,15 @@ class DmaEngine
     std::vector<std::uint8_t> writePayload_;
 
     MemberEventWrapper<DmaEngine, &DmaEngine::issue> issueEvent_;
+    MemberEventWrapper<DmaEngine,
+                       &DmaEngine::completionTimedOut> watchdogEvent_;
 
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalPackets_ = 0;
+    std::uint64_t completionTimeouts_ = 0;
+    /** Responses owed by timed-out transfers, dropped on arrival
+     *  (the ordered fabric delivers them before any successor's). */
+    std::uint64_t staleResponses_ = 0;
 };
 
 } // namespace pciesim

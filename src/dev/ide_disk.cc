@@ -35,6 +35,7 @@ IdeDisk::IdeDisk(Simulation &sim, const std::string &name,
 {
     DmaEngineParams ep;
     ep.postedWrites = params.postedWrites;
+    ep.completionTimeout = params.dmaCompletionTimeout;
     engine_ = std::make_unique<DmaEngine>(*this, dmaPort(),
                                           name + ".dma", ep);
 }

@@ -87,6 +87,9 @@ struct IdeDiskParams
     /** Use posted writes for DMA data (real PCI-Express
      *  semantics; the paper's model is non-posted). */
     bool postedWrites = false;
+    /** Completion timeout for the DMA engine's non-posted requests
+     *  (see DmaEngineParams::completionTimeout). 0 disables. */
+    Tick dmaCompletionTimeout = 0;
 };
 
 /**
@@ -115,6 +118,11 @@ class IdeDisk : public PciDevice
     Tick activeTransferTicks() const
     {
         return static_cast<Tick>(activeTicks_.value());
+    }
+    /** DMA transfers aborted by the completion timeout. */
+    std::uint64_t dmaCompletionTimeouts() const
+    {
+        return engine_->completionTimeouts();
     }
     /** @} */
 

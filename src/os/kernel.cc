@@ -62,6 +62,7 @@ Kernel::Kernel(Simulation &sim, const std::string &name, PciHost &host,
     : SimObject(sim, name), params_(params), host_(host), gic_(gic),
       dram_(dram),
       mmioIssueEvent_(this, name + ".mmioIssueEvent"),
+      mmioTimeoutEvent_(this, name + ".mmioTimeoutEvent"),
       dmaBrk_(params.dmaRegionBase)
 {
     cpuPort_ = std::make_unique<CpuPort>(*this, name + ".cpuPort");
@@ -82,6 +83,10 @@ Kernel::init()
                         "timed MMIO operations completed");
     statsRegistry().add(name() + ".irqsHandled", &irqsHandled_,
                         "interrupt handlers run");
+    statsRegistry().add(name() + ".completionTimeouts",
+                        &completionTimeouts_,
+                        "MMIO operations failed by completion "
+                        "timeout");
     fatalIf(!cpuPort_->isBound(),
             "kernel '", name(), "' CPU port unbound");
 }
@@ -151,13 +156,27 @@ Kernel::issueNextMmio()
         return;
     }
     mmioInFlight_ = true;
+    if (params_.completionTimeout > 0 &&
+        !mmioTimeoutEvent_.scheduled()) {
+        schedule(mmioTimeoutEvent_, params_.completionTimeout);
+    }
 }
 
 bool
 Kernel::recvMmioResp(const PacketPtr &pkt)
 {
-    panicIf(!mmioInFlight_ || pkt != mmioPkt_,
+    if (pkt != mmioPkt_) {
+        // With a completion timeout armed, a completion may arrive
+        // after its op was already failed and retired: drop it.
+        panicIf(params_.completionTimeout == 0,
+                "kernel got unexpected MMIO response ",
+                pkt->toString());
+        return true;
+    }
+    panicIf(!mmioInFlight_,
             "kernel got unexpected MMIO response ", pkt->toString());
+    if (mmioTimeoutEvent_.scheduled())
+        eventq().deschedule(&mmioTimeoutEvent_);
     MmioOp op = std::move(mmioQueue_.front());
     mmioQueue_.pop_front();
     mmioInFlight_ = false;
@@ -186,6 +205,35 @@ Kernel::recvMmioResp(const PacketPtr &pkt)
         schedule(mmioIssueEvent_, params_.mmioIssueLatency);
     }
     return true;
+}
+
+void
+Kernel::mmioTimeoutFired()
+{
+    if (!mmioInFlight_)
+        return;
+    ++completionTimeouts_;
+    inform("kernel: MMIO ", mmioQueue_.front().isRead ? "read"
+                                                      : "write",
+           " to ", mmioQueue_.front().addr,
+           " timed out; completing with all-ones");
+
+    MmioOp op = std::move(mmioQueue_.front());
+    mmioQueue_.pop_front();
+    mmioInFlight_ = false;
+    // Dropping the packet reference unmatches any late completion;
+    // recvMmioResp discards it on arrival.
+    mmioPkt_.reset();
+
+    if (op.isRead) {
+        if (op.onRead)
+            op.onRead(~0ULL);
+    } else if (op.onWrite) {
+        op.onWrite();
+    }
+
+    if (!mmioQueue_.empty() && !mmioIssueEvent_.scheduled())
+        schedule(mmioIssueEvent_, params_.mmioIssueLatency);
 }
 
 std::uint32_t

@@ -77,6 +77,15 @@ struct KernelParams
      *  space costs nothing. */
     Addr dmaRegionBase = 0x80100000ULL;
     Addr dmaRegionEnd = 0xC0100000ULL;
+    /**
+     * Completion timeout for the kernel's non-posted MMIO requests
+     * (spec: requesters time out completions in the 50 us - 50 ms
+     * range). 0 disables; then a dead endpoint hangs the MMIO
+     * queue, as before. On timeout the op completes with all-ones
+     * data (the abort pattern a real root complex returns) and the
+     * late completion, if it ever arrives, is dropped.
+     */
+    Tick completionTimeout = 0;
 };
 
 /**
@@ -159,6 +168,13 @@ class Kernel : public SimObject
     /** Number of timed MMIO operations completed. */
     std::uint64_t mmioOps() const { return mmioOps_.value(); }
 
+    /** Number of MMIO operations failed by the completion timer. */
+    std::uint64_t
+    completionTimeouts() const
+    {
+        return completionTimeouts_.value();
+    }
+
   private:
     class CpuPort;
 
@@ -174,6 +190,7 @@ class Kernel : public SimObject
 
     void issueNextMmio();
     bool recvMmioResp(const PacketPtr &pkt);
+    void mmioTimeoutFired();
 
     KernelParams params_;
     PciHost &host_;
@@ -186,6 +203,8 @@ class Kernel : public SimObject
     bool mmioWaitingRetry_ = false;
     PacketPtr mmioPkt_;
     MemberEventWrapper<Kernel, &Kernel::issueNextMmio> mmioIssueEvent_;
+    MemberEventWrapper<Kernel,
+                       &Kernel::mmioTimeoutFired> mmioTimeoutEvent_;
 
     Addr dmaBrk_;
     unsigned nextMsiVector_ = 64;
@@ -195,6 +214,7 @@ class Kernel : public SimObject
 
     stats::Counter mmioOps_;
     stats::Counter irqsHandled_;
+    stats::Counter completionTimeouts_;
 };
 
 } // namespace pciesim

@@ -26,9 +26,26 @@ UnidirectionalLink::send(const PciePkt &pkt)
     busyUntil_ = now + wire;
     Tick arrive = busyUntil_ + link_.params().propagationDelay;
 
-    inFlight_.push_back({arrive, pkt});
+    // Fault injection corrupts the wire copy only: the sender's
+    // replay-buffer copy stays intact for the retransmission.
+    PciePkt wire_pkt = pkt;
+    if (faults_ != nullptr && faults_->enabled() &&
+        faults_->corruptsNext(wire_pkt, now)) {
+        wire_pkt.markCorrupted();
+    }
+
+    inFlight_.push_back({arrive, wire_pkt});
     if (!deliverEvent_.scheduled())
         link_.eventq().schedule(&deliverEvent_, arrive);
+}
+
+void
+UnidirectionalLink::dropInFlight()
+{
+    inFlight_.clear();
+    if (deliverEvent_.scheduled())
+        link_.eventq().deschedule(&deliverEvent_);
+    busyUntil_ = link_.curTick();
 }
 
 void
@@ -113,6 +130,8 @@ LinkInterface::LinkInterface(PcieLink &link, const std::string &name,
                              bool is_upstream)
     : link_(link), name_(name), isUpstream_(is_upstream),
       replayBuffer_(link.params().replayBufferSize),
+      nakEnabled_(link.params().enableNak ||
+                  link.params().faults.enabled()),
       txEvent_(this, name + ".txEvent"),
       ackTimerEvent_(this, name + ".ackTimer"),
       replayTimerEvent_(this, name + ".replayTimer")
@@ -155,6 +174,34 @@ LinkInterface::registerStats()
             "TLPs refused by the connected port (dropped, replayed)");
     reg.add(name_ + ".acceptRefusals", &acceptRefusals_,
             "TLPs refused from external ports (replay buffer full)");
+    reg.add(name_ + ".crcErrorsTlp", &crcErrorsTlp_,
+            "received TLPs discarded for LCRC failure");
+    reg.add(name_ + ".crcErrorsDllp", &crcErrorsDllp_,
+            "received DLLPs discarded for CRC failure");
+    reg.add(name_ + ".naksSent", &naksSent_, "NAK DLLPs sent");
+    reg.add(name_ + ".naksReceived", &naksReceived_,
+            "NAK DLLPs received");
+    reg.add(name_ + ".retrains", &retrains_,
+            "link retrains initiated by this interface");
+}
+
+LinkErrorStats
+LinkInterface::errorStats() const
+{
+    LinkErrorStats s;
+    s.txTlps = txTlps_.value();
+    s.replayedTlps = replayedTlps_.value();
+    s.timeouts = timeouts_.value();
+    s.deliveryRefusals = deliveryRefusals_.value();
+    s.acceptRefusals = acceptRefusals_.value();
+    s.duplicateTlps = duplicateTlps_.value();
+    s.outOfOrderDrops = outOfOrderDrops_.value();
+    s.crcErrorsTlp = crcErrorsTlp_.value();
+    s.crcErrorsDllp = crcErrorsDllp_.value();
+    s.naksSent = naksSent_.value();
+    s.naksReceived = naksReceived_.value();
+    s.retrains = retrains_.value();
+    return s;
 }
 
 bool
@@ -179,7 +226,8 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
             wantRespRetry_ = true;
         return false;
     }
-    newQueue_.push_back(PciePkt::makeTlp(pkt, sendSeq_++));
+    newQueue_.push_back(PciePkt::makeTlp(pkt, sendSeq_));
+    sendSeq_ = seqInc(sendSeq_);
     // Credit accounting: replay-buffer residents plus queued-new
     // TLPs may never exceed the replay buffer's capacity, or source
     // throttling (paper Sec. V-C) has been bypassed.
@@ -189,7 +237,7 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
                   replayBuffer_.size(), " unacked + ",
                   newQueue_.size(), " queued > capacity ",
                   replayBuffer_.capacity());
-    PCIESIM_AUDIT(newQueue_.back().seq() + 1 == sendSeq_,
+    PCIESIM_AUDIT(seqInc(newQueue_.back().seq()) == sendSeq_,
                   "link '", name_, "' send sequence out of step");
     scheduleTx();
     return true;
@@ -198,10 +246,12 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
 void
 LinkInterface::scheduleTx()
 {
-    if (txEvent_.scheduled())
+    if (link_.training() || txEvent_.scheduled())
         return;
-    if (!ackPending_ && replayQueue_.empty() && newQueue_.empty())
+    if (!ackPending_ && !nakPending_ && replayQueue_.empty() &&
+        newQueue_.empty()) {
         return;
+    }
     Tick when = std::max(link_.curTick(), txLink_->freeAt());
     link_.eventq().schedule(&txEvent_, when);
 }
@@ -215,9 +265,16 @@ LinkInterface::tryTransmit()
         return;
     }
 
-    // Priority: ACK DLLPs, then retransmissions, then new TLPs
-    // (paper Sec. V-C).
-    if (ackPending_) {
+    // Priority: DLLPs (NAK ahead of ACK - it carries the same
+    // acknowledgement plus the replay demand), then
+    // retransmissions, then new TLPs (paper Sec. V-C).
+    if (nakPending_) {
+        auditNakState();
+        nakPending_ = false;
+        ++txDllps_;
+        ++naksSent_;
+        txLink_->send(PciePkt::makeDllp(DllpType::Nak, nakSeq_));
+    } else if (ackPending_) {
         ackPending_ = false;
         ++txDllps_;
         txLink_->send(PciePkt::makeDllp(DllpType::Ack, ackSeq_));
@@ -228,10 +285,10 @@ LinkInterface::tryTransmit()
         // buffer: only an ACK may retire it, and ACK processing
         // purges the replay queue in lockstep.
         PCIESIM_AUDIT(!replayBuffer_.empty() &&
-                          pkt.seq() >=
-                              replayBuffer_.entries().front().seq() &&
-                          pkt.seq() <=
-                              replayBuffer_.entries().back().seq(),
+                          seqLe(replayBuffer_.entries().front().seq(),
+                                pkt.seq()) &&
+                          seqLe(pkt.seq(),
+                                replayBuffer_.entries().back().seq()),
                       "link '", name_, "' replaying TLP ", pkt.seq(),
                       " that is no longer in the replay buffer");
         ++txTlps_;
@@ -270,6 +327,11 @@ LinkInterface::replayTimerFired()
         return;
 
     ++timeouts_;
+    if (nakEnabled()) {
+        noteReplayInitiated();
+        if (link_.training())
+            return;
+    }
     // Retransmit every unacknowledged TLP in sequence order; new
     // TLP acceptance halts until the replay drains (paper Sec. V-C).
     replayQueue_.assign(replayBuffer_.entries().begin(),
@@ -281,9 +343,26 @@ LinkInterface::replayTimerFired()
 void
 LinkInterface::recvFromWire(const PciePkt &pkt)
 {
+    if (pkt.corrupted()) {
+        // LCRC/CRC check failed: discard. A corrupted TLP opens a
+        // loss window and is NAKed; a corrupted DLLP has no
+        // recovery DLLP of its own - the sender's replay timer
+        // covers the lost acknowledgement (spec; DESIGN.md §7).
+        if (pkt.isTlp()) {
+            ++crcErrorsTlp_;
+            if (nakEnabled())
+                scheduleNak();
+        } else {
+            ++crcErrorsDllp_;
+        }
+        return;
+    }
     if (pkt.isDllp()) {
         ++rxDllps_;
-        processAck(pkt.seq());
+        if (pkt.dllpType() == DllpType::Ack)
+            processAck(pkt.seq());
+        else
+            processNak(pkt.seq());
     } else {
         ++rxTlps_;
         processTlp(pkt);
@@ -293,22 +372,30 @@ LinkInterface::recvFromWire(const PciePkt &pkt)
 void
 LinkInterface::processAck(SeqNum seq)
 {
-    replayBuffer_.ack(seq);
+    std::size_t purged = replayBuffer_.ack(seq);
+    if (purged > 0) {
+        // Forward progress: REPLAY_NUM restarts (spec).
+        replayNum_ = 0;
+        replayHeadValid_ = false;
+    }
     // Drop now-acknowledged entries from a retransmission in
     // progress as well (spec: purge before replaying).
-    while (!replayQueue_.empty() && replayQueue_.front().seq() <= seq)
+    while (!replayQueue_.empty() &&
+           seqLe(replayQueue_.front().seq(), seq)) {
         replayQueue_.pop_front();
+    }
 
     // An ACK must purge everything at or below its sequence number;
     // anything acknowledged left resident would be replayed as a
     // duplicate after the next timeout.
     PCIESIM_AUDIT(replayBuffer_.empty() ||
-                      replayBuffer_.entries().front().seq() > seq,
+                      !seqLe(replayBuffer_.entries().front().seq(),
+                             seq),
                   "link '", name_, "' ack ", seq,
                   " left acknowledged TLP ",
                   replayBuffer_.entries().front().seq(), " resident");
     PCIESIM_AUDIT(replayQueue_.empty() ||
-                      replayQueue_.front().seq() > seq,
+                      !seqLe(replayQueue_.front().seq(), seq),
                   "link '", name_, "' ack ", seq,
                   " left acknowledged TLP in the replay queue");
 
@@ -327,16 +414,50 @@ LinkInterface::processAck(SeqNum seq)
 }
 
 void
+LinkInterface::processNak(SeqNum seq)
+{
+    ++naksReceived_;
+    // A NAK acknowledges every TLP through its sequence number and
+    // demands an immediate replay of the rest (spec; this is the
+    // fast path that beats the replay timer).
+    std::size_t purged = replayBuffer_.ack(seq);
+    if (purged > 0) {
+        replayNum_ = 0;
+        replayHeadValid_ = false;
+    }
+    while (!replayQueue_.empty() &&
+           seqLe(replayQueue_.front().seq(), seq)) {
+        replayQueue_.pop_front();
+    }
+    if (replayTimerEvent_.scheduled())
+        link_.eventq().deschedule(&replayTimerEvent_);
+
+    if (!replayBuffer_.empty()) {
+        noteReplayInitiated();
+        if (link_.training())
+            return;
+        replayQueue_.assign(replayBuffer_.entries().begin(),
+                            replayBuffer_.entries().end());
+        startReplayTimer();
+    }
+    notifyExternalRetry();
+    scheduleTx();
+}
+
+void
 LinkInterface::processTlp(const PciePkt &pkt)
 {
     if (pkt.seq() == recvSeq_) {
+        // The expected TLP closes any open loss window: a later
+        // loss may schedule a fresh NAK (NAK_SCHEDULED semantics).
+        nakScheduled_ = false;
         const PacketPtr &tlp = pkt.tlp();
         bool delivered = tlp->isRequest()
             ? extMaster_->sendTimingReq(tlp)
             : extSlave_->sendTimingResp(tlp);
         if (delivered) {
             ackSeq_ = recvSeq_;
-            ++recvSeq_;
+            recvSeq_ = seqInc(recvSeq_);
             scheduleAckDllp(link_.params().ackImmediate);
         } else {
             // The connected port refused; no ACK is generated and
@@ -344,19 +465,105 @@ LinkInterface::processTlp(const PciePkt &pkt)
             // (paper Sec. V-C).
             ++deliveryRefusals_;
         }
-    } else if (pkt.seq() < recvSeq_) {
+    } else if (seqLt(pkt.seq(), recvSeq_)) {
         // Duplicate from a spurious replay: discard and re-ACK
         // immediately so the sender purges its replay buffer.
         ++duplicateTlps_;
-        ackSeq_ = recvSeq_ - 1;
+        ackSeq_ = seqDec(recvSeq_);
         scheduleAckDllp(true);
     } else {
-        // A gap: an earlier TLP's delivery was refused (no ACK was
-        // generated), and this later TLP was already in flight.
-        // Drop it; the sender's replay timeout resends everything
+        // A gap: an earlier TLP was lost on the wire or its
+        // delivery was refused (no ACK was generated), and this
+        // later TLP was already in flight. Drop it; with the NAK
+        // machinery a NAK requests the replay immediately,
+        // otherwise the sender's replay timeout resends everything
         // from the missing sequence number in order.
         ++outOfOrderDrops_;
+        if (nakEnabled())
+            scheduleNak();
     }
+}
+
+void
+LinkInterface::scheduleNak()
+{
+    if (nakScheduled_)
+        return; // one outstanding NAK per loss window
+    nakScheduled_ = true;
+    nakPending_ = true;
+    nakSeq_ = seqDec(recvSeq_);
+    // The NAK acknowledges everything before the loss; a pending
+    // ACK carrying the same information is subsumed by it.
+    if (ackPending_ && seqLe(ackSeq_, nakSeq_))
+        ackPending_ = false;
+    auditNakState();
+    scheduleTx();
+}
+
+void
+LinkInterface::noteReplayInitiated()
+{
+    // REPLAY_NUM: count consecutive replays of the same
+    // head-of-buffer TLP; when the threshold is hit the link
+    // itself is suspect and goes down for a retrain (spec).
+    SeqNum head = replayBuffer_.entries().front().seq();
+    if (replayHeadValid_ && head == replayHeadSeq_) {
+        ++replayNum_;
+    } else {
+        replayHeadValid_ = true;
+        replayHeadSeq_ = head;
+        replayNum_ = 1;
+    }
+    auditNakState();
+    if (replayNum_ >= link_.params().replayNumThreshold)
+        link_.startRetrain(*this);
+}
+
+void
+LinkInterface::prepareForRetrain()
+{
+    // The link is down: timers stop, queued DLLPs and
+    // retransmissions are lost. Unacknowledged TLPs stay in the
+    // replay buffer and accepted TLPs stay queued; both go out
+    // again when the link comes back up.
+    if (txEvent_.scheduled())
+        link_.eventq().deschedule(&txEvent_);
+    if (ackTimerEvent_.scheduled())
+        link_.eventq().deschedule(&ackTimerEvent_);
+    if (replayTimerEvent_.scheduled())
+        link_.eventq().deschedule(&replayTimerEvent_);
+    replayQueue_.clear();
+    ackPending_ = false;
+    nakPending_ = false;
+    nakScheduled_ = false;
+    replayNum_ = 0;
+    replayHeadValid_ = false;
+}
+
+void
+LinkInterface::resumeAfterRetrain()
+{
+    if (!replayBuffer_.empty()) {
+        replayQueue_.assign(replayBuffer_.entries().begin(),
+                            replayBuffer_.entries().end());
+        startReplayTimer();
+    }
+    notifyExternalRetry();
+    scheduleTx();
+}
+
+void
+LinkInterface::auditNakState() const
+{
+#ifdef PCIESIM_ENABLE_AUDIT
+    PCIESIM_AUDIT(!nakPending_ || nakScheduled_,
+                  "link '", name_, "' has a NAK queued outside a "
+                  "loss window (more than one NAK per window)");
+    PCIESIM_AUDIT(replayNum_ <= link_.params().replayNumThreshold,
+                  "link '", name_, "' REPLAY_NUM ", replayNum_,
+                  " exceeds the retrain threshold ",
+                  link_.params().replayNumThreshold);
+#endif
 }
 
 void
@@ -408,12 +615,22 @@ PcieLink::PcieLink(Simulation &sim, const std::string &name,
                                             params.maxPayload)) *
           params.replayTimeoutScale)),
       ackPeriod_(ackTimerPeriod(params.gen, params.width,
-                                params.maxPayload))
+                                params.maxPayload)),
+      retrainDoneEvent_(this, name + ".retrainDone")
 {
     fatalIf(params_.width == 0 || params_.width > 32,
             "link '", name, "': width must be 1..32");
     fatalIf(params_.replayBufferSize == 0,
             "link '", name, "': replay buffer needs >= 1 entry");
+    fatalIf(params_.replayNumThreshold == 0,
+            "link '", name, "': REPLAY_NUM threshold must be >= 1");
+
+    // Distinct salts give the two directions independent fault
+    // streams from the one configured seed.
+    faultsToUp_ = std::make_unique<FaultInjector>(params_.faults,
+                                                  params_.gen, 0);
+    faultsToDown_ = std::make_unique<FaultInjector>(params_.faults,
+                                                    params_.gen, 1);
 
     upstreamIf_ = std::make_unique<LinkInterface>(*this, name + ".up",
                                                   true);
@@ -424,6 +641,8 @@ PcieLink::PcieLink(Simulation &sim, const std::string &name,
         *this, name + ".wireUp", true);
     toDownstream_ = std::make_unique<UnidirectionalLink>(
         *this, name + ".wireDown", false);
+    toUpstream_->setFaultInjector(faultsToUp_.get());
+    toDownstream_->setFaultInjector(faultsToDown_.get());
 
     upstreamIf_->setTxLink(toDownstream_.get());
     downstreamIf_->setTxLink(toUpstream_.get());
@@ -465,6 +684,40 @@ PcieLink::init()
     fatalIf(!upMaster().isBound() || !upSlave().isBound() ||
             !downMaster().isBound() || !downSlave().isBound(),
             "link '", name(), "' has unbound ports");
+}
+
+LinkErrorStats
+PcieLink::errorStats() const
+{
+    LinkErrorStats s = upstreamIf_->errorStats();
+    s += downstreamIf_->errorStats();
+    return s;
+}
+
+void
+PcieLink::startRetrain(LinkInterface &initiator)
+{
+    if (training_)
+        return;
+    training_ = true;
+    ++initiator.retrains_;
+    // The link is down: whatever is on the wire is lost. The replay
+    // buffers recover the TLPs; lost DLLP state is rebuilt from the
+    // duplicate re-ACK path after the replay.
+    toUpstream_->dropInFlight();
+    toDownstream_->dropInFlight();
+    upstreamIf_->prepareForRetrain();
+    downstreamIf_->prepareForRetrain();
+    eventq().schedule(&retrainDoneEvent_,
+                      curTick() + params_.retrainLatency);
+}
+
+void
+PcieLink::retrainDone()
+{
+    training_ = false;
+    upstreamIf_->resumeAfterRetrain();
+    downstreamIf_->resumeAfterRetrain();
 }
 
 } // namespace pciesim

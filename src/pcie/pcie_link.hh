@@ -15,6 +15,14 @@
  * connected port is dropped there and recovered by the sender's
  * replay timeout - exactly the mechanism behind the paper's x8
  * congestion results.
+ *
+ * Fault recovery (DESIGN.md §7): with fault injection (or
+ * enableNak) configured, the interfaces additionally run the spec
+ * ACK/NAK machinery - LCRC-failed and out-of-sequence TLPs are
+ * NAKed (one outstanding NAK per loss window), a NAK triggers an
+ * immediate replay, and REPLAY_NUM replays of the same TLP bring
+ * the link down for a retrain. With faults disabled the legacy
+ * replay-timeout-only model above is bit-identical.
  */
 
 #ifndef PCIESIM_PCIE_PCIE_LINK_HH
@@ -25,9 +33,11 @@
 
 #include "mem/packet.hh"
 #include "mem/port.hh"
+#include "pcie/fault_injector.hh"
 #include "pcie/pcie_pkt.hh"
 #include "pcie/pcie_timing.hh"
 #include "pcie/replay_buffer.hh"
+#include "sim/invariant.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation.hh"
 
@@ -57,6 +67,58 @@ struct PcieLinkParams
      * separate InternalDelay parameter.
      */
     double replayTimeoutScale = 1.0;
+    /** Fault injection applied to both directions of the link. */
+    FaultInjectorParams faults;
+    /**
+     * Run the NAK/retrain recovery machinery even with no faults
+     * configured. It is forced on whenever faults are enabled; off
+     * by default so the fault-free model recovers by replay
+     * timeout alone, unchanged.
+     */
+    bool enableNak = false;
+    /** Replays of the same TLP that trigger a link retrain. */
+    unsigned replayNumThreshold = 4;
+    /** Time the link stays down during a retrain. */
+    Tick retrainLatency = microseconds(1);
+};
+
+/**
+ * Error/recovery counters of one link interface, or (summed) of a
+ * whole link - the uniform accessor integration tests and benches
+ * use to query any link of a topology.
+ */
+struct LinkErrorStats
+{
+    std::uint64_t txTlps = 0;
+    std::uint64_t replayedTlps = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t deliveryRefusals = 0;
+    std::uint64_t acceptRefusals = 0;
+    std::uint64_t duplicateTlps = 0;
+    std::uint64_t outOfOrderDrops = 0;
+    std::uint64_t crcErrorsTlp = 0;
+    std::uint64_t crcErrorsDllp = 0;
+    std::uint64_t naksSent = 0;
+    std::uint64_t naksReceived = 0;
+    std::uint64_t retrains = 0;
+
+    LinkErrorStats &
+    operator+=(const LinkErrorStats &o)
+    {
+        txTlps += o.txTlps;
+        replayedTlps += o.replayedTlps;
+        timeouts += o.timeouts;
+        deliveryRefusals += o.deliveryRefusals;
+        acceptRefusals += o.acceptRefusals;
+        duplicateTlps += o.duplicateTlps;
+        outOfOrderDrops += o.outOfOrderDrops;
+        crcErrorsTlp += o.crcErrorsTlp;
+        crcErrorsDllp += o.crcErrorsDllp;
+        naksSent += o.naksSent;
+        naksReceived += o.naksReceived;
+        retrains += o.retrains;
+        return *this;
+    }
 };
 
 class PcieLink;
@@ -78,11 +140,18 @@ class UnidirectionalLink
     /** Begin transmitting; panics when busy. */
     void send(const PciePkt &pkt);
 
+    /** Attach the fault state for this direction. */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /** Retrain: every packet on the wire is lost. */
+    void dropInFlight();
+
   private:
     void deliver();
 
     PcieLink &link_;
     bool towardUpstream_;
+    FaultInjector *faults_ = nullptr;
     Tick busyUntil_ = 0;
     std::deque<std::pair<Tick, PciePkt>> inFlight_;
     MemberEventWrapper<UnidirectionalLink,
@@ -120,7 +189,41 @@ class LinkInterface
     {
         return deliveryRefusals_.value();
     }
+    std::uint64_t crcErrorsTlp() const { return crcErrorsTlp_.value(); }
+    std::uint64_t
+    crcErrorsDllp() const
+    {
+        return crcErrorsDllp_.value();
+    }
+    std::uint64_t naksSent() const { return naksSent_.value(); }
+    std::uint64_t naksReceived() const { return naksReceived_.value(); }
+    std::uint64_t retrains() const { return retrains_.value(); }
+
+    /** Every counter of this interface in one struct. */
+    LinkErrorStats errorStats() const;
     /** @} */
+
+    PCIESIM_AUDIT_ONLY(
+    /** @{
+     * Test hooks (audit builds only): force an illegal NAK
+     * bookkeeping state and re-run the audit, so the audit death
+     * tests can prove the invariants fire.
+     */
+    void
+    corruptNakStateForAuditTest()
+    {
+        nakPending_ = true;
+        nakScheduled_ = false;
+        auditNakState();
+    }
+
+    void
+    corruptReplayNumForAuditTest()
+    {
+        replayNum_ = 1000;
+        auditNakState();
+    }
+    /** @} */)
 
   private:
     class ExtMasterPort;
@@ -137,6 +240,7 @@ class LinkInterface
     void scheduleTx();
 
     void processAck(SeqNum seq);
+    void processNak(SeqNum seq);
     void processTlp(const PciePkt &pkt);
 
     void scheduleAckDllp(bool immediate);
@@ -146,6 +250,23 @@ class LinkInterface
 
     /** Issue protocol retries after replay-buffer space frees. */
     void notifyExternalRetry();
+
+    /** Whether the NAK/retrain machinery is active on this link. */
+    bool nakEnabled() const { return nakEnabled_; }
+
+    /** RX: queue a NAK for a loss (one per loss window). */
+    void scheduleNak();
+
+    /** TX: count a replay of the head TLP; may start a retrain. */
+    void noteReplayInitiated();
+
+    /** @{ Retrain hooks called by the owning PcieLink. */
+    void prepareForRetrain();
+    void resumeAfterRetrain();
+    /** @} */
+
+    /** Audit builds: NAK bookkeeping and REPLAY_NUM invariants. */
+    void auditNakState() const;
 
     PcieLink &link_;
     std::string name_;
@@ -170,6 +291,19 @@ class LinkInterface
     bool ackPending_ = false;
     SeqNum ackSeq_ = 0;
 
+    /** NAK machinery active (faults configured or enableNak). */
+    bool nakEnabled_ = false;
+    /** NAK DLLP queued for transmission. */
+    bool nakPending_ = false;
+    SeqNum nakSeq_ = 0;
+    /** NAK_SCHEDULED: a loss window is open; at most one NAK is
+     *  sent per window (cleared when the expected TLP arrives). */
+    bool nakScheduled_ = false;
+    /** REPLAY_NUM: consecutive replays of the same head TLP. */
+    unsigned replayNum_ = 0;
+    SeqNum replayHeadSeq_ = 0;
+    bool replayHeadValid_ = false;
+
     bool wantReqRetry_ = false;
     bool wantRespRetry_ = false;
 
@@ -190,6 +324,11 @@ class LinkInterface
     stats::Counter outOfOrderDrops_;
     stats::Counter deliveryRefusals_;
     stats::Counter acceptRefusals_;
+    stats::Counter crcErrorsTlp_;
+    stats::Counter crcErrorsDllp_;
+    stats::Counter naksSent_;
+    stats::Counter naksReceived_;
+    stats::Counter retrains_;
 
     friend class PcieLink;
 };
@@ -232,17 +371,40 @@ class PcieLink : public SimObject
     LinkInterface &upstreamIf() { return *upstreamIf_; }
     LinkInterface &downstreamIf() { return *downstreamIf_; }
 
+    /** Whether the link is down, retraining. */
+    bool training() const { return training_; }
+
+    /** Summed error/recovery counters of both interfaces. */
+    LinkErrorStats errorStats() const;
+
+    /** @{ Per-direction fault state (tests, benches). The
+     *  "toward upstream" wire carries device -> RC traffic. */
+    FaultInjector &faultsTowardUpstream() { return *faultsToUp_; }
+    FaultInjector &faultsTowardDownstream() { return *faultsToDown_; }
+    /** @} */
+
   private:
     friend class UnidirectionalLink;
     friend class LinkInterface;
 
+    /** Take the link down after REPLAY_NUM exhaustion: in-flight
+     *  packets are lost, timers stop, and the link comes back after
+     *  retrainLatency with a full replay. */
+    void startRetrain(LinkInterface &initiator);
+    void retrainDone();
+
     PcieLinkParams params_;
     Tick replayTimeout_;
     Tick ackPeriod_;
+    bool training_ = false;
+    std::unique_ptr<FaultInjector> faultsToUp_;
+    std::unique_ptr<FaultInjector> faultsToDown_;
     std::unique_ptr<LinkInterface> upstreamIf_;
     std::unique_ptr<LinkInterface> downstreamIf_;
     std::unique_ptr<UnidirectionalLink> toUpstream_;
     std::unique_ptr<UnidirectionalLink> toDownstream_;
+    MemberEventWrapper<PcieLink,
+                       &PcieLink::retrainDone> retrainDoneEvent_;
 };
 
 } // namespace pciesim

@@ -21,6 +21,58 @@ namespace pciesim
 /** Sequence number carried by TLPs and acknowledged by DLLPs. */
 using SeqNum = std::uint32_t;
 
+/** @{
+ * The data link layer sequence space is 12 bits wide (spec; the
+ * TLP framing carries the sequence number in 1.5 bytes of the
+ * Table I overhead), so sequence arithmetic and ordering are modulo
+ * 4096. Ordering is defined over the half-window: @c a precedes
+ * @c b when @c b is at most 2047 increments ahead of @c a - valid
+ * because a replay buffer holds far fewer than 2048 in-flight TLPs.
+ */
+constexpr SeqNum seqMask = 0xfff;
+constexpr SeqNum seqModulus = seqMask + 1;
+
+/** Canonicalize into the 12-bit sequence space. */
+constexpr SeqNum
+seqClamp(SeqNum s)
+{
+    return s & seqMask;
+}
+
+constexpr SeqNum
+seqInc(SeqNum s)
+{
+    return (s + 1) & seqMask;
+}
+
+constexpr SeqNum
+seqDec(SeqNum s)
+{
+    return (s + seqMask) & seqMask;
+}
+
+/** Modular distance from @p a forward to @p b. */
+constexpr SeqNum
+seqDistance(SeqNum a, SeqNum b)
+{
+    return (b - a) & seqMask;
+}
+
+/** Whether @p a precedes or equals @p b in the half-window order. */
+constexpr bool
+seqLe(SeqNum a, SeqNum b)
+{
+    return seqDistance(a, b) < seqModulus / 2;
+}
+
+/** Whether @p a strictly precedes @p b. */
+constexpr bool
+seqLt(SeqNum a, SeqNum b)
+{
+    return seqClamp(a) != seqClamp(b) && seqLe(a, b);
+}
+/** @} */
+
 /** Kind of data-link-layer packet. */
 enum class DllpType : std::uint8_t
 {
@@ -45,7 +97,7 @@ class PciePkt final
         PciePkt p;
         p.isTlp_ = true;
         p.tlp_ = tlp;
-        p.seq_ = seq;
+        p.seq_ = seqClamp(seq);
         p.payloadSize_ = tlp->tlpPayloadSize();
         return p;
     }
@@ -57,7 +109,7 @@ class PciePkt final
         PciePkt p;
         p.isTlp_ = false;
         p.dllpType_ = type;
-        p.seq_ = seq;
+        p.seq_ = seqClamp(seq);
         return p;
     }
 
@@ -69,6 +121,16 @@ class PciePkt final
     const PacketPtr &tlp() const { return tlp_; }
     DllpType dllpType() const { return dllpType_; }
     SeqNum seq() const { return seq_; }
+
+    /** @{
+     * LCRC corruption marker, set by the fault injector as the
+     * packet enters the wire. A corrupted packet still occupies its
+     * full wire time; the receiving interface fails its LCRC check
+     * and discards it (pcie_link.cc).
+     */
+    void markCorrupted() { corrupted_ = true; }
+    bool corrupted() const { return corrupted_; }
+    /** @} */
 
     /**
      * Size on the wire in symbols (bytes before line encoding),
@@ -117,6 +179,7 @@ class PciePkt final
 
   private:
     bool isTlp_ = false;
+    bool corrupted_ = false;
     PacketPtr tlp_;
     DllpType dllpType_ = DllpType::Ack;
     SeqNum seq_ = 0;

@@ -45,21 +45,23 @@ class ReplayBuffer
         panicIf(!pkt.isTlp(), "only TLPs enter the replay buffer");
         panicIf(full(), "replay buffer overflow");
         panicIf(!entries_.empty() &&
-                pkt.seq() <= entries_.back().seq(),
+                !seqLt(entries_.back().seq(), pkt.seq()),
                 "replay buffer sequence numbers must increase");
         entries_.push_back(pkt);
         auditSeqOrder();
     }
 
     /**
-     * Process an ACK: drop all TLPs with seq <= @p acked.
+     * Process an ACK: drop all TLPs at or (modularly) before
+     * @p acked in the 12-bit sequence order.
      * @return number of purged entries.
      */
     std::size_t
     ack(SeqNum acked)
     {
         std::size_t purged = 0;
-        while (!entries_.empty() && entries_.front().seq() <= acked) {
+        while (!entries_.empty() &&
+               seqLe(entries_.front().seq(), acked)) {
             entries_.pop_front();
             ++purged;
         }
@@ -93,7 +95,8 @@ class ReplayBuffer
                       "replay buffer holds ", entries_.size(),
                       " TLPs, capacity ", capacity_);
         for (std::size_t i = 1; i < entries_.size(); ++i) {
-            PCIESIM_AUDIT(entries_[i - 1].seq() < entries_[i].seq(),
+            PCIESIM_AUDIT(seqLt(entries_[i - 1].seq(),
+                                entries_[i].seq()),
                           "replay buffer seq order broken at entry ",
                           i, " (", entries_[i - 1].seq(), " then ",
                           entries_[i].seq(), ")");

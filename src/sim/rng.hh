@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small seeded pseudo-random number generator for per-object use:
+ * splitmix64 expands the seed into the 256-bit state of an
+ * xoshiro256** engine. No global state, trivially copyable, and the
+ * stream depends only on the seed, so fault-injection runs are
+ * bit-reproducible across machines and standard libraries (unlike
+ * std::uniform_real_distribution, whose output is
+ * implementation-defined).
+ */
+
+#ifndef PCIESIM_SIM_RNG_HH
+#define PCIESIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace pciesim
+{
+
+/**
+ * Seeded xoshiro256** PRNG with splitmix64 state expansion.
+ */
+class Rng
+{
+  public:
+    /** @param seed Any value, including 0, yields a valid stream. */
+    explicit Rng(std::uint64_t seed)
+    {
+        // splitmix64: guarantees a non-degenerate xoshiro state
+        // even for seeds like 0 or small integers.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly distributed bits (xoshiro256**). */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1) with 53 bits of randomness. */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** One Bernoulli trial with success probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_RNG_HH

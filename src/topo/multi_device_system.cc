@@ -43,14 +43,9 @@ MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
     swp.linkGen = static_cast<unsigned>(base.gen);
     switch_ = std::make_unique<PcieSwitch>(sim, "system.switch", swp);
 
-    PcieLinkParams upl;
-    upl.gen = base.gen;
-    upl.width = base.upstreamLinkWidth;
-    upl.propagationDelay = base.linkPropagation;
-    upl.replayBufferSize = base.replayBufferSize;
-    upl.ackImmediate = base.ackImmediate;
-    upl.replayTimeoutScale = base.replayTimeoutScale;
-    upLink_ = std::make_unique<PcieLink>(sim, "system.upLink", upl);
+    upLink_ = std::make_unique<PcieLink>(
+        sim, "system.upLink",
+        base.makeLinkParams(base.upstreamLinkWidth, 0));
 
     kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
                                        *pciHost_, *gic_, *dram_,
@@ -76,10 +71,9 @@ MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
             switch_->downstreamVp2p(i),
             Bdf{2, static_cast<std::uint8_t>(i), 0});
 
-        PcieLinkParams dl = upl;
-        dl.width = config_.deviceLinkWidth;
         devLinks_.push_back(std::make_unique<PcieLink>(
-            sim, "system.devLink" + std::to_string(i), dl));
+            sim, "system.devLink" + std::to_string(i),
+            base.makeLinkParams(config_.deviceLinkWidth, 1 + i)));
         gens_.push_back(std::make_unique<TrafficGen>(
             sim, "system.tgen" + std::to_string(i), config_.gen));
 

@@ -56,6 +56,16 @@ class MultiDeviceSystem
     unsigned numDevices() const { return config_.numDevices; }
     RootComplex &rootComplex() { return *rootComplex_; }
     PcieSwitch &pcieSwitch() { return *switch_; }
+    PcieLink &upstreamLink() { return *upLink_; }
+    /** All links of the fabric, for generic per-link stats. */
+    std::vector<PcieLink *>
+    links()
+    {
+        std::vector<PcieLink *> out = {upLink_.get()};
+        for (const auto &link : devLinks_)
+            out.push_back(link.get());
+        return out;
+    }
 
     /** BAR0 base of generator @p i (valid after boot). */
     Addr genMmioBase(unsigned i);

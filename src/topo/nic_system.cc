@@ -50,15 +50,9 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
     unsigned num_nics = config.twoNics ? 2 : 1;
     for (unsigned i = 0; i < num_nics; ++i) {
         std::string idx = std::to_string(i);
-        PcieLinkParams lp;
-        lp.gen = base.gen;
-        lp.width = config.nicLinkWidth;
-        lp.propagationDelay = base.linkPropagation;
-        lp.replayBufferSize = base.replayBufferSize;
-        lp.ackImmediate = base.ackImmediate;
-        lp.replayTimeoutScale = base.replayTimeoutScale;
         links_[i] = std::make_unique<PcieLink>(
-            sim, "system.nicLink" + idx, lp);
+            sim, "system.nicLink" + idx,
+            base.makeLinkParams(config.nicLinkWidth, i));
         nics_[i] = std::make_unique<Nic8254xPcie>(
             sim, "system.nic" + idx, config.nic);
         drivers_[i] = std::make_unique<E1000eDriver>(config.driver);

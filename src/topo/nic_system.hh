@@ -11,6 +11,7 @@
 #define PCIESIM_TOPO_NIC_SYSTEM_HH
 
 #include <memory>
+#include <vector>
 
 #include "dev/ether_wire.hh"
 #include "dev/nic_8254x.hh"
@@ -58,6 +59,18 @@ class NicSystem
     EtherWire &wire() { return *wire_; }
     PciHost &pciHost() { return *pciHost_; }
     IntController &gic() { return *gic_; }
+
+    /** All instantiated links, for generic per-link stats. */
+    std::vector<PcieLink *>
+    links()
+    {
+        std::vector<PcieLink *> out;
+        for (const auto &link : links_) {
+            if (link)
+                out.push_back(link.get());
+        }
+        return out;
+    }
 
     /** BAR0 base of NIC @p i (valid after boot). */
     Addr nicMmioBase(unsigned i = 0);

@@ -39,25 +39,23 @@ StorageSystem::StorageSystem(Simulation &sim,
     swp.linkGen = static_cast<unsigned>(config.gen);
     switch_ = std::make_unique<PcieSwitch>(sim, "system.switch", swp);
 
-    PcieLinkParams upl;
-    upl.gen = config.gen;
-    upl.width = config.upstreamLinkWidth;
-    upl.propagationDelay = config.linkPropagation;
-    upl.replayBufferSize = config.replayBufferSize;
-    upl.ackImmediate = config.ackImmediate;
-    upl.replayTimeoutScale = config.replayTimeoutScale;
-    upLink_ = std::make_unique<PcieLink>(sim, "system.upLink", upl);
+    upLink_ = std::make_unique<PcieLink>(
+        sim, "system.upLink",
+        config.makeLinkParams(config.upstreamLinkWidth, 0));
+    downLink_ = std::make_unique<PcieLink>(
+        sim, "system.downLink",
+        config.makeLinkParams(config.downstreamLinkWidth, 1));
 
-    PcieLinkParams dnl = upl;
-    dnl.width = config.downstreamLinkWidth;
-    downLink_ = std::make_unique<PcieLink>(sim, "system.downLink",
-                                           dnl);
-
-    disk_ = std::make_unique<IdeDisk>(sim, "system.disk",
-                                      config.disk);
+    IdeDiskParams dkp = config.disk;
+    if (config.completionTimeout > 0)
+        dkp.dmaCompletionTimeout = config.completionTimeout;
+    disk_ = std::make_unique<IdeDisk>(sim, "system.disk", dkp);
+    KernelParams kp = config.kernel;
+    if (config.completionTimeout > 0)
+        kp.completionTimeout = config.completionTimeout;
     kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
                                        *pciHost_, *gic_, *dram_,
-                                       config.kernel);
+                                       kp);
     ideDriver_ = std::make_unique<IdeDriver>(config.ideDriver);
 
     //

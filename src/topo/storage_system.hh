@@ -15,6 +15,7 @@
 #define PCIESIM_TOPO_STORAGE_SYSTEM_HH
 
 #include <memory>
+#include <vector>
 
 #include "pci/pci_host.hh"
 #include "topo/system_config.hh"
@@ -46,6 +47,12 @@ class StorageSystem
     PcieSwitch &pcieSwitch() { return *switch_; }
     PcieLink &upstreamLink() { return *upLink_; }
     PcieLink &downstreamLink() { return *downLink_; }
+    /** All links of the fabric, for generic per-link stats. */
+    std::vector<PcieLink *>
+    links()
+    {
+        return {upLink_.get(), downLink_.get()};
+    }
     IOCache &ioCache() { return *ioCache_; }
     SimpleMemory &dram() { return *dram_; }
     IntController &gic() { return *gic_; }

@@ -10,6 +10,8 @@
 #ifndef PCIESIM_TOPO_SYSTEM_CONFIG_HH
 #define PCIESIM_TOPO_SYSTEM_CONFIG_HH
 
+#include <cstdint>
+
 #include "dev/ide_disk.hh"
 #include "dev/int_controller.hh"
 #include "mem/io_cache.hh"
@@ -52,6 +54,22 @@ struct SystemConfig
     unsigned switchDownstreamPorts = 2;
     /** @} */
 
+    /** @{ Fault injection and recovery (DESIGN.md Sec. 7).
+     *  All defaults leave the fault-free fast path bit-identical
+     *  to a build without the fault layer. */
+    /** Bit error rate applied per wire symbol on every link. */
+    double linkBitErrorRate = 0.0;
+    /** Master fault seed; each link derives its own stream. */
+    std::uint64_t faultSeed = 1;
+    /** Run the NAK protocol even with no faults configured. */
+    bool enableNak = false;
+    /** Link-down time for a retrain (REPLAY_NUM rollover). */
+    Tick retrainLatency = microseconds(1);
+    /** Completion timeout for non-posted requesters (kernel MMIO
+     *  and device DMA). 0 disables. */
+    Tick completionTimeout = 0;
+    /** @} */
+
     /** @{ Substrates. */
     XBarParams membus;
     IOCacheParams ioCache;
@@ -65,6 +83,29 @@ struct SystemConfig
     IdeDriverParams ideDriver;
     DdWorkloadParams dd;
     /** @} */
+
+    /**
+     * Build the link parameters every topology uses, including the
+     * fault layer. @p link_index keys this link's fault stream off
+     * the master seed so each link draws independent errors while
+     * the whole system stays reproducible from one seed.
+     */
+    PcieLinkParams
+    makeLinkParams(unsigned width, unsigned link_index) const
+    {
+        PcieLinkParams lp;
+        lp.gen = gen;
+        lp.width = width;
+        lp.propagationDelay = linkPropagation;
+        lp.replayBufferSize = replayBufferSize;
+        lp.ackImmediate = ackImmediate;
+        lp.replayTimeoutScale = replayTimeoutScale;
+        lp.enableNak = enableNak;
+        lp.retrainLatency = retrainLatency;
+        lp.faults.bitErrorRate = linkBitErrorRate;
+        lp.faults.seed = faultSeed + 0x1000003ULL * link_index;
+        return lp;
+    }
 };
 
 } // namespace pciesim

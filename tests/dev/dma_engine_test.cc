@@ -209,6 +209,86 @@ TEST(DmaEngineTest, WritePayloadRidesTheWire)
     EXPECT_EQ(mem.requests[0]->data()[3], 0xef);
 }
 
+TEST(DmaEngineTest, CompletionTimeoutAbortsDeadTransfer)
+{
+    Simulation sim;
+    DmaEngineParams params;
+    params.completionTimeout = microseconds(10);
+    EngineHarness h(sim, params);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    h.port.bind(mem); // accepts requests but never responds
+    sim.initialize();
+
+    bool done = false;
+    h.engine->startWrite(0, 256, [&] { done = true; });
+    sim.run();
+    // The endpoint is dead: the watchdog aborts the transfer and
+    // the simulation terminates instead of hanging.
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(h.engine->busy());
+    EXPECT_EQ(h.engine->completionTimeouts(), 1u);
+    EXPECT_GE(sim.curTick(), microseconds(10));
+}
+
+TEST(DmaEngineTest, LateResponsesAfterTimeoutAreDropped)
+{
+    Simulation sim;
+    DmaEngineParams params;
+    params.completionTimeout = microseconds(10);
+    EngineHarness h(sim, params);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    h.port.bind(mem);
+    sim.initialize();
+
+    h.engine->startWrite(0, 128, [] {});
+    sim.run(); // watchdog fires; 2 responses still owed
+    ASSERT_EQ(h.engine->completionTimeouts(), 1u);
+    ASSERT_EQ(mem.requests.size(), 2u);
+
+    // The owed completions straggle in after the abort: they must
+    // be swallowed, not panic as stray responses.
+    for (auto &req : mem.requests) {
+        req->makeResponse();
+        EXPECT_TRUE(mem.sendTimingResp(req));
+    }
+
+    // The engine is reusable: a live endpoint completes normally.
+    mem.autoRespond = true;
+    bool done = false;
+    h.engine->startWrite(0x1000, 128, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(h.engine->completionTimeouts(), 1u);
+}
+
+TEST(DmaEngineTest, ProgressRearmsTheWatchdog)
+{
+    // An endpoint that keeps responding - however slowly relative
+    // to the transfer, as long as each response lands within one
+    // timeout period - must never trip the watchdog.
+    Simulation sim;
+    DmaEngineParams params;
+    params.completionTimeout = microseconds(10);
+    params.maxOutstanding = 1;
+    EngineHarness h(sim, params);
+    RecordingSlavePort mem("mem", {AddrRange{0, 0x100000}});
+    h.port.bind(mem);
+    sim.initialize();
+
+    bool done = false;
+    h.engine->startWrite(0, 256, [&] { done = true; });
+    for (int i = 0; i < 4; ++i) {
+        sim.runFor(microseconds(8)); // < timeout since last arm
+        ASSERT_FALSE(mem.requests.empty());
+        PacketPtr req = mem.requests.back();
+        req->makeResponse();
+        mem.sendTimingResp(req);
+    }
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(h.engine->completionTimeouts(), 0u);
+}
+
 TEST(DmaEngineTest, DoubleStartPanics)
 {
     setLoggingThrows(true);

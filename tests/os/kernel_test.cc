@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include "../common/test_ports.hh"
 #include "topo/nic_system.hh"
 
 using namespace pciesim;
+using namespace pciesim::test;
 using namespace pciesim::literals;
 
 TEST(KernelTest, AllocDmaRespectsAlignment)
@@ -79,6 +81,47 @@ TEST(KernelTest, MmioOpsCompleteInOrder)
     sim.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_GE(k.mmioOps(), 3u);
+}
+
+TEST(KernelTest, MmioCompletionTimeoutAbortsWithAllOnes)
+{
+    Simulation sim;
+    PciHost host(sim, "host");
+    IntController gic(sim, "gic", IntControllerParams{});
+    SimpleMemory dram(sim, "dram", SimpleMemoryParams{});
+    RecordingMasterPort dramSrc{"dramSrc"};
+    dramSrc.bind(dram.port());
+
+    KernelParams kp;
+    kp.completionTimeout = 50_us;
+    Kernel k(sim, "kernel", host, gic, dram, kp);
+    // The MMIO target accepts requests but never completes them.
+    RecordingSlavePort dead{"dead",
+                            {AddrRange{0x40000000, 0x40001000}}};
+    k.cpuPort().bind(dead);
+    sim.initialize();
+
+    std::uint64_t read_value = 0;
+    bool wrote = false;
+    k.mmioRead(0x40000000, 4,
+               [&](std::uint64_t v) { read_value = v; });
+    k.mmioWrite(0x40000004, 4, 1, [&] { wrote = true; });
+    sim.run();
+
+    // Both ops were failed by the completion timer instead of
+    // hanging the queue; the read saw the all-ones abort value.
+    EXPECT_EQ(read_value, ~0ULL);
+    EXPECT_TRUE(wrote);
+    EXPECT_EQ(k.completionTimeouts(), 2u);
+    EXPECT_EQ(k.mmioOps(), 0u);
+    EXPECT_GE(sim.curTick(), 100_us);
+
+    // A completion straggling in after its op was retired must be
+    // dropped, not treated as a protocol violation.
+    ASSERT_EQ(dead.requests.size(), 2u);
+    dead.requests[0]->makeResponse();
+    EXPECT_TRUE(dead.sendTimingResp(dead.requests[0]));
+    EXPECT_EQ(k.completionTimeouts(), 2u);
 }
 
 TEST(KernelTest, ConfigAccessGoesThroughPciHost)

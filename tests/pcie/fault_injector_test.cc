@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the per-link fault injector: scripted ordinal and
+ * window faults, the BER-to-LCRC-failure-probability conversion,
+ * and determinism of the random stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pcie/fault_injector.hh"
+
+using namespace pciesim;
+using namespace pciesim::literals;
+
+namespace
+{
+
+PciePkt
+tlp(SeqNum seq)
+{
+    return PciePkt::makeTlp(
+        Packet::makeRequest(MemCmd::WriteReq, 0, 64), seq);
+}
+
+PciePkt
+ack(SeqNum seq)
+{
+    return PciePkt::makeDllp(DllpType::Ack, seq);
+}
+
+} // namespace
+
+TEST(FaultInjectorTest, DisabledByDefault)
+{
+    FaultInjectorParams p;
+    EXPECT_FALSE(p.enabled());
+    FaultInjector fi(p, PcieGen::Gen2, 0);
+    EXPECT_FALSE(fi.enabled());
+    for (SeqNum s = 0; s < 100; ++s)
+        EXPECT_FALSE(fi.corruptsNext(tlp(s), 0));
+    EXPECT_EQ(fi.faultsInjected(), 0u);
+    EXPECT_EQ(fi.tlpsSeen(), 100u);
+}
+
+TEST(FaultInjectorTest, ScriptedOrdinalsHitExactly)
+{
+    FaultInjectorParams p;
+    p.corruptTlpNumbers = {1, 3};
+    p.corruptDllpNumbers = {2};
+    EXPECT_TRUE(p.enabled());
+    FaultInjector fi(p, PcieGen::Gen2, 0);
+
+    // TLP and DLLP ordinals count independently.
+    EXPECT_TRUE(fi.corruptsNext(tlp(0), 0));   // TLP #1
+    EXPECT_FALSE(fi.corruptsNext(ack(0), 0));  // DLLP #1
+    EXPECT_FALSE(fi.corruptsNext(tlp(1), 0));  // TLP #2
+    EXPECT_TRUE(fi.corruptsNext(ack(1), 0));   // DLLP #2
+    EXPECT_TRUE(fi.corruptsNext(tlp(2), 0));   // TLP #3
+    EXPECT_FALSE(fi.corruptsNext(tlp(3), 0));  // TLP #4
+    EXPECT_EQ(fi.faultsInjected(), 3u);
+}
+
+TEST(FaultInjectorTest, WindowCorruptsEverythingInside)
+{
+    FaultInjectorParams p;
+    p.corruptWindowBegin = 100_ns;
+    p.corruptWindowEnd = 200_ns;
+    EXPECT_TRUE(p.enabled());
+    FaultInjector fi(p, PcieGen::Gen2, 0);
+
+    EXPECT_FALSE(fi.corruptsNext(tlp(0), 99_ns));
+    EXPECT_TRUE(fi.corruptsNext(tlp(1), 100_ns)); // begin inclusive
+    EXPECT_TRUE(fi.corruptsNext(ack(0), 150_ns));
+    EXPECT_FALSE(fi.corruptsNext(tlp(2), 200_ns)); // end exclusive
+}
+
+TEST(FaultInjectorTest, CorruptProbabilityMatchesClosedForm)
+{
+    FaultInjectorParams p;
+    p.bitErrorRate = 1e-6;
+    FaultInjector fi(p, PcieGen::Gen2, 0);
+
+    // Gen 2 uses 8b/10b: 10 encoded bits per symbol.
+    double expected = 1.0 - std::pow(1.0 - 1e-6, 84 * 10.0);
+    EXPECT_NEAR(fi.corruptProbability(84), expected, 1e-12);
+    // More symbols on the wire -> more likely to be hit.
+    EXPECT_GT(fi.corruptProbability(84), fi.corruptProbability(8));
+
+    FaultInjectorParams off;
+    FaultInjector fi_off(off, PcieGen::Gen2, 0);
+    EXPECT_EQ(fi_off.corruptProbability(84), 0.0);
+
+    FaultInjectorParams sure;
+    sure.bitErrorRate = 1.0;
+    FaultInjector fi_sure(sure, PcieGen::Gen2, 0);
+    EXPECT_EQ(fi_sure.corruptProbability(84), 1.0);
+}
+
+TEST(FaultInjectorTest, BerDecisionsAreDeterministic)
+{
+    FaultInjectorParams p;
+    p.bitErrorRate = 1e-4;
+    FaultInjector a(p, PcieGen::Gen2, 0);
+    FaultInjector b(p, PcieGen::Gen2, 0);
+
+    unsigned corrupted = 0;
+    for (SeqNum s = 0; s < 2000; ++s) {
+        bool ca = a.corruptsNext(tlp(s), 0);
+        bool cb = b.corruptsNext(tlp(s), 0);
+        EXPECT_EQ(ca, cb);
+        corrupted += ca ? 1 : 0;
+    }
+    // p(corrupt) ~ 1 - (1-1e-4)^840 ~ 8.1%; 2000 draws stay well
+    // inside [2%, 20%].
+    EXPECT_GT(corrupted, 2000u * 2 / 100);
+    EXPECT_LT(corrupted, 2000u * 20 / 100);
+    EXPECT_EQ(a.faultsInjected(), corrupted);
+}
+
+TEST(FaultInjectorTest, DirectionSaltsDecorrelateStreams)
+{
+    FaultInjectorParams p;
+    // ~50% per 84-symbol packet: maximizes the chance two streams
+    // disagree on any given draw.
+    p.bitErrorRate = 8e-4;
+    FaultInjector up(p, PcieGen::Gen2, 0);
+    FaultInjector down(p, PcieGen::Gen2, 1);
+
+    unsigned differing = 0;
+    for (SeqNum s = 0; s < 256; ++s) {
+        if (up.corruptsNext(tlp(s), 0) !=
+            down.corruptsNext(tlp(s), 0)) {
+            ++differing;
+        }
+    }
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjectorTest, ScriptedFaultsDoNotShiftBerStream)
+{
+    // The PRNG draws for every packet, so adding scripted faults
+    // must not change which packets the BER corrupts.
+    FaultInjectorParams ber_only;
+    ber_only.bitErrorRate = 1e-4;
+    FaultInjectorParams mixed = ber_only;
+    mixed.corruptTlpNumbers = {5};
+
+    FaultInjector a(ber_only, PcieGen::Gen2, 0);
+    FaultInjector b(mixed, PcieGen::Gen2, 0);
+    for (SeqNum s = 0; s < 1000; ++s) {
+        bool ca = a.corruptsNext(tlp(s), 0);
+        bool cb = b.corruptsNext(tlp(s), 0);
+        if (s + 1 == 5)
+            EXPECT_TRUE(cb);
+        else
+            EXPECT_EQ(ca, cb);
+    }
+}

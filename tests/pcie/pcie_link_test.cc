@@ -269,6 +269,113 @@ TEST_F(LinkFixture, ImmediateAckModeStillDeliversEverything)
     EXPECT_EQ(rcSrc.responses.size(), 16u);
 }
 
+TEST_F(LinkFixture, ScriptedCorruptionRecoversViaNak)
+{
+    // Corrupt exactly the first TLP toward the device. The receiver
+    // must NAK it and the sender must replay immediately - the
+    // replay timer never fires.
+    PcieLinkParams p;
+    p.faults.corruptTlpNumbers = {1};
+    build(p);
+
+    rcSrc.sendTimingReq(Packet::makeRequest(MemCmd::WriteReq,
+                                            0x40000000, 64));
+    sim.run();
+    ASSERT_EQ(devPio.requests.size(), 1u); // delivered exactly once
+    EXPECT_EQ(link->downstreamIf().crcErrorsTlp(), 1u);
+    EXPECT_EQ(link->downstreamIf().naksSent(), 1u);
+    EXPECT_EQ(link->upstreamIf().naksReceived(), 1u);
+    EXPECT_EQ(link->upstreamIf().replayedTlps(), 1u);
+    EXPECT_EQ(link->upstreamIf().timeouts(), 0u);
+    // NAK recovery is fast: well under one replay-timeout period.
+    EXPECT_LT(sim.curTick(), link->replayTimeoutTicks());
+}
+
+TEST_F(LinkFixture, GapAfterCorruptionIsNakedOnce)
+{
+    // Two TLPs; the first is corrupted so the second arrives out of
+    // sequence. Spec NAK_SCHEDULED semantics: one NAK covers the
+    // whole loss window, and both TLPs are replayed in order.
+    PcieLinkParams p;
+    p.faults.corruptTlpNumbers = {1};
+    p.replayBufferSize = 4;
+    build(p);
+
+    rcSrc.sendTimingReq(Packet::makeRequest(MemCmd::WriteReq,
+                                            0x40000000, 64));
+    rcSrc.sendTimingReq(Packet::makeRequest(MemCmd::WriteReq,
+                                            0x40000040, 64));
+    sim.run();
+    ASSERT_EQ(devPio.requests.size(), 2u);
+    EXPECT_EQ(devPio.requests[0]->addr(), 0x40000000u);
+    EXPECT_EQ(devPio.requests[1]->addr(), 0x40000040u);
+    EXPECT_EQ(link->downstreamIf().naksSent(), 1u);
+    EXPECT_GE(link->downstreamIf().errorStats().outOfOrderDrops, 1u);
+    EXPECT_EQ(link->upstreamIf().timeouts(), 0u);
+}
+
+TEST_F(LinkFixture, CorruptedAckFallsBackToReplayTimer)
+{
+    // Corrupt the first DLLP (the ACK travelling back upstream).
+    // DLLPs are not replayed; the sender recovers via the replay
+    // timer and the receiver discards the resulting duplicate.
+    PcieLinkParams p;
+    p.faults.corruptDllpNumbers = {1};
+    build(p);
+
+    rcSrc.sendTimingReq(Packet::makeRequest(MemCmd::WriteReq,
+                                            0x40000000, 64));
+    sim.run();
+    ASSERT_EQ(devPio.requests.size(), 1u);
+    EXPECT_EQ(link->upstreamIf().crcErrorsDllp(), 1u);
+    EXPECT_GE(link->upstreamIf().timeouts(), 1u);
+    auto &reg = sim.statsRegistry();
+    EXPECT_GE(reg.counterValue("link.down.duplicateTlps"), 1u);
+}
+
+TEST_F(LinkFixture, PersistentCorruptionTriggersRetrain)
+{
+    // Everything on the wire is corrupted for a long window: the
+    // same TLP is replayed over and over, REPLAY_NUM rolls over,
+    // and the link retrains. When the window ends the TLP finally
+    // gets through.
+    PcieLinkParams p;
+    p.faults.corruptWindowBegin = 0;
+    p.faults.corruptWindowEnd = 2_ms;
+    p.retrainLatency = 1_us;
+    build(p);
+
+    rcSrc.sendTimingReq(Packet::makeRequest(MemCmd::WriteReq,
+                                            0x40000000, 64));
+    sim.run();
+    ASSERT_EQ(devPio.requests.size(), 1u);
+    EXPECT_GE(link->errorStats().retrains, 1u);
+    EXPECT_GE(link->errorStats().crcErrorsTlp,
+              static_cast<std::uint64_t>(p.replayNumThreshold));
+    EXPECT_GE(sim.curTick(), 2_ms);
+}
+
+TEST_F(LinkFixture, FaultStatsStayZeroOnCleanLinks)
+{
+    PcieLinkParams p;
+    p.enableNak = true; // NAK protocol on, but nothing to NAK
+    build(p);
+    devPio.autoRespond = true;
+
+    for (unsigned i = 0; i < 8; ++i) {
+        rcSrc.sendTimingReq(Packet::makeRequest(
+            MemCmd::ReadReq, 0x40000000 + 4 * i, 4));
+        sim.run();
+    }
+    EXPECT_EQ(devPio.requests.size(), 8u);
+    LinkErrorStats s = link->errorStats();
+    EXPECT_EQ(s.crcErrorsTlp, 0u);
+    EXPECT_EQ(s.crcErrorsDllp, 0u);
+    EXPECT_EQ(s.naksSent, 0u);
+    EXPECT_EQ(s.naksReceived, 0u);
+    EXPECT_EQ(s.retrains, 0u);
+}
+
 TEST(PcieLinkConfig, InvalidParamsAreFatal)
 {
     setLoggingThrows(true);

@@ -75,3 +75,63 @@ TEST(ReplayBufferTest, ViolationsPanic)
     EXPECT_THROW(ReplayBuffer(0), PanicError); // zero capacity
     setLoggingThrows(false);
 }
+
+TEST(SeqArithmeticTest, ModularHelpers)
+{
+    // The DLL sequence space is 12 bits (spec: seq numbers count
+    // modulo 4096); comparisons hold as long as the window stays
+    // under half the modulus.
+    EXPECT_EQ(seqInc(0), 1u);
+    EXPECT_EQ(seqInc(4095), 0u);
+    EXPECT_EQ(seqDec(0), 4095u);
+    EXPECT_EQ(seqDistance(4094, 2), 4u);
+    EXPECT_TRUE(seqLt(4094, 2));  // across the wrap
+    EXPECT_TRUE(seqLe(2, 2));
+    EXPECT_FALSE(seqLt(2, 2));
+    EXPECT_FALSE(seqLt(2, 4094)); // 4094 is "behind" 2
+    EXPECT_TRUE(seqLe(0, seqModulus / 2 - 1));
+    EXPECT_FALSE(seqLe(0, seqModulus / 2));
+    // Sequence numbers are clamped into the 12-bit space.
+    EXPECT_EQ(seqClamp(4096), 0u);
+    EXPECT_EQ(seqInc(8191), 0u);
+}
+
+TEST(ReplayBufferTest, SequenceWrapAround)
+{
+    // Fill across the 4095 -> 0 wrap; order, acking, and the seq
+    // audit must all use modular comparisons.
+    ReplayBuffer rb(4);
+    rb.push(tlp(4094));
+    rb.push(tlp(4095));
+    rb.push(tlp(0));
+    rb.push(tlp(1));
+    EXPECT_TRUE(rb.full());
+
+    // ACK 4095 purges the two pre-wrap entries only.
+    EXPECT_EQ(rb.ack(4095), 2u);
+    ASSERT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb.entries().front().seq(), 0u);
+
+    // ACK 1 (post-wrap) purges the rest.
+    EXPECT_EQ(rb.ack(1), 2u);
+    EXPECT_TRUE(rb.empty());
+
+    // Refill past the wrap point and ACK across it in one step.
+    rb.push(tlp(4095));
+    rb.push(tlp(0));
+    EXPECT_EQ(rb.ack(0), 2u);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(ReplayBufferTest, WrapViolationsStillPanic)
+{
+    // Modular order must still reject pushes that go backwards,
+    // including "backwards across the wrap".
+    setLoggingThrows(true);
+    ReplayBuffer rb(4);
+    rb.push(tlp(0));
+    EXPECT_THROW(rb.push(tlp(4095)), PanicError);
+    rb.push(tlp(1));
+    EXPECT_THROW(rb.push(tlp(1)), PanicError); // duplicate
+    setLoggingThrows(false);
+}

@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "mem/packet.hh"
+#include "pcie/pcie_link.hh"
 #include "pcie/replay_buffer.hh"
 #include "sim/event_queue.hh"
 #include "sim/invariant.hh"
+#include "sim/simulation.hh"
 
 using namespace pciesim;
 
@@ -129,6 +131,26 @@ TEST(InvariantDeathTest, ReplayBufferSeqCorruptionFiresAudit)
         Packet::makeRequest(MemCmd::ReadReq, 0x2000, 64), 8));
     EXPECT_DEATH(rb.corruptSeqForAuditTest(1, 7),
                  "replay buffer seq order broken");
+}
+
+TEST(InvariantDeathTest, NakOutsideLossWindowFiresAudit)
+{
+    // At most one NAK per loss window: nakPending_ without
+    // NAK_SCHEDULED means a second NAK was queued for the same
+    // window.
+    Simulation sim;
+    PcieLink link(sim, "link", PcieLinkParams{});
+    EXPECT_DEATH(link.upstreamIf().corruptNakStateForAuditTest(),
+                 "NAK queued outside a loss window");
+}
+
+TEST(InvariantDeathTest, ReplayNumOverflowFiresAudit)
+{
+    // REPLAY_NUM past the threshold means a retrain was missed.
+    Simulation sim;
+    PcieLink link(sim, "link", PcieLinkParams{});
+    EXPECT_DEATH(link.upstreamIf().corruptReplayNumForAuditTest(),
+                 "exceeds the retrain threshold");
 }
 
 #endif // PCIESIM_ENABLE_AUDIT

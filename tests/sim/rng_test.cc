@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the seeded per-object PRNG (sim/rng.hh): the
+ * xoshiro256** generator behind fault injection. Determinism across
+ * instances with the same seed is the property everything else
+ * (reproducible fault runs) builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "sim/rng.hh"
+
+using namespace pciesim;
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_EQ(same, 0u);
+}
+
+TEST(RngTest, ZeroSeedStillProducesEntropy)
+{
+    // splitmix64 seeding guarantees a nonzero xoshiro state even
+    // for seed 0 (the all-zero state is a fixed point).
+    Rng r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RngTest, UniformIsInHalfOpenUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; 10k samples land well within 0.03.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, BernoulliRespectsProbability)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+    unsigned hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.bernoulli(0.1) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.1, 0.02);
+}

@@ -21,11 +21,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/trace.hh"
 #include "topo/storage_system.hh"
 
 namespace bench
@@ -47,21 +49,66 @@ struct BenchArgs
     Scale scale = Scale::Default;
     /** Emit one JSON object per line instead of tables. */
     bool json = false;
+    /** Zero every wall-clock-derived field (--no-timing) so two
+     *  identical runs emit byte-identical output (determinism CI). */
+    bool noTiming = false;
+    /** @{ Observability (DESIGN.md Sec. 8). */
+    /** Chrome trace-event output path (--trace-out=trace.json). */
+    std::string traceOut;
+    /** Trace flags to enable (--trace-flags=Link,Dma). */
+    std::string traceFlags;
+    /** Stats-sampler period in ns (--stats-sample-ns=1000). */
+    std::uint64_t statsSampleNs = 0;
+    /** @} */
 };
+
+/**
+ * The process-wide copy of the parsed arguments; runDd reads the
+ * observability knobs from here so every bench gets --trace-* and
+ * --stats-sample-ns without per-bench plumbing.
+ */
+inline BenchArgs &
+globalArgs()
+{
+    static BenchArgs args;
+    return args;
+}
 
 inline BenchArgs
 parseArgs(int argc, char **argv)
 {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--paper-scale") == 0)
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--paper-scale") == 0)
             args.scale = Scale::Paper;
-        else if (std::strcmp(argv[i], "--smoke") == 0)
+        else if (std::strcmp(arg, "--smoke") == 0)
             args.scale = Scale::Smoke;
-        else if (std::strcmp(argv[i], "--json") == 0)
+        else if (std::strcmp(arg, "--json") == 0)
             args.json = true;
+        else if (std::strcmp(arg, "--no-timing") == 0)
+            args.noTiming = true;
+        else if (std::strncmp(arg, "--trace-out=", 12) == 0)
+            args.traceOut = arg + 12;
+        else if (std::strncmp(arg, "--trace-flags=", 14) == 0)
+            args.traceFlags = arg + 14;
+        else if (std::strncmp(arg, "--stats-sample-ns=", 18) == 0)
+            args.statsSampleNs = std::strtoull(arg + 18, nullptr, 10);
     }
+    // The Chrome sink needs its closing bracket even when the bench
+    // exits through a fatal() path.
+    std::atexit([] { trace::closeSinks(); });
+    globalArgs() = args;
     return args;
+}
+
+/** Copy the parsed observability knobs into a system config. */
+inline void
+applyObservability(const BenchArgs &args, SystemConfig &config)
+{
+    config.traceOut = args.traceOut;
+    config.traceFlags = args.traceFlags;
+    config.statsSampleInterval = nanoseconds(args.statsSampleNs);
 }
 
 /** Result of one dd run. */
@@ -80,6 +127,11 @@ struct DdResult
     double wall_ms = 0.0;
     double events_per_sec = 0.0;
     std::uint64_t eventsProcessed = 0;
+    /** @} */
+    /** @{ DMA request-to-response latency percentiles (ns). */
+    double latP50Ns = 0.0;
+    double latP95Ns = 0.0;
+    double latP99Ns = 0.0;
     /** @} */
 };
 
@@ -156,11 +208,14 @@ class JsonEmitter
         std::printf("{\"bench\": \"%s\", \"config\": \"%s\", "
                     "\"gbps\": %.6f, \"replayFraction\": %.6f, "
                     "\"timeoutFraction\": %.6f, \"wall_ms\": %.3f, "
-                    "\"events_per_sec\": %.0f}\n",
+                    "\"events_per_sec\": %.0f, "
+                    "\"lat_p50_ns\": %.3f, \"lat_p95_ns\": %.3f, "
+                    "\"lat_p99_ns\": %.3f}\n",
                     jsonEscape(bench_).c_str(),
                     jsonEscape(config).c_str(), r.gbps,
                     r.replayFraction, r.timeoutFraction, r.wall_ms,
-                    r.events_per_sec);
+                    r.events_per_sec, r.latP50Ns, r.latP95Ns,
+                    r.latP99Ns);
     }
 
     /** Record arbitrary numeric fields (non-dd benches). */
@@ -184,7 +239,9 @@ class JsonEmitter
     bool enabled_;
 };
 
-/** Wall-clock stopwatch for simulator-performance measurement. */
+/** Wall-clock stopwatch for simulator-performance measurement.
+ *  Reads as zero under --no-timing, which zeroes every derived
+ *  rate field and makes bench output run-to-run byte-identical. */
 class WallTimer
 {
   public:
@@ -193,6 +250,8 @@ class WallTimer
     double
     elapsedMs() const
     {
+        if (globalArgs().noTiming)
+            return 0.0;
         auto d = std::chrono::steady_clock::now() - start_;
         return std::chrono::duration<double, std::milli>(d).count();
     }
@@ -203,8 +262,9 @@ class WallTimer
 
 /** Run dd once on the validation topology. */
 inline DdResult
-runDd(const SystemConfig &config, std::uint64_t block_bytes)
+runDd(SystemConfig config, std::uint64_t block_bytes)
 {
+    applyObservability(globalArgs(), config);
     Simulation sim;
     StorageSystem system(sim, config);
     DdWorkloadParams dd;
@@ -235,6 +295,13 @@ runDd(const SystemConfig &config, std::uint64_t block_bytes)
                            static_cast<double>(tx);
         r.timeoutFraction = static_cast<double>(r.timeouts) /
                             static_cast<double>(tx);
+    }
+    const stats::Histogram *lat =
+        reg.histogram("system.disk.dma.e2eLatency");
+    if (lat != nullptr && lat->samples() > 0) {
+        r.latP50Ns = ticksToNs(lat->quantile(0.50));
+        r.latP95Ns = ticksToNs(lat->quantile(0.95));
+        r.latP99Ns = ticksToNs(lat->quantile(0.99));
     }
     return r;
 }

@@ -1,0 +1,36 @@
+# Determinism gate for a bench binary: two back-to-back runs with
+# the same arguments must emit byte-identical JSON. Wall-clock and
+# rate fields would break this, so the bench is run with
+# --no-timing, which zeroes them (the simulated results are what
+# must match).
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_BIN=<bench> -DOUT_A=<file> -DOUT_B=<file> \
+#         -P bench_determinism.cmake
+
+if(NOT BENCH_BIN OR NOT OUT_A OR NOT OUT_B)
+    message(FATAL_ERROR
+        "bench_determinism.cmake needs BENCH_BIN, OUT_A and OUT_B")
+endif()
+
+foreach(out "${OUT_A}" "${OUT_B}")
+    execute_process(
+        COMMAND "${BENCH_BIN}" --smoke --json --no-timing
+        OUTPUT_FILE "${out}"
+        RESULT_VARIABLE bench_rv
+    )
+    if(NOT bench_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${BENCH_BIN} --smoke --json --no-timing exited with ${bench_rv}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_A}" "${OUT_B}"
+    RESULT_VARIABLE cmp_rv
+)
+if(NOT cmp_rv EQUAL 0)
+    message(FATAL_ERROR
+        "${BENCH_BIN} is nondeterministic: two identical runs "
+        "produced different JSON (${OUT_A} vs ${OUT_B})")
+endif()

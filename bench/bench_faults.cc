@@ -35,6 +35,7 @@ runFaultDd(double ber, std::uint64_t seed, std::uint64_t block_bytes)
     cfg.linkBitErrorRate = ber;
     cfg.faultSeed = seed;
     cfg.completionTimeout = milliseconds(1);
+    applyObservability(globalArgs(), cfg);
     StorageSystem system(sim, cfg);
 
     DdWorkloadParams dd;
@@ -54,6 +55,13 @@ runFaultDd(double ber, std::uint64_t seed, std::uint64_t block_bytes)
         r.links += link->errorStats();
     r.completionTimeouts = system.kernel().completionTimeouts() +
                            system.disk().dmaCompletionTimeouts();
+    const stats::Histogram *lat =
+        sim.statsRegistry().histogram("system.disk.dma.e2eLatency");
+    if (lat != nullptr && lat->samples() > 0) {
+        r.dd.latP50Ns = ticksToNs(lat->quantile(0.50));
+        r.dd.latP95Ns = ticksToNs(lat->quantile(0.95));
+        r.dd.latP99Ns = ticksToNs(lat->quantile(0.99));
+    }
     return r;
 }
 
@@ -130,7 +138,10 @@ main(int argc, char **argv)
              {"completionTimeouts",
               static_cast<double>(r.completionTimeouts)},
              {"wall_ms", r.dd.wall_ms},
-             {"events_per_sec", r.dd.events_per_sec}});
+             {"events_per_sec", r.dd.events_per_sec},
+             {"lat_p50_ns", r.dd.latP50Ns},
+             {"lat_p95_ns", r.dd.latP95Ns},
+             {"lat_p99_ns", r.dd.latP99Ns}});
     }
     if (!args.json) {
         std::printf("expected shape: goodput flat through ~1e-8, "

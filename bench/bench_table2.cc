@@ -48,6 +48,7 @@ main(int argc, char **argv)
         Simulation sim;
         NicSystemConfig cfg;
         cfg.base.rcLatency = nanoseconds(rc);
+        applyObservability(args, cfg.base);
         NicSystem system(sim, cfg);
         WallTimer timer;
         Tick t = system.measureMmioReadLatency(iters);
@@ -58,10 +59,21 @@ main(int argc, char **argv)
             ? static_cast<double>(sim.eventq().numProcessed()) /
                   (wall_ms / 1e3)
             : 0.0;
+        const stats::Histogram *lat =
+            sim.statsRegistry().histogram("system.kernel.mmioLatency");
+        double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+        if (lat != nullptr && lat->samples() > 0) {
+            p50 = ticksToNs(lat->quantile(0.50));
+            p95 = ticksToNs(lat->quantile(0.95));
+            p99 = ticksToNs(lat->quantile(0.99));
+        }
         json.record("rc" + std::to_string(rc) + "ns",
                     {{"mmio_read_ns", ticksToNs(t)},
                      {"wall_ms", wall_ms},
-                     {"events_per_sec", eps}});
+                     {"events_per_sec", eps},
+                     {"lat_p50_ns", p50},
+                     {"lat_p95_ns", p95},
+                     {"lat_p99_ns", p99}});
     }
     if (!args.json) {
         std::printf("\n");

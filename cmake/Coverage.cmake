@@ -1,0 +1,43 @@
+# Coverage instrumentation + report target (coverage preset).
+#
+# With PCIESIM_COVERAGE=ON every target is built with --coverage
+# (gcov notes + counters). The `coverage-report` target runs gcovr
+# when it is installed, and otherwise prints the manual gcov
+# incantation — the build itself never depends on gcovr.
+
+if(NOT PCIESIM_COVERAGE)
+    return()
+endif()
+
+add_compile_options(--coverage -O0 -g)
+add_link_options(--coverage)
+
+find_program(GCOVR_EXECUTABLE gcovr)
+find_program(LLVM_COV_EXECUTABLE llvm-cov)
+
+if(GCOVR_EXECUTABLE)
+    add_custom_target(coverage-report
+        COMMAND ${GCOVR_EXECUTABLE}
+            --root ${CMAKE_SOURCE_DIR}
+            --filter ${CMAKE_SOURCE_DIR}/src
+            --print-summary
+            --html-details
+                ${CMAKE_BINARY_DIR}/coverage/index.html
+            ${CMAKE_BINARY_DIR}
+        WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
+        COMMENT "Generating coverage report (gcovr)"
+        VERBATIM)
+elseif(LLVM_COV_EXECUTABLE)
+    add_custom_target(coverage-report
+        COMMAND sh -c
+            "find . -name '*.gcda' -exec ${LLVM_COV_EXECUTABLE} gcov -p {} +"
+        WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
+        COMMENT "Generating coverage report (llvm-cov gcov)"
+        VERBATIM)
+else()
+    add_custom_target(coverage-report
+        COMMAND ${CMAKE_COMMAND} -E echo
+            "no gcovr/llvm-cov found; run gcov by hand on the"
+            " .gcda files under ${CMAKE_BINARY_DIR}"
+        VERBATIM)
+endif()

@@ -5,7 +5,10 @@
 #   1. gem5_lint.py over src/ bench/ tests/   (style, seconds)
 #   2. run-tidy                               (clang-tidy, if present)
 #   3. default preset: build + tier-1 ctest
-#   4. asan-ubsan preset: build + tier-1 ctest (pool poisoning live)
+#      (includes golden_stats_test: stats dumps vs tests/golden/)
+#   4. determinism gates: in-process seeded-rerun test plus the
+#      bench-level byte-identical-JSON ctests
+#   5. asan-ubsan preset: build + tier-1 ctest (pool poisoning live)
 #
 # Any finding or failure exits nonzero. The audit preset is covered
 # by `ctest --preset audit` and is not part of this quick gate; run
@@ -25,18 +28,22 @@ done
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/4] gem5_lint =="
+echo "== [1/5] gem5_lint =="
 python3 tools/gem5_lint.py src bench tests
 
-echo "== [2/4] clang-tidy (run-tidy) =="
+echo "== [2/5] clang-tidy (run-tidy) =="
 cmake --preset default >/dev/null
 cmake --build build --target run-tidy -j "$jobs"
 
-echo "== [3/4] default build + tier-1 ctest =="
+echo "== [3/5] default build + tier-1 ctest (incl. golden stats) =="
 cmake --build build -j "$jobs"
 ctest --test-dir build -LE tier2 -j "$jobs" --output-on-failure
 
-echo "== [4/4] asan-ubsan build + tier-1 ctest =="
+echo "== [4/5] determinism gates =="
+ctest --test-dir build -R 'determinism' -j "$jobs" \
+    --output-on-failure
+
+echo "== [5/5] asan-ubsan build + tier-1 ctest =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan -LE tier2 -j "$jobs" --output-on-failure

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+#
+# Re-bless the golden-stats files in tests/golden/ after an
+# intentional behaviour change. Builds the default preset, runs
+# golden_stats_test in regeneration mode (each scenario overwrites
+# its golden file instead of diffing), then re-runs it normally to
+# prove the fresh files round-trip.
+#
+# Review the resulting diff like any other code change: every line
+# that moved is a behaviour change you are signing off on.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake --preset default >/dev/null
+cmake --build build -j "$jobs" --target golden_stats_test
+
+echo "== regenerating tests/golden/ =="
+PCIESIM_REGEN_GOLDEN=1 ./build/tests/golden_stats_test
+
+echo "== verifying the fresh goldens round-trip =="
+./build/tests/golden_stats_test
+
+echo
+echo "Done. Review with: git diff tests/golden/"

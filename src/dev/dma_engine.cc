@@ -1,6 +1,7 @@
 #include "dma_engine.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -13,6 +14,9 @@ DmaEngine::DmaEngine(SimObject &owner, MasterPort &port,
       watchdogEvent_(this, name + ".watchdogEvent")
 {
     panicIf(params_.packetSize == 0, "DMA packet size must be > 0");
+    owner_.statsRegistry().add(
+        name_ + ".e2eLatency", &e2eLatency_,
+        "DMA request-to-response latency (ticks)");
 }
 
 void
@@ -74,6 +78,10 @@ DmaEngine::start(MemCmd cmd, Addr addr, std::uint64_t len,
     waitingRetry_ = false;
     onComplete_ = std::move(on_complete);
 
+    TRACE_SPAN_BEGIN(trace::Flag::Dma, owner_.curTick(), name_,
+                     cmd == MemCmd::ReadReq ? "dma read " : "dma write ",
+                     len, "B @", addr);
+
     armWatchdog();
     if (!issueEvent_.scheduled())
         owner_.schedule(issueEvent_, 0);
@@ -95,6 +103,8 @@ DmaEngine::completionTimedOut()
     if (!busy_)
         return;
     ++completionTimeouts_;
+    TRACE_MSG(trace::Flag::Dma, owner_.curTick(), name_,
+              "completion timeout, aborting transfer");
     inform("dma engine '", name_, "': transfer timed out with ",
            outstanding_, " responses outstanding; aborting");
     // Abort: forget what is still owed (recvResp drops the
@@ -154,6 +164,7 @@ DmaEngine::maybeComplete()
 {
     if (busy_ && remaining_ == 0 && outstanding_ == 0) {
         busy_ = false;
+        TRACE_SPAN_END(trace::Flag::Dma, owner_.curTick(), name_);
         if (watchdogEvent_.scheduled())
             owner_.eventq().deschedule(&watchdogEvent_);
         if (onComplete_) {
@@ -177,6 +188,7 @@ DmaEngine::recvResp(const PacketPtr &pkt)
             "DMA engine '", name_, "' response underflow");
     --outstanding_;
     totalBytes_ += pkt->size();
+    e2eLatency_.sample(owner_.curTick() - pkt->creationTick());
     armWatchdog();
 
     if (onData_ && pkt->isRead())

@@ -20,6 +20,7 @@
 #include "mem/port.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 
 namespace pciesim
 {
@@ -113,6 +114,9 @@ class DmaEngine
         return completionTimeouts_;
     }
 
+    /** Request-to-response latency of non-posted packets (ticks). */
+    const stats::Histogram &e2eLatency() const { return e2eLatency_; }
+
   private:
     void start(MemCmd cmd, Addr addr, std::uint64_t len,
                std::function<void()> on_complete);
@@ -143,6 +147,7 @@ class DmaEngine
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalPackets_ = 0;
     std::uint64_t completionTimeouts_ = 0;
+    stats::Histogram e2eLatency_;
     /** Responses owed by timed-out transfers, dropped on arrival
      *  (the ordered fabric delivers them before any successor's). */
     std::uint64_t staleResponses_ = 0;

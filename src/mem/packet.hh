@@ -411,6 +411,14 @@ class Packet final
     /** Number of Packet objects currently alive (leak checking). */
     static std::uint64_t liveCount() { return liveCount_; }
 
+    /**
+     * Restart debug packet numbering from 0. Topology constructors
+     * call this so two identically-configured systems built in one
+     * process produce bit-identical traces (ids appear in
+     * toString() and trace labels, never in simulation logic).
+     */
+    static void resetIds() { nextId_ = 0; }
+
     /** The freelist recycling Packet storage. */
     static PacketPool &pool();
 

@@ -1,6 +1,14 @@
 #include "dd_workload.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace
+{
+// The dd process has no SimObject of its own; it traces on a
+// fixed track name.
+const std::string ddTrack = "dd";
+} // namespace
 
 namespace pciesim
 {
@@ -26,6 +34,9 @@ DdWorkload::run(std::function<void()> done)
     if (bufAddr_ == 0)
         bufAddr_ = kernel_.allocDma(params_.blockBytes, 4096);
 
+    TRACE_SPAN_BEGIN(trace::Flag::Workload, startTick_, ddTrack,
+                     "dd ", params_.count, "x", params_.blockBytes,
+                     "B");
     kernel_.defer(params_.invocationOverhead, [this] { nextBlock(); });
 }
 
@@ -33,13 +44,19 @@ void
 DdWorkload::nextBlock()
 {
     kernel_.defer(params_.perBlockOverhead, [this] {
+        TRACE_SPAN_BEGIN(trace::Flag::Workload, kernel_.curTick(),
+                         ddTrack, "block ", blocksDone_);
         driver_.read(bufAddr_, params_.blockBytes, [this] {
             ++blocksDone_;
+            TRACE_SPAN_END(trace::Flag::Workload, kernel_.curTick(),
+                           ddTrack);
             if (blocksDone_ < params_.count) {
                 nextBlock();
             } else {
                 endTick_ = kernel_.curTick();
                 finished_ = true;
+                TRACE_SPAN_END(trace::Flag::Workload, endTick_,
+                               ddTrack);
                 if (onDone_) {
                     auto cb = std::move(onDone_);
                     onDone_ = nullptr;

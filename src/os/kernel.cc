@@ -1,6 +1,7 @@
 #include "kernel.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -87,6 +88,8 @@ Kernel::init()
                         &completionTimeouts_,
                         "MMIO operations failed by completion "
                         "timeout");
+    statsRegistry().add(name() + ".mmioLatency", &mmioLatency_,
+                        "MMIO issue-to-completion latency (ticks)");
     fatalIf(!cpuPort_->isBound(),
             "kernel '", name(), "' CPU port unbound");
 }
@@ -156,6 +159,9 @@ Kernel::issueNextMmio()
         return;
     }
     mmioInFlight_ = true;
+    TRACE_SPAN_BEGIN(trace::Flag::Mmio, curTick(), name(),
+                     op.isRead ? "mmio read @" : "mmio write @",
+                     op.addr);
     if (params_.completionTimeout > 0 &&
         !mmioTimeoutEvent_.scheduled()) {
         schedule(mmioTimeoutEvent_, params_.completionTimeout);
@@ -180,6 +186,8 @@ Kernel::recvMmioResp(const PacketPtr &pkt)
     MmioOp op = std::move(mmioQueue_.front());
     mmioQueue_.pop_front();
     mmioInFlight_ = false;
+    mmioLatency_.sample(curTick() - pkt->creationTick());
+    TRACE_SPAN_END(trace::Flag::Mmio, curTick(), name());
     mmioPkt_.reset();
     ++mmioOps_;
 
@@ -213,6 +221,9 @@ Kernel::mmioTimeoutFired()
     if (!mmioInFlight_)
         return;
     ++completionTimeouts_;
+    TRACE_SPAN_END(trace::Flag::Mmio, curTick(), name());
+    TRACE_MSG(trace::Flag::Mmio, curTick(), name(),
+              "MMIO completion timeout; returning all-ones");
     inform("kernel: MMIO ", mmioQueue_.front().isRead ? "read"
                                                       : "write",
            " to ", mmioQueue_.front().addr,

@@ -175,6 +175,12 @@ class Kernel : public SimObject
         return completionTimeouts_.value();
     }
 
+    /** MMIO issue-to-completion latency histogram (ticks). */
+    const stats::Histogram &mmioLatency() const
+    {
+        return mmioLatency_;
+    }
+
   private:
     class CpuPort;
 
@@ -215,6 +221,7 @@ class Kernel : public SimObject
     stats::Counter mmioOps_;
     stats::Counter irqsHandled_;
     stats::Counter completionTimeouts_;
+    stats::Histogram mmioLatency_;
 };
 
 } // namespace pciesim

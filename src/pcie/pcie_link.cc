@@ -1,9 +1,27 @@
 #include "pcie_link.hh"
 
 #include "sim/invariant.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
+
+using trace::Flag;
+
+namespace
+{
+
+/** Wire-occupancy span label: packet kind plus sequence number. */
+std::string
+pktLabel(const PciePkt &pkt)
+{
+    if (pkt.isTlp())
+        return "TLP " + std::to_string(pkt.seq());
+    return (pkt.dllpType() == DllpType::Ack ? "Ack " : "Nak ") +
+           std::to_string(pkt.seq());
+}
+
+} // namespace
 
 //
 // UnidirectionalLink
@@ -12,7 +30,7 @@ namespace pciesim
 UnidirectionalLink::UnidirectionalLink(PcieLink &link,
                                        const std::string &name,
                                        bool toward_upstream)
-    : link_(link), towardUpstream_(toward_upstream),
+    : link_(link), name_(name), towardUpstream_(toward_upstream),
       deliverEvent_(this, name + ".deliverEvent")
 {}
 
@@ -33,6 +51,11 @@ UnidirectionalLink::send(const PciePkt &pkt)
         faults_->corruptsNext(wire_pkt, now)) {
         wire_pkt.markCorrupted();
     }
+
+    // Wire occupancy as a known-duration span: one Perfetto row
+    // per direction shows the link's serialization schedule.
+    TRACE_COMPLETE(Flag::Link, now, wire, name_, pktLabel(wire_pkt),
+                   wire_pkt.corrupted() ? " (corrupted)" : "");
 
     inFlight_.push_back({arrive, wire_pkt});
     if (!deliverEvent_.scheduled())
@@ -183,6 +206,10 @@ LinkInterface::registerStats()
             "NAK DLLPs received");
     reg.add(name_ + ".retrains", &retrains_,
             "link retrains initiated by this interface");
+    reg.add(name_ + ".hopLatency", &hopLatency_,
+            "TLP inject-to-delivery latency across this hop (ticks)");
+    reg.add(name_ + ".ackLatency", &ackLatency_,
+            "TLP inject-to-ACK-purge latency (ticks)");
 }
 
 LinkErrorStats
@@ -227,6 +254,9 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
         return false;
     }
     newQueue_.push_back(PciePkt::makeTlp(pkt, sendSeq_));
+    newQueue_.back().setInjectTick(link_.curTick());
+    TRACE_MSG(Flag::Tlp, link_.curTick(), name_, "inject seq ",
+              sendSeq_, " ", pkt->toString());
     sendSeq_ = seqInc(sendSeq_);
     // Credit accounting: replay-buffer residents plus queued-new
     // TLPs may never exceed the replay buffer's capacity, or source
@@ -327,6 +357,10 @@ LinkInterface::replayTimerFired()
         return;
 
     ++timeouts_;
+    TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+              "replay timeout; replaying ", replayBuffer_.size(),
+              " TLPs from seq ",
+              replayBuffer_.entries().front().seq());
     if (nakEnabled()) {
         noteReplayInitiated();
         if (link_.training())
@@ -348,6 +382,8 @@ LinkInterface::recvFromWire(const PciePkt &pkt)
         // loss window and is NAKed; a corrupted DLLP has no
         // recovery DLLP of its own - the sender's replay timer
         // covers the lost acknowledgement (spec; DESIGN.md §7).
+        TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+                  "CRC error, dropping ", pktLabel(pkt));
         if (pkt.isTlp()) {
             ++crcErrorsTlp_;
             if (nakEnabled())
@@ -372,7 +408,11 @@ LinkInterface::recvFromWire(const PciePkt &pkt)
 void
 LinkInterface::processAck(SeqNum seq)
 {
-    std::size_t purged = replayBuffer_.ack(seq);
+    Tick now = link_.curTick();
+    std::size_t purged = replayBuffer_.ack(
+        seq, [&](const PciePkt &p) {
+            ackLatency_.sample(now - p.injectTick());
+        });
     if (purged > 0) {
         // Forward progress: REPLAY_NUM restarts (spec).
         replayNum_ = 0;
@@ -417,10 +457,16 @@ void
 LinkInterface::processNak(SeqNum seq)
 {
     ++naksReceived_;
+    TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+              "NAK received for seq ", seq, ", replaying");
     // A NAK acknowledges every TLP through its sequence number and
     // demands an immediate replay of the rest (spec; this is the
     // fast path that beats the replay timer).
-    std::size_t purged = replayBuffer_.ack(seq);
+    Tick now = link_.curTick();
+    std::size_t purged = replayBuffer_.ack(
+        seq, [&](const PciePkt &p) {
+            ackLatency_.sample(now - p.injectTick());
+        });
     if (purged > 0) {
         replayNum_ = 0;
         replayHeadValid_ = false;
@@ -456,6 +502,9 @@ LinkInterface::processTlp(const PciePkt &pkt)
             ? extMaster_->sendTimingReq(tlp)
             : extSlave_->sendTimingResp(tlp);
         if (delivered) {
+            hopLatency_.sample(link_.curTick() - pkt.injectTick());
+            TRACE_MSG(Flag::Tlp, link_.curTick(), name_,
+                      "deliver seq ", pkt.seq());
             ackSeq_ = recvSeq_;
             recvSeq_ = seqInc(recvSeq_);
             scheduleAckDllp(link_.params().ackImmediate);
@@ -492,6 +541,8 @@ LinkInterface::scheduleNak()
     nakScheduled_ = true;
     nakPending_ = true;
     nakSeq_ = seqDec(recvSeq_);
+    TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+              "loss window opened; NAK scheduled for seq ", nakSeq_);
     // The NAK acknowledges everything before the loss; a pending
     // ACK carrying the same information is subsumed by it.
     if (ackPending_ && seqLe(ackSeq_, nakSeq_))
@@ -701,6 +752,8 @@ PcieLink::startRetrain(LinkInterface &initiator)
         return;
     training_ = true;
     ++initiator.retrains_;
+    TRACE_SPAN_BEGIN(Flag::Retrain, curTick(), name(),
+                     "retrain (initiated by ", initiator.name_, ")");
     // The link is down: whatever is on the wire is lost. The replay
     // buffers recover the TLPs; lost DLLP state is rebuilt from the
     // duplicate re-ACK path after the replay.
@@ -716,6 +769,7 @@ void
 PcieLink::retrainDone()
 {
     training_ = false;
+    TRACE_SPAN_END(Flag::Retrain, curTick(), name());
     upstreamIf_->resumeAfterRetrain();
     downstreamIf_->resumeAfterRetrain();
 }

@@ -133,6 +133,8 @@ class UnidirectionalLink
     UnidirectionalLink(PcieLink &link, const std::string &name,
                        bool toward_upstream);
 
+    const std::string &name() const { return name_; }
+
     /** Earliest tick a new packet may start serializing. */
     Tick freeAt() const { return busyUntil_; }
     bool busy(Tick now) const { return busyUntil_ > now; }
@@ -150,6 +152,7 @@ class UnidirectionalLink
     void deliver();
 
     PcieLink &link_;
+    std::string name_;
     bool towardUpstream_;
     FaultInjector *faults_ = nullptr;
     Tick busyUntil_ = 0;
@@ -198,6 +201,15 @@ class LinkInterface
     std::uint64_t naksSent() const { return naksSent_.value(); }
     std::uint64_t naksReceived() const { return naksReceived_.value(); }
     std::uint64_t retrains() const { return retrains_.value(); }
+
+    /** TLPs currently resident in the replay buffer (sampler). */
+    std::size_t replayDepth() const { return replayBuffer_.size(); }
+
+    /** Per-hop TLP latency (inject to delivery), in ticks. */
+    const stats::Histogram &hopLatency() const { return hopLatency_; }
+
+    /** TLP inject-to-ACK-purge latency, in ticks. */
+    const stats::Histogram &ackLatency() const { return ackLatency_; }
 
     /** Every counter of this interface in one struct. */
     LinkErrorStats errorStats() const;
@@ -329,6 +341,8 @@ class LinkInterface
     stats::Counter naksSent_;
     stats::Counter naksReceived_;
     stats::Counter retrains_;
+    stats::Histogram hopLatency_;
+    stats::Histogram ackLatency_;
 
     friend class PcieLink;
 };

@@ -118,6 +118,16 @@ class PciePkt final
     bool isTlp() const { return isTlp_; }
     bool isDllp() const { return !isTlp_; }
 
+    /** @{
+     * Tick at which the TLP was accepted by the transmitting link
+     * interface. Survives replays (the replay-buffer copy keeps
+     * the original stamp), so hop latency measured at delivery and
+     * ACK latency measured at purge both include recovery time.
+     */
+    void setInjectTick(Tick t) { injectTick_ = t; }
+    Tick injectTick() const { return injectTick_; }
+    /** @} */
+
     const PacketPtr &tlp() const { return tlp_; }
     DllpType dllpType() const { return dllpType_; }
     SeqNum seq() const { return seq_; }
@@ -184,6 +194,7 @@ class PciePkt final
     DllpType dllpType_ = DllpType::Ack;
     SeqNum seq_ = 0;
     unsigned payloadSize_ = 0;
+    Tick injectTick_ = 0;
 };
 
 } // namespace pciesim

@@ -2,6 +2,7 @@
 
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -284,6 +285,8 @@ PcieSwitch::handleDownwardRequest(const PacketPtr &pkt)
         return false;
     }
     ++fwdDownRequests_;
+    TRACE_MSG(trace::Flag::Switch, curTick(), name(),
+              "route down to port ", port, ": ", pkt->toString());
     q->push(pkt, curTick() + params_.latency);
     return true;
 }
@@ -314,6 +317,8 @@ PcieSwitch::handleUpwardRequest(const PacketPtr &pkt, unsigned i)
         return false;
     }
     ++fwdUpRequests_;
+    TRACE_MSG(trace::Flag::Switch, curTick(), name(),
+              "route up from port ", i, ": ", pkt->toString());
     upReqQueue_->push(pkt, curTick() + params_.latency);
     return true;
 }

@@ -69,6 +69,26 @@ class ReplayBuffer
         return purged;
     }
 
+    /**
+     * ack() variant invoking @p on_purge with each purged entry
+     * before it is dropped — the link interface samples its
+     * ACK-latency histogram from the entries' inject ticks.
+     */
+    template <typename Fn>
+    std::size_t
+    ack(SeqNum acked, Fn &&on_purge)
+    {
+        std::size_t purged = 0;
+        while (!entries_.empty() &&
+               seqLe(entries_.front().seq(), acked)) {
+            on_purge(entries_.front());
+            entries_.pop_front();
+            ++purged;
+        }
+        auditSeqOrder();
+        return purged;
+    }
+
     /** Iterate resident TLPs in sequence order (for replay). */
     const std::deque<PciePkt> &entries() const { return entries_; }
 

@@ -2,6 +2,7 @@
 
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -320,6 +321,9 @@ RootComplex::handleUpstreamRequest(const PacketPtr &pkt)
         return false;
     }
     ++fwdDownRequests_;
+    TRACE_MSG(trace::Flag::Rc, curTick(), name(),
+              "route down to root port ", port, ": ",
+              pkt->toString());
     q->push(pkt, curTick() + params_.latency);
     return true;
 }
@@ -355,6 +359,8 @@ RootComplex::handleDownstreamRequest(const PacketPtr &pkt, unsigned i)
         return false;
     }
     ++fwdUpRequests_;
+    TRACE_MSG(trace::Flag::Rc, curTick(), name(),
+              "DMA up from root port ", i, ": ", pkt->toString());
     upReqQueue_->push(pkt, curTick() + params_.latency);
     return true;
 }

@@ -58,12 +58,106 @@ Distribution::reset()
     max_ = 0.0;
 }
 
+namespace
+{
+
+unsigned
+log2Floor(std::uint64_t v)
+{
+#if defined(__GNUC__)
+    return 63u - static_cast<unsigned>(__builtin_clzll(v));
+#else
+    unsigned e = 0;
+    while (v >>= 1)
+        ++e;
+    return e;
+#endif
+}
+
+} // namespace
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v < (1ull << subBucketBits_))
+        return static_cast<std::size_t>(v);
+    unsigned exp = log2Floor(v);
+    std::uint64_t sub = (v >> (exp - subBucketBits_)) &
+                        ((1ull << subBucketBits_) - 1);
+    return ((exp - subBucketBits_ + 1u) << subBucketBits_) +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+Histogram::bucketMidpoint(std::size_t idx)
+{
+    if (idx < (1u << subBucketBits_))
+        return idx;
+    unsigned block = static_cast<unsigned>(idx >> subBucketBits_);
+    std::uint64_t sub = idx & ((1u << subBucketBits_) - 1);
+    unsigned exp = block + subBucketBits_ - 1;
+    std::uint64_t width = 1ull << (exp - subBucketBits_);
+    std::uint64_t low = (1ull << exp) + sub * width;
+    return low + (width >> 1);
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (samples_ == 0 || v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    samples_ += count;
+    sum_ += v * count;
+    buckets_[bucketIndex(v)] += count;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? static_cast<double>(sum_) /
+                          static_cast<double>(samples_)
+                    : 0.0;
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (samples_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples_ - 1));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum > target) {
+            std::uint64_t mid = bucketMidpoint(i);
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    samples_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
 void
 Registry::add(const std::string &name, Counter *stat,
               const std::string &desc)
 {
     panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{stat, nullptr, nullptr, desc};
+    entries_[name] = Entry{stat, nullptr, nullptr, nullptr, desc};
 }
 
 void
@@ -71,7 +165,7 @@ Registry::add(const std::string &name, Scalar *stat,
               const std::string &desc)
 {
     panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{nullptr, stat, nullptr, desc};
+    entries_[name] = Entry{nullptr, stat, nullptr, nullptr, desc};
 }
 
 void
@@ -79,7 +173,15 @@ Registry::add(const std::string &name, Distribution *stat,
               const std::string &desc)
 {
     panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{nullptr, nullptr, stat, desc};
+    entries_[name] = Entry{nullptr, nullptr, stat, nullptr, desc};
+}
+
+void
+Registry::add(const std::string &name, Histogram *stat,
+              const std::string &desc)
+{
+    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
+    entries_[name] = Entry{nullptr, nullptr, nullptr, stat, desc};
 }
 
 std::uint64_t
@@ -98,6 +200,15 @@ Registry::scalarValue(const std::string &name) const
     if (it == entries_.end() || it->second.scalar == nullptr)
         return 0.0;
     return it->second.scalar->value();
+}
+
+const Histogram *
+Registry::histogram(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return nullptr;
+    return it->second.hist;
 }
 
 bool
@@ -120,6 +231,14 @@ Registry::dump(std::ostream &os) const
                << " mean=" << e.dist->mean()
                << " min=" << e.dist->min()
                << " max=" << e.dist->max();
+        } else if (e.hist) {
+            os << "samples=" << e.hist->samples()
+               << " mean=" << e.hist->mean()
+               << " p50=" << e.hist->quantile(0.50)
+               << " p95=" << e.hist->quantile(0.95)
+               << " p99=" << e.hist->quantile(0.99)
+               << " min=" << e.hist->min()
+               << " max=" << e.hist->max();
         }
         if (!e.desc.empty())
             os << "  # " << e.desc;
@@ -138,6 +257,8 @@ Registry::resetAll()
             e.scalar->reset();
         else if (e.dist)
             e.dist->reset();
+        else if (e.hist)
+            e.hist->reset();
     }
 }
 

@@ -9,6 +9,7 @@
 #ifndef PCIESIM_SIM_STATS_HH
 #define PCIESIM_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -71,6 +72,46 @@ class Distribution
 };
 
 /**
+ * A latency histogram over non-negative integer samples (ticks).
+ *
+ * Buckets are logarithmic with 8 linear sub-buckets per power of
+ * two (HdrHistogram-style), so relative error is bounded at ~12%
+ * across the full 64-bit range while the footprint stays at a
+ * fixed 4 KiB. Quantiles are answered from the bucket midpoints,
+ * which keeps them deterministic across runs — a requirement for
+ * the golden-stats suite.
+ */
+class Histogram
+{
+  public:
+    void sample(std::uint64_t v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t min() const { return samples_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /** Value at quantile @p q in [0, 1]; 0 when empty. */
+    std::uint64_t quantile(double q) const;
+
+    void reset();
+
+  private:
+    static constexpr unsigned subBucketBits_ = 3;
+    static constexpr std::size_t numBuckets_ =
+        (64 - subBucketBits_ + 1) << subBucketBits_;
+
+    static std::size_t bucketIndex(std::uint64_t v);
+    static std::uint64_t bucketMidpoint(std::size_t idx);
+
+    std::array<std::uint64_t, numBuckets_> buckets_{};
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * A registry of named statistics.
  *
  * Registration stores non-owning pointers; the registering component
@@ -86,9 +127,14 @@ class Registry
              const std::string &desc = "");
     void add(const std::string &name, Distribution *stat,
              const std::string &desc = "");
+    void add(const std::string &name, Histogram *stat,
+             const std::string &desc = "");
 
     /** Look up a counter value by full name; 0 when absent. */
     std::uint64_t counterValue(const std::string &name) const;
+
+    /** Look up a histogram by full name; nullptr when absent. */
+    const Histogram *histogram(const std::string &name) const;
 
     /** Look up a scalar value by full name; 0.0 when absent. */
     double scalarValue(const std::string &name) const;
@@ -108,6 +154,7 @@ class Registry
         Counter *counter = nullptr;
         Scalar *scalar = nullptr;
         Distribution *dist = nullptr;
+        Histogram *hist = nullptr;
         std::string desc;
     };
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A periodic stats sampler: a SimObject that wakes every
+ * statsSampleInterval ticks, evaluates a set of registered probes
+ * (goodput, replay-buffer depth, ...), and emits each value both
+ * as an in-memory time-series row (for tests) and as a Chrome
+ * counter event on the trace Stats flag.
+ *
+ * The sampler reschedules itself only while other events remain in
+ * the queue, so it never keeps a finished simulation alive.
+ */
+
+#ifndef PCIESIM_SIM_STATS_SAMPLER_HH
+#define PCIESIM_SIM_STATS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "event.hh"
+#include "sim_object.hh"
+#include "stats.hh"
+
+namespace pciesim
+{
+
+/** Periodically samples registered probes into time-series rows. */
+class StatsSampler : public SimObject
+{
+  public:
+    /** One sampled point in time across every probe. */
+    struct Row
+    {
+        Tick tick = 0;
+        std::vector<double> values;
+    };
+
+    StatsSampler(Simulation &sim, const std::string &name,
+                 Tick interval);
+
+    /** Sample the probe's instantaneous value at each tick. */
+    void addGauge(const std::string &series,
+                  std::function<double()> probe);
+
+    /**
+     * Sample the probe's rate of change per second: the probe
+     * returns a monotone cumulative value (e.g. bytes transferred)
+     * and the sampler differentiates it across the interval.
+     */
+    void addRate(const std::string &series,
+                 std::function<double()> probe);
+
+    const std::vector<std::string> &seriesNames() const
+    {
+        return names_;
+    }
+    const std::vector<Row> &rows() const { return rows_; }
+
+    void init() override;
+    void startup() override;
+
+  private:
+    struct Probe
+    {
+        std::function<double()> fn;
+        bool isRate = false;
+        double lastValue = 0.0;
+    };
+
+    void sampleNow();
+
+    Tick interval_;
+    std::vector<std::string> names_;
+    std::vector<Probe> probes_;
+    std::vector<Row> rows_;
+    stats::Counter samplesTaken_;
+    MemberEventWrapper<StatsSampler, &StatsSampler::sampleNow>
+        sampleEvent_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_STATS_SAMPLER_HH

@@ -1,0 +1,201 @@
+#include "trace.hh"
+
+#include <array>
+#include <iostream>
+#include <vector>
+
+namespace pciesim::trace
+{
+
+std::uint32_t enabledMask = 0;
+bool sinksActive = false;
+
+namespace
+{
+
+constexpr std::array<const char *, numFlags> flagNames = {
+    "Link",   "Replay", "Retrain",  "Tlp",   "Dma",
+    "Mmio",   "Switch", "Rc",       "Workload", "Stats",
+};
+
+struct Sinks
+{
+    std::unique_ptr<TextSink> text;
+    std::unique_ptr<ChromeTraceSink> chrome;
+};
+
+Sinks &
+sinks()
+{
+    // Intentionally immortal: benches close sinks from an atexit
+    // handler, which would otherwise race static destruction.
+    static Sinks *s = new Sinks;
+    return *s;
+}
+
+void
+refreshActive()
+{
+    sinksActive = sinks().text != nullptr ||
+                  sinks().chrome != nullptr;
+}
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    auto i = static_cast<std::size_t>(f);
+    panicIf(i >= numFlags, "bad trace flag ", i);
+    return flagNames[i];
+}
+
+std::uint32_t
+parseFlags(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "All" || tok == "all") {
+            mask |= (1u << numFlags) - 1u;
+            continue;
+        }
+        bool found = false;
+        for (std::size_t i = 0; i < numFlags; ++i) {
+            if (tok == flagNames[i]) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        fatalIf(!found, "unknown trace flag '", tok,
+                "' (try: Link,Replay,Retrain,Tlp,Dma,Mmio,Switch,"
+                "Rc,Workload,Stats,All)");
+    }
+    return mask;
+}
+
+void
+setEnabledFlags(std::uint32_t mask)
+{
+    enabledMask = mask;
+}
+
+void
+setEnabledFlags(const std::string &spec)
+{
+    enabledMask = parseFlags(spec);
+}
+
+void
+openTextSink(const std::string &path)
+{
+    if (path == "-" || path.empty())
+        sinks().text = std::make_unique<TextSink>(std::cout);
+    else
+        sinks().text = std::make_unique<TextSink>(path);
+    refreshActive();
+}
+
+void
+openChromeSink(const std::string &path)
+{
+    sinks().chrome = std::make_unique<ChromeTraceSink>(path);
+    refreshActive();
+}
+
+ChromeTraceSink *
+chromeSink()
+{
+    return sinks().chrome.get();
+}
+
+void
+closeSinks()
+{
+    if (sinks().text)
+        sinks().text->flush();
+    if (sinks().chrome)
+        sinks().chrome->close();
+    sinks().text.reset();
+    sinks().chrome.reset();
+    refreshActive();
+}
+
+void
+applyConfig(const std::string &flags_spec,
+            const std::string &chrome_path)
+{
+    if (!chrome_path.empty() && sinks().chrome == nullptr)
+        openChromeSink(chrome_path);
+    if (!flags_spec.empty())
+        setEnabledFlags(flags_spec);
+    else if (sinksActive && enabledMask == 0)
+        enabledMask = (1u << numFlags) - 1u;
+}
+
+namespace
+{
+
+template <typename Fn>
+void
+forEachSink(Fn &&fn)
+{
+    if (sinks().text)
+        fn(*sinks().text);
+    if (sinks().chrome)
+        fn(*sinks().chrome);
+}
+
+} // namespace
+
+void
+emitMessage(Flag f, Tick tick, const std::string &track,
+            const std::string &text)
+{
+    forEachSink([&](Sink &s) {
+        s.message(tick, track, flagName(f), text);
+    });
+}
+
+void
+emitBegin(Flag f, Tick tick, const std::string &track,
+          const std::string &name)
+{
+    forEachSink([&](Sink &s) {
+        s.begin(tick, track, flagName(f), name);
+    });
+}
+
+void
+emitEnd(Flag f, Tick tick, const std::string &track)
+{
+    forEachSink([&](Sink &s) { s.end(tick, track, flagName(f)); });
+}
+
+void
+emitComplete(Flag f, Tick start, Tick duration,
+             const std::string &track, const std::string &name)
+{
+    forEachSink([&](Sink &s) {
+        s.complete(start, duration, track, flagName(f), name);
+    });
+}
+
+void
+emitCounter(Flag f, Tick tick, const std::string &track,
+            const std::string &series, double value)
+{
+    forEachSink([&](Sink &s) {
+        s.counter(tick, track, flagName(f), series, value);
+    });
+}
+
+} // namespace pciesim::trace

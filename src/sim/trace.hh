@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A flag-gated tracing subsystem modeled on gem5's DPRINTF.
+ *
+ * Each trace point belongs to a named Flag; at run time a bitmask
+ * selects which flags are live, and with PCIESIM_TRACING compiled
+ * to 0 every trace macro disappears entirely. Records are fanned
+ * out to the installed sinks (sim/trace_sink.hh): a text sink for
+ * grep-style debugging and a Chrome trace-event sink that renders
+ * link occupancy, replay/retrain episodes, and DMA spans on a
+ * timeline in Perfetto.
+ *
+ * The emitting object passes its own name as the track, so the
+ * viewer shows one row per SimObject — the same shape as gem5's
+ * per-object DPRINTF name prefix.
+ *
+ * Usage:
+ *   TRACE_MSG(Flag::Replay, curTick(), name(),
+ *             "NAK scheduled for seq ", seq);
+ *   TRACE_SPAN_BEGIN(Flag::Dma, curTick(), name(), "dma read");
+ *   TRACE_SPAN_END(Flag::Dma, curTick(), name());
+ */
+
+#ifndef PCIESIM_SIM_TRACE_HH
+#define PCIESIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "logging.hh"
+#include "ticks.hh"
+#include "trace_sink.hh"
+
+// Compile-time master switch: 0 removes every trace macro and its
+// argument evaluation from the build (CMake option PCIESIM_TRACING).
+#ifndef PCIESIM_TRACING
+#define PCIESIM_TRACING 1
+#endif
+
+namespace pciesim::trace
+{
+
+/** Named trace categories, one bit each in the runtime mask. */
+enum class Flag : std::uint32_t
+{
+    Link,     ///< wire occupancy, TLP/DLLP transmission
+    Replay,   ///< LCRC errors, NAKs, replay-buffer activity
+    Retrain,  ///< link retraining episodes
+    Tlp,      ///< per-TLP lifecycle (injection, delivery)
+    Dma,      ///< DMA engine transfer spans
+    Mmio,     ///< kernel MMIO request spans
+    Switch,   ///< switch forwarding decisions
+    Rc,       ///< root-complex forwarding
+    Workload, ///< workload-level phases (dd blocks)
+    Stats,    ///< periodic stats-sampler time series
+    NumFlags
+};
+
+constexpr std::size_t numFlags =
+    static_cast<std::size_t>(Flag::NumFlags);
+
+/** The runtime enable mask; read on every trace-point hit. */
+extern std::uint32_t enabledMask;
+
+/** Whether any sink is installed (checked with the mask). */
+extern bool sinksActive;
+
+inline bool
+enabled(Flag f)
+{
+#if PCIESIM_TRACING
+    return sinksActive &&
+           (enabledMask & (1u << static_cast<std::uint32_t>(f)));
+#else
+    (void)f;
+    return false;
+#endif
+}
+
+/** The flag's canonical name ("Link", "Replay", ...). */
+const char *flagName(Flag f);
+
+/**
+ * Parse a comma-separated flag list ("Link,Dma", case-sensitive)
+ * into a mask. "All" (or "all") selects every flag. Unknown names
+ * are a fatal configuration error.
+ */
+std::uint32_t parseFlags(const std::string &spec);
+
+/** Replace the runtime enable mask. */
+void setEnabledFlags(std::uint32_t mask);
+
+/** Parse @p spec and install it as the enable mask. */
+void setEnabledFlags(const std::string &spec);
+
+/** Install a text sink writing to @p path ("-" for stdout). */
+void openTextSink(const std::string &path);
+
+/** Install a Chrome trace-event sink writing to @p path. */
+void openChromeSink(const std::string &path);
+
+/** The Chrome sink, if one is installed (for tests). */
+ChromeTraceSink *chromeSink();
+
+/** Flush and close all sinks; trace points become no-ops. */
+void closeSinks();
+
+/**
+ * Apply topology-level trace configuration: @p flags_spec selects
+ * flags (empty keeps the current mask, defaulting to All when a
+ * sink is opened here), @p chrome_path opens a Chrome sink when
+ * non-empty. Called from system constructors with the SystemConfig
+ * knobs.
+ */
+void applyConfig(const std::string &flags_spec,
+                 const std::string &chrome_path);
+
+// Record emission: these fan out to every installed sink. Call
+// through the macros below so disabled flags cost one mask test.
+void emitMessage(Flag f, Tick tick, const std::string &track,
+                 const std::string &text);
+void emitBegin(Flag f, Tick tick, const std::string &track,
+               const std::string &name);
+void emitEnd(Flag f, Tick tick, const std::string &track);
+void emitComplete(Flag f, Tick start, Tick duration,
+                  const std::string &track,
+                  const std::string &name);
+void emitCounter(Flag f, Tick tick, const std::string &track,
+                 const std::string &series, double value);
+
+} // namespace pciesim::trace
+
+#if PCIESIM_TRACING
+
+/** Free-form trace message; args use ostream insertion. */
+#define TRACE_MSG(flag, tick, track, ...)                           \
+    do {                                                            \
+        if (::pciesim::trace::enabled(flag)) [[unlikely]] {         \
+            ::pciesim::trace::emitMessage(                          \
+                flag, tick, track,                                  \
+                ::pciesim::logging_detail::concat(__VA_ARGS__));    \
+        }                                                           \
+    } while (0)
+
+/** Open a duration span on the object's track. */
+#define TRACE_SPAN_BEGIN(flag, tick, track, ...)                    \
+    do {                                                            \
+        if (::pciesim::trace::enabled(flag)) [[unlikely]] {         \
+            ::pciesim::trace::emitBegin(                            \
+                flag, tick, track,                                  \
+                ::pciesim::logging_detail::concat(__VA_ARGS__));    \
+        }                                                           \
+    } while (0)
+
+/** Close the innermost open span on the object's track. */
+#define TRACE_SPAN_END(flag, tick, track)                           \
+    do {                                                            \
+        if (::pciesim::trace::enabled(flag)) [[unlikely]]           \
+            ::pciesim::trace::emitEnd(flag, tick, track);           \
+    } while (0)
+
+/** A span with a known duration (e.g. wire occupancy). */
+#define TRACE_COMPLETE(flag, start, dur, track, ...)                \
+    do {                                                            \
+        if (::pciesim::trace::enabled(flag)) [[unlikely]] {         \
+            ::pciesim::trace::emitComplete(                         \
+                flag, start, dur, track,                            \
+                ::pciesim::logging_detail::concat(__VA_ARGS__));    \
+        }                                                           \
+    } while (0)
+
+/** A time-series sample (Chrome counter track). */
+#define TRACE_COUNTER(flag, tick, track, series, value)             \
+    do {                                                            \
+        if (::pciesim::trace::enabled(flag)) [[unlikely]] {         \
+            ::pciesim::trace::emitCounter(flag, tick, track,        \
+                                          series, value);           \
+        }                                                           \
+    } while (0)
+
+#else // !PCIESIM_TRACING
+
+#define TRACE_MSG(flag, tick, track, ...) do {} while (0)
+#define TRACE_SPAN_BEGIN(flag, tick, track, ...) do {} while (0)
+#define TRACE_SPAN_END(flag, tick, track) do {} while (0)
+#define TRACE_COMPLETE(flag, start, dur, track, ...) do {} while (0)
+#define TRACE_COUNTER(flag, tick, track, series, value)             \
+    do {} while (0)
+
+#endif // PCIESIM_TRACING
+
+#endif // PCIESIM_SIM_TRACE_HH

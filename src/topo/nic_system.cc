@@ -2,6 +2,7 @@
 
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -10,6 +11,8 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
     : sim_(sim), config_(config)
 {
     const SystemConfig &base = config.base;
+    trace::applyConfig(base.traceFlags, base.traceOut);
+    Packet::resetIds();
 
     membus_ = std::make_unique<XBar>(sim, "system.membus",
                                      base.membus);

@@ -2,6 +2,7 @@
 
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -10,6 +11,9 @@ StorageSystem::StorageSystem(Simulation &sim,
                              const SystemConfig &config)
     : sim_(sim), config_(config)
 {
+    trace::applyConfig(config.traceFlags, config.traceOut);
+    Packet::resetIds();
+
     membus_ = std::make_unique<XBar>(sim, "system.membus",
                                      config.membus);
     dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
@@ -108,6 +112,28 @@ StorageSystem::StorageSystem(Simulation &sim,
     pciHost_->registerFunction(*disk_, Bdf{3, 0, 0});
 
     kernel_->registerDriver(*ideDriver_);
+
+    // Periodic goodput / replay-depth sampler (off by default).
+    if (config.statsSampleInterval > 0) {
+        sampler_ = std::make_unique<StatsSampler>(
+            sim, "system.sampler", config.statsSampleInterval);
+        IdeDisk *disk = disk_.get();
+        sampler_->addRate("goodputBytesPerSec", [disk] {
+            return static_cast<double>(disk->bytesTransferred());
+        });
+        for (PcieLink *link : links()) {
+            LinkInterface *down = &link->downstreamIf();
+            LinkInterface *up = &link->upstreamIf();
+            sampler_->addGauge(
+                link->name() + ".up.replayDepth", [down] {
+                    return static_cast<double>(down->replayDepth());
+                });
+            sampler_->addGauge(
+                link->name() + ".down.replayDepth", [up] {
+                    return static_cast<double>(up->replayDepth());
+                });
+        }
+    }
 }
 
 StorageSystem::~StorageSystem() = default;

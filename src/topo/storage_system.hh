@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pci/pci_host.hh"
+#include "sim/stats_sampler.hh"
 #include "topo/system_config.hh"
 
 namespace pciesim
@@ -56,6 +57,8 @@ class StorageSystem
     IOCache &ioCache() { return *ioCache_; }
     SimpleMemory &dram() { return *dram_; }
     IntController &gic() { return *gic_; }
+    /** The periodic sampler; null unless statsSampleInterval > 0. */
+    StatsSampler *sampler() { return sampler_.get(); }
     /** @} */
 
     /**
@@ -87,6 +90,7 @@ class StorageSystem
     std::unique_ptr<IdeDisk> disk_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<IdeDriver> ideDriver_;
+    std::unique_ptr<StatsSampler> sampler_;
 };
 
 } // namespace pciesim

@@ -11,6 +11,7 @@
 #define PCIESIM_TOPO_SYSTEM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "dev/ide_disk.hh"
 #include "dev/int_controller.hh"
@@ -68,6 +69,18 @@ struct SystemConfig
     /** Completion timeout for non-posted requesters (kernel MMIO
      *  and device DMA). 0 disables. */
     Tick completionTimeout = 0;
+    /** @} */
+
+    /** @{ Observability (DESIGN.md Sec. 8). */
+    /**
+     * Comma-separated trace flags to enable ("Link,Dma", "All");
+     * empty leaves tracing off unless traceOut defaults it to All.
+     */
+    std::string traceFlags;
+    /** Chrome trace-event output path; empty disables the sink. */
+    std::string traceOut;
+    /** Period of the goodput/replay-depth sampler; 0 disables. */
+    Tick statsSampleInterval = 0;
     /** @} */
 
     /** @{ Substrates. */

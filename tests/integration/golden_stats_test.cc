@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden-stats regression suite: canonical scenarios (the Table II
+ * MMIO shape, the Fig. 9a dd shape, and a seeded fault run) dump
+ * their full statistics registry and diff it against blessed files
+ * in tests/golden/. Any behavioural drift — a latency change, an
+ * extra replay, a reordered DLLP — shows up as a one-line diff.
+ *
+ * Re-bless after an intentional change with scripts/regen_golden.sh
+ * (or PCIESIM_REGEN_GOLDEN=1 ctest -R golden_stats_test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "topo/nic_system.hh"
+#include "topo/storage_system.hh"
+
+using namespace pciesim;
+using namespace pciesim::literals;
+
+namespace
+{
+
+std::string
+goldenDir()
+{
+#ifdef PCIESIM_GOLDEN_DIR
+    return PCIESIM_GOLDEN_DIR;
+#else
+    return "tests/golden";
+#endif
+}
+
+bool
+regenMode()
+{
+    const char *env = std::getenv("PCIESIM_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** First line where @p a and @p b differ, for a readable failure. */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    unsigned line = 0;
+    while (true) {
+        ++line;
+        bool ga = static_cast<bool>(std::getline(sa, la));
+        bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "(identical?)";
+        if (!ga || !gb || la != lb) {
+            std::ostringstream os;
+            os << "line " << line << ":\n  golden: "
+               << (ga ? la : "<eof>") << "\n  actual: "
+               << (gb ? lb : "<eof>");
+            return os.str();
+        }
+    }
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenDir() + "/" + name + ".txt";
+    if (regenMode()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — bless it with scripts/regen_golden.sh";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string expected = ss.str();
+    EXPECT_EQ(expected, actual)
+        << "stats drifted from " << path << "\nfirst diff at "
+        << firstDiff(expected, actual)
+        << "\nIf the change is intentional, re-bless with "
+        << "scripts/regen_golden.sh";
+}
+
+std::string
+formatDouble(const char *label, double v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "# %s: %.6f\n", label, v);
+    return buf;
+}
+
+} // namespace
+
+TEST(GoldenStats, Fig9aDdShape)
+{
+    // The Fig. 9a topology: default Gen2 fabric, 1 MiB dd.
+    Simulation sim;
+    SystemConfig cfg;
+    StorageSystem system(sim, cfg);
+    DdWorkloadParams dd;
+    dd.blockBytes = 1 << 20;
+    double gbps = system.runDd(dd);
+
+    std::ostringstream os;
+    os << "# scenario: fig9a dd 1 MiB, default Gen2 topology\n";
+    os << formatDouble("goodput_gbps", gbps);
+    sim.statsRegistry().dump(os);
+    checkGolden("fig9a_dd_1mb", os.str());
+}
+
+TEST(GoldenStats, Table2MmioShape)
+{
+    // The Table II midpoint: NIC on a root port, rcLatency 100 ns.
+    Simulation sim;
+    NicSystemConfig cfg;
+    cfg.base.rcLatency = nanoseconds(100);
+    NicSystem system(sim, cfg);
+    Tick t = system.measureMmioReadLatency(32);
+
+    std::ostringstream os;
+    os << "# scenario: table2 MMIO read, rcLatency=100ns, 32 iters\n";
+    os << formatDouble("mmio_read_ns", ticksToNs(t));
+    sim.statsRegistry().dump(os);
+    checkGolden("table2_mmio_rc100", os.str());
+}
+
+TEST(GoldenStats, SeededFaultShape)
+{
+    // A seeded bit-error run locks the whole recovery pipeline:
+    // LCRC drops, NAKs, replays, and their latency footprint.
+    Simulation sim;
+    SystemConfig cfg;
+    cfg.linkBitErrorRate = 1e-6;
+    cfg.faultSeed = 7;
+    StorageSystem system(sim, cfg);
+    DdWorkloadParams dd;
+    dd.blockBytes = 256 * 1024;
+    double gbps = system.runDd(dd);
+
+    std::ostringstream os;
+    os << "# scenario: seeded faults, BER 1e-6 seed 7, dd 256 KiB\n";
+    os << formatDouble("goodput_gbps", gbps);
+    os << formatDouble("replay_fraction",
+                       system.diskUplinkReplayFraction());
+    sim.statsRegistry().dump(os);
+    checkGolden("faults_ber1e6_seed7", os.str());
+}

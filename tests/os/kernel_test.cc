@@ -124,6 +124,89 @@ TEST(KernelTest, MmioCompletionTimeoutAbortsWithAllOnes)
     EXPECT_EQ(k.completionTimeouts(), 2u);
 }
 
+TEST(KernelTest, CompletionOnExactTimeoutTickIsLate)
+{
+    // The timeout event is scheduled at issue time; a completion
+    // landing on the very tick it expires was inserted later and so
+    // fires after it (same-tick FIFO). The boundary is therefore
+    // "late": the op aborts with all-ones and the completion is
+    // dropped.
+    Simulation sim;
+    PciHost host(sim, "host");
+    IntController gic(sim, "gic", IntControllerParams{});
+    SimpleMemory dram(sim, "dram", SimpleMemoryParams{});
+    RecordingMasterPort dramSrc{"dramSrc"};
+    dramSrc.bind(dram.port());
+
+    KernelParams kp;
+    kp.completionTimeout = 50_us;
+    Kernel k(sim, "kernel", host, gic, dram, kp);
+    RecordingSlavePort dead{"dead",
+                            {AddrRange{0x40000000, 0x40001000}}};
+    k.cpuPort().bind(dead);
+    sim.initialize();
+
+    const Tick exact = kp.mmioIssueLatency + kp.completionTimeout;
+    std::uint64_t read_value = 0;
+    k.mmioRead(0x40000000, 4,
+               [&](std::uint64_t v) { read_value = v; });
+    // Arm after the issue so the completion's event is enqueued
+    // behind the already-scheduled timeout.
+    k.defer(100_ns, [&] {
+        ASSERT_EQ(dead.requests.size(), 1u);
+        k.defer(exact - 100_ns, [&] {
+            EXPECT_EQ(k.curTick(), exact);
+            dead.requests[0]->makeResponse();
+            dead.requests[0]->set<std::uint32_t>(0x1234abcd);
+            EXPECT_TRUE(dead.sendTimingResp(dead.requests[0]));
+        });
+    });
+    sim.run();
+
+    EXPECT_EQ(read_value, ~0ULL);
+    EXPECT_EQ(k.completionTimeouts(), 1u);
+    EXPECT_EQ(k.mmioOps(), 0u);
+}
+
+TEST(KernelTest, CompletionOneTickBeforeTimeoutCompletes)
+{
+    // Companion bound: one tick (1 ps) earlier the completion still
+    // wins, delivers its payload, and disarms the timer.
+    Simulation sim;
+    PciHost host(sim, "host");
+    IntController gic(sim, "gic", IntControllerParams{});
+    SimpleMemory dram(sim, "dram", SimpleMemoryParams{});
+    RecordingMasterPort dramSrc{"dramSrc"};
+    dramSrc.bind(dram.port());
+
+    KernelParams kp;
+    kp.completionTimeout = 50_us;
+    Kernel k(sim, "kernel", host, gic, dram, kp);
+    RecordingSlavePort dead{"dead",
+                            {AddrRange{0x40000000, 0x40001000}}};
+    k.cpuPort().bind(dead);
+    sim.initialize();
+
+    const Tick exact = kp.mmioIssueLatency + kp.completionTimeout;
+    std::uint64_t read_value = 0;
+    k.mmioRead(0x40000000, 4,
+               [&](std::uint64_t v) { read_value = v; });
+    k.defer(100_ns, [&] {
+        ASSERT_EQ(dead.requests.size(), 1u);
+        k.defer(exact - 100_ns - 1, [&] {
+            EXPECT_EQ(k.curTick(), exact - 1);
+            dead.requests[0]->makeResponse();
+            dead.requests[0]->set<std::uint32_t>(0x1234abcd);
+            EXPECT_TRUE(dead.sendTimingResp(dead.requests[0]));
+        });
+    });
+    sim.run();
+
+    EXPECT_EQ(read_value, 0x1234abcdu);
+    EXPECT_EQ(k.completionTimeouts(), 0u);
+    EXPECT_EQ(k.mmioOps(), 1u);
+}
+
 TEST(KernelTest, ConfigAccessGoesThroughPciHost)
 {
     Simulation sim;

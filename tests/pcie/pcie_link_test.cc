@@ -355,6 +355,71 @@ TEST_F(LinkFixture, PersistentCorruptionTriggersRetrain)
     EXPECT_GE(sim.curTick(), 2_ms);
 }
 
+TEST_F(LinkFixture, SeqWrapUnderActiveNakRecoversInOrder)
+{
+    // Corrupt the TLP carrying sequence number 4095 (the 4096th
+    // transmission: sendSeq starts at 0). The NAK loss window then
+    // straddles the 4095 -> 0 wrap, exercising seqDistance/seqLe
+    // modular arithmetic under an active NAK_SCHEDULED: TLPs 0 and
+    // 1 arrive out of sequence, the single NAK covers the window,
+    // and the replay delivers 4095, 0, 1 in order.
+    PcieLinkParams p;
+    p.replayBufferSize = 4;
+    p.faults.corruptTlpNumbers = {4096};
+    build(p);
+
+    constexpr unsigned total = 4100;
+    for (unsigned i = 0; i < total; ++i) {
+        while (!rcSrc.sendTimingReq(Packet::makeRequest(
+            MemCmd::WriteReq, 0x40000000 + 8 * (i % 512), 8))) {
+            sim.runFor(10_us);
+        }
+    }
+    sim.run();
+
+    ASSERT_EQ(devPio.requests.size(), total);
+    for (unsigned i = 0; i < total; ++i) {
+        ASSERT_EQ(devPio.requests[i]->addr(),
+                  0x40000000 + 8 * (i % 512))
+            << "out of order at TLP " << i;
+    }
+    EXPECT_EQ(link->downstreamIf().crcErrorsTlp(), 1u);
+    EXPECT_EQ(link->downstreamIf().naksSent(), 1u);
+    EXPECT_EQ(link->upstreamIf().naksReceived(), 1u);
+    EXPECT_GE(link->upstreamIf().replayedTlps(), 1u);
+    // NAK recovery, not the replay timer.
+    EXPECT_EQ(link->upstreamIf().timeouts(), 0u);
+}
+
+TEST_F(LinkFixture, RetrainWhileReplayInFlightDeliversExactlyOnce)
+{
+    // Several TLPs sit in the replay buffer while the corruption
+    // window outlasts REPLAY_NUM rollovers: retrains fire with a
+    // replay literally in flight, repeatedly. When the window ends,
+    // every TLP must still arrive exactly once and in order.
+    PcieLinkParams p;
+    p.replayBufferSize = 4;
+    p.retrainLatency = 1_us;
+    p.faults.corruptWindowBegin = 0;
+    p.faults.corruptWindowEnd = 2_ms;
+    build(p);
+
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_TRUE(rcSrc.sendTimingReq(Packet::makeRequest(
+            MemCmd::WriteReq, 0x40000000 + 64 * i, 64)));
+    }
+    sim.run();
+
+    ASSERT_EQ(devPio.requests.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(devPio.requests[i]->addr(), 0x40000000 + 64 * i);
+    EXPECT_GE(link->errorStats().retrains, 1u);
+    EXPECT_GE(link->upstreamIf().timeouts(),
+              static_cast<std::uint64_t>(p.replayNumThreshold));
+    EXPECT_GE(link->upstreamIf().replayedTlps(), 4u);
+    EXPECT_GE(sim.curTick(), 2_ms);
+}
+
 TEST_F(LinkFixture, FaultStatsStayZeroOnCleanLinks)
 {
     PcieLinkParams p;

@@ -69,6 +69,80 @@ TEST(StatsDistribution, WeightedSamples)
     EXPECT_DOUBLE_EQ(d.mean(), 1.0);
 }
 
+TEST(StatsHistogram, TracksExactSmallValues)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    for (std::uint64_t v : {1, 2, 3, 4, 5, 6, 7})
+        h.sample(v);
+    EXPECT_EQ(h.samples(), 7u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    // Values below 2^subBucketBits land in exact buckets.
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(0.5), 4u);
+    EXPECT_EQ(h.quantile(1.0), 7u);
+}
+
+TEST(StatsHistogram, QuantilesApproximateLargeValues)
+{
+    Histogram h;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.sample(1000 + i);
+    // Log-bucketed: p50 within one sub-bucket (12.5%) of exact.
+    std::uint64_t p50 = h.quantile(0.50);
+    EXPECT_GE(p50, 1300u);
+    EXPECT_LE(p50, 1700u);
+    // Quantiles never escape the observed range.
+    EXPECT_GE(h.quantile(0.0), 1000u);
+    EXPECT_LE(h.quantile(1.0), 1999u);
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(StatsHistogram, WeightedSamplesAndReset)
+{
+    Histogram h;
+    h.sample(10, 5);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(StatsHistogram, HandlesHugeValues)
+{
+    Histogram h;
+    h.sample(1ULL << 40);
+    h.sample((1ULL << 40) + 1);
+    h.sample(~0ULL);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.max(), ~0ULL);
+    EXPECT_GE(h.quantile(0.0), 1ULL << 40);
+}
+
+TEST(StatsRegistry, HistogramDumpAndLookup)
+{
+    Registry r;
+    Histogram h;
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        h.sample(i);
+    r.add("x.lat", &h, "latency (ticks)");
+    EXPECT_EQ(r.histogram("x.lat"), &h);
+    EXPECT_EQ(r.histogram("missing"), nullptr);
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("x.lat"), std::string::npos);
+    EXPECT_NE(os.str().find("samples=100"), std::string::npos);
+    EXPECT_NE(os.str().find("p50="), std::string::npos);
+    EXPECT_NE(os.str().find("p99="), std::string::npos);
+    r.resetAll();
+    EXPECT_EQ(h.samples(), 0u);
+}
+
 TEST(StatsRegistry, LooksUpByName)
 {
     Registry r;

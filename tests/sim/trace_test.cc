@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Unit tests for the tracing subsystem: flag parsing, lazy macro
+ * argument evaluation, the text sink format, and the Chrome
+ * trace-event sink — including a strict JSON validation of a full
+ * trace produced by a dd run on the validation topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/trace.hh"
+#include "topo/storage_system.hh"
+
+using namespace pciesim;
+
+namespace
+{
+
+/**
+ * A strict (if minimal) recursive-descent JSON parser: accepts
+ * exactly the RFC 8259 grammar the Chrome trace loader needs and
+ * rejects anything else (trailing commas, unterminated strings,
+ * bare words). Validation only; no DOM is built.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                s_[pos_] == '\t' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::size_t
+countOccurrences(const std::string &haystack,
+                 const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+/** RAII guard: every test leaves the global trace state clean. */
+struct TraceReset
+{
+    ~TraceReset()
+    {
+        trace::closeSinks();
+        trace::setEnabledFlags(0u);
+    }
+};
+
+} // namespace
+
+TEST(TraceFlags, ParseNamesAndAll)
+{
+    EXPECT_EQ(trace::parseFlags(""), 0u);
+    EXPECT_EQ(trace::parseFlags("Link"), 1u);
+    EXPECT_EQ(trace::parseFlags("Link,Dma"),
+              (1u << 0) | (1u << 4));
+    EXPECT_EQ(trace::parseFlags("All"),
+              (1u << trace::numFlags) - 1u);
+    EXPECT_EQ(trace::parseFlags("all"), trace::parseFlags("All"));
+    for (std::size_t i = 0; i < trace::numFlags; ++i) {
+        auto f = static_cast<trace::Flag>(i);
+        EXPECT_EQ(trace::parseFlags(trace::flagName(f)), 1u << i);
+    }
+}
+
+TEST(TraceFlags, UnknownNameIsFatal)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(trace::parseFlags("Bogus"), FatalError);
+    EXPECT_THROW(trace::parseFlags("Link,Bogus"), FatalError);
+    setLoggingThrows(false);
+}
+
+#if PCIESIM_TRACING
+TEST(TraceMacros, DisabledFlagSkipsArgumentEvaluation)
+{
+    TraceReset guard;
+    trace::openTextSink("trace_test_lazy.txt");
+    trace::setEnabledFlags(trace::parseFlags("Link"));
+
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return 42;
+    };
+    TRACE_MSG(trace::Flag::Dma, 0, "t", "v=", expensive());
+    EXPECT_EQ(evaluations, 0);
+    TRACE_MSG(trace::Flag::Link, 0, "t", "v=", expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+#endif // PCIESIM_TRACING
+
+TEST(TraceMacros, NoSinkMeansDisabled)
+{
+    TraceReset guard;
+    trace::setEnabledFlags(trace::parseFlags("All"));
+    // No sink open: even enabled flags must not fire.
+    EXPECT_FALSE(trace::enabled(trace::Flag::Link));
+}
+
+TEST(TraceTextSink, LineFormat)
+{
+    TraceReset guard;
+    std::ostringstream os;
+    trace::TextSink sink(os);
+    sink.message(1500, "system.link", "Link", "TLP 3 sent");
+    sink.begin(2000, "system.dma", "Dma", "dma read");
+    sink.end(3000, "system.dma", "Dma");
+    std::string out = os.str();
+    EXPECT_NE(out.find("1500: system.link: Link: TLP 3 sent"),
+              std::string::npos);
+    EXPECT_NE(out.find("2000: system.dma: Dma: begin dma read"),
+              std::string::npos);
+    EXPECT_NE(out.find("3000: system.dma: Dma: end"),
+              std::string::npos);
+}
+
+TEST(TraceChromeSink, ProducesValidJson)
+{
+    const std::string path = "trace_test_unit.json";
+    {
+        trace::ChromeTraceSink sink(path);
+        sink.begin(1000000, "obj.a", "Dma", "span \"quoted\"");
+        sink.end(2000000, "obj.a", "Dma");
+        sink.complete(0, 500000, "obj.b", "Link", "TLP 1");
+        sink.counter(3000000, "sampler", "Stats", "goodput", 1.5);
+        sink.message(4000000, "obj.a", "Replay", "NAK\nnewline");
+        sink.close();
+        EXPECT_EQ(sink.eventsWritten(), 8u); // 5 + 3 thread_name
+    }
+    std::string text = slurp(path);
+    JsonChecker checker(text);
+    EXPECT_TRUE(checker.valid()) << text;
+    // Spans carry the right phase and category markers.
+    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"cat\":\"Link\""), std::string::npos);
+    // Ticks (ps) render as fractional microseconds.
+    EXPECT_NE(text.find("\"ts\":1.000000"), std::string::npos);
+    // Three tracks announced by thread_name metadata.
+    EXPECT_EQ(countOccurrences(text, "thread_name"), 3u);
+    std::remove(path.c_str());
+}
+
+#if PCIESIM_TRACING
+TEST(TraceChromeSink, DdRunProducesLinkAndDmaSpans)
+{
+    TraceReset guard;
+    const std::string path = "trace_test_dd.json";
+
+    {
+        Simulation sim;
+        SystemConfig cfg;
+        cfg.traceOut = path;
+        cfg.traceFlags = "Link,Dma,Mmio";
+        StorageSystem system(sim, cfg);
+        DdWorkloadParams dd;
+        dd.blockBytes = 64 * 1024;
+        double gbps = system.runDd(dd);
+        EXPECT_GT(gbps, 0.0);
+    }
+    trace::closeSinks();
+
+    std::string text = slurp(path);
+    JsonChecker checker(text);
+    ASSERT_TRUE(checker.valid());
+    // Wire occupancy: complete events on the Link flag.
+    EXPECT_GT(countOccurrences(text, "\"cat\":\"Link\""), 10u);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    // DMA spans: begin/end pairs on the Dma flag.
+    std::size_t dma = countOccurrences(text, "\"cat\":\"Dma\"");
+    EXPECT_GE(dma, 2u);
+    // Disabled flags stay silent.
+    EXPECT_EQ(countOccurrences(text, "\"cat\":\"Switch\""), 0u);
+    // The link tracks appear as named threads.
+    EXPECT_NE(text.find("system.downLink"), std::string::npos);
+    std::remove(path.c_str());
+    std::remove("trace_test_lazy.txt");
+}
+#endif // PCIESIM_TRACING
+
+TEST(TraceSampler, EmitsRowsAndCounters)
+{
+    TraceReset guard;
+    const std::string path = "trace_test_sampler.json";
+
+    Simulation sim;
+    SystemConfig cfg;
+    cfg.traceOut = path;
+    cfg.traceFlags = "Stats";
+    cfg.statsSampleInterval = microseconds(5);
+    StorageSystem system(sim, cfg);
+    DdWorkloadParams dd;
+    dd.blockBytes = 256 * 1024;
+    system.runDd(dd);
+
+    StatsSampler *sampler = system.sampler();
+    ASSERT_NE(sampler, nullptr);
+    EXPECT_FALSE(sampler->rows().empty());
+    ASSERT_EQ(sampler->seriesNames().size(), 5u);
+    EXPECT_EQ(sampler->seriesNames()[0], "goodputBytesPerSec");
+    double peak = 0.0;
+    for (const auto &row : sampler->rows()) {
+        ASSERT_EQ(row.values.size(), 5u);
+        peak = std::max(peak, row.values[0]);
+    }
+    // dd moved data, so some interval saw nonzero goodput.
+    EXPECT_GT(peak, 0.0);
+
+    trace::closeSinks();
+    std::string text = slurp(path);
+    JsonChecker checker(text);
+    ASSERT_TRUE(checker.valid());
+#if PCIESIM_TRACING
+    EXPECT_GT(countOccurrences(text, "\"ph\":\"C\""), 0u);
+    EXPECT_NE(text.find("goodputBytesPerSec"), std::string::npos);
+#endif
+    std::remove(path.c_str());
+}

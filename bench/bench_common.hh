@@ -23,10 +23,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/profiler.hh"
 #include "sim/trace.hh"
 #include "topo/storage_system.hh"
 
@@ -59,6 +61,13 @@ struct BenchArgs
     std::string traceFlags;
     /** Stats-sampler period in ns (--stats-sample-ns=1000). */
     std::uint64_t statsSampleNs = 0;
+    /** Dump/reset stats-epoch period in ns (--stats-dump-ns=...). */
+    std::uint64_t statsDumpNs = 0;
+    /** stats.json destination (--stats-json=...); each dd run
+     *  overwrites it, so the file holds the last run's registry. */
+    std::string statsJsonOut;
+    /** Host-side event profiler on/off (--profile). */
+    bool profile = false;
     /** @} */
 };
 
@@ -94,10 +103,21 @@ parseArgs(int argc, char **argv)
             args.traceFlags = arg + 14;
         else if (std::strncmp(arg, "--stats-sample-ns=", 18) == 0)
             args.statsSampleNs = std::strtoull(arg + 18, nullptr, 10);
+        else if (std::strncmp(arg, "--stats-dump-ns=", 16) == 0)
+            args.statsDumpNs = std::strtoull(arg + 16, nullptr, 10);
+        else if (std::strncmp(arg, "--stats-json=", 13) == 0)
+            args.statsJsonOut = arg + 13;
+        else if (std::strcmp(arg, "--profile") == 0)
+            args.profile = true;
     }
     // The Chrome sink needs its closing bracket even when the bench
     // exits through a fatal() path.
     std::atexit([] { trace::closeSinks(); });
+    if (args.profile)
+        prof::setEnabled(true);
+    // Counts stay exact; only wall-time estimates are noisy, so
+    // --no-timing keeps profiled records byte-deterministic too.
+    prof::setReportTimes(!args.noTiming);
     globalArgs() = args;
     return args;
 }
@@ -109,6 +129,8 @@ applyObservability(const BenchArgs &args, SystemConfig &config)
     config.traceOut = args.traceOut;
     config.traceFlags = args.traceFlags;
     config.statsSampleInterval = nanoseconds(args.statsSampleNs);
+    config.statsDumpInterval = nanoseconds(args.statsDumpNs);
+    config.statsJsonOut = args.statsJsonOut;
 }
 
 /** Result of one dd run. */
@@ -181,6 +203,36 @@ jsonEscape(const std::string &s)
 }
 
 /**
+ * Extra JSON fields for a bench record while the profiler is on:
+ * exact event attribution counts plus the top hot spots, compact
+ * (single-line) so the one-object-per-line convention holds. Empty
+ * when profiling is off, which keeps unprofiled records (and the
+ * determinism goldens) byte-identical to previous releases.
+ */
+inline std::string
+profilerRecordFields(std::size_t top_n = 8)
+{
+    if (!prof::enabled())
+        return "";
+    std::ostringstream os;
+    os << ", \"events_profiled\": " << prof::totalEvents()
+       << ", \"events_attributed\": " << prof::attributedEvents()
+       << ", \"profiler\": [";
+    std::size_t shown = 0;
+    for (const prof::HotSpot &h : prof::hotSpots()) {
+        if (shown == top_n)
+            break;
+        char est[32];
+        std::snprintf(est, sizeof(est), "%.3f", h.estMs());
+        os << (shown++ ? ", " : "") << "{\"name\": \""
+           << jsonEscape(h.name) << "\", \"count\": " << h.count
+           << ", \"estMs\": " << est << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+/**
  * Emits one JSON object per line:
  *
  *   {"bench": "fig9b", "config": "x8/16MB", "gbps": ..,
@@ -210,12 +262,12 @@ class JsonEmitter
                     "\"timeoutFraction\": %.6f, \"wall_ms\": %.3f, "
                     "\"events_per_sec\": %.0f, "
                     "\"lat_p50_ns\": %.3f, \"lat_p95_ns\": %.3f, "
-                    "\"lat_p99_ns\": %.3f}\n",
+                    "\"lat_p99_ns\": %.3f%s}\n",
                     jsonEscape(bench_).c_str(),
                     jsonEscape(config).c_str(), r.gbps,
                     r.replayFraction, r.timeoutFraction, r.wall_ms,
                     r.events_per_sec, r.latP50Ns, r.latP95Ns,
-                    r.latP99Ns);
+                    r.latP99Ns, profilerRecordFields().c_str());
     }
 
     /** Record arbitrary numeric fields (non-dd benches). */
@@ -231,7 +283,7 @@ class JsonEmitter
                     jsonEscape(config).c_str());
         for (const auto &[key, value] : fields)
             std::printf(", \"%s\": %.6f", key, value);
-        std::printf("}\n");
+        std::printf("%s}\n", profilerRecordFields().c_str());
     }
 
   private:
@@ -265,6 +317,8 @@ inline DdResult
 runDd(SystemConfig config, std::uint64_t block_bytes)
 {
     applyObservability(globalArgs(), config);
+    // Each run's record attributes that run only.
+    prof::reset();
     Simulation sim;
     StorageSystem system(sim, config);
     DdWorkloadParams dd;
@@ -281,21 +335,15 @@ runDd(SystemConfig config, std::uint64_t block_bytes)
     }
 
     auto &reg = sim.statsRegistry();
-    std::uint64_t tx =
-        reg.counterValue("system.downLink.down.txTlps") +
-        reg.counterValue("system.upLink.down.txTlps");
-    std::uint64_t replays =
-        reg.counterValue("system.downLink.down.replayedTlps") +
-        reg.counterValue("system.upLink.down.replayedTlps");
-    r.txTlps = tx;
+    r.txTlps = reg.counterValue("system.downLink.down.txTlps") +
+               reg.counterValue("system.upLink.down.txTlps");
     r.timeouts = reg.counterValue("system.downLink.down.timeouts") +
                  reg.counterValue("system.upLink.down.timeouts");
-    if (tx != 0) {
-        r.replayFraction = static_cast<double>(replays) /
-                           static_cast<double>(tx);
-        r.timeoutFraction = static_cast<double>(r.timeouts) /
-                            static_cast<double>(tx);
-    }
+    // Stats v2: the fractions are dump-time formulas the topology
+    // registers, evaluated with the exact arithmetic this harness
+    // used to inline (so old bench tables reproduce bit-for-bit).
+    r.replayFraction = reg.formulaValue("system.replayFraction");
+    r.timeoutFraction = reg.formulaValue("system.timeoutFraction");
     const stats::Histogram *lat =
         reg.histogram("system.disk.dma.e2eLatency");
     if (lat != nullptr && lat->samples() > 0) {

@@ -1,8 +1,10 @@
 # Determinism gate for a bench binary: two back-to-back runs with
-# the same arguments must emit byte-identical JSON. Wall-clock and
+# the same arguments must emit byte-identical JSON — both the bench
+# records on stdout and the exported stats.json. Wall-clock and
 # rate fields would break this, so the bench is run with
 # --no-timing, which zeroes them (the simulated results are what
-# must match).
+# must match); --profile is on so the profiler's exact event counts
+# are held to the same standard.
 #
 # Invoked by ctest as:
 #   cmake -DBENCH_BIN=<bench> -DOUT_A=<file> -DOUT_B=<file> \
@@ -15,7 +17,8 @@ endif()
 
 foreach(out "${OUT_A}" "${OUT_B}")
     execute_process(
-        COMMAND "${BENCH_BIN}" --smoke --json --no-timing
+        COMMAND "${BENCH_BIN}" --smoke --json --no-timing --profile
+            "--stats-json=${out}.stats.json"
         OUTPUT_FILE "${out}"
         RESULT_VARIABLE bench_rv
     )
@@ -25,12 +28,16 @@ foreach(out "${OUT_A}" "${OUT_B}")
     endif()
 endforeach()
 
-execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_A}" "${OUT_B}"
-    RESULT_VARIABLE cmp_rv
-)
-if(NOT cmp_rv EQUAL 0)
-    message(FATAL_ERROR
-        "${BENCH_BIN} is nondeterministic: two identical runs "
-        "produced different JSON (${OUT_A} vs ${OUT_B})")
-endif()
+foreach(suffix "" ".stats.json")
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_A}${suffix}" "${OUT_B}${suffix}"
+        RESULT_VARIABLE cmp_rv
+    )
+    if(NOT cmp_rv EQUAL 0)
+        message(FATAL_ERROR
+            "${BENCH_BIN} is nondeterministic: two identical runs "
+            "produced different JSON "
+            "(${OUT_A}${suffix} vs ${OUT_B}${suffix})")
+    endif()
+endforeach()

@@ -1,8 +1,11 @@
 /**
  * @file
- * Strict line-oriented JSON validator for the bench_smoke tests:
- * every non-empty line of the input file must parse as one JSON
- * object. Exits 0 on success, 1 with a diagnostic otherwise.
+ * Strict JSON validator for the bench_smoke tests. The default
+ * (line-oriented) mode requires every non-empty line of the input
+ * to parse as one JSON object — the bench --json record convention.
+ * With --whole, the entire file must parse as a single JSON value —
+ * the stats.json convention. Exits 0 on success, 1 with a
+ * diagnostic otherwise.
  *
  * A real recursive-descent parser (not a regex) so the smoke tests
  * genuinely prove that "--json output parses": a bench emitting
@@ -219,15 +222,41 @@ class JsonParser
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: json_validate <file>\n");
+    bool whole = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--whole")
+            whole = true;
+        else if (path == nullptr)
+            path = argv[i];
+        else
+            path = ""; // too many positionals
+    }
+    if (path == nullptr || *path == '\0') {
+        std::fprintf(stderr,
+                     "usage: json_validate [--whole] <file>\n");
         return 2;
     }
-    std::ifstream in(argv[1]);
+    std::ifstream in(path);
     if (!in) {
         std::fprintf(stderr, "json_validate: cannot open %s\n",
-                     argv[1]);
+                     path);
         return 2;
+    }
+
+    if (whole) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+        std::string error;
+        JsonParser parser(text);
+        if (!parser.parse(error)) {
+            std::fprintf(stderr, "json_validate: %s: %s\n", path,
+                         error.c_str());
+            return 1;
+        }
+        std::printf("json_validate: whole-file document ok\n");
+        return 0;
     }
 
     std::string line;
@@ -242,7 +271,7 @@ main(int argc, char **argv)
         if (!parser.parse(error)) {
             std::fprintf(stderr,
                          "json_validate: %s:%zu: %s\n  %s\n",
-                         argv[1], lineno, error.c_str(),
+                         path, lineno, error.c_str(),
                          line.c_str());
             return 1;
         }
@@ -250,7 +279,7 @@ main(int argc, char **argv)
     }
     if (objects == 0) {
         std::fprintf(stderr, "json_validate: %s: no JSON records\n",
-                     argv[1]);
+                     path);
         return 1;
     }
     std::printf("json_validate: %zu records ok\n", objects);

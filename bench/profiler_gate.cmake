@@ -1,0 +1,58 @@
+# Profiler attribution gate: a profiled bench_kernel run must
+# attribute at least 90% of serviced events to a named event type
+# (an unnamed event would show up as lost attribution). The records
+# must also still parse as line-oriented JSON.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_BIN=<bench_kernel> -DVALIDATOR=<json_validate>
+#         -DOUT=<scratch file> -P profiler_gate.cmake
+
+foreach(var BENCH_BIN VALIDATOR OUT)
+    if(NOT ${var})
+        message(FATAL_ERROR "profiler_gate.cmake needs ${var}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${BENCH_BIN}" --smoke --json --profile --no-timing
+    OUTPUT_FILE "${OUT}"
+    RESULT_VARIABLE rv
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${BENCH_BIN} --profile exited with ${rv}")
+endif()
+
+execute_process(
+    COMMAND "${VALIDATOR}" "${OUT}"
+    RESULT_VARIABLE rv
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "profiled --json output failed validation")
+endif()
+
+file(READ "${OUT}" text)
+string(REGEX MATCHALL
+    "\"events_profiled\": [0-9]+, \"events_attributed\": [0-9]+"
+    pairs "${text}")
+if(NOT pairs)
+    message(FATAL_ERROR
+        "no profiler fields in ${OUT}; --profile had no effect")
+endif()
+
+foreach(pair ${pairs})
+    string(REGEX MATCH "\"events_profiled\": ([0-9]+)" _ "${pair}")
+    set(profiled "${CMAKE_MATCH_1}")
+    string(REGEX MATCH "\"events_attributed\": ([0-9]+)" _ "${pair}")
+    set(attributed "${CMAKE_MATCH_1}")
+    if(profiled EQUAL 0)
+        message(FATAL_ERROR "a profiled record serviced no events")
+    endif()
+    math(EXPR lhs "${attributed} * 10")
+    math(EXPR rhs "${profiled} * 9")
+    if(lhs LESS rhs)
+        message(FATAL_ERROR
+            "profiler attributed only ${attributed} of ${profiled} "
+            "events (< 90%)")
+    endif()
+endforeach()
+message(STATUS "profiler attribution >= 90% on ${OUT}")

@@ -1,0 +1,90 @@
+# End-to-end smoke of the stats.json / pciesim-report pipeline:
+#
+#   1. a dd bench exports stats.json (profiled, timing zeroed)
+#   2. the export parses as one whole-file JSON document
+#   3. `pciesim-report diff` of identical dumps exits 0
+#   4. an injected counter regression makes the diff exit nonzero
+#   5. `pciesim-report top` renders the embedded profiler section
+#   6. `pciesim-report trajectory` renders the bench records and
+#      the checked-in BENCH_*.json history
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_BIN=<bench> -DREPORT_BIN=<pciesim-report>
+#         -DVALIDATOR=<json_validate> -DWORK=<scratch prefix>
+#         -DTRAJ=<checked-in BENCH_*.json> -P report_smoke.cmake
+
+foreach(var BENCH_BIN REPORT_BIN VALIDATOR WORK TRAJ)
+    if(NOT ${var})
+        message(FATAL_ERROR "report_smoke.cmake needs ${var}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${BENCH_BIN}" --smoke --json --no-timing --profile
+        "--stats-json=${WORK}_a.json"
+    OUTPUT_FILE "${WORK}_bench.json"
+    RESULT_VARIABLE rv
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${BENCH_BIN} exited with ${rv}")
+endif()
+
+execute_process(
+    COMMAND "${VALIDATOR}" --whole "${WORK}_a.json"
+    RESULT_VARIABLE rv
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "stats.json failed whole-document "
+        "JSON validation")
+endif()
+
+execute_process(
+    COMMAND "${REPORT_BIN}" diff "${WORK}_a.json" "${WORK}_a.json"
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+        "pciesim-report diff of identical dumps exited ${rv}")
+endif()
+
+# Inject a regression: multiply system.disk.dmaBytes by ~10.
+file(READ "${WORK}_a.json" dump)
+string(REGEX REPLACE
+    "(\"name\": \"system.disk.dmaBytes\"[^}]*\"value\": )([0-9]+)"
+    "\\1\\20" dump_regressed "${dump}")
+if(dump_regressed STREQUAL dump)
+    message(FATAL_ERROR
+        "could not inject a regression into ${WORK}_a.json")
+endif()
+file(WRITE "${WORK}_b.json" "${dump_regressed}")
+
+execute_process(
+    COMMAND "${REPORT_BIN}" diff "${WORK}_a.json" "${WORK}_b.json"
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+)
+if(NOT rv EQUAL 1)
+    message(FATAL_ERROR
+        "pciesim-report diff missed an injected regression "
+        "(exit ${rv}, want 1)")
+endif()
+
+execute_process(
+    COMMAND "${REPORT_BIN}" top "${WORK}_a.json"
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+        "pciesim-report top exited ${rv} on a profiled dump")
+endif()
+
+execute_process(
+    COMMAND "${REPORT_BIN}" trajectory "${WORK}_bench.json" "${TRAJ}"
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "pciesim-report trajectory exited ${rv}")
+endif()

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#
+# Profiler-overhead gate: the default build carries the profiler
+# hook compiled in but disabled (one predictable branch per event).
+# That must cost no more than 5% of bench wall time against the
+# notrace build, where PCIESIM_PROFILING=0 removes the hook
+# entirely. Runs are interleaved and compared by median so a single
+# scheduler hiccup cannot fail the gate.
+#
+# Expects ./build and ./build-notrace to be built already (check.sh
+# arranges this). Usage: scripts/profiler_overhead_gate.sh [runs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+runs=${1:-5}
+with_hook=./build/bench/bench_fig9a
+without_hook=./build-notrace/bench/bench_fig9a
+for bin in "$with_hook" "$without_hook"; do
+    if [ ! -x "$bin" ]; then
+        echo "profiler_overhead_gate: missing $bin (build first)" >&2
+        exit 2
+    fi
+done
+
+# One run's cost: the sum of wall_ms across the bench's records.
+measure() {
+    "$1" --json | python3 -c '
+import json, sys
+print(sum(json.loads(l)["wall_ms"] for l in sys.stdin if l.strip()))'
+}
+
+a=()
+b=()
+for _ in $(seq "$runs"); do
+    a+=("$(measure "$with_hook")")
+    b+=("$(measure "$without_hook")")
+done
+
+python3 - "${a[@]}" -- "${b[@]}" <<'EOF'
+import statistics
+import sys
+
+argv = sys.argv[1:]
+split = argv.index("--")
+hook = statistics.median(map(float, argv[:split]))
+nohook = statistics.median(map(float, argv[split + 1:]))
+overhead = (hook - nohook) / nohook * 100.0
+print(f"profiler_overhead_gate: disabled-profiler median "
+      f"{hook:.1f} ms vs notrace {nohook:.1f} ms "
+      f"({overhead:+.2f}% overhead, limit +5%)")
+sys.exit(0 if overhead <= 5.0 else 1)
+EOF

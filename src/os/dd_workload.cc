@@ -15,10 +15,35 @@ namespace pciesim
 
 DdWorkload::DdWorkload(Kernel &kernel, IdeDriver &driver,
                        const DdWorkloadParams &params)
-    : kernel_(kernel), driver_(driver), params_(params)
+    : kernel_(kernel), driver_(driver), params_(params),
+      statPrefix_(kernel.name() + ".dd")
 {
     panicIf(params_.blockBytes == 0, "dd needs a nonzero block size");
     panicIf(params_.count == 0, "dd needs count >= 1");
+
+    auto &reg = kernel_.statsRegistry();
+    using stats::Unit;
+    bytesStat_ = [this] {
+        return static_cast<double>(bytesTransferred());
+    };
+    reg.add(statPrefix_ + ".bytesTransferred", &bytesStat_,
+            "payload bytes read by dd", Unit::Byte);
+    blocksStat_ = [this] { return static_cast<double>(blocksDone_); };
+    reg.add(statPrefix_ + ".blocksDone", &blocksStat_,
+            "dd blocks completed", Unit::Count);
+    goodputStat_ = [this] {
+        return finished_ ? throughputGbps() * 1e9 : 0.0;
+    };
+    reg.add(statPrefix_ + ".goodput", &goodputStat_,
+            "application-level dd throughput", Unit::BitPerSecond);
+}
+
+DdWorkload::~DdWorkload()
+{
+    auto &reg = kernel_.statsRegistry();
+    reg.remove(statPrefix_ + ".bytesTransferred");
+    reg.remove(statPrefix_ + ".blocksDone");
+    reg.remove(statPrefix_ + ".goodput");
 }
 
 void

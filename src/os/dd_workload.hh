@@ -11,6 +11,7 @@
 #define PCIESIM_OS_DD_WORKLOAD_HH
 
 #include <functional>
+#include <string>
 
 #include "os/ide_driver.hh"
 #include "os/kernel.hh"
@@ -42,6 +43,14 @@ class DdWorkload
     DdWorkload(Kernel &kernel, IdeDriver &driver,
                const DdWorkloadParams &params = {});
 
+    /**
+     * Unregisters this workload's stats: unlike the SimObjects it
+     * drives, a workload is a stack-local that dies before the
+     * simulation's registry, so it must not leave dangling entries
+     * behind (stats::Registry::remove).
+     */
+    ~DdWorkload();
+
     /** Start the run; @p done fires when dd would print its
      *  summary line. */
     void run(std::function<void()> done);
@@ -65,6 +74,13 @@ class DdWorkload
     Kernel &kernel_;
     IdeDriver &driver_;
     DdWorkloadParams params_;
+    /** Stat-name prefix ("<kernel>.dd"); keys removal in the dtor. */
+    std::string statPrefix_;
+    /** @{ Dump-time stats (stats v2); all guard !finished_ as 0. */
+    stats::Formula bytesStat_;
+    stats::Formula blocksStat_;
+    stats::Formula goodputStat_;
+    /** @} */
 
     Addr bufAddr_ = 0;
     unsigned blocksDone_ = 0;

@@ -80,16 +80,19 @@ Kernel::cpuPort()
 void
 Kernel::init()
 {
+    using stats::Unit;
     statsRegistry().add(name() + ".mmioOps", &mmioOps_,
-                        "timed MMIO operations completed");
+                        "timed MMIO operations completed",
+                        Unit::Count);
     statsRegistry().add(name() + ".irqsHandled", &irqsHandled_,
-                        "interrupt handlers run");
+                        "interrupt handlers run", Unit::Count);
     statsRegistry().add(name() + ".completionTimeouts",
                         &completionTimeouts_,
                         "MMIO operations failed by completion "
-                        "timeout");
+                        "timeout", Unit::Count);
     statsRegistry().add(name() + ".mmioLatency", &mmioLatency_,
-                        "MMIO issue-to-completion latency (ticks)");
+                        "MMIO issue-to-completion latency (ticks)",
+                        Unit::Tick);
     fatalIf(!cpuPort_->isBound(),
             "kernel '", name(), "' CPU port unbound");
 }

@@ -42,6 +42,7 @@ UnidirectionalLink::send(const PciePkt &pkt)
 
     Tick wire = pkt.wireTime(link_.params().gen, link_.params().width);
     busyUntil_ = now + wire;
+    busyTicks_ += wire;
     Tick arrive = busyUntil_ + link_.params().propagationDelay;
 
     // Fault injection corrupts the wire copy only: the sender's
@@ -181,35 +182,60 @@ void
 LinkInterface::registerStats()
 {
     auto &reg = link_.statsRegistry();
+    using stats::Unit;
     reg.add(name_ + ".txTlps", &txTlps_,
-            "TLPs transmitted (including replays)");
-    reg.add(name_ + ".txDllps", &txDllps_, "DLLPs transmitted");
-    reg.add(name_ + ".rxTlps", &rxTlps_, "TLPs received");
-    reg.add(name_ + ".rxDllps", &rxDllps_, "DLLPs received");
+            "TLPs transmitted (including replays)", Unit::Count);
+    reg.add(name_ + ".txDllps", &txDllps_, "DLLPs transmitted",
+            Unit::Count);
+    reg.add(name_ + ".rxTlps", &rxTlps_, "TLPs received",
+            Unit::Count);
+    reg.add(name_ + ".rxDllps", &rxDllps_, "DLLPs received",
+            Unit::Count);
     reg.add(name_ + ".replayedTlps", &replayedTlps_,
-            "TLP retransmissions");
-    reg.add(name_ + ".timeouts", &timeouts_, "replay timer timeouts");
+            "TLP retransmissions", Unit::Count);
+    reg.add(name_ + ".timeouts", &timeouts_, "replay timer timeouts",
+            Unit::Count);
     reg.add(name_ + ".duplicateTlps", &duplicateTlps_,
-            "received duplicate TLPs discarded");
+            "received duplicate TLPs discarded", Unit::Count);
     reg.add(name_ + ".outOfOrderDrops", &outOfOrderDrops_,
-            "TLPs dropped behind a refused delivery");
+            "TLPs dropped behind a refused delivery", Unit::Count);
     reg.add(name_ + ".deliveryRefusals", &deliveryRefusals_,
-            "TLPs refused by the connected port (dropped, replayed)");
+            "TLPs refused by the connected port (dropped, replayed)",
+            Unit::Count);
     reg.add(name_ + ".acceptRefusals", &acceptRefusals_,
-            "TLPs refused from external ports (replay buffer full)");
+            "TLPs refused from external ports (replay buffer full)",
+            Unit::Count);
     reg.add(name_ + ".crcErrorsTlp", &crcErrorsTlp_,
-            "received TLPs discarded for LCRC failure");
+            "received TLPs discarded for LCRC failure", Unit::Count);
     reg.add(name_ + ".crcErrorsDllp", &crcErrorsDllp_,
-            "received DLLPs discarded for CRC failure");
-    reg.add(name_ + ".naksSent", &naksSent_, "NAK DLLPs sent");
+            "received DLLPs discarded for CRC failure", Unit::Count);
+    reg.add(name_ + ".naksSent", &naksSent_, "NAK DLLPs sent",
+            Unit::Count);
     reg.add(name_ + ".naksReceived", &naksReceived_,
-            "NAK DLLPs received");
+            "NAK DLLPs received", Unit::Count);
     reg.add(name_ + ".retrains", &retrains_,
-            "link retrains initiated by this interface");
+            "link retrains initiated by this interface", Unit::Count);
     reg.add(name_ + ".hopLatency", &hopLatency_,
-            "TLP inject-to-delivery latency across this hop (ticks)");
+            "TLP inject-to-delivery latency across this hop (ticks)",
+            Unit::Tick);
     reg.add(name_ + ".ackLatency", &ackLatency_,
-            "TLP inject-to-ACK-purge latency (ticks)");
+            "TLP inject-to-ACK-purge latency (ticks)", Unit::Tick);
+
+    // Dump-time formulas over the counters above (stats v2).
+    replayFraction_ = [this] {
+        std::uint64_t tx = txTlps_.value();
+        return tx == 0 ? 0.0
+                       : static_cast<double>(replayedTlps_.value()) /
+                             static_cast<double>(tx);
+    };
+    reg.add(name_ + ".replayFraction", &replayFraction_,
+            "replayed / transmitted TLPs on this interface",
+            Unit::Ratio);
+    replayHighWater_ = [this] {
+        return static_cast<double>(replayBuffer_.highWater());
+    };
+    reg.add(name_ + ".replayHighWater", &replayHighWater_,
+            "deepest replay-buffer occupancy reached", Unit::Count);
 }
 
 LinkErrorStats
@@ -732,6 +758,32 @@ PcieLink::init()
 {
     upstreamIf_->registerStats();
     downstreamIf_->registerStats();
+
+    // Wire utilization: occupied ticks over elapsed ticks, per
+    // direction, evaluated when the registry dumps.
+    wireUpUtilization_ = [this] {
+        Tick now = curTick();
+        return now == 0 ? 0.0
+                        : static_cast<double>(
+                              toUpstream_->busyTicks()) /
+                              static_cast<double>(now);
+    };
+    wireDownUtilization_ = [this] {
+        Tick now = curTick();
+        return now == 0 ? 0.0
+                        : static_cast<double>(
+                              toDownstream_->busyTicks()) /
+                              static_cast<double>(now);
+    };
+    statsRegistry().add(name() + ".wireUp.utilization",
+                        &wireUpUtilization_,
+                        "device->RC wire occupancy fraction",
+                        stats::Unit::Ratio);
+    statsRegistry().add(name() + ".wireDown.utilization",
+                        &wireDownUtilization_,
+                        "RC->device wire occupancy fraction",
+                        stats::Unit::Ratio);
+
     fatalIf(!upMaster().isBound() || !upSlave().isBound() ||
             !downMaster().isBound() || !downSlave().isBound(),
             "link '", name(), "' has unbound ports");

@@ -139,6 +139,9 @@ class UnidirectionalLink
     Tick freeAt() const { return busyUntil_; }
     bool busy(Tick now) const { return busyUntil_ > now; }
 
+    /** Accumulated wire-occupied ticks (utilization numerator). */
+    Tick busyTicks() const { return busyTicks_; }
+
     /** Begin transmitting; panics when busy. */
     void send(const PciePkt &pkt);
 
@@ -156,6 +159,7 @@ class UnidirectionalLink
     bool towardUpstream_;
     FaultInjector *faults_ = nullptr;
     Tick busyUntil_ = 0;
+    Tick busyTicks_ = 0;
     std::deque<std::pair<Tick, PciePkt>> inFlight_;
     MemberEventWrapper<UnidirectionalLink,
                        &UnidirectionalLink::deliver> deliverEvent_;
@@ -343,6 +347,10 @@ class LinkInterface
     stats::Counter retrains_;
     stats::Histogram hopLatency_;
     stats::Histogram ackLatency_;
+    /** @{ Dump-time formulas (stats v2). */
+    stats::Formula replayFraction_;
+    stats::Formula replayHighWater_;
+    /** @} */
 
     friend class PcieLink;
 };
@@ -417,6 +425,9 @@ class PcieLink : public SimObject
     std::unique_ptr<LinkInterface> downstreamIf_;
     std::unique_ptr<UnidirectionalLink> toUpstream_;
     std::unique_ptr<UnidirectionalLink> toDownstream_;
+    /** Wire-occupancy fraction per direction, evaluated at dump. */
+    stats::Formula wireUpUtilization_;
+    stats::Formula wireDownUtilization_;
     MemberEventWrapper<PcieLink,
                        &PcieLink::retrainDone> retrainDoneEvent_;
 };

@@ -230,16 +230,28 @@ void
 PcieSwitch::init()
 {
     auto &reg = statsRegistry();
+    using stats::Unit;
     reg.add(name() + ".fwdDownRequests", &fwdDownRequests_,
-            "requests forwarded to downstream ports");
+            "requests forwarded to downstream ports", Unit::Count);
     reg.add(name() + ".fwdUpRequests", &fwdUpRequests_,
-            "requests forwarded upstream");
+            "requests forwarded upstream", Unit::Count);
     reg.add(name() + ".fwdDownResponses", &fwdDownResponses_,
-            "responses forwarded to downstream ports");
+            "responses forwarded to downstream ports", Unit::Count);
     reg.add(name() + ".fwdUpResponses", &fwdUpResponses_,
-            "responses forwarded upstream");
+            "responses forwarded upstream", Unit::Count);
     reg.add(name() + ".bufferRefusals", &bufferRefusals_,
-            "packets refused due to full port buffers");
+            "packets refused due to full port buffers", Unit::Count);
+
+    portRequests_.init(params_.numDownstreamPorts);
+    portResponses_.init(params_.numDownstreamPorts);
+    for (unsigned i = 0; i < params_.numDownstreamPorts; ++i) {
+        portRequests_.subname(i, "port" + std::to_string(i));
+        portResponses_.subname(i, "port" + std::to_string(i));
+    }
+    reg.add(name() + ".portRequests", &portRequests_,
+            "requests forwarded per downstream port", Unit::Count);
+    reg.add(name() + ".portResponses", &portResponses_,
+            "responses forwarded per downstream port", Unit::Count);
 
     fatalIf(!upSlave_->isBound() || !upMaster_->isBound(),
             "switch '", name(), "' upstream port unbound");
@@ -285,6 +297,7 @@ PcieSwitch::handleDownwardRequest(const PacketPtr &pkt)
         return false;
     }
     ++fwdDownRequests_;
+    ++portRequests_[static_cast<unsigned>(port)];
     TRACE_MSG(trace::Flag::Switch, curTick(), name(),
               "route down to port ", port, ": ", pkt->toString());
     q->push(pkt, curTick() + params_.latency);
@@ -308,6 +321,7 @@ PcieSwitch::handleUpwardRequest(const PacketPtr &pkt, unsigned i)
             return false;
         }
         ++fwdDownRequests_;
+        ++portRequests_[static_cast<unsigned>(port)];
         q->push(pkt, curTick() + params_.latency);
         return true;
     }
@@ -337,6 +351,7 @@ PcieSwitch::handleDownwardResponse(const PacketPtr &pkt)
         return false;
     }
     ++fwdDownResponses_;
+    ++portResponses_[static_cast<unsigned>(port)];
     q->push(pkt, curTick() + params_.latency);
     return true;
 }
@@ -353,6 +368,7 @@ PcieSwitch::handleUpwardResponse(const PacketPtr &pkt, unsigned i)
             return false;
         }
         ++fwdDownResponses_;
+        ++portResponses_[static_cast<unsigned>(port)];
         q->push(pkt, curTick() + params_.latency);
         return true;
     }

@@ -112,6 +112,10 @@ class PcieSwitch : public SimObject
     stats::Counter fwdDownResponses_;
     stats::Counter fwdUpResponses_;
     stats::Counter bufferRefusals_;
+    /** @{ Per-downstream-port forwarding breakdown. */
+    stats::Vector portRequests_;
+    stats::Vector portResponses_;
+    /** @} */
 };
 
 } // namespace pciesim

@@ -38,6 +38,10 @@ class ReplayBuffer
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
 
+    /** Deepest occupancy ever reached (a congestion fingerprint:
+     *  high water at capacity means source throttling engaged). */
+    std::size_t highWater() const { return highWater_; }
+
     /** Record a transmitted TLP; entries stay in seq order. */
     void
     push(const PciePkt &pkt)
@@ -48,6 +52,8 @@ class ReplayBuffer
                 !seqLt(entries_.back().seq(), pkt.seq()),
                 "replay buffer sequence numbers must increase");
         entries_.push_back(pkt);
+        if (entries_.size() > highWater_)
+            highWater_ = entries_.size();
         auditSeqOrder();
     }
 
@@ -126,6 +132,7 @@ class ReplayBuffer
 
     std::size_t capacity_;
     std::deque<PciePkt> entries_;
+    std::size_t highWater_ = 0;
 };
 
 } // namespace pciesim

@@ -261,16 +261,28 @@ void
 RootComplex::init()
 {
     auto &reg = statsRegistry();
+    using stats::Unit;
     reg.add(name() + ".fwdDownRequests", &fwdDownRequests_,
-            "requests forwarded to root ports");
+            "requests forwarded to root ports", Unit::Count);
     reg.add(name() + ".fwdUpRequests", &fwdUpRequests_,
-            "DMA requests forwarded to the IOCache");
+            "DMA requests forwarded to the IOCache", Unit::Count);
     reg.add(name() + ".fwdDownResponses", &fwdDownResponses_,
-            "responses forwarded to root ports");
+            "responses forwarded to root ports", Unit::Count);
     reg.add(name() + ".fwdUpResponses", &fwdUpResponses_,
-            "responses forwarded to the MemBus");
+            "responses forwarded to the MemBus", Unit::Count);
     reg.add(name() + ".bufferRefusals", &bufferRefusals_,
-            "packets refused due to full port buffers");
+            "packets refused due to full port buffers", Unit::Count);
+
+    portRequests_.init(params_.numRootPorts);
+    portResponses_.init(params_.numRootPorts);
+    for (unsigned i = 0; i < params_.numRootPorts; ++i) {
+        portRequests_.subname(i, "rootPort" + std::to_string(i));
+        portResponses_.subname(i, "rootPort" + std::to_string(i));
+    }
+    reg.add(name() + ".portRequests", &portRequests_,
+            "requests forwarded per root port", Unit::Count);
+    reg.add(name() + ".portResponses", &portResponses_,
+            "responses forwarded per root port", Unit::Count);
 
     fatalIf(!upSlave_->isBound(),
             "root complex '", name(), "' upstream slave unbound");
@@ -321,6 +333,7 @@ RootComplex::handleUpstreamRequest(const PacketPtr &pkt)
         return false;
     }
     ++fwdDownRequests_;
+    ++portRequests_[static_cast<unsigned>(port)];
     TRACE_MSG(trace::Flag::Rc, curTick(), name(),
               "route down to root port ", port, ": ",
               pkt->toString());
@@ -347,6 +360,7 @@ RootComplex::handleDownstreamRequest(const PacketPtr &pkt, unsigned i)
             return false;
         }
         ++fwdDownRequests_;
+        ++portRequests_[static_cast<unsigned>(port)];
         q->push(pkt, curTick() + params_.latency);
         return true;
     }
@@ -380,6 +394,7 @@ RootComplex::handleUpstreamResponse(const PacketPtr &pkt)
         return false;
     }
     ++fwdDownResponses_;
+    ++portResponses_[static_cast<unsigned>(port)];
     q->push(pkt, curTick() + params_.latency);
     return true;
 }
@@ -399,6 +414,7 @@ RootComplex::handleDownstreamResponse(const PacketPtr &pkt, unsigned i)
             return false;
         }
         ++fwdDownResponses_;
+        ++portResponses_[static_cast<unsigned>(port)];
         q->push(pkt, curTick() + params_.latency);
         return true;
     }

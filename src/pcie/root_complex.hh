@@ -123,6 +123,10 @@ class RootComplex : public SimObject
     stats::Counter fwdDownResponses_;
     stats::Counter fwdUpResponses_;
     stats::Counter bufferRefusals_;
+    /** @{ Per-root-port forwarding breakdown. */
+    stats::Vector portRequests_;
+    stats::Vector portResponses_;
+    /** @} */
 };
 
 } // namespace pciesim

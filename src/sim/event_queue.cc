@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "logging.hh"
+#include "profiler.hh"
 
 namespace pciesim
 {
@@ -174,6 +175,12 @@ EventQueue::step(Tick max_tick)
     maybeAuditHeap();
 
     ++numProcessed_;
+#if PCIESIM_PROFILING
+    if (prof::enabledFlag) [[unlikely]] {
+        prof::profileProcess(event);
+        return true;
+    }
+#endif
     event->process();
     return true;
 }

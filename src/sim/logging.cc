@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace pciesim
 {
@@ -12,7 +13,34 @@ namespace
 bool loggingThrows = false;
 bool informEnabled = true;
 
+// Immortal (like the trace sink registry): crash hooks may fire
+// from teardown paths after static destruction has begun.
+std::vector<std::function<void()>> &
+crashHooks()
+{
+    static auto *hooks = new std::vector<std::function<void()>>;
+    return *hooks;
+}
+
+/** Run the hooks at most once; a hook that panics cannot recurse. */
+void
+runCrashHooks()
+{
+    static bool ran = false;
+    if (ran)
+        return;
+    ran = true;
+    for (const auto &hook : crashHooks())
+        hook();
+}
+
 } // namespace
+
+void
+registerCrashHook(std::function<void()> hook)
+{
+    crashHooks().push_back(std::move(hook));
+}
 
 void
 setLoggingThrows(bool throws)
@@ -35,6 +63,7 @@ panicImpl(const std::string &msg)
     if (loggingThrows)
         throw PanicError("panic: " + msg);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    runCrashHooks();
     std::abort();
 }
 
@@ -44,6 +73,7 @@ fatalImpl(const std::string &msg)
     if (loggingThrows)
         throw FatalError("fatal: " + msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    runCrashHooks();
     std::exit(1);
 }
 

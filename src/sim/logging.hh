@@ -14,6 +14,7 @@
 #ifndef PCIESIM_SIM_LOGGING_HH
 #define PCIESIM_SIM_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -105,6 +106,16 @@ inform(Args &&...args)
  * process. Tests enable this to assert on error paths.
  */
 void setLoggingThrows(bool throws);
+
+/**
+ * Register a cleanup hook that runs once, in registration order,
+ * before a non-throwing panic()/fatal() terminates the process.
+ * The trace layer uses this to flush the Chrome sink's closing
+ * bracket so a trace file from a crashed run still parses.
+ * Reentry-guarded: a hook that itself panics cannot recurse, and
+ * hooks do not run again from a subsequent atexit pass.
+ */
+void registerCrashHook(std::function<void()> hook);
 
 /** Suppress inform() output (benches with formatted tables). */
 void setInformEnabled(bool enabled);

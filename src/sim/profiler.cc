@@ -1,0 +1,274 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <map>
+#include <unordered_map>
+
+#include "event.hh"
+#include "logging.hh"
+
+namespace pciesim::prof
+{
+
+bool enabledFlag = false;
+
+namespace
+{
+
+/** Per-name accumulator, keyed by interned name pointer. */
+struct Rec
+{
+    std::uint64_t count = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t sampledNs = 0;
+};
+
+struct State
+{
+    std::unordered_map<const char *, Rec> recs;
+    std::uint64_t samplePeriod = 64;
+    std::uint64_t total = 0;
+    bool reportTimes = true;
+};
+
+// Immortal, like the trace sink registry: events may still be
+// profiled from atexit-ordered teardown paths.
+State &
+state()
+{
+    static State *s = new State;
+    return *s;
+}
+
+/** Merge the pointer-keyed recs by name content, hottest first. */
+std::vector<HotSpot>
+mergedSpots()
+{
+    std::map<std::string, HotSpot> byName;
+    for (const auto &[name, r] : state().recs) {
+        HotSpot &h = byName[name ? name : ""];
+        h.name = name ? name : "";
+        h.count += r.count;
+        h.sampled += r.sampled;
+        h.sampledNs += state().reportTimes ? r.sampledNs : 0;
+    }
+    std::vector<HotSpot> out;
+    out.reserve(byName.size());
+    for (auto &[name, h] : byName) {
+        (void)name;
+        out.push_back(std::move(h));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const HotSpot &a, const HotSpot &b) {
+                  if (a.estMs() != b.estMs())
+                      return a.estMs() > b.estMs();
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+} // namespace
+
+double
+HotSpot::estMs() const
+{
+    if (sampled == 0)
+        return 0.0;
+    double scale = static_cast<double>(count) /
+                   static_cast<double>(sampled);
+    return static_cast<double>(sampledNs) * scale / 1e6;
+}
+
+double
+HotSpot::avgNs() const
+{
+    if (sampled == 0)
+        return 0.0;
+    return static_cast<double>(sampledNs) /
+           static_cast<double>(sampled);
+}
+
+void
+setEnabled(bool on)
+{
+    if (on && !compiledIn) {
+        warn("profiler: this build was compiled with "
+             "PCIESIM_PROFILING=0; profiling stays disabled");
+        return;
+    }
+    enabledFlag = on;
+}
+
+void
+setSamplePeriod(std::uint64_t period)
+{
+    fatalIf(period == 0, "profiler sample period must be >= 1");
+    state().samplePeriod = period;
+}
+
+void
+setReportTimes(bool on)
+{
+    state().reportTimes = on;
+}
+
+bool
+reportTimes()
+{
+    return state().reportTimes;
+}
+
+void
+reset()
+{
+    state().recs.clear();
+    state().total = 0;
+}
+
+std::uint64_t
+totalEvents()
+{
+    return state().total;
+}
+
+std::uint64_t
+attributedEvents()
+{
+    std::uint64_t n = 0;
+    for (const auto &[name, r] : state().recs) {
+        if (name != nullptr && *name != '\0')
+            n += r.count;
+    }
+    return n;
+}
+
+std::vector<HotSpot>
+hotSpots()
+{
+    return mergedSpots();
+}
+
+std::vector<HotSpot>
+byOwner()
+{
+    std::map<std::string, HotSpot> owners;
+    for (const HotSpot &h : mergedSpots()) {
+        std::size_t dot = h.name.rfind('.');
+        std::string owner =
+            dot == std::string::npos ? h.name : h.name.substr(0, dot);
+        HotSpot &o = owners[owner];
+        o.name = owner;
+        o.count += h.count;
+        o.sampled += h.sampled;
+        o.sampledNs += h.sampledNs;
+    }
+    std::vector<HotSpot> out;
+    out.reserve(owners.size());
+    for (auto &[name, h] : owners) {
+        (void)name;
+        out.push_back(std::move(h));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const HotSpot &a, const HotSpot &b) {
+                  if (a.estMs() != b.estMs())
+                      return a.estMs() > b.estMs();
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+dumpTable(std::ostream &os, std::size_t top_n)
+{
+    std::vector<HotSpot> spots = mergedSpots();
+    os << "---------- Profiler: top event types by host time "
+          "----------\n";
+    os << std::right << std::setw(4) << "rank" << std::setw(12)
+       << "events" << std::setw(12) << "est_ms" << std::setw(10)
+       << "avg_ns" << "  name\n";
+    std::size_t shown = 0;
+    for (const HotSpot &h : spots) {
+        if (shown++ == top_n)
+            break;
+        os << std::right << std::setw(4) << shown << std::setw(12)
+           << h.count << std::setw(12) << std::fixed
+           << std::setprecision(3) << h.estMs() << std::setw(10)
+           << std::setprecision(1) << h.avgNs() << "  " << h.name
+           << "\n";
+        os.unsetf(std::ios::fixed);
+    }
+    std::uint64_t total = totalEvents();
+    double attributed =
+        total ? 100.0 * static_cast<double>(attributedEvents()) /
+                    static_cast<double>(total)
+              : 0.0;
+    os << " events profiled: " << total << " across " << spots.size()
+       << " event types (" << std::fixed << std::setprecision(1)
+       << attributed << "% attributed)\n";
+    os.unsetf(std::ios::fixed);
+}
+
+void
+writeJson(std::ostream &os, std::size_t top_n)
+{
+    std::vector<HotSpot> spots = mergedSpots();
+    os << "[";
+    std::size_t shown = 0;
+    for (const HotSpot &h : spots) {
+        if (shown == top_n)
+            break;
+        os << (shown++ ? ",\n    " : "\n    ");
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", h.estMs());
+        os << "{\"name\": \"" << h.name << "\", \"count\": "
+           << h.count << ", \"sampled\": " << h.sampled
+           << ", \"estMs\": " << buf << "}";
+    }
+    os << (shown ? "\n  ]" : "]");
+}
+
+void
+profileProcess(Event *event)
+{
+    using Clock = std::chrono::steady_clock;
+    State &st = state();
+    const char *name = event->name();
+
+    // Decide 1-in-N timing from the pre-increment count, but defer
+    // the map update until after process(): a nested run() (or any
+    // reentrant profiling) could rehash the table under a held
+    // reference.
+    auto it = st.recs.find(name);
+    std::uint64_t cnt = it == st.recs.end() ? 0 : it->second.count;
+    bool timed = cnt % st.samplePeriod == 0;
+
+    std::uint64_t ns = 0;
+    if (timed) {
+        Clock::time_point t0 = Clock::now();
+        event->process();
+        ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+    } else {
+        event->process();
+    }
+
+    Rec &r = st.recs[name];
+    ++r.count;
+    ++st.total;
+    if (timed) {
+        ++r.sampled;
+        r.sampledNs += ns;
+    }
+}
+
+} // namespace pciesim::prof

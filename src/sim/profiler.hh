@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-side event profiler: where does the *simulator* spend wall
+ * time?
+ *
+ * PR 4's tracing answers "where do simulated packets go"; this layer
+ * answers the complementary question for the host, in the spirit of
+ * MGSim's built-in per-component profiling. EventQueue::step()
+ * attributes every serviced event to its interned name (and, by the
+ * "owner.event" naming convention, to its owning SimObject), counting
+ * all of them and timing a deterministic 1-in-N subsample with
+ * steady_clock to bound overhead. Total per-name host time is then
+ * estimated by scaling the sampled time by count/sampled.
+ *
+ * Like tracing, the whole layer compiles out of the hot path under
+ * PCIESIM_PROFILING=0 (the notrace preset); with it compiled in but
+ * disabled, the cost is a single predictable branch per event.
+ *
+ * Counts are exact and deterministic; only the nanosecond fields are
+ * wall-clock noisy. Consumers that need byte-stable output (the
+ * determinism ctests) zero the time fields via setReportTimes(false).
+ */
+
+#ifndef PCIESIM_SIM_PROFILER_HH
+#define PCIESIM_SIM_PROFILER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+// Compile-time master switch mirroring PCIESIM_TRACING: 0 removes
+// the EventQueue::step() hook (CMake option PCIESIM_PROFILING).
+#ifndef PCIESIM_PROFILING
+#define PCIESIM_PROFILING 1
+#endif
+
+namespace pciesim
+{
+class Event;
+} // namespace pciesim
+
+namespace pciesim::prof
+{
+
+/** Whether this build carries the profiler hook at all. */
+inline constexpr bool compiledIn = PCIESIM_PROFILING != 0;
+
+/**
+ * The hot-path gate, read directly by EventQueue::step(). Never
+ * true in builds without the hook; set through setEnabled().
+ */
+extern bool enabledFlag;
+
+/** Aggregated host-time attribution for one event name. */
+struct HotSpot
+{
+    std::string name;        ///< interned event name ("owner.event")
+    std::uint64_t count;     ///< exact number of invocations
+    std::uint64_t sampled;   ///< invocations actually timed
+    std::uint64_t sampledNs; ///< wall ns across timed invocations
+
+    /** Estimated total host ms: sampled time scaled to all calls. */
+    double estMs() const;
+
+    /** Estimated mean host ns per invocation. */
+    double avgNs() const;
+};
+
+/**
+ * Enable or disable profiling. Enabling in a build compiled with
+ * PCIESIM_PROFILING=0 warns and stays disabled.
+ */
+void setEnabled(bool on);
+
+inline bool enabled() { return enabledFlag; }
+
+/** Time one in @p period invocations per event name (default 64). */
+void setSamplePeriod(std::uint64_t period);
+
+/**
+ * Whether reports include wall-time estimates. Off zeroes every
+ * time field (counts stay exact) so output is byte-deterministic —
+ * used by the bench harness under --no-timing.
+ */
+void setReportTimes(bool on);
+bool reportTimes();
+
+/** Forget all accumulated attribution. */
+void reset();
+
+/** Total events profiled since the last reset(). */
+std::uint64_t totalEvents();
+
+/** Events attributed to a non-empty event name. */
+std::uint64_t attributedEvents();
+
+/**
+ * Per-name attribution merged across translation units (names are
+ * compared by content, not pointer), sorted hottest first: by
+ * estimated time, then count, then name — which degrades to a
+ * deterministic count ordering when times are suppressed.
+ */
+std::vector<HotSpot> hotSpots();
+
+/** hotSpots() re-aggregated by owner (the name up to the last '.'). */
+std::vector<HotSpot> byOwner();
+
+/** Human-readable top-N table (events and owners). */
+void dumpTable(std::ostream &os, std::size_t top_n = 10);
+
+/**
+ * The top-N hot spots as one JSON array value (no trailing
+ * newline), for embedding under a "profiler" key in stats.json and
+ * bench records.
+ */
+void writeJson(std::ostream &os, std::size_t top_n);
+
+/**
+ * Service @p event under the profiler: count it, time it if its
+ * name's 1-in-N sampler fires, then run process(). Called from
+ * EventQueue::step() only while enabledFlag is set.
+ */
+void profileProcess(Event *event);
+
+} // namespace pciesim::prof
+
+#endif // PCIESIM_SIM_PROFILER_HH

@@ -1,12 +1,72 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <locale>
+#include <sstream>
 
+#include "invariant.hh"
 #include "logging.hh"
+#include "profiler.hh"
 
 namespace pciesim::stats
 {
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::None: return "";
+      case Unit::Count: return "count";
+      case Unit::Tick: return "tick";
+      case Unit::Nanosecond: return "ns";
+      case Unit::Second: return "s";
+      case Unit::Byte: return "byte";
+      case Unit::Bit: return "bit";
+      case Unit::BytePerSecond: return "byte/s";
+      case Unit::BitPerSecond: return "bit/s";
+      case Unit::Ratio: return "ratio";
+      case Unit::Percent: return "percent";
+    }
+    return "";
+}
+
+void
+Vector::init(std::size_t n)
+{
+    elems_.assign(n, Counter{});
+    subnames_.assign(n, std::string{});
+}
+
+void
+Vector::subname(std::size_t i, const std::string &name)
+{
+    subnames_.at(i) = name;
+}
+
+const std::string &
+Vector::subnameOf(std::size_t i) const
+{
+    return subnames_.at(i);
+}
+
+std::uint64_t
+Vector::total() const
+{
+    std::uint64_t sum = 0;
+    for (const Counter &c : elems_)
+        sum += c.value();
+    return sum;
+}
+
+void
+Vector::reset()
+{
+    for (Counter &c : elems_)
+        c.reset();
+}
 
 void
 Distribution::init(double min, double max, std::size_t buckets)
@@ -153,43 +213,108 @@ Histogram::reset()
 }
 
 void
-Registry::add(const std::string &name, Counter *stat,
-              const std::string &desc)
+Registry::checkNew(const std::string &name) const
 {
     panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{stat, nullptr, nullptr, nullptr, desc};
+}
+
+void
+Registry::add(const std::string &name, Counter *stat,
+              const std::string &desc, Unit unit)
+{
+    checkNew(name);
+    Entry e;
+    e.counter = stat;
+    e.desc = desc;
+    e.unit = unit;
+    entries_[name] = e;
 }
 
 void
 Registry::add(const std::string &name, Scalar *stat,
-              const std::string &desc)
+              const std::string &desc, Unit unit)
 {
-    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{nullptr, stat, nullptr, nullptr, desc};
+    checkNew(name);
+    Entry e;
+    e.scalar = stat;
+    e.desc = desc;
+    e.unit = unit;
+    entries_[name] = e;
 }
 
 void
 Registry::add(const std::string &name, Distribution *stat,
-              const std::string &desc)
+              const std::string &desc, Unit unit)
 {
-    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{nullptr, nullptr, stat, nullptr, desc};
+    checkNew(name);
+    Entry e;
+    e.dist = stat;
+    e.desc = desc;
+    e.unit = unit;
+    entries_[name] = e;
 }
 
 void
 Registry::add(const std::string &name, Histogram *stat,
-              const std::string &desc)
+              const std::string &desc, Unit unit)
 {
-    panicIf(entries_.count(name) != 0, "duplicate stat '", name, "'");
-    entries_[name] = Entry{nullptr, nullptr, nullptr, stat, desc};
+    checkNew(name);
+    Entry e;
+    e.hist = stat;
+    e.desc = desc;
+    e.unit = unit;
+    entries_[name] = e;
+}
+
+void
+Registry::add(const std::string &name, Vector *stat,
+              const std::string &desc, Unit unit)
+{
+    checkNew(name);
+    Entry e;
+    e.vec = stat;
+    e.desc = desc;
+    e.unit = unit;
+    entries_[name] = e;
+}
+
+void
+Registry::add(const std::string &name, Formula *stat,
+              const std::string &desc, Unit unit)
+{
+    checkNew(name);
+    Entry e;
+    e.formula = stat;
+    e.desc = desc;
+    e.unit = unit;
+    entries_[name] = e;
+}
+
+bool
+Registry::remove(const std::string &name)
+{
+    return entries_.erase(name) != 0;
+}
+
+void
+Registry::noteMiss(const std::string &name, const char *kind) const
+{
+    PCIESIM_AUDIT(false, "stat lookup miss: no ", kind, " named '",
+                  name, "'");
+    if (warnedMisses_.insert(name).second) {
+        warn("stat lookup miss: no ", kind, " named '", name,
+             "' (returning 0)");
+    }
 }
 
 std::uint64_t
 Registry::counterValue(const std::string &name) const
 {
     auto it = entries_.find(name);
-    if (it == entries_.end() || it->second.counter == nullptr)
+    if (it == entries_.end() || it->second.counter == nullptr) {
+        noteMiss(name, "counter");
         return 0;
+    }
     return it->second.counter->value();
 }
 
@@ -197,8 +322,39 @@ double
 Registry::scalarValue(const std::string &name) const
 {
     auto it = entries_.find(name);
-    if (it == entries_.end() || it->second.scalar == nullptr)
+    if (it == entries_.end() || it->second.scalar == nullptr) {
+        noteMiss(name, "scalar");
         return 0.0;
+    }
+    return it->second.scalar->value();
+}
+
+double
+Registry::formulaValue(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.formula == nullptr) {
+        noteMiss(name, "formula");
+        return 0.0;
+    }
+    return it->second.formula->value();
+}
+
+std::optional<std::uint64_t>
+Registry::tryCounter(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.counter == nullptr)
+        return std::nullopt;
+    return it->second.counter->value();
+}
+
+std::optional<double>
+Registry::tryScalar(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.scalar == nullptr)
+        return std::nullopt;
     return it->second.scalar->value();
 }
 
@@ -211,21 +367,113 @@ Registry::histogram(const std::string &name) const
     return it->second.hist;
 }
 
+const Vector *
+Registry::vector(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return nullptr;
+    return it->second.vec;
+}
+
 bool
 Registry::has(const std::string &name) const
 {
     return entries_.count(name) != 0;
 }
 
+namespace
+{
+
+/** "portN" fallback for unnamed vector elements. */
+std::string
+elementLabel(const Vector &v, std::size_t i)
+{
+    const std::string &sub = v.subnameOf(i);
+    if (!sub.empty())
+        return sub;
+    return std::to_string(i);
+}
+
+void
+writeUnitSuffix(std::ostream &os, Unit unit)
+{
+    if (unit != Unit::None)
+        os << " (" << unitName(unit) << ")";
+}
+
+void
+writeDescSuffix(std::ostream &os, const std::string &desc)
+{
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << "\n";
+}
+
+/** JSON-escape the simulator's stat names and descriptions. */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Finite, locale-independent JSON number (NaN/inf become 0). */
+void
+writeJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    std::ostringstream tmp;
+    tmp.imbue(std::locale::classic());
+    tmp << std::setprecision(12) << v;
+    os << tmp.str();
+}
+
+} // namespace
+
 void
 Registry::dump(std::ostream &os) const
 {
     for (const auto &[name, e] : entries_) {
+        if (e.vec) {
+            for (std::size_t i = 0; i < e.vec->size(); ++i) {
+                os << std::left << std::setw(56)
+                   << (name + "." + elementLabel(*e.vec, i)) << " "
+                   << (*e.vec)[i].value();
+                writeUnitSuffix(os, e.unit);
+                writeDescSuffix(os, e.desc);
+            }
+            os << std::left << std::setw(56) << (name + ".total")
+               << " " << e.vec->total();
+            writeUnitSuffix(os, e.unit);
+            writeDescSuffix(os, e.desc);
+            continue;
+        }
         os << std::left << std::setw(56) << name << " ";
         if (e.counter) {
             os << e.counter->value();
         } else if (e.scalar) {
             os << e.scalar->value();
+        } else if (e.formula) {
+            os << e.formula->value();
         } else if (e.dist) {
             os << "samples=" << e.dist->samples()
                << " mean=" << e.dist->mean()
@@ -240,10 +488,86 @@ Registry::dump(std::ostream &os) const
                << " min=" << e.hist->min()
                << " max=" << e.hist->max();
         }
-        if (!e.desc.empty())
-            os << "  # " << e.desc;
-        os << "\n";
+        writeUnitSuffix(os, e.unit);
+        writeDescSuffix(os, e.desc);
     }
+}
+
+void
+Registry::dumpJson(std::ostream &os, std::uint64_t cur_tick,
+                   unsigned epoch) const
+{
+    os << "{\n"
+       << "  \"schema\": \"pciesim-stats\",\n"
+       << "  \"version\": 1,\n"
+       << "  \"curTick\": " << cur_tick << ",\n"
+       << "  \"epoch\": " << epoch << ",\n"
+       << "  \"stats\": [";
+    bool first = true;
+    for (const auto &[name, e] : entries_) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": ";
+        first = false;
+        writeJsonString(os, name);
+        os << ", \"type\": \"";
+        if (e.counter)
+            os << "counter";
+        else if (e.scalar)
+            os << "scalar";
+        else if (e.formula)
+            os << "formula";
+        else if (e.vec)
+            os << "vector";
+        else if (e.dist)
+            os << "distribution";
+        else if (e.hist)
+            os << "histogram";
+        os << "\", \"unit\": \"" << unitName(e.unit)
+           << "\", \"desc\": ";
+        writeJsonString(os, e.desc);
+        if (e.counter) {
+            os << ", \"value\": " << e.counter->value();
+        } else if (e.scalar) {
+            os << ", \"value\": ";
+            writeJsonDouble(os, e.scalar->value());
+        } else if (e.formula) {
+            os << ", \"value\": ";
+            writeJsonDouble(os, e.formula->value());
+        } else if (e.vec) {
+            os << ", \"subnames\": [";
+            for (std::size_t i = 0; i < e.vec->size(); ++i) {
+                os << (i ? ", " : "");
+                writeJsonString(os, elementLabel(*e.vec, i));
+            }
+            os << "], \"values\": [";
+            for (std::size_t i = 0; i < e.vec->size(); ++i)
+                os << (i ? ", " : "") << (*e.vec)[i].value();
+            os << "], \"total\": " << e.vec->total();
+        } else if (e.dist) {
+            os << ", \"samples\": " << e.dist->samples()
+               << ", \"mean\": ";
+            writeJsonDouble(os, e.dist->mean());
+            os << ", \"min\": ";
+            writeJsonDouble(os, e.dist->min());
+            os << ", \"max\": ";
+            writeJsonDouble(os, e.dist->max());
+        } else if (e.hist) {
+            os << ", \"samples\": " << e.hist->samples()
+               << ", \"mean\": ";
+            writeJsonDouble(os, e.hist->mean());
+            os << ", \"min\": " << e.hist->min()
+               << ", \"max\": " << e.hist->max()
+               << ", \"p50\": " << e.hist->quantile(0.50)
+               << ", \"p95\": " << e.hist->quantile(0.95)
+               << ", \"p99\": " << e.hist->quantile(0.99);
+        }
+        os << "}";
+    }
+    os << "\n  ]";
+    if (prof::enabled()) {
+        os << ",\n  \"profiler\": ";
+        prof::writeJson(os, 16);
+    }
+    os << "\n}\n";
 }
 
 void
@@ -259,6 +583,9 @@ Registry::resetAll()
             e.dist->reset();
         else if (e.hist)
             e.hist->reset();
+        else if (e.vec)
+            e.vec->reset();
+        // Formulas are derived; they reset with their inputs.
     }
 }
 

@@ -1,9 +1,12 @@
 /**
  * @file
- * A small statistics package: named scalar and distribution
- * statistics registered in a per-simulation registry, dumpable as
- * text. Components hold the stat objects; the registry holds
- * non-owning pointers for enumeration.
+ * A statistics package modeled on gem5 v20's stats framework:
+ * named scalar, vector, distribution, histogram, and formula
+ * statistics registered in a per-simulation registry, each carrying
+ * a description and a unit. Dumpable as text (with units) and as a
+ * versioned machine-readable JSON document (see dumpJson).
+ * Components hold the stat objects; the registry holds non-owning
+ * pointers for enumeration.
  */
 
 #ifndef PCIESIM_SIM_STATS_HH
@@ -11,13 +14,39 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace pciesim::stats
 {
+
+/**
+ * Measurement unit of a statistic, printed in dumps and exported in
+ * stats.json. The small fixed set covers everything the simulator
+ * reports; None suppresses the unit annotation entirely.
+ */
+enum class Unit
+{
+    None,          ///< dimensionless / unspecified
+    Count,         ///< plain event count
+    Tick,          ///< simulated picoseconds
+    Nanosecond,    ///< reported nanoseconds
+    Second,        ///< reported seconds
+    Byte,          ///< payload bytes
+    Bit,           ///< payload bits
+    BytePerSecond, ///< throughput
+    BitPerSecond,  ///< throughput (the paper's Gbit/s axis)
+    Ratio,         ///< unitless fraction in [0, 1]
+    Percent,       ///< unitless fraction scaled to 100
+};
+
+/** Canonical short name of a unit ("count", "tick", ...). */
+const char *unitName(Unit u);
 
 /** A monotonically increasing event count. */
 class Counter
@@ -43,6 +72,67 @@ class Scalar
 
   private:
     double value_ = 0.0;
+};
+
+/**
+ * A fixed-size array of counters with per-element subnames — the
+ * gem5 Vector stat. Used for per-port and per-direction counts
+ * where the elements share one description and unit. Elements
+ * without an explicit subname dump as their index.
+ */
+class Vector
+{
+  public:
+    /** Size the vector; resets all elements. Call once. */
+    void init(std::size_t n);
+
+    /** Name element @p i ("port0", "up", ...) in dumps/JSON. */
+    void subname(std::size_t i, const std::string &name);
+
+    Counter &operator[](std::size_t i) { return elems_.at(i); }
+    const Counter &operator[](std::size_t i) const
+    {
+        return elems_.at(i);
+    }
+
+    std::size_t size() const { return elems_.size(); }
+    const std::string &subnameOf(std::size_t i) const;
+
+    /** Sum over all elements. */
+    std::uint64_t total() const;
+
+    void reset();
+
+  private:
+    std::vector<Counter> elems_;
+    std::vector<std::string> subnames_;
+};
+
+/**
+ * A derived statistic evaluated lazily at dump time — the gem5
+ * Formula. Holds a callable over other stats (goodput, replay
+ * fraction, link utilization); the callable must guard its own
+ * denominators. An unbound formula reads as 0.
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+    explicit Formula(std::function<double()> fn) : fn_(std::move(fn))
+    {}
+
+    Formula &
+    operator=(std::function<double()> fn)
+    {
+        fn_ = std::move(fn);
+        return *this;
+    }
+
+    bool bound() const { return static_cast<bool>(fn_); }
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    std::function<double()> fn_;
 };
 
 /** A running sample distribution (mean/min/max, fixed buckets). */
@@ -115,35 +205,76 @@ class Histogram
  * A registry of named statistics.
  *
  * Registration stores non-owning pointers; the registering component
- * must outlive the registry's use. Names are hierarchical by
- * convention: "system.rootComplex.port0.fwdPackets".
+ * must outlive the registry's use (short-lived components such as a
+ * workload remove their stats on destruction — see remove()). Names
+ * are hierarchical by convention:
+ * "system.rootComplex.port0.fwdPackets".
  */
 class Registry
 {
   public:
     void add(const std::string &name, Counter *stat,
-             const std::string &desc = "");
+             const std::string &desc = "", Unit unit = Unit::Count);
     void add(const std::string &name, Scalar *stat,
-             const std::string &desc = "");
+             const std::string &desc = "", Unit unit = Unit::None);
     void add(const std::string &name, Distribution *stat,
-             const std::string &desc = "");
+             const std::string &desc = "", Unit unit = Unit::None);
     void add(const std::string &name, Histogram *stat,
-             const std::string &desc = "");
+             const std::string &desc = "", Unit unit = Unit::Tick);
+    void add(const std::string &name, Vector *stat,
+             const std::string &desc = "", Unit unit = Unit::Count);
+    void add(const std::string &name, Formula *stat,
+             const std::string &desc = "", Unit unit = Unit::None);
 
-    /** Look up a counter value by full name; 0 when absent. */
+    /**
+     * Drop the entry named @p name (a component being destroyed
+     * before the registry). @return whether an entry was removed.
+     */
+    bool remove(const std::string &name);
+
+    /**
+     * Look up a counter value by full name. A lookup that misses
+     * (absent name or non-counter entry) returns 0 after warning
+     * once per name — and panics outright in audit builds — so a
+     * typo in a bench or golden query cannot pass silently.
+     */
     std::uint64_t counterValue(const std::string &name) const;
+
+    /** Look up a scalar value; same miss semantics as above. */
+    double scalarValue(const std::string &name) const;
+
+    /** Look up a formula value; same miss semantics as above. */
+    double formulaValue(const std::string &name) const;
+
+    /** Counter lookup that reports absence instead of warning. */
+    std::optional<std::uint64_t>
+    tryCounter(const std::string &name) const;
+
+    /** Scalar lookup that reports absence instead of warning. */
+    std::optional<double> tryScalar(const std::string &name) const;
 
     /** Look up a histogram by full name; nullptr when absent. */
     const Histogram *histogram(const std::string &name) const;
 
-    /** Look up a scalar value by full name; 0.0 when absent. */
-    double scalarValue(const std::string &name) const;
+    /** Look up a vector by full name; nullptr when absent. */
+    const Vector *vector(const std::string &name) const;
 
     /** Whether a stat with this name exists. */
     bool has(const std::string &name) const;
 
-    /** Dump all statistics in name order. */
+    /** Dump all statistics in name order, with units. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Export every statistic as one machine-readable JSON document
+     * (schema "pciesim-stats" version 1): name, type, unit,
+     * description, and the value(s). @p cur_tick and @p epoch tag
+     * the dump for multi-epoch consumers (pciesim-report diff).
+     * When the host-side profiler is enabled, a "profiler" array of
+     * hot spots is appended.
+     */
+    void dumpJson(std::ostream &os, std::uint64_t cur_tick = 0,
+                  unsigned epoch = 0) const;
 
     /** Reset every registered statistic to zero. */
     void resetAll();
@@ -155,10 +286,19 @@ class Registry
         Scalar *scalar = nullptr;
         Distribution *dist = nullptr;
         Histogram *hist = nullptr;
+        Vector *vec = nullptr;
+        Formula *formula = nullptr;
         std::string desc;
+        Unit unit = Unit::None;
     };
 
+    void checkNew(const std::string &name) const;
+
+    /** Record a miss: warn once per name; panic in audit builds. */
+    void noteMiss(const std::string &name, const char *kind) const;
+
     std::map<std::string, Entry> entries_;
+    mutable std::set<std::string> warnedMisses_;
 };
 
 } // namespace pciesim::stats

@@ -1,0 +1,66 @@
+#include "stats_dumper.hh"
+
+#include <iostream>
+
+#include "event_queue.hh"
+#include "logging.hh"
+#include "profiler.hh"
+#include "simulation.hh"
+#include "stats.hh"
+
+namespace pciesim
+{
+
+StatsDumper::StatsDumper(Simulation &sim, const std::string &name,
+                         Tick interval, const std::string &path)
+    : SimObject(sim, name), interval_(interval), path_(path),
+      dumpEvent_(this, name + ".dumpEvent")
+{
+    fatalIf(interval_ == 0,
+            "stats dumper '", name, "' needs a nonzero interval");
+}
+
+std::ostream &
+StatsDumper::out()
+{
+    if (path_.empty() || path_ == "-")
+        return std::cout;
+    if (!file_) {
+        file_ = std::make_unique<std::ofstream>(path_);
+        fatalIf(!*file_, "stats dumper '", name(),
+                "' cannot open '", path_, "'");
+    }
+    return *file_;
+}
+
+void
+StatsDumper::dumpEpoch(bool reset_after)
+{
+    std::ostream &os = out();
+    os << "\n---------- Begin Simulation Statistics ----------\n";
+    os << "# epoch " << epoch_ << " curTick " << curTick() << "\n";
+    sim().statsRegistry().dump(os);
+    if (prof::enabled())
+        prof::dumpTable(os);
+    os << "---------- End Simulation Statistics   ----------\n";
+    os.flush();
+    ++epoch_;
+    if (reset_after)
+        sim().statsRegistry().resetAll();
+}
+
+void
+StatsDumper::dumpNow()
+{
+    dumpEpoch();
+    if (!eventq().empty())
+        schedule(dumpEvent_, interval_);
+}
+
+void
+StatsDumper::startup()
+{
+    schedule(dumpEvent_, interval_);
+}
+
+} // namespace pciesim

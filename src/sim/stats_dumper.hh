@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Periodic dump/reset statistics epochs, modeled on gem5's m5out
+ * stats.txt: a SimObject that wakes every statsDumpInterval ticks,
+ * writes every registered statistic inside a Begin/End banner pair,
+ * then resets the registry so each epoch covers only its own
+ * interval. A consumer concatenating epochs recovers cumulative
+ * totals; a consumer diffing epochs sees phase behaviour (warm-up
+ * vs. steady state) that a single end-of-run dump averages away.
+ *
+ * Like StatsSampler, the dumper reschedules itself only while other
+ * events remain in the queue, so it never keeps a finished
+ * simulation alive — and the partial final epoch is emitted by the
+ * owning system after run() returns, via dumpEpoch().
+ */
+
+#ifndef PCIESIM_SIM_STATS_DUMPER_HH
+#define PCIESIM_SIM_STATS_DUMPER_HH
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "event.hh"
+#include "sim_object.hh"
+
+namespace pciesim
+{
+
+/** Emits m5out-style Begin/End stats epochs on a fixed period. */
+class StatsDumper : public SimObject
+{
+  public:
+    /**
+     * Dump every @p interval ticks to @p path ("-" or empty for
+     * stdout; otherwise a file truncated on the first epoch).
+     */
+    StatsDumper(Simulation &sim, const std::string &name,
+                Tick interval, const std::string &path = "-");
+
+    /** Epochs written so far (including any final partial one). */
+    unsigned epochsDumped() const { return epoch_; }
+
+    /**
+     * Write one epoch now — banner, stats dump, profiler table when
+     * profiling is live — then reset the registry so the next epoch
+     * covers only its own interval. The owning system calls this
+     * once after run() with @p reset_after false to flush the final
+     * partial epoch while leaving end-of-run readouts intact.
+     */
+    void dumpEpoch(bool reset_after = true);
+
+    void startup() override;
+
+  private:
+    void dumpNow();
+    std::ostream &out();
+
+    Tick interval_;
+    std::string path_;
+    std::unique_ptr<std::ofstream> file_;
+    unsigned epoch_ = 0;
+    MemberEventWrapper<StatsDumper, &StatsDumper::dumpNow>
+        dumpEvent_;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_STATS_DUMPER_HH

@@ -37,7 +37,8 @@ void
 StatsSampler::init()
 {
     statsRegistry().add(name() + ".samplesTaken", &samplesTaken_,
-                        "periodic stats samples emitted");
+                        "periodic stats samples emitted",
+                        stats::Unit::Count);
 }
 
 void

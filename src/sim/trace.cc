@@ -40,6 +40,21 @@ refreshActive()
                   sinks().chrome != nullptr;
 }
 
+/**
+ * Arrange (once) for open sinks to be flushed and closed from the
+ * logging fatal path, so a Chrome trace from a run that died in
+ * panic()/fatal() still carries its closing bracket and parses.
+ */
+void
+registerCrashClose()
+{
+    static bool registered = false;
+    if (registered)
+        return;
+    registered = true;
+    registerCrashHook([] { closeSinks(); });
+}
+
 } // namespace
 
 const char *
@@ -102,6 +117,7 @@ openTextSink(const std::string &path)
     else
         sinks().text = std::make_unique<TextSink>(path);
     refreshActive();
+    registerCrashClose();
 }
 
 void
@@ -109,6 +125,7 @@ openChromeSink(const std::string &path)
 {
     sinks().chrome = std::make_unique<ChromeTraceSink>(path);
     refreshActive();
+    registerCrashClose();
 }
 
 ChromeTraceSink *

@@ -1,5 +1,7 @@
 #include "storage_system.hh"
 
+#include <fstream>
+
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
 #include "sim/trace.hh"
@@ -134,6 +136,46 @@ StorageSystem::StorageSystem(Simulation &sim,
                 });
         }
     }
+
+    // m5out-style dump/reset stats epochs (off by default; epochs
+    // reset counters, see SystemConfig::statsDumpInterval).
+    if (config.statsDumpInterval > 0) {
+        dumper_ = std::make_unique<StatsDumper>(
+            sim, "system.dumper", config.statsDumpInterval,
+            config.statsDumpPath);
+    }
+
+    // System-level derived stats, replacing the ad-hoc arithmetic
+    // the benches used to carry. Same counters, same summation
+    // order, so bench output stays bit-identical.
+    replayFraction_ = [this] {
+        std::uint64_t tx = downLink_->downstreamIf().txTlps() +
+                           upLink_->downstreamIf().txTlps();
+        std::uint64_t replays =
+            downLink_->downstreamIf().replayedTlps() +
+            upLink_->downstreamIf().replayedTlps();
+        return tx == 0 ? 0.0
+                       : static_cast<double>(replays) /
+                             static_cast<double>(tx);
+    };
+    sim.statsRegistry().add(
+        "system.replayFraction", &replayFraction_,
+        "replayed / transmitted TLPs, device-side interfaces of "
+        "both links", stats::Unit::Ratio);
+    timeoutFraction_ = [this] {
+        std::uint64_t tx = downLink_->downstreamIf().txTlps() +
+                           upLink_->downstreamIf().txTlps();
+        std::uint64_t timeouts =
+            downLink_->downstreamIf().timeouts() +
+            upLink_->downstreamIf().timeouts();
+        return tx == 0 ? 0.0
+                       : static_cast<double>(timeouts) /
+                             static_cast<double>(tx);
+    };
+    sim.statsRegistry().add(
+        "system.timeoutFraction", &timeoutFraction_,
+        "replay-timer timeouts / transmitted TLPs, device-side "
+        "interfaces of both links", stats::Unit::Ratio);
 }
 
 StorageSystem::~StorageSystem() = default;
@@ -157,7 +199,23 @@ StorageSystem::runDd(const DdWorkloadParams &dd)
     workload.run([&done] { done = true; });
     sim_.run();
     fatalIf(!done, "dd did not complete (deadlock?)");
+    // Flush the final partial epoch (without resetting, so the
+    // caller's end-of-run readouts survive), then export
+    // machine-readable stats while the workload is still alive.
+    if (dumper_)
+        dumper_->dumpEpoch(false);
+    if (!config_.statsJsonOut.empty())
+        exportStatsJson(config_.statsJsonOut);
     return workload.throughputGbps();
+}
+
+void
+StorageSystem::exportStatsJson(const std::string &path)
+{
+    std::ofstream os(path);
+    fatalIf(!os, "cannot open stats.json output '", path, "'");
+    sim_.statsRegistry().dumpJson(
+        os, sim_.curTick(), dumper_ ? dumper_->epochsDumped() : 0);
 }
 
 double

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pci/pci_host.hh"
+#include "sim/stats_dumper.hh"
 #include "sim/stats_sampler.hh"
 #include "topo/system_config.hh"
 
@@ -59,7 +60,12 @@ class StorageSystem
     IntController &gic() { return *gic_; }
     /** The periodic sampler; null unless statsSampleInterval > 0. */
     StatsSampler *sampler() { return sampler_.get(); }
+    /** The epoch dumper; null unless statsDumpInterval > 0. */
+    StatsDumper *dumper() { return dumper_.get(); }
     /** @} */
+
+    /** Write the full registry as stats.json to @p path. */
+    void exportStatsJson(const std::string &path);
 
     /**
      * Run a dd workload to completion.
@@ -91,6 +97,11 @@ class StorageSystem
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<IdeDriver> ideDriver_;
     std::unique_ptr<StatsSampler> sampler_;
+    std::unique_ptr<StatsDumper> dumper_;
+    /** @{ System-level dump-time formulas (stats v2). */
+    stats::Formula replayFraction_;
+    stats::Formula timeoutFraction_;
+    /** @} */
 };
 
 } // namespace pciesim

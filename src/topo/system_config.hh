@@ -81,6 +81,14 @@ struct SystemConfig
     std::string traceOut;
     /** Period of the goodput/replay-depth sampler; 0 disables. */
     Tick statsSampleInterval = 0;
+    /** Period of m5out-style dump/reset stats epochs; 0 disables.
+     *  Note epochs *reset* counters, so end-of-run readouts cover
+     *  only the final partial epoch (gem5 semantics). */
+    Tick statsDumpInterval = 0;
+    /** Epoch dump destination; "-" (default) is stdout. */
+    std::string statsDumpPath = "-";
+    /** Write a stats.json document here after a run; empty off. */
+    std::string statsJsonOut;
     /** @} */
 
     /** @{ Substrates. */

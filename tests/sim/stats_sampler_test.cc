@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Edge-case tests for StatsSampler scheduling: an interval longer
+ * than the run, a run with no other events at all, an interval
+ * that does not divide the run length, and rate differentiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "sim/stats_sampler.hh"
+
+using namespace pciesim;
+
+namespace
+{
+
+/** Schedules one no-op event at a fixed tick. */
+class OneShot : public SimObject
+{
+  public:
+    OneShot(Simulation &sim, const std::string &name, Tick when)
+        : SimObject(sim, name), when_(when),
+          event_([] {}, "oneshot.fire")
+    {}
+
+    void startup() override { schedule(event_, when_); }
+
+  private:
+    Tick when_;
+    EventFunctionWrapper event_;
+};
+
+} // namespace
+
+TEST(StatsSamplerEdge, IntervalLongerThanRunStillSamplesOnce)
+{
+    Simulation sim;
+    StatsSampler sampler(sim, "sampler", 1000);
+    sampler.addGauge("g", [] { return 7.0; });
+    OneShot shot(sim, "shot", 100);
+
+    sim.run();
+
+    // The payload ended at tick 100, but the sample scheduled at
+    // tick 1000 still fires — exactly once, because the queue is
+    // empty afterwards and the sampler must not reschedule.
+    ASSERT_EQ(sampler.rows().size(), 1u);
+    EXPECT_EQ(sampler.rows()[0].tick, 1000u);
+    EXPECT_DOUBLE_EQ(sampler.rows()[0].values[0], 7.0);
+    EXPECT_EQ(sim.curTick(), 1000u);
+    EXPECT_EQ(
+        sim.statsRegistry().counterValue("sampler.samplesTaken"),
+        1u);
+}
+
+TEST(StatsSamplerEdge, RunWithNoOtherEventsTerminates)
+{
+    Simulation sim;
+    StatsSampler sampler(sim, "sampler", 250);
+    sampler.addGauge("g", [] { return 1.0; });
+
+    sim.run();
+
+    // Nothing but the sampler itself: one sample, then the empty
+    // queue stops the self-rescheduling timer from spinning the
+    // simulation forever.
+    ASSERT_EQ(sampler.rows().size(), 1u);
+    EXPECT_EQ(sampler.rows()[0].tick, 250u);
+    EXPECT_EQ(sim.curTick(), 250u);
+}
+
+TEST(StatsSamplerEdge, NoProbesMeansNoSamples)
+{
+    Simulation sim;
+    StatsSampler sampler(sim, "sampler", 250);
+    OneShot shot(sim, "shot", 100);
+
+    sim.run();
+
+    // With no probes registered the sampler never schedules at all,
+    // so it cannot stretch the run past the last payload event.
+    EXPECT_TRUE(sampler.rows().empty());
+    EXPECT_EQ(sim.curTick(), 100u);
+}
+
+TEST(StatsSamplerEdge, NonDividingIntervalCoversWholeRun)
+{
+    Simulation sim;
+    StatsSampler sampler(sim, "sampler", 300);
+    sampler.addGauge("g", [] { return 0.0; });
+    OneShot a(sim, "a", 500);
+    OneShot b(sim, "b", 1000);
+
+    sim.run();
+
+    // 300 does not divide 1000: samples land at 300/600/900 while
+    // payload remains, plus one final sample at 1200 that covers
+    // the tail of the run.
+    ASSERT_EQ(sampler.rows().size(), 4u);
+    EXPECT_EQ(sampler.rows().front().tick, 300u);
+    EXPECT_EQ(sampler.rows().back().tick, 1200u);
+    for (std::size_t i = 1; i < sampler.rows().size(); ++i)
+        EXPECT_EQ(sampler.rows()[i].tick -
+                      sampler.rows()[i - 1].tick,
+                  300u);
+    EXPECT_GE(sampler.rows().back().tick, 1000u);
+}
+
+TEST(StatsSamplerEdge, RateProbesDifferentiateAcrossInterval)
+{
+    Simulation sim;
+    StatsSampler sampler(sim, "sampler", microseconds(1));
+    double cum = 0.0;
+    sampler.addRate("bytes", [&] {
+        cum += 100.0;
+        return cum;
+    });
+    OneShot shot(sim, "shot", microseconds(1) + 500000);
+
+    sim.run();
+
+    // The probe reports a cumulative 100 bytes per interval; the
+    // sampler divides by the 1 us interval: 1e8 bytes/s each time.
+    ASSERT_EQ(sampler.rows().size(), 2u);
+    EXPECT_NEAR(sampler.rows()[0].values[0], 1.0e8, 1.0);
+    EXPECT_NEAR(sampler.rows()[1].values[0], 1.0e8, 1.0);
+}

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -156,7 +157,51 @@ TEST(StatsRegistry, LooksUpByName)
     EXPECT_DOUBLE_EQ(r.scalarValue("a.scalar"), 3.5);
     EXPECT_TRUE(r.has("a.counter"));
     EXPECT_FALSE(r.has("missing"));
+}
+
+TEST(StatsRegistry, MissingLookupWarnsAndReturnsZero)
+{
+    if (auditEnabled)
+        GTEST_SKIP() << "lookup misses panic under audit";
+    Registry r;
+    Counter c;
+    r.add("present", &c);
+    // The silent-zero trap is now a warn-once: the value is still 0
+    // (so old readouts keep working) but the miss is loud.
     EXPECT_EQ(r.counterValue("missing"), 0u);
+    EXPECT_EQ(r.counterValue("missing"), 0u);
+    EXPECT_DOUBLE_EQ(r.scalarValue("missing"), 0.0);
+    // Wrong-kind lookups miss too: "present" is not a scalar.
+    EXPECT_DOUBLE_EQ(r.scalarValue("present"), 0.0);
+}
+
+TEST(StatsRegistryDeathTest, MissingLookupPanicsUnderAudit)
+{
+    if (!auditEnabled)
+        GTEST_SKIP() << "audit disabled in this build";
+    Registry r;
+    EXPECT_DEATH((void)r.counterValue("missing"),
+                 "audit failed: stat lookup miss");
+}
+
+TEST(StatsRegistry, TryLookupsReportPresence)
+{
+    Registry r;
+    Counter c;
+    Scalar s;
+    c += 9;
+    s = 1.25;
+    r.add("c", &c);
+    r.add("s", &s);
+    ASSERT_TRUE(r.tryCounter("c").has_value());
+    EXPECT_EQ(*r.tryCounter("c"), 9u);
+    ASSERT_TRUE(r.tryScalar("s").has_value());
+    EXPECT_DOUBLE_EQ(*r.tryScalar("s"), 1.25);
+    // Absent names and wrong kinds are nullopt, never 0-with-warn.
+    EXPECT_FALSE(r.tryCounter("missing").has_value());
+    EXPECT_FALSE(r.tryScalar("missing").has_value());
+    EXPECT_FALSE(r.tryCounter("s").has_value());
+    EXPECT_FALSE(r.tryScalar("c").has_value());
 }
 
 TEST(StatsRegistry, DumpContainsNamesValuesAndDescriptions)
@@ -221,6 +266,174 @@ TEST(Logging, FatalThrowsFatalError)
     EXPECT_NO_THROW(fatalIf(false, "fine"));
     EXPECT_NO_THROW(panicIf(false, "fine"));
     setLoggingThrows(false);
+}
+
+TEST(StatsVector, SubnamesTotalsAndReset)
+{
+    Vector v;
+    v.init(3);
+    v.subname(0, "port0");
+    v.subname(2, "port2");
+    ++v[0];
+    v[1] += 4;
+    v[2] += 2;
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[1].value(), 4u);
+    EXPECT_EQ(v.total(), 7u);
+    EXPECT_EQ(v.subnameOf(0), "port0");
+    EXPECT_EQ(v.subnameOf(1), "");
+    v.reset();
+    EXPECT_EQ(v.total(), 0u);
+}
+
+TEST(StatsVector, DumpExpandsElementsAndTotal)
+{
+    Registry r;
+    Vector v;
+    v.init(2);
+    v.subname(0, "rx");
+    v.subname(1, "tx");
+    ++v[1];
+    r.add("link.pkts", &v, "packets per direction");
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("link.pkts.rx"), std::string::npos);
+    EXPECT_NE(os.str().find("link.pkts.tx"), std::string::npos);
+    EXPECT_NE(os.str().find("link.pkts.total"), std::string::npos);
+    r.resetAll();
+    EXPECT_EQ(v.total(), 0u);
+}
+
+TEST(StatsFormula, EvaluatesAtReadTime)
+{
+    Registry r;
+    Counter num, den;
+    Formula frac([&] {
+        return den.value() == 0
+                   ? 0.0
+                   : static_cast<double>(num.value()) /
+                         static_cast<double>(den.value());
+    });
+    r.add("frac", &frac, "live ratio", Unit::Ratio);
+    EXPECT_DOUBLE_EQ(r.formulaValue("frac"), 0.0);
+    num += 1;
+    den += 4;
+    // No snapshotting: the formula sees its inputs' current values.
+    EXPECT_DOUBLE_EQ(r.formulaValue("frac"), 0.25);
+    den += 4;
+    EXPECT_DOUBLE_EQ(r.formulaValue("frac"), 0.125);
+}
+
+TEST(StatsFormula, UnboundReadsZero)
+{
+    Formula f;
+    EXPECT_FALSE(f.bound());
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
+TEST(StatsRegistry, RemoveUnregisters)
+{
+    Registry r;
+    Formula f([] { return 1.0; });
+    r.add("transient", &f);
+    EXPECT_TRUE(r.has("transient"));
+    EXPECT_TRUE(r.remove("transient"));
+    EXPECT_FALSE(r.has("transient"));
+    EXPECT_FALSE(r.remove("transient"));
+    // The name is free for re-registration (the dd workload's
+    // register-in-ctor / remove-in-dtor pattern relies on this).
+    Formula g([] { return 2.0; });
+    r.add("transient", &g);
+    EXPECT_DOUBLE_EQ(r.formulaValue("transient"), 2.0);
+}
+
+TEST(StatsRegistry, DumpShowsUnits)
+{
+    Registry r;
+    Counter c;
+    Scalar s;
+    r.add("bytes", &c, "payload", Unit::Byte);
+    r.add("plain", &s, "unitless");
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("(byte)"), std::string::npos);
+    // Unit::None stays silent rather than printing "()".
+    EXPECT_EQ(os.str().find("()"), std::string::npos);
+    EXPECT_STREQ(unitName(Unit::BitPerSecond), "bit/s");
+    EXPECT_STREQ(unitName(Unit::Tick), "tick");
+    EXPECT_STREQ(unitName(Unit::None), "");
+}
+
+TEST(StatsRegistry, DumpJsonIsVersionedAndComplete)
+{
+    Registry r;
+    Counter c;
+    Vector v;
+    Histogram h;
+    c += 5;
+    v.init(2);
+    v.subname(0, "a");
+    ++v[1];
+    h.sample(7);
+    r.add("count", &c, "a \"quoted\" desc", Unit::Count);
+    r.add("vec", &v, "", Unit::Count);
+    r.add("hist", &h, "", Unit::Tick);
+    std::ostringstream os;
+    r.dumpJson(os, 1234, 2);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"schema\": \"pciesim-stats\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"curTick\": 1234"), std::string::npos);
+    EXPECT_NE(out.find("\"epoch\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(out.find("\"total\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"p99\""), std::string::npos);
+}
+
+//
+// Histogram::quantile boundary behaviour (satellite S4).
+//
+
+TEST(StatsHistogram, QuantileBoundariesHitMinAndMax)
+{
+    Histogram h;
+    for (std::uint64_t v : {100, 2000, 30000, 400000})
+        h.sample(v);
+    EXPECT_EQ(h.quantile(0.0), h.min());
+    EXPECT_EQ(h.quantile(1.0), h.max());
+    // Out-of-range q is clamped, not undefined behaviour.
+    EXPECT_EQ(h.quantile(-1.0), h.min());
+    EXPECT_EQ(h.quantile(2.0), h.max());
+}
+
+TEST(StatsHistogram, SingleSampleIsEveryQuantile)
+{
+    Histogram h;
+    h.sample(123456);
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0})
+        EXPECT_EQ(h.quantile(q), 123456u) << "q=" << q;
+}
+
+TEST(StatsHistogram, QuantilesMonotoneOnSkewedData)
+{
+    // Heavily skewed: most samples tiny, a long expensive tail —
+    // the shape of a latency distribution under congestion.
+    Histogram h;
+    for (int i = 0; i < 900; ++i)
+        h.sample(10);
+    for (int i = 0; i < 90; ++i)
+        h.sample(100000);
+    for (int i = 0; i < 10; ++i)
+        h.sample(10000000);
+    std::uint64_t p50 = h.quantile(0.50);
+    std::uint64_t p95 = h.quantile(0.95);
+    std::uint64_t p99 = h.quantile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_EQ(p50, 10u);
+    EXPECT_GE(p99, 100000u);
+    EXPECT_LE(p99, h.max());
 }
 
 TEST(Ticks, ConversionsAreConsistent)

@@ -371,6 +371,36 @@ TEST(TraceChromeSink, DdRunProducesLinkAndDmaSpans)
 }
 #endif // PCIESIM_TRACING
 
+TEST(TraceChromeSinkDeathTest, FatalFlushesClosingBracket)
+{
+    TraceReset guard;
+    const std::string path = "trace_test_crash.json";
+    std::remove(path.c_str());
+
+    // The child opens a Chrome sink, emits an event, and dies in
+    // fatal() without ever reaching closeSinks(). The crash hook
+    // registered by openChromeSink() must flush the closing bracket
+    // on the way down.
+    EXPECT_DEATH(
+        {
+            setLoggingThrows(false);
+            trace::openChromeSink(path);
+            trace::setEnabledFlags(trace::parseFlags("Link"));
+            trace::emitBegin(trace::Flag::Link, 1000000, "obj.a",
+                             "doomed span");
+            fatal("simulated crash with an open trace");
+        },
+        "simulated crash with an open trace");
+
+    // The orphaned trace file from the crashed child still parses.
+    std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    JsonChecker checker(text);
+    EXPECT_TRUE(checker.valid()) << text;
+    EXPECT_NE(text.find("doomed span"), std::string::npos);
+    std::remove(path.c_str());
+}
+
 TEST(TraceSampler, EmitsRowsAndCounters)
 {
     TraceReset guard;

@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Offline reporting CLI over the simulator's machine-readable
+ * artefacts (DESIGN.md Sec. 9):
+ *
+ *   pciesim-report diff A.json B.json [--threshold=0.05] [--all]
+ *       Compare two pciesim-stats dumps stat by stat. Relative
+ *       changes above the threshold are flagged and make the exit
+ *       status nonzero, so CI can gate on "this change moved the
+ *       stats". Identical dumps exit 0.
+ *
+ *   pciesim-report top stats.json [--top=N]
+ *       Print the host-side profiler hot-spot table embedded in a
+ *       stats.json dump (present when the run had --profile).
+ *
+ *   pciesim-report trajectory BENCH_*.json... [--field=NAME]
+ *       Render one-object-per-line bench records (the perf
+ *       trajectory convention) as an aligned table.
+ *
+ * Self-contained: a small recursive-descent JSON reader, no
+ * dependency on the simulator library, so the tool keeps working on
+ * dumps from any build (or from a wholly different machine).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace
+{
+
+//
+// Minimal JSON document model + parser.
+//
+
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    /** Insertion-ordered; stats dumps are name-sorted already. */
+    std::vector<std::pair<std::string, Value>> obj;
+
+    const Value *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    double
+    numberOr(const std::string &key, double fallback) const
+    {
+        const Value *v = find(key);
+        return (v && v->type == Type::Number) ? v->number : fallback;
+    }
+
+    std::string
+    stringOr(const std::string &key,
+             const std::string &fallback) const
+    {
+        const Value *v = find(key);
+        return (v && v->type == Type::String) ? v->str : fallback;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(Value &out, std::string &error)
+    {
+        pos_ = 0;
+        if (!parseValue(out, error))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error = "trailing characters at offset " +
+                    std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(std::string &error, const std::string &what)
+    {
+        error = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(Value &out, std::string &error)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail(error, "unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out, error);
+        if (c == '[')
+            return parseArray(out, error);
+        if (c == '"') {
+            out.type = Value::Type::String;
+            return parseString(out.str, error);
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(out, error);
+        if (parseLiteral("true")) {
+            out.type = Value::Type::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (parseLiteral("false")) {
+            out.type = Value::Type::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (parseLiteral("null")) {
+            out.type = Value::Type::Null;
+            return true;
+        }
+        return fail(error, "unexpected character");
+    }
+
+    bool
+    parseObject(Value &out, std::string &error)
+    {
+        out.type = Value::Type::Object;
+        ++pos_; // '{'
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail(error, "expected object key");
+            std::string key;
+            if (!parseString(key, error))
+                return false;
+            if (!consume(':'))
+                return fail(error, "expected ':'");
+            Value v;
+            if (!parseValue(v, error))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail(error, "expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out, std::string &error)
+    {
+        out.type = Value::Type::Array;
+        ++pos_; // '['
+        if (consume(']'))
+            return true;
+        while (true) {
+            Value v;
+            if (!parseValue(v, error))
+                return false;
+            out.arr.push_back(std::move(v));
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail(error, "expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out, std::string &error)
+    {
+        ++pos_; // '"'
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_]))) {
+                            return fail(error, "bad \\u escape");
+                        }
+                        code = code * 16 +
+                               static_cast<unsigned>(std::stoul(
+                                   std::string(1, text_[pos_]),
+                                   nullptr, 16));
+                    }
+                    // Sim output is ASCII; fold to '?' otherwise.
+                    out += code < 0x80 ? static_cast<char>(code)
+                                       : '?';
+                    break;
+                  }
+                  default:
+                    return fail(error, "bad escape");
+                }
+                ++pos_;
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail(error, "unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out, std::string &error)
+    {
+        std::size_t start = pos_;
+        if (text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t before = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            return pos_ > before;
+        };
+        if (!digits())
+            return fail(error, "bad number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return fail(error, "bad fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return fail(error, "bad exponent");
+        }
+        out.type = Value::Type::Number;
+        out.number =
+            std::strtod(text_.substr(start, pos_ - start).c_str(),
+                        nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "pciesim-report: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+loadStatsDump(const std::string &path, Value &out)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    Parser parser(text);
+    if (!parser.parse(out, error)) {
+        std::fprintf(stderr, "pciesim-report: %s: %s\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    if (out.stringOr("schema", "") != "pciesim-stats") {
+        std::fprintf(stderr,
+                     "pciesim-report: %s: not a pciesim-stats "
+                     "dump (schema mismatch)\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+//
+// diff
+//
+
+/**
+ * Reduce one stat record to the single number the diff compares:
+ * the value for counters/scalars/formulas, the total for vectors,
+ * and the mean for distributions/histograms.
+ */
+double
+headline(const Value &stat)
+{
+    const std::string type = stat.stringOr("type", "");
+    if (type == "vector")
+        return stat.numberOr("total", 0.0);
+    if (type == "distribution" || type == "histogram")
+        return stat.numberOr("mean", 0.0);
+    return stat.numberOr("value", 0.0);
+}
+
+/** Relative change from @p a to @p b; infinity when only one side
+ *  is zero (a stat appearing or vanishing entirely). */
+double
+relDelta(double a, double b)
+{
+    if (a == b)
+        return 0.0;
+    if (a == 0.0)
+        return HUGE_VAL;
+    return (b - a) / std::fabs(a);
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    double threshold = 0.05;
+    bool show_all = false;
+    std::vector<std::string> paths;
+    for (const std::string &a : args) {
+        if (a.rfind("--threshold=", 0) == 0)
+            threshold = std::strtod(a.c_str() + 12, nullptr);
+        else if (a == "--all")
+            show_all = true;
+        else
+            paths.push_back(a);
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr, "usage: pciesim-report diff A.json "
+                             "B.json [--threshold=F] [--all]\n");
+        return 2;
+    }
+
+    Value a, b;
+    if (!loadStatsDump(paths[0], a) || !loadStatsDump(paths[1], b))
+        return 2;
+
+    std::map<std::string, double> va, vb;
+    auto collect = [](const Value &dump,
+                      std::map<std::string, double> &out) {
+        const Value *stats = dump.find("stats");
+        if (!stats)
+            return;
+        for (const Value &s : stats->arr)
+            out[s.stringOr("name", "?")] = headline(s);
+    };
+    collect(a, va);
+    collect(b, vb);
+
+    struct Row
+    {
+        std::string name;
+        double a, b, rel;
+        bool flagged;
+    };
+    std::vector<Row> rows;
+    std::set<std::string> names;
+    for (const auto &[n, v] : va)
+        names.insert(n);
+    for (const auto &[n, v] : vb)
+        names.insert(n);
+
+    int flagged = 0;
+    for (const std::string &n : names) {
+        auto ia = va.find(n);
+        auto ib = vb.find(n);
+        if (ia == va.end() || ib == vb.end()) {
+            std::printf("! %-52s %s\n", n.c_str(),
+                        ia == va.end() ? "only in B" : "only in A");
+            ++flagged;
+            continue;
+        }
+        double rel = relDelta(ia->second, ib->second);
+        bool flag = std::fabs(rel) > threshold;
+        if (flag)
+            ++flagged;
+        if (flag || show_all)
+            rows.push_back({n, ia->second, ib->second, rel, flag});
+    }
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &x, const Row &y) {
+                  if (std::fabs(x.rel) != std::fabs(y.rel))
+                      return std::fabs(x.rel) > std::fabs(y.rel);
+                  return x.name < y.name;
+              });
+    for (const Row &r : rows) {
+        char pct[32];
+        if (std::isinf(r.rel))
+            std::snprintf(pct, sizeof(pct), "new/gone");
+        else
+            std::snprintf(pct, sizeof(pct), "%+8.2f%%",
+                          r.rel * 100.0);
+        std::printf("%c %-52s %14g -> %14g  %s\n",
+                    r.flagged ? '!' : ' ', r.name.c_str(), r.a, r.b,
+                    pct);
+    }
+    std::printf("%d of %zu stats changed by more than %.1f%%\n",
+                flagged, names.size(), threshold * 100.0);
+    return flagged ? 1 : 0;
+}
+
+//
+// top
+//
+
+int
+cmdTop(const std::vector<std::string> &args)
+{
+    std::size_t top_n = 10;
+    std::vector<std::string> paths;
+    for (const std::string &a : args) {
+        if (a.rfind("--top=", 0) == 0)
+            top_n = std::strtoul(a.c_str() + 6, nullptr, 10);
+        else
+            paths.push_back(a);
+    }
+    if (paths.size() != 1) {
+        std::fprintf(stderr, "usage: pciesim-report top "
+                             "stats.json [--top=N]\n");
+        return 2;
+    }
+
+    Value dump;
+    if (!loadStatsDump(paths[0], dump))
+        return 2;
+    const Value *prof = dump.find("profiler");
+    if (!prof || prof->type != Value::Type::Array) {
+        std::fprintf(stderr,
+                     "pciesim-report: %s has no profiler section "
+                     "(run with profiling enabled)\n",
+                     paths[0].c_str());
+        return 1;
+    }
+
+    std::printf("%4s %12s %12s %10s  %s\n", "#", "events", "est_ms",
+                "avg_ns", "event");
+    std::size_t rank = 0;
+    double total_ms = 0.0;
+    for (const Value &spot : prof->arr) {
+        double count = spot.numberOr("count", 0.0);
+        double est_ms = spot.numberOr("estMs", 0.0);
+        total_ms += est_ms;
+        if (rank >= top_n)
+            continue;
+        ++rank;
+        double avg_ns =
+            count > 0.0 ? est_ms * 1e6 / count : 0.0;
+        std::printf("%4zu %12.0f %12.3f %10.1f  %s\n", rank, count,
+                    est_ms, avg_ns,
+                    spot.stringOr("name", "?").c_str());
+    }
+    std::printf("%zu event types, %.3f ms attributed\n",
+                prof->arr.size(), total_ms);
+    return 0;
+}
+
+//
+// trajectory
+//
+
+int
+cmdTrajectory(const std::vector<std::string> &args)
+{
+    std::string only_field;
+    std::vector<std::string> paths;
+    for (const std::string &a : args) {
+        if (a.rfind("--field=", 0) == 0)
+            only_field = a.substr(8);
+        else
+            paths.push_back(a);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "usage: pciesim-report trajectory "
+                             "BENCH_*.json... [--field=NAME]\n");
+        return 2;
+    }
+
+    int status = 0;
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr,
+                         "pciesim-report: cannot open %s\n",
+                         path.c_str());
+            status = 2;
+            continue;
+        }
+        std::printf("== %s ==\n", path.c_str());
+        std::string line;
+        std::size_t records = 0;
+        while (std::getline(in, line)) {
+            if (line.find_first_not_of(" \t\r") ==
+                std::string::npos)
+                continue;
+            Value rec;
+            std::string error;
+            Parser parser(line);
+            if (!parser.parse(rec, error)) {
+                std::fprintf(stderr,
+                             "pciesim-report: %s: %s\n",
+                             path.c_str(), error.c_str());
+                status = 2;
+                break;
+            }
+            ++records;
+            std::printf("%-10s %-12s",
+                        rec.stringOr("bench", "?").c_str(),
+                        rec.stringOr("config", "?").c_str());
+            for (const auto &[key, v] : rec.obj) {
+                if (v.type != Value::Type::Number)
+                    continue;
+                if (!only_field.empty() && key != only_field)
+                    continue;
+                std::printf("  %s=%g", key.c_str(), v.number);
+            }
+            std::printf("\n");
+        }
+        if (records == 0) {
+            std::fprintf(stderr,
+                         "pciesim-report: %s: no records\n",
+                         path.c_str());
+            status = status ? status : 1;
+        }
+    }
+    return status;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pciesim-report <command> [args]\n"
+        "  diff A.json B.json [--threshold=F] [--all]\n"
+        "      compare two stats.json dumps; nonzero exit when any\n"
+        "      stat moved more than the threshold (default 0.05)\n"
+        "  top stats.json [--top=N]\n"
+        "      print the embedded profiler hot-spot table\n"
+        "  trajectory BENCH_*.json... [--field=NAME]\n"
+        "      render one-object-per-line bench records\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "diff")
+        return cmdDiff(args);
+    if (cmd == "top")
+        return cmdTop(args);
+    if (cmd == "trajectory")
+        return cmdTrajectory(args);
+    return usage();
+}

@@ -54,6 +54,9 @@ struct BenchArgs
     /** Zero every wall-clock-derived field (--no-timing) so two
      *  identical runs emit byte-identical output (determinism CI). */
     bool noTiming = false;
+    /** Worker threads for parallel execution (--threads N); 0
+     *  keeps the single-queue core (DESIGN.md Sec. 10). */
+    unsigned threads = 0;
     /** @{ Observability (DESIGN.md Sec. 8). */
     /** Chrome trace-event output path (--trace-out=trace.json). */
     std::string traceOut;
@@ -97,6 +100,12 @@ parseArgs(int argc, char **argv)
             args.json = true;
         else if (std::strcmp(arg, "--no-timing") == 0)
             args.noTiming = true;
+        else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc)
+            args.threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strncmp(arg, "--threads=", 10) == 0)
+            args.threads = static_cast<unsigned>(
+                std::strtoul(arg + 10, nullptr, 10));
         else if (std::strncmp(arg, "--trace-out=", 12) == 0)
             args.traceOut = arg + 12;
         else if (std::strncmp(arg, "--trace-flags=", 14) == 0)
@@ -122,7 +131,8 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
-/** Copy the parsed observability knobs into a system config. */
+/** Copy the parsed observability and threading knobs into a system
+ *  config. */
 inline void
 applyObservability(const BenchArgs &args, SystemConfig &config)
 {
@@ -131,6 +141,7 @@ applyObservability(const BenchArgs &args, SystemConfig &config)
     config.statsSampleInterval = nanoseconds(args.statsSampleNs);
     config.statsDumpInterval = nanoseconds(args.statsDumpNs);
     config.statsJsonOut = args.statsJsonOut;
+    config.threads = args.threads;
 }
 
 /** Result of one dd run. */
@@ -328,7 +339,7 @@ runDd(SystemConfig config, std::uint64_t block_bytes)
     WallTimer timer;
     r.gbps = system.runDd(dd);
     r.wall_ms = timer.elapsedMs();
-    r.eventsProcessed = sim.eventq().numProcessed();
+    r.eventsProcessed = sim.eventsProcessed();
     if (r.wall_ms > 0.0) {
         r.events_per_sec = static_cast<double>(r.eventsProcessed) /
                            (r.wall_ms / 1e3);

@@ -12,6 +12,10 @@
  *              pair running dd (allocation-heavy: every TLP is a
  *              pooled Packet).
  *   dd       - end-to-end dd wall-clock on the validation topology.
+ *   threads  - a 1/2/4/8-thread sweep of the 16-generator
+ *              multi-device topology under parallel execution
+ *              (DESIGN.md Sec. 10), reporting events/sec and the
+ *              speedup over the sweep's own 1-thread run.
  *
  * With --json, each workload emits one record; collecting stdout
  * into BENCH_kernel.json is the perf-trajectory convention:
@@ -22,6 +26,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "topo/multi_device_system.hh"
 
 using namespace bench;
 
@@ -102,6 +107,46 @@ runChurn(std::uint64_t target_ops)
     return r;
 }
 
+/**
+ * One run of the parallel-sweep topology: 16 x1 generators behind a
+ * switch with an x16 upstream link. The 2 us propagation delay
+ * gives the engine a wide synchronization quantum, and the inflated
+ * replay-timeout scale plus immediate ACKs keep the (fault-free)
+ * replay timers from ever firing spuriously at that flight time.
+ * The replay buffer and port buffers are sized for the resulting
+ * bandwidth-delay product (~8 TLPs in flight per direction at a
+ * 4 us round trip): the default 4-entry replay buffer would window-
+ * stall every sender at ~10% of line rate and push ACK queueing
+ * past even the scaled timeout.
+ */
+DdResult
+runMdev(unsigned threads, unsigned bursts)
+{
+    MultiDeviceConfig cfg;
+    cfg.base.threads = threads;
+    cfg.base.upstreamLinkWidth = 16;
+    cfg.base.linkPropagation = microseconds(2);
+    cfg.base.replayTimeoutScale = 100.0;
+    cfg.base.ackImmediate = true;
+    cfg.base.replayBufferSize = 32;
+    cfg.base.portBufferSize = 64;
+    cfg.numDevices = 16;
+    cfg.deviceLinkWidth = 1;
+
+    Simulation sim;
+    MultiDeviceSystem system(sim, cfg);
+    DdResult r;
+    WallTimer timer;
+    r.gbps = system.runConcurrentWrites(16, bursts, 4096);
+    r.wall_ms = timer.elapsedMs();
+    r.eventsProcessed = sim.eventsProcessed();
+    if (r.wall_ms > 0.0) {
+        r.events_per_sec = static_cast<double>(r.eventsProcessed) /
+                           (r.wall_ms / 1e3);
+    }
+    return r;
+}
+
 } // namespace
 
 int
@@ -154,6 +199,31 @@ main(int argc, char **argv)
                     dd.events_per_sec / 1e6, dd.wall_ms);
     }
     json.record("dd" + blockLabel(dd_bytes), dd);
+
+    unsigned bursts = args.scale == Scale::Smoke ? 4 : 48;
+    double base_wall = 0.0;
+    for (unsigned t : {1u, 2u, 4u, 8u}) {
+        DdResult mdev = runMdev(t, bursts);
+        if (t == 1)
+            base_wall = mdev.wall_ms;
+        double speedup = mdev.wall_ms > 0.0
+            ? base_wall / mdev.wall_ms
+            : 0.0;
+        char label[32];
+        std::snprintf(label, sizeof(label), "mdev16/t%u", t);
+        if (!args.json) {
+            std::printf("%-10s %12.1f M events/s %10.2fx vs 1t "
+                        "%8.1f ms\n",
+                        label, mdev.events_per_sec / 1e6, speedup,
+                        mdev.wall_ms);
+        }
+        json.record(label,
+                    {{"threads", static_cast<double>(t)},
+                     {"gbps", mdev.gbps},
+                     {"events_per_sec", mdev.events_per_sec},
+                     {"speedup_vs_1t", speedup},
+                     {"wall_ms", mdev.wall_ms}});
+    }
 
     return 0;
 }

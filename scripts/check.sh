@@ -11,7 +11,9 @@
 #   5. pciesim-report self-smoke: a diff of identical stats.json
 #      dumps must exit 0
 #   6. asan-ubsan preset: build + tier-1 ctest (pool poisoning live)
-#   7. profiler overhead gate: the default build (profiler compiled
+#   7. tsan preset: bench_kernel --threads 4 --smoke under
+#      ThreadSanitizer (the parallel engine's data-race gate)
+#   8. profiler overhead gate: the default build (profiler compiled
 #      in, disabled) within 5% of the notrace build (hook removed)
 #
 # Any finding or failure exits nonzero. The audit preset is covered
@@ -32,33 +34,38 @@ done
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/7] gem5_lint =="
+echo "== [1/8] gem5_lint =="
 python3 tools/gem5_lint.py src bench tests
 
-echo "== [2/7] clang-tidy (run-tidy) =="
+echo "== [2/8] clang-tidy (run-tidy) =="
 cmake --preset default >/dev/null
 cmake --build build --target run-tidy -j "$jobs"
 
-echo "== [3/7] default build + tier-1 ctest (incl. golden stats) =="
+echo "== [3/8] default build + tier-1 ctest (incl. golden stats) =="
 cmake --build build -j "$jobs"
 ctest --test-dir build -LE tier2 -j "$jobs" --output-on-failure
 
-echo "== [4/7] determinism gates =="
+echo "== [4/8] determinism gates =="
 ctest --test-dir build -R 'determinism' -j "$jobs" \
     --output-on-failure
 
-echo "== [5/7] pciesim-report diff self-smoke =="
+echo "== [5/8] pciesim-report diff self-smoke =="
 ./build/bench/bench_fig9a --smoke --json --no-timing \
     --stats-json=build/check_stats.json >/dev/null
 ./build/tools/pciesim-report diff build/check_stats.json \
     build/check_stats.json
 
-echo "== [6/7] asan-ubsan build + tier-1 ctest =="
+echo "== [6/8] asan-ubsan build + tier-1 ctest =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan -LE tier2 -j "$jobs" --output-on-failure
 
-echo "== [7/7] profiler overhead gate (vs notrace) =="
+echo "== [7/8] tsan bench_kernel --threads 4 --smoke =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$jobs" --target bench_kernel
+./build-tsan/bench/bench_kernel --smoke --json >/dev/null
+
+echo "== [8/8] profiler overhead gate (vs notrace) =="
 cmake --preset notrace >/dev/null
 cmake --build build-notrace -j "$jobs" --target bench_fig9a
 scripts/profiler_overhead_gate.sh

@@ -5,7 +5,7 @@
 namespace pciesim
 {
 
-std::uint64_t Packet::liveCount_ = 0;
+std::atomic<std::uint64_t> Packet::liveCount_{0};
 std::uint64_t Packet::nextId_ = 0;
 
 PacketPool &
@@ -49,14 +49,14 @@ responseCommand(MemCmd c)
 
 Packet::Packet(MemCmd cmd, Addr addr, unsigned size, RequestorId requestor)
     : cmd_(cmd), addr_(addr), size_(size), requestorId_(requestor),
-      id_(nextId_++)
+      id_(par::engineActive ? par::domainPacketId() : nextId_++)
 {
-    ++liveCount_;
+    liveCount_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Packet::~Packet()
 {
-    --liveCount_;
+    liveCount_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 PacketPtr

@@ -22,9 +22,11 @@
 #ifndef PCIESIM_MEM_PACKET_HH
 #define PCIESIM_MEM_PACKET_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -32,6 +34,7 @@
 #include "mem/addr_range.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
+#include "sim/parallel_mode.hh"
 #include "sim/ticks.hh"
 
 /*
@@ -145,7 +148,11 @@ MemCmd responseCommand(MemCmd c);
  * audit builds (sim/invariant.hh) the pool additionally tracks the
  * outstanding-block set to catch double frees and foreign pointers.
  *
- * The simulator is single threaded; no locking.
+ * Single-threaded runs take no locks; while the parallel engine is
+ * active (par::engineActive) the pool serializes on a mutex, since
+ * TLPs from any domain can be freed by any other after crossing a
+ * link. The flag-gated lock keeps the legacy fast path at one
+ * predictable branch.
  */
 class PacketPool
 {
@@ -175,6 +182,9 @@ class PacketPool
     void *
     allocate()
     {
+        std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+        if (par::engineActive) [[unlikely]]
+            lock.lock();
         ++allocs_;
         void *p = nullptr;
 #if PCIESIM_POOL_PASSTHROUGH
@@ -200,6 +210,9 @@ class PacketPool
     void
     deallocate(void *p) noexcept
     {
+        std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+        if (par::engineActive) [[unlikely]]
+            lock.lock();
         PCIESIM_AUDIT(auditLive_.erase(p) == 1,
                       "pool deallocate of ", p,
                       ": double free or foreign pointer");
@@ -261,6 +274,8 @@ class PacketPool
     std::size_t freeBlocks_ = 0;
     std::uint64_t allocs_ = 0;
     std::uint64_t recycled_ = 0;
+    /** Taken only while the parallel engine is active. */
+    std::mutex mutex_;
     /** Audit builds: every block handed out and not yet returned. */
     PCIESIM_AUDIT_ONLY(std::unordered_set<void *> auditLive_;)
 };
@@ -268,8 +283,11 @@ class PacketPool
 class Packet;
 
 /**
- * Intrusive, non-atomic reference-counted handle to a Packet.
- * The simulator is single threaded, so no atomics are needed.
+ * Intrusive reference-counted handle to a Packet. Single-threaded
+ * runs use plain (non-atomic) counting; while the parallel engine
+ * is active the count is manipulated through std::atomic_ref, since
+ * a TLP's replay-buffer handle and its delivered handle can sit on
+ * opposite sides of a link (and so in different domains).
  */
 class PacketPtr
 {
@@ -409,7 +427,11 @@ class Packet final
     void setCreationTick(Tick t) { creationTick_ = t; }
 
     /** Number of Packet objects currently alive (leak checking). */
-    static std::uint64_t liveCount() { return liveCount_; }
+    static std::uint64_t
+    liveCount()
+    {
+        return liveCount_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Restart debug packet numbering from 0. Topology constructors
@@ -434,6 +456,28 @@ class Packet final
 
     Packet(MemCmd cmd, Addr addr, unsigned size, RequestorId requestor);
 
+    void
+    incRef()
+    {
+        if (par::engineActive) [[unlikely]] {
+            std::atomic_ref<int>(refCount_).fetch_add(
+                1, std::memory_order_relaxed);
+        } else {
+            ++refCount_;
+        }
+    }
+
+    /** Drop one reference; true when this was the last one. */
+    bool
+    decRef()
+    {
+        if (par::engineActive) [[unlikely]] {
+            return std::atomic_ref<int>(refCount_).fetch_sub(
+                       1, std::memory_order_acq_rel) == 1;
+        }
+        return --refCount_ == 0;
+    }
+
     MemCmd cmd_;
     Addr addr_;
     unsigned size_;
@@ -442,9 +486,11 @@ class Packet final
     std::uint64_t id_;
     Tick creationTick_ = 0;
     std::vector<std::uint8_t> data_;
+    /** Plain int, promoted to std::atomic_ref by incRef/decRef
+     *  while the parallel engine runs. */
     int refCount_ = 0;
 
-    static std::uint64_t liveCount_;
+    static std::atomic<std::uint64_t> liveCount_;
     static std::uint64_t nextId_;
 };
 
@@ -453,7 +499,7 @@ PacketPtr::PacketPtr(Packet *pkt)
     : pkt_(pkt)
 {
     if (pkt_)
-        ++pkt_->refCount_;
+        pkt_->incRef();
 }
 
 inline
@@ -461,7 +507,7 @@ PacketPtr::PacketPtr(const PacketPtr &other)
     : pkt_(other.pkt_)
 {
     if (pkt_)
-        ++pkt_->refCount_;
+        pkt_->incRef();
 }
 
 inline
@@ -479,7 +525,7 @@ PacketPtr::operator=(const PacketPtr &other)
     reset();
     pkt_ = other.pkt_;
     if (pkt_)
-        ++pkt_->refCount_;
+        pkt_->incRef();
     return *this;
 }
 
@@ -497,7 +543,7 @@ PacketPtr::operator=(PacketPtr &&other) noexcept
 inline void
 PacketPtr::reset()
 {
-    if (pkt_ && --pkt_->refCount_ == 0)
+    if (pkt_ && pkt_->decRef())
         delete pkt_;
     pkt_ = nullptr;
 }

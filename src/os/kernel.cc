@@ -6,31 +6,6 @@
 namespace pciesim
 {
 
-namespace
-{
-
-/** A heap-allocated event that deletes itself before running. */
-class OneShotEvent : public Event
-{
-  public:
-    explicit OneShotEvent(std::function<void()> fn)
-        : Event("kernel.oneShot"), fn_(std::move(fn))
-    {}
-
-    void
-    process() override
-    {
-        auto fn = std::move(fn_);
-        delete this;
-        fn();
-    }
-
-  private:
-    std::function<void()> fn_;
-};
-
-} // namespace
-
 class Kernel::CpuPort : public MasterPort
 {
   public:

@@ -1,6 +1,7 @@
 #include "pcie_link.hh"
 
 #include "sim/invariant.hh"
+#include "sim/parallel.hh"
 #include "sim/trace.hh"
 
 namespace pciesim
@@ -31,13 +32,14 @@ UnidirectionalLink::UnidirectionalLink(PcieLink &link,
                                        const std::string &name,
                                        bool toward_upstream)
     : link_(link), name_(name), towardUpstream_(toward_upstream),
+      srcQueue_(&link.eventq()), sinkQueue_(&link.eventq()),
       deliverEvent_(this, name + ".deliverEvent")
 {}
 
 void
 UnidirectionalLink::send(const PciePkt &pkt)
 {
-    Tick now = link_.curTick();
+    Tick now = srcQueue_->curTick();
     panicIf(busy(now), "unidirectional link transmit while busy");
 
     Tick wire = pkt.wireTime(link_.params().gen, link_.params().width);
@@ -58,28 +60,80 @@ UnidirectionalLink::send(const PciePkt &pkt)
     TRACE_COMPLETE(Flag::Link, now, wire, name_, pktLabel(wire_pkt),
                    wire_pkt.corrupted() ? " (corrupted)" : "");
 
-    inFlight_.push_back({arrive, wire_pkt});
-    if (!deliverEvent_.scheduled())
-        link_.eventq().schedule(&deliverEvent_, arrive);
+    // On a cut wire the delivery key is fixed now, on the sending
+    // domain, and travels with the packet: both arming paths (the
+    // mailboxed schedule-if-earlier below and the sink's rearm in
+    // deliver()) must use the same key or the heap order would
+    // depend on which path the wall clock ran first.
+    const bool keyed = cross_ && par::engineActive;
+    Tick key_order = 0;
+    std::uint64_t key_tie = 0;
+    if (keyed) {
+        key_order = srcQueue_->curTick();
+        key_tie = srcQueue_->nextTie();
+    }
+    {
+        std::unique_lock<std::mutex> lock(inFlightMu_,
+                                          std::defer_lock);
+        if (cross_)
+            lock.lock();
+        inFlight_.push_back({arrive, key_order, key_tie, wire_pkt});
+    }
+    if (keyed) {
+        // Mid-window cross-domain arrival: the sender must not read
+        // the delivery event's state (the sink domain owns it), so
+        // post a keyed schedule-if-earlier through the mailbox —
+        // idempotent under monotone per-wire arrival times.
+        par::activeEngine->postScheduleEarliest(*sinkQueue_,
+                                                deliverEvent_,
+                                                arrive, key_order,
+                                                key_tie);
+    } else if (!deliverEvent_.scheduled()) {
+        sinkQueue_->schedule(&deliverEvent_, arrive);
+    }
 }
 
 void
 UnidirectionalLink::dropInFlight()
 {
+    // Only a retrain drops the wire, and links with the retrain
+    // machinery enabled are never split across domains.
+    panicIf(cross_, "dropInFlight() on a cross-domain wire");
     inFlight_.clear();
     if (deliverEvent_.scheduled())
-        link_.eventq().deschedule(&deliverEvent_);
-    busyUntil_ = link_.curTick();
+        sinkQueue_->deschedule(&deliverEvent_);
+    busyUntil_ = srcQueue_->curTick();
 }
 
 void
 UnidirectionalLink::deliver()
 {
-    panicIf(inFlight_.empty(), "link delivery with nothing in flight");
-    PciePkt pkt = inFlight_.front().second;
-    inFlight_.pop_front();
-    if (!inFlight_.empty())
-        link_.eventq().schedule(&deliverEvent_, inFlight_.front().first);
+    PciePkt pkt = [this] {
+        std::unique_lock<std::mutex> lock(inFlightMu_,
+                                          std::defer_lock);
+        if (cross_)
+            lock.lock();
+        panicIf(inFlight_.empty(),
+                "link delivery with nothing in flight");
+        PciePkt front = inFlight_.front().pkt;
+        inFlight_.pop_front();
+        if (!inFlight_.empty()) {
+            // Rearm for the next arrival with the key assigned at
+            // its send; a pending mailboxed schedule-if-earlier for
+            // the same packet carries the same key and degrades to
+            // a no-op.
+            const InFlight &next = inFlight_.front();
+            if (cross_ && par::engineActive) {
+                sinkQueue_->scheduleEarliestKeyed(&deliverEvent_,
+                                                  next.arrive,
+                                                  next.keyOrder,
+                                                  next.keyTie);
+            } else {
+                sinkQueue_->schedule(&deliverEvent_, next.arrive);
+            }
+        }
+        return front;
+    }();
 
     LinkInterface &sink = towardUpstream_ ? link_.upstreamIf()
                                           : link_.downstreamIf();
@@ -153,6 +207,7 @@ class LinkInterface::ExtSlavePort : public SlavePort
 LinkInterface::LinkInterface(PcieLink &link, const std::string &name,
                              bool is_upstream)
     : link_(link), name_(name), isUpstream_(is_upstream),
+      homeQueue_(&link.eventq()),
       replayBuffer_(link.params().replayBufferSize),
       nakEnabled_(link.params().enableNak ||
                   link.params().faults.enabled()),
@@ -280,8 +335,8 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
         return false;
     }
     newQueue_.push_back(PciePkt::makeTlp(pkt, sendSeq_));
-    newQueue_.back().setInjectTick(link_.curTick());
-    TRACE_MSG(Flag::Tlp, link_.curTick(), name_, "inject seq ",
+    newQueue_.back().setInjectTick(homeQueue_->curTick());
+    TRACE_MSG(Flag::Tlp, homeQueue_->curTick(), name_, "inject seq ",
               sendSeq_, " ", pkt->toString());
     sendSeq_ = seqInc(sendSeq_);
     // Credit accounting: replay-buffer residents plus queued-new
@@ -308,14 +363,14 @@ LinkInterface::scheduleTx()
         newQueue_.empty()) {
         return;
     }
-    Tick when = std::max(link_.curTick(), txLink_->freeAt());
-    link_.eventq().schedule(&txEvent_, when);
+    Tick when = std::max(homeQueue_->curTick(), txLink_->freeAt());
+    homeQueue_->schedule(&txEvent_, when);
 }
 
 void
 LinkInterface::tryTransmit()
 {
-    Tick now = link_.curTick();
+    Tick now = homeQueue_->curTick();
     if (txLink_->busy(now)) {
         scheduleTx();
         return;
@@ -370,8 +425,8 @@ void
 LinkInterface::startReplayTimer()
 {
     if (!replayTimerEvent_.scheduled()) {
-        link_.eventq().schedule(&replayTimerEvent_,
-                                link_.curTick() +
+        homeQueue_->schedule(&replayTimerEvent_,
+                                homeQueue_->curTick() +
                                     link_.replayTimeoutTicks());
     }
 }
@@ -383,7 +438,7 @@ LinkInterface::replayTimerFired()
         return;
 
     ++timeouts_;
-    TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+    TRACE_MSG(Flag::Replay, homeQueue_->curTick(), name_,
               "replay timeout; replaying ", replayBuffer_.size(),
               " TLPs from seq ",
               replayBuffer_.entries().front().seq());
@@ -408,7 +463,7 @@ LinkInterface::recvFromWire(const PciePkt &pkt)
         // loss window and is NAKed; a corrupted DLLP has no
         // recovery DLLP of its own - the sender's replay timer
         // covers the lost acknowledgement (spec; DESIGN.md §7).
-        TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+        TRACE_MSG(Flag::Replay, homeQueue_->curTick(), name_,
                   "CRC error, dropping ", pktLabel(pkt));
         if (pkt.isTlp()) {
             ++crcErrorsTlp_;
@@ -434,7 +489,7 @@ LinkInterface::recvFromWire(const PciePkt &pkt)
 void
 LinkInterface::processAck(SeqNum seq)
 {
-    Tick now = link_.curTick();
+    Tick now = homeQueue_->curTick();
     std::size_t purged = replayBuffer_.ack(
         seq, [&](const PciePkt &p) {
             ackLatency_.sample(now - p.injectTick());
@@ -468,10 +523,10 @@ LinkInterface::processAck(SeqNum seq)
     // Reset the replay timer; restart only while TLPs remain
     // unacknowledged (paper Sec. V-C).
     if (replayTimerEvent_.scheduled())
-        link_.eventq().deschedule(&replayTimerEvent_);
+        homeQueue_->deschedule(&replayTimerEvent_);
     if (!replayBuffer_.empty()) {
-        link_.eventq().schedule(&replayTimerEvent_,
-                                link_.curTick() +
+        homeQueue_->schedule(&replayTimerEvent_,
+                                homeQueue_->curTick() +
                                     link_.replayTimeoutTicks());
     }
 
@@ -483,12 +538,12 @@ void
 LinkInterface::processNak(SeqNum seq)
 {
     ++naksReceived_;
-    TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+    TRACE_MSG(Flag::Replay, homeQueue_->curTick(), name_,
               "NAK received for seq ", seq, ", replaying");
     // A NAK acknowledges every TLP through its sequence number and
     // demands an immediate replay of the rest (spec; this is the
     // fast path that beats the replay timer).
-    Tick now = link_.curTick();
+    Tick now = homeQueue_->curTick();
     std::size_t purged = replayBuffer_.ack(
         seq, [&](const PciePkt &p) {
             ackLatency_.sample(now - p.injectTick());
@@ -502,7 +557,7 @@ LinkInterface::processNak(SeqNum seq)
         replayQueue_.pop_front();
     }
     if (replayTimerEvent_.scheduled())
-        link_.eventq().deschedule(&replayTimerEvent_);
+        homeQueue_->deschedule(&replayTimerEvent_);
 
     if (!replayBuffer_.empty()) {
         noteReplayInitiated();
@@ -528,8 +583,8 @@ LinkInterface::processTlp(const PciePkt &pkt)
             ? extMaster_->sendTimingReq(tlp)
             : extSlave_->sendTimingResp(tlp);
         if (delivered) {
-            hopLatency_.sample(link_.curTick() - pkt.injectTick());
-            TRACE_MSG(Flag::Tlp, link_.curTick(), name_,
+            hopLatency_.sample(homeQueue_->curTick() - pkt.injectTick());
+            TRACE_MSG(Flag::Tlp, homeQueue_->curTick(), name_,
                       "deliver seq ", pkt.seq());
             ackSeq_ = recvSeq_;
             recvSeq_ = seqInc(recvSeq_);
@@ -567,7 +622,7 @@ LinkInterface::scheduleNak()
     nakScheduled_ = true;
     nakPending_ = true;
     nakSeq_ = seqDec(recvSeq_);
-    TRACE_MSG(Flag::Replay, link_.curTick(), name_,
+    TRACE_MSG(Flag::Replay, homeQueue_->curTick(), name_,
               "loss window opened; NAK scheduled for seq ", nakSeq_);
     // The NAK acknowledges everything before the loss; a pending
     // ACK carrying the same information is subsumed by it.
@@ -604,11 +659,11 @@ LinkInterface::prepareForRetrain()
     // replay buffer and accepted TLPs stay queued; both go out
     // again when the link comes back up.
     if (txEvent_.scheduled())
-        link_.eventq().deschedule(&txEvent_);
+        homeQueue_->deschedule(&txEvent_);
     if (ackTimerEvent_.scheduled())
-        link_.eventq().deschedule(&ackTimerEvent_);
+        homeQueue_->deschedule(&ackTimerEvent_);
     if (replayTimerEvent_.scheduled())
-        link_.eventq().deschedule(&replayTimerEvent_);
+        homeQueue_->deschedule(&replayTimerEvent_);
     replayQueue_.clear();
     ackPending_ = false;
     nakPending_ = false;
@@ -648,12 +703,12 @@ LinkInterface::scheduleAckDllp(bool immediate)
 {
     if (immediate) {
         if (ackTimerEvent_.scheduled())
-            link_.eventq().deschedule(&ackTimerEvent_);
+            homeQueue_->deschedule(&ackTimerEvent_);
         ackPending_ = true;
         scheduleTx();
     } else if (!ackTimerEvent_.scheduled() && !ackPending_) {
-        link_.eventq().schedule(&ackTimerEvent_,
-                                link_.curTick() +
+        homeQueue_->schedule(&ackTimerEvent_,
+                                homeQueue_->curTick() +
                                     link_.ackPeriodTicks());
     }
 }
@@ -787,6 +842,22 @@ PcieLink::init()
     fatalIf(!upMaster().isBound() || !upSlave().isBound() ||
             !downMaster().isBound() || !downSlave().isBound(),
             "link '", name(), "' has unbound ports");
+}
+
+void
+PcieLink::setDomains(EventQueue &up_q, EventQueue &down_q)
+{
+    fatalIf(&up_q != &down_q &&
+                (params_.faults.enabled() || params_.enableNak),
+            "link '", name(), "': fault injection / NAK recovery "
+            "retrains the link, which touches both ends atomically; "
+            "such links cannot span two domains");
+    upstreamIf_->homeQueue_ = &up_q;
+    downstreamIf_->homeQueue_ = &down_q;
+    // Each wire's sender is the interface at the opposite end of
+    // its direction: wireUp carries downstream->upstream traffic.
+    toUpstream_->setQueues(&down_q, &up_q);
+    toDownstream_->setQueues(&up_q, &down_q);
 }
 
 LinkErrorStats

@@ -30,6 +30,7 @@
 
 #include <deque>
 #include <memory>
+#include <mutex>
 
 #include "mem/packet.hh"
 #include "mem/port.hh"
@@ -126,6 +127,12 @@ class PcieLink;
 /**
  * One direction of the link: serializes a PciePkt for its wire time
  * and delivers it to the sink interface after propagation.
+ *
+ * In a partitioned simulation the two ends can live in different
+ * link domains (PcieLink::setDomains): send() then runs on the
+ * source domain and delivery on the sink domain, with the in-flight
+ * queue as the only shared state (guarded by a mutex on cut wires
+ * only) and the delivery event posted through the engine's mailbox.
  */
 class UnidirectionalLink
 {
@@ -134,6 +141,15 @@ class UnidirectionalLink
                        bool toward_upstream);
 
     const std::string &name() const { return name_; }
+
+    /** Bind the source (sender) and sink (receiver) domains. */
+    void
+    setQueues(EventQueue *src, EventQueue *sink)
+    {
+        srcQueue_ = src;
+        sinkQueue_ = sink;
+        cross_ = src != sink;
+    }
 
     /** Earliest tick a new packet may start serializing. */
     Tick freeAt() const { return busyUntil_; }
@@ -158,9 +174,32 @@ class UnidirectionalLink
     std::string name_;
     bool towardUpstream_;
     FaultInjector *faults_ = nullptr;
+    /** Sender domain (send() runs here); busyUntil_ is its state. */
+    EventQueue *srcQueue_ = nullptr;
+    /** Sink domain; deliverEvent_ lives in this queue. */
+    EventQueue *sinkQueue_ = nullptr;
+    /** The two ends live in different domains. */
+    bool cross_ = false;
     Tick busyUntil_ = 0;
     Tick busyTicks_ = 0;
-    std::deque<std::pair<Tick, PciePkt>> inFlight_;
+
+    /** One packet on the wire. On a cut wire the delivery event can
+     *  be armed for this arrival either by the sender's mailboxed
+     *  schedule-if-earlier or by the sink rearming after the
+     *  previous delivery — whichever the wall clock happens to order
+     *  first — so the arming key is fixed at send time and carried
+     *  here, keeping the heap order a pure function of simulated
+     *  history. */
+    struct InFlight
+    {
+        Tick arrive;
+        Tick keyOrder;
+        std::uint64_t keyTie;
+        PciePkt pkt;
+    };
+    std::deque<InFlight> inFlight_;
+    /** Guards inFlight_; taken on cut wires only. */
+    std::mutex inFlightMu_;
     MemberEventWrapper<UnidirectionalLink,
                        &UnidirectionalLink::deliver> deliverEvent_;
 };
@@ -287,6 +326,9 @@ class LinkInterface
     PcieLink &link_;
     std::string name_;
     bool isUpstream_;
+    /** The domain queue this interface's events and clock live on
+     *  (the owning link's queue until setDomains() splits them). */
+    EventQueue *homeQueue_ = nullptr;
     UnidirectionalLink *txLink_ = nullptr;
     LinkInterface *peer_ = nullptr;
 
@@ -392,6 +434,18 @@ class PcieLink : public SimObject
 
     LinkInterface &upstreamIf() { return *upstreamIf_; }
     LinkInterface &downstreamIf() { return *downstreamIf_; }
+
+    /**
+     * Split the link across two link domains (DESIGN.md §10): the
+     * upstream interface (and packets delivered toward the RC) runs
+     * on @p up_q, the downstream interface on @p down_q. The link's
+     * flight latency becomes the conservative lookahead between the
+     * two domains, so it must be at least the engine's quantum.
+     * Fatal when the link has fault injection or NAK recovery
+     * enabled — retraining touches both ends atomically, so faulty
+     * links must stay within one domain.
+     */
+    void setDomains(EventQueue &up_q, EventQueue &down_q);
 
     /** Whether the link is down, retraining. */
     bool training() const { return training_; }

@@ -108,6 +108,35 @@ class EventFunctionWrapper : public Event
 };
 
 /**
+ * A self-deleting, heap-allocated one-shot event.
+ *
+ * Most events are member-owned and recur; a OneShotEvent carries a
+ * single deferred callable across domains (Simulation::callAt) and
+ * frees itself after firing. It must be scheduled exactly once and
+ * never descheduled.
+ */
+class OneShotEvent : public Event
+{
+  public:
+    explicit OneShotEvent(std::function<void()> fn)
+        : Event("oneshot.event"), fn_(std::move(fn))
+    {}
+
+    void
+    process() override
+    {
+        // Run after delete: the callable may outlive this event's
+        // storage (e.g. re-enter the queue and allocate).
+        auto fn = std::move(fn_);
+        delete this;
+        fn();
+    }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
  * An event that calls a member function on its owning object.
  *
  * Unlike EventFunctionWrapper this stores only a bare object

@@ -1,5 +1,6 @@
 #include "event_queue.hh"
 
+#include <mutex>
 #include <unordered_set>
 
 #include "logging.hh"
@@ -15,8 +16,13 @@ internEventName(const std::string &name)
 {
     // Node-based set: element addresses are stable across rehash.
     // Interned names live for the process; events are constructed
-    // once per component, so the table stays small.
+    // once per component, so the table stays small. Guarded by a
+    // mutex: components may be built (and events named) by worker
+    // threads once the parallel engine exists, and interning is
+    // nowhere near any hot path.
+    static std::mutex mutex;
     static std::unordered_set<std::string> names;
+    std::lock_guard<std::mutex> lock(mutex);
     return names.insert(name).first->c_str();
 }
 
@@ -123,8 +129,55 @@ EventQueue::schedule(Event *event, Tick when)
 
     event->when_ = when;
     event->heapIndex_ = heap_.size();
-    heap_.push_back({when, nextOrder_++, event});
+    if (parallelKeys_)
+        heap_.push_back({when, curTick_, nextTie(), event});
+    else
+        heap_.push_back({when, nextOrder_++, 0, event});
     siftUp(event->heapIndex_);
+    maybeAuditHeap();
+}
+
+void
+EventQueue::scheduleKeyed(Event *event, Tick when, Tick key_order,
+                          std::uint64_t key_tie)
+{
+    panicIf(event == nullptr, "scheduling null event");
+    panicIf(event->scheduled(),
+            "event '", event->name(), "' scheduled twice");
+    panicIf(when < curTick_,
+            "event '", event->name(), "' scheduled in the past (",
+            when, " < ", curTick_, ")");
+
+    event->when_ = when;
+    event->heapIndex_ = heap_.size();
+    heap_.push_back({when, key_order, key_tie, event});
+    siftUp(event->heapIndex_);
+    maybeAuditHeap();
+}
+
+void
+EventQueue::scheduleEarliestKeyed(Event *event, Tick when,
+                                  Tick key_order, std::uint64_t key_tie)
+{
+    panicIf(event == nullptr, "scheduling null event");
+    if (!event->scheduled()) {
+        scheduleKeyed(event, when, key_order, key_tie);
+        return;
+    }
+    if (when >= event->when_)
+        return;
+    panicIf(when < curTick_,
+            "event '", event->name(), "' pulled into the past (",
+            when, " < ", curTick_, ")");
+    panicIf(heap_[event->heapIndex_].event != event,
+            "event '", event->name(), "' heap slot out of sync");
+
+    event->when_ = when;
+    Slot &s = heap_[event->heapIndex_];
+    s.when = when;
+    s.order = key_order;
+    s.tie = key_tie;
+    siftAny(event->heapIndex_);
     maybeAuditHeap();
 }
 
@@ -159,7 +212,13 @@ EventQueue::reschedule(Event *event, Tick when)
     event->when_ = when;
     Slot &s = heap_[event->heapIndex_];
     s.when = when;
-    s.order = nextOrder_++;
+    if (parallelKeys_) {
+        s.order = curTick_;
+        s.tie = nextTie();
+    } else {
+        s.order = nextOrder_++;
+        s.tie = 0;
+    }
     siftAny(event->heapIndex_);
 }
 

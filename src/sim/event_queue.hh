@@ -24,7 +24,7 @@ namespace pciesim
  * deschedule and reschedule are true O(log n) sift operations on
  * the live entry: no stale heap entries, no skim pass on pop, and
  * no unbounded heap growth under heavy retry/replay-timer churn.
- * The heap stores the (when, order) sort key by value next to the
+ * The heap stores the (when, order, tie) sort key by value next to the
  * event pointer, so sift comparisons stay within the contiguous
  * slot array instead of chasing Event pointers. A 4-ary layout
  * halves the tree depth of a binary heap and keeps the child scan
@@ -33,6 +33,17 @@ namespace pciesim
  * Ordering: earliest tick first; events at the same tick fire in
  * scheduling order (a monotone order counter assigned on every
  * schedule/reschedule), which keeps simulations deterministic.
+ *
+ * Parallel mode (DESIGN.md §10): when a simulation is partitioned
+ * into link domains, each domain's queue runs in keyed mode
+ * (configureParallelKeys). The same-tick tiebreak then becomes the
+ * composite key (scheduling tick, scheduling domain, per-domain
+ * serial) instead of a global counter, so the relative order of
+ * any two events is a pure function of the simulated history — no
+ * matter which worker thread ran which domain, and identical for 1
+ * and N threads. Cross-domain arrivals enter through the keyed
+ * entry points (scheduleKeyed and friends) carrying the key
+ * computed at post time on the sending domain.
  */
 class EventQueue
 {
@@ -90,6 +101,70 @@ class EventQueue
     /** Total number of events processed so far. */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
+    /** @{
+     * Parallel-execution hooks (sim/parallel.hh; DESIGN.md §10).
+     * A queue in keyed mode derives same-tick tiebreaks from
+     * (scheduling tick, domain, per-domain serial) so heap order is
+     * independent of worker-thread interleaving.
+     */
+
+    /** Switch this queue to keyed mode as domain @p domain_id. */
+    void
+    configureParallelKeys(unsigned domain_id)
+    {
+        parallelKeys_ = true;
+        domainId_ = domain_id;
+        tieBase_ = static_cast<std::uint64_t>(domain_id) << 48;
+    }
+
+    unsigned domainId() const { return domainId_; }
+
+    /** The next tiebreak value for a schedule issued by this
+     *  domain; the engine consumes these for mailboxed posts so
+     *  local and cross-domain schedules share one serial stream. */
+    std::uint64_t nextTie() { return tieBase_ | tieSeq_++; }
+
+    /** Schedule with an explicit key computed on the sending
+     *  domain (mailbox apply path). */
+    void scheduleKeyed(Event *event, Tick when, Tick key_order,
+                       std::uint64_t key_tie);
+
+    /**
+     * Keyed schedule-if-earlier: schedule when idle, pull in when
+     * @p when precedes the pending occurrence, no-op otherwise.
+     * Matches the wire's "schedule delivery for the head arrival"
+     * idiom under monotone per-wire arrival times.
+     */
+    void scheduleEarliestKeyed(Event *event, Tick when,
+                               Tick key_order, std::uint64_t key_tie);
+
+    /**
+     * Run every event strictly inside the window, i.e. with tick
+     * <= @p horizon, without advancing curTick_ to the horizon
+     * afterwards (the engine owns end-of-run clamping).
+     */
+    void
+    runWindow(Tick horizon)
+    {
+        while (step(horizon)) {
+        }
+    }
+
+    /** Clamp curTick_ forward to @p t (end of a parallel run). */
+    void
+    advanceTo(Tick t)
+    {
+        PCIESIM_AUDIT(nextTick() > t,
+                      "advanceTo(", t, ") would skip a pending "
+                      "event at ", nextTick());
+        if (curTick_ < t)
+            curTick_ = t;
+    }
+
+    /** Per-domain serial for deterministic packet ids. */
+    std::uint64_t takeDomainSerial() { return domainSerial_++; }
+    /** @} */
+
     /**
      * Full structural audit (audit builds; otherwise a no-op):
      * every slot's event points back at its slot, carries the same
@@ -103,11 +178,16 @@ class EventQueue
     /** Heap arity; 4 empirically beats 2 for slot heaps. */
     static constexpr std::size_t arity = 4;
 
-    /** One heap entry: the sort key by value plus the event. */
+    /** One heap entry: the sort key by value plus the event.
+     *  32 bytes, so the 4-ary child scan still spans at most two
+     *  cache lines of slots. Legacy mode uses (when, order) with
+     *  tie = 0; keyed mode uses (when, scheduling tick, domain |
+     *  serial). */
     struct Slot
     {
         Tick when;
         std::uint64_t order;
+        std::uint64_t tie;
         Event *event;
     };
 
@@ -116,7 +196,9 @@ class EventQueue
     {
         if (a.when != b.when)
             return a.when < b.when;
-        return a.order < b.order;
+        if (a.order != b.order)
+            return a.order < b.order;
+        return a.tie < b.tie;
     }
 
     void siftUp(std::size_t i);
@@ -143,6 +225,13 @@ class EventQueue
     Tick curTick_ = 0;
     std::uint64_t nextOrder_ = 0;
     std::uint64_t numProcessed_ = 0;
+
+    /** Keyed (parallel) tiebreak state; see configureParallelKeys. */
+    bool parallelKeys_ = false;
+    unsigned domainId_ = 0;
+    std::uint64_t tieBase_ = 0;
+    std::uint64_t tieSeq_ = 0;
+    std::uint64_t domainSerial_ = 0;
     PCIESIM_AUDIT_ONLY(std::uint64_t auditCounter_ = 0;)
 };
 

@@ -1,0 +1,276 @@
+#include "parallel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "event.hh"
+#include "invariant.hh"
+#include "logging.hh"
+#include "profiler.hh"
+#include "trace.hh"
+
+namespace pciesim
+{
+
+namespace par
+{
+
+bool engineActive = false;
+ParallelEngine *activeEngine = nullptr;
+
+namespace
+{
+thread_local EventQueue *tlsQueue = nullptr;
+} // namespace
+
+EventQueue *
+currentQueue()
+{
+    return tlsQueue;
+}
+
+std::uint64_t
+domainPacketId()
+{
+    EventQueue *q = tlsQueue;
+    return (static_cast<std::uint64_t>(q->domainId()) << 48) |
+           q->takeDomainSerial();
+}
+
+} // namespace par
+
+ParallelEngine::ParallelEngine(std::vector<EventQueue *> queues,
+                               Tick quantum, unsigned threads)
+    : queues_(std::move(queues)),
+      quantum_(quantum),
+      threads_(std::min<unsigned>(std::max(threads, 1u),
+                                  queues_.size())),
+      mail_(queues_.size() * queues_.size())
+{
+    panicIf(quantum_ == 0, "parallel engine needs a nonzero quantum");
+    panicIf(queues_.size() < 2,
+            "parallel engine needs at least two domains");
+}
+
+std::vector<ParallelEngine::Op> &
+ParallelEngine::outbox(EventQueue &dst)
+{
+    EventQueue *src = par::currentQueue();
+    panicIf(src == nullptr,
+            "cross-domain post from outside a worker window");
+    return mail_[src->domainId() * queues_.size() + dst.domainId()];
+}
+
+void
+ParallelEngine::postSchedule(EventQueue &dst, Event &event, Tick when)
+{
+    EventQueue *src = par::currentQueue();
+    outbox(dst).push_back({Op::Kind::schedule, &event, when,
+                           src->curTick(), src->nextTie(), nullptr});
+}
+
+void
+ParallelEngine::postScheduleEarliest(EventQueue &dst, Event &event,
+                                     Tick when, Tick key_order,
+                                     std::uint64_t key_tie)
+{
+    outbox(dst).push_back({Op::Kind::scheduleEarliest, &event, when,
+                           key_order, key_tie, nullptr});
+}
+
+void
+ParallelEngine::postDeschedule(EventQueue &dst, Event &event)
+{
+    outbox(dst).push_back({Op::Kind::deschedule, &event, 0, 0, 0,
+                           nullptr});
+}
+
+void
+ParallelEngine::postCall(EventQueue &dst, Tick when,
+                         std::function<void()> fn)
+{
+    EventQueue *src = par::currentQueue();
+    outbox(dst).push_back({Op::Kind::call, nullptr, when,
+                           src->curTick(), src->nextTie(),
+                           std::move(fn)});
+}
+
+void
+ParallelEngine::applyMailboxes()
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+        EventQueue &q = *queues_[dst];
+        for (std::size_t src = 0; src < n; ++src) {
+            auto &box = mail_[src * n + dst];
+            for (Op &op : box) {
+                if (op.kind == Op::Kind::deschedule) {
+                    // Tolerant: the event may have fired (or been
+                    // pulled earlier and fired) since the post.
+                    if (op.event->scheduled())
+                        q.deschedule(op.event);
+                    continue;
+                }
+                // The conservative guarantee: anything posted
+                // during the window that just completed lands at
+                // or beyond its end (post tick + quantum >= end).
+                PCIESIM_AUDIT(op.when >= windowEnd_,
+                              "cross-domain event lands at ", op.when,
+                              " inside the window ending at ",
+                              windowEnd_,
+                              " (link latency below the quantum?)");
+                switch (op.kind) {
+                  case Op::Kind::schedule:
+                    q.scheduleKeyed(op.event, op.when, op.keyOrder,
+                                    op.keyTie);
+                    break;
+                  case Op::Kind::scheduleEarliest:
+                    q.scheduleEarliestKeyed(op.event, op.when,
+                                            op.keyOrder, op.keyTie);
+                    break;
+                  case Op::Kind::call:
+                    q.scheduleKeyed(new OneShotEvent(std::move(op.fn)),
+                                    op.when, op.keyOrder, op.keyTie);
+                    break;
+                  default:
+                    break;
+                }
+            }
+            box.clear();
+        }
+    }
+}
+
+void
+ParallelEngine::computeWindow(Tick max_tick)
+{
+    Tick global_min = maxTick;
+    for (EventQueue *q : queues_)
+        global_min = std::min(global_min, q->nextTick());
+    if (global_min == maxTick || global_min > max_tick) {
+        stop_.store(true, std::memory_order_relaxed);
+        return;
+    }
+    Tick end = global_min + quantum_;
+    if (end < global_min)
+        end = maxTick; // saturate on overflow
+    if (max_tick != maxTick && end > max_tick + 1)
+        end = max_tick + 1;
+    windowEnd_ = end;
+}
+
+void
+ParallelEngine::enterDomain(unsigned d)
+{
+    par::tlsQueue = queues_[d];
+#if PCIESIM_PROFILING
+    prof::enterDomain(d);
+#endif
+#if PCIESIM_TRACING
+    if (tracing_)
+        trace::enterDomain(d);
+#endif
+}
+
+void
+ParallelEngine::leaveDomain()
+{
+    par::tlsQueue = nullptr;
+#if PCIESIM_PROFILING
+    prof::leaveDomain();
+#endif
+#if PCIESIM_TRACING
+    if (tracing_)
+        trace::leaveDomain();
+#endif
+}
+
+Tick
+ParallelEngine::run(Tick max_tick)
+{
+    const unsigned nq = queues_.size();
+
+#if PCIESIM_PROFILING
+    prof::configureDomains(nq);
+#endif
+#if PCIESIM_TRACING
+    tracing_ = trace::beginParallel(nq);
+#endif
+    par::engineActive = true;
+    par::activeEngine = this;
+
+    stop_.store(false, std::memory_order_relaxed);
+    computeWindow(max_tick);
+
+    auto on_completion = [this, max_tick]() noexcept {
+#if PCIESIM_TRACING
+        if (tracing_)
+            trace::flushParallel();
+#endif
+        applyMailboxes();
+        computeWindow(max_tick);
+    };
+
+    if (threads_ == 1) {
+        // Serial fast path: same window loop, same domain order,
+        // same keyed heap — so the output matches any thread count
+        // — but with no barrier and no thread spawn. This is what
+        // keeps the one-thread engine within a few percent of the
+        // legacy single-queue run.
+        while (!stop_.load(std::memory_order_relaxed)) {
+            const Tick horizon = windowEnd_ - 1;
+            for (unsigned d = 0; d < nq; ++d) {
+                enterDomain(d);
+                queues_[d]->runWindow(horizon);
+                leaveDomain();
+            }
+            on_completion();
+        }
+    } else {
+        std::barrier barrier(threads_, on_completion);
+
+        auto work = [&](unsigned w) {
+            while (!stop_.load(std::memory_order_relaxed)) {
+                const Tick horizon = windowEnd_ - 1;
+                for (unsigned d = w; d < nq; d += threads_) {
+                    enterDomain(d);
+                    queues_[d]->runWindow(horizon);
+                    leaveDomain();
+                }
+                barrier.arrive_and_wait();
+            }
+        };
+
+        std::vector<std::thread> workers;
+        workers.reserve(threads_ - 1);
+        for (unsigned w = 1; w < threads_; ++w)
+            workers.emplace_back(work, w);
+        work(0);
+        for (std::thread &t : workers)
+            t.join();
+    }
+
+    par::activeEngine = nullptr;
+    par::engineActive = false;
+#if PCIESIM_TRACING
+    if (tracing_)
+        trace::endParallel();
+#endif
+
+    Tick result = 0;
+    for (EventQueue *q : queues_)
+        result = std::max(result, q->curTick());
+    if (max_tick != maxTick)
+        result = max_tick; // mirror EventQueue::run()'s horizon rule
+    // Clamp every domain to the common end time so single-threaded
+    // phases between runs see one consistent clock. Run-to-drain
+    // only stops with every queue empty and a bounded run only with
+    // every next event past the horizon, so nothing is skipped.
+    for (EventQueue *q : queues_)
+        q->advanceTo(result);
+    return result;
+}
+
+} // namespace pciesim

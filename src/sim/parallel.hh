@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Conservative quantum-synchronized parallel engine (DESIGN.md §10).
+ *
+ * The engine drives one EventQueue per link domain in lockstep
+ * windows: every window spans [global minimum next tick, minimum +
+ * quantum), where the quantum is the smallest link flight latency
+ * crossing any domain boundary. Because a packet posted at tick t
+ * arrives no earlier than t + quantum >= window end, cross-domain
+ * events always land in a later window — domains never need to see
+ * each other's state mid-window, so each one runs lock-free on its
+ * own worker thread.
+ *
+ * Cross-domain scheduling goes through per-(source, destination)
+ * mailboxes: the source worker appends operations during its window
+ * (it is the only writer of that vector) and a single thread drains
+ * all mailboxes inside the barrier's completion step, in (dest,
+ * source, FIFO) order, before the next window is computed. The
+ * composite ordering key for each operation is computed at post
+ * time on the sending domain, so heap order on the destination is a
+ * pure function of simulated history — identical for any thread
+ * count (the determinism contract enforced by the tier-2 parallel
+ * gate).
+ */
+
+#ifndef PCIESIM_SIM_PARALLEL_HH
+#define PCIESIM_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "event_queue.hh"
+#include "parallel_mode.hh"
+#include "ticks.hh"
+
+namespace pciesim
+{
+
+/**
+ * Thread pool + barrier driving a set of domain event queues under
+ * conservative quantum synchronization. Constructed once per
+ * Simulation (setupParallel); run() may be invoked repeatedly —
+ * workers are spawned and joined per call, so single-threaded
+ * phases (construction, enumeration, MMIO programming) between runs
+ * need no synchronization at all.
+ */
+class ParallelEngine
+{
+  public:
+    /**
+     * @param queues One entry per domain; index == domain id.
+     * @param quantum Minimum cross-domain link flight latency;
+     *        must be > 0.
+     * @param threads Requested worker count; clamped to the number
+     *        of domains. Domain d runs on worker d % threads.
+     */
+    ParallelEngine(std::vector<EventQueue *> queues, Tick quantum,
+                   unsigned threads);
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /**
+     * Run windows until every queue drains or the global minimum
+     * next tick passes @p max_tick. With an explicit horizon all
+     * queues are clamped forward to it afterwards, mirroring the
+     * single-queue EventQueue::run() contract.
+     * @return the final simulated tick (max over domains).
+     */
+    Tick run(Tick max_tick = maxTick);
+
+    Tick quantum() const { return quantum_; }
+    unsigned threads() const { return threads_; }
+
+    /** @{
+     * Cross-domain posts. Callable only from a worker inside its
+     * window (the source domain is the calling thread's current
+     * queue); applied at the next barrier. The ordering key is
+     * captured here, on the sending domain.
+     */
+    void postSchedule(EventQueue &dst, Event &event, Tick when);
+    /** Schedule-if-earlier with a caller-computed key: the sink may
+     *  also arm @p event for the same occurrence (a wire rearming
+     *  after a delivery), so the key must be fixed once, at send
+     *  time, and shared by both paths. */
+    void postScheduleEarliest(EventQueue &dst, Event &event,
+                              Tick when, Tick key_order,
+                              std::uint64_t key_tie);
+    void postDeschedule(EventQueue &dst, Event &event);
+    void postCall(EventQueue &dst, Tick when,
+                  std::function<void()> fn);
+    /** @} */
+
+  private:
+    /** One mailboxed cross-domain operation. */
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            schedule,
+            scheduleEarliest,
+            deschedule,
+            call,
+        };
+
+        Kind kind;
+        Event *event;
+        Tick when;
+        Tick keyOrder;
+        std::uint64_t keyTie;
+        std::function<void()> fn;
+    };
+
+    std::vector<Op> &outbox(EventQueue &dst);
+    void applyMailboxes();
+    void computeWindow(Tick max_tick);
+    void enterDomain(unsigned d);
+    void leaveDomain();
+
+    std::vector<EventQueue *> queues_;
+    const Tick quantum_;
+    const unsigned threads_;
+
+    /** mail_[src * numDomains + dst]; src's worker is the only
+     *  writer during a window, the barrier completion the only
+     *  reader — the barrier itself provides the ordering. */
+    std::vector<std::vector<Op>> mail_;
+
+    Tick windowEnd_ = 0;
+    std::atomic<bool> stop_{false};
+    bool tracing_ = false;
+};
+
+namespace par
+{
+
+/** The engine whose run() is currently executing, else null.
+ *  Same write discipline as engineActive. */
+extern ParallelEngine *activeEngine;
+
+} // namespace par
+
+} // namespace pciesim
+
+#endif // PCIESIM_SIM_PARALLEL_HH

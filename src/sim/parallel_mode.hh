@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal hot-path hooks for parallel execution (DESIGN.md §10).
+ *
+ * This header exists so performance-critical headers (packet.hh,
+ * simulation.hh) can test whether the parallel engine is running
+ * without pulling in the engine itself. The contract:
+ *
+ *  - par::engineActive is written by ParallelEngine only on the
+ *    main thread, strictly before worker threads are spawned and
+ *    strictly after they are joined. Thread creation/join provides
+ *    the happens-before edge, so workers read a stable value and a
+ *    plain bool is race-free.
+ *  - With no engine (every legacy single-queue run) the flag is
+ *    permanently false and each guarded path costs one predictable
+ *    branch — the same budget as the tracing and profiler gates.
+ */
+
+#ifndef PCIESIM_SIM_PARALLEL_MODE_HH
+#define PCIESIM_SIM_PARALLEL_MODE_HH
+
+#include <cstdint>
+
+namespace pciesim
+{
+class EventQueue;
+} // namespace pciesim
+
+namespace pciesim::par
+{
+
+/** True only while ParallelEngine::run() is executing windows. */
+extern bool engineActive;
+
+/** The event queue of the domain this thread is executing, or null
+ *  outside a worker's window (set by the engine; thread local). */
+EventQueue *currentQueue();
+
+/**
+ * Deterministic packet id in parallel mode: the domain id in the
+ * top bits over a per-domain serial. Ids depend on which domain
+ * allocates, never on thread interleaving, so any thread count
+ * produces the same ids (they differ from the single-queue global
+ * numbering; ids appear only in toString() and trace labels).
+ */
+std::uint64_t domainPacketId();
+
+} // namespace pciesim::par
+
+#endif // PCIESIM_SIM_PARALLEL_MODE_HH

@@ -44,18 +44,42 @@ state()
     return *s;
 }
 
+// One accumulator per link domain in parallel runs; the engine
+// binds a domain's State to its worker thread for the duration of
+// that domain's window, keeping profileProcess() lock-free.
+std::vector<State *> &
+domainStates()
+{
+    static auto *v = new std::vector<State *>;
+    return *v;
+}
+
+thread_local State *tlsState = nullptr;
+
+/** Run @p fn over the base state and every domain state. */
+template <typename Fn>
+void
+forEachState(Fn fn)
+{
+    fn(state());
+    for (State *s : domainStates())
+        fn(*s);
+}
+
 /** Merge the pointer-keyed recs by name content, hottest first. */
 std::vector<HotSpot>
 mergedSpots()
 {
     std::map<std::string, HotSpot> byName;
-    for (const auto &[name, r] : state().recs) {
-        HotSpot &h = byName[name ? name : ""];
-        h.name = name ? name : "";
-        h.count += r.count;
-        h.sampled += r.sampled;
-        h.sampledNs += state().reportTimes ? r.sampledNs : 0;
-    }
+    forEachState([&](const State &st) {
+        for (const auto &[name, r] : st.recs) {
+            HotSpot &h = byName[name ? name : ""];
+            h.name = name ? name : "";
+            h.count += r.count;
+            h.sampled += r.sampled;
+            h.sampledNs += state().reportTimes ? r.sampledNs : 0;
+        }
+    });
     std::vector<HotSpot> out;
     out.reserve(byName.size());
     for (auto &[name, h] : byName) {
@@ -109,13 +133,13 @@ void
 setSamplePeriod(std::uint64_t period)
 {
     fatalIf(period == 0, "profiler sample period must be >= 1");
-    state().samplePeriod = period;
+    forEachState([&](State &st) { st.samplePeriod = period; });
 }
 
 void
 setReportTimes(bool on)
 {
-    state().reportTimes = on;
+    forEachState([&](State &st) { st.reportTimes = on; });
 }
 
 bool
@@ -127,25 +151,55 @@ reportTimes()
 void
 reset()
 {
-    state().recs.clear();
-    state().total = 0;
+    forEachState([](State &st) {
+        st.recs.clear();
+        st.total = 0;
+    });
 }
 
 std::uint64_t
 totalEvents()
 {
-    return state().total;
+    std::uint64_t n = 0;
+    forEachState([&](const State &st) { n += st.total; });
+    return n;
 }
 
 std::uint64_t
 attributedEvents()
 {
     std::uint64_t n = 0;
-    for (const auto &[name, r] : state().recs) {
-        if (name != nullptr && *name != '\0')
-            n += r.count;
-    }
+    forEachState([&](const State &st) {
+        for (const auto &[name, r] : st.recs) {
+            if (name != nullptr && *name != '\0')
+                n += r.count;
+        }
+    });
     return n;
+}
+
+void
+configureDomains(unsigned n)
+{
+    auto &doms = domainStates();
+    while (doms.size() < n) {
+        State *s = new State;
+        s->samplePeriod = state().samplePeriod;
+        s->reportTimes = state().reportTimes;
+        doms.push_back(s);
+    }
+}
+
+void
+enterDomain(unsigned d)
+{
+    tlsState = domainStates()[d];
+}
+
+void
+leaveDomain()
+{
+    tlsState = nullptr;
 }
 
 std::vector<HotSpot>
@@ -239,7 +293,7 @@ void
 profileProcess(Event *event)
 {
     using Clock = std::chrono::steady_clock;
-    State &st = state();
+    State &st = tlsState ? *tlsState : state();
     const char *name = event->name();
 
     // Decide 1-in-N timing from the pre-increment count, but defer

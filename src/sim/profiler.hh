@@ -123,6 +123,27 @@ void writeJson(std::ostream &os, std::size_t top_n);
  */
 void profileProcess(Event *event);
 
+/** @{
+ * Shard-awareness for parallel runs (DESIGN.md §10): the engine
+ * gives every domain its own accumulator and binds it to the
+ * worker's thread while that domain's window runs, so the hot path
+ * stays lock-free. All reporting entry points above aggregate the
+ * base accumulator plus every domain, merged by name content —
+ * counts are exact and thread-count independent. Note the per-name
+ * 1-in-N *timing subsample* is taken per domain, so sampled/estMs
+ * may differ from an unpartitioned run (counts never do).
+ */
+
+/** Ensure @p n per-domain accumulators exist (engine start). */
+void configureDomains(unsigned n);
+
+/** Bind domain @p d's accumulator to this thread. */
+void enterDomain(unsigned d);
+
+/** Unbind this thread's accumulator. */
+void leaveDomain();
+/** @} */
+
 } // namespace pciesim::prof
 
 #endif // PCIESIM_SIM_PROFILER_HH

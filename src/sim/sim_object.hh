@@ -24,6 +24,13 @@ namespace stats { class Registry; }
  * Life cycle: construct (wire ports) -> init() on every object
  * (register stats, sanity-check wiring) -> startup() on every object
  * (schedule initial events) -> event loop.
+ *
+ * Every object binds to a link domain at construction (whatever
+ * domain the owning Simulation's DomainScope selects; domain 0 when
+ * unpartitioned): curTick()/schedule()/eventq() all operate on the
+ * home domain's queue. Cross-domain interactions go through the
+ * link layer or Simulation::callAt(), never by scheduling directly
+ * on a foreign queue.
  */
 class SimObject
 {
@@ -63,6 +70,8 @@ class SimObject
   private:
     Simulation &sim_;
     std::string name_;
+    /** The home domain's queue; set once by the constructor. */
+    EventQueue *homeQueue_ = nullptr;
 };
 
 } // namespace pciesim

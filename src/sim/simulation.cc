@@ -1,6 +1,10 @@
 #include "simulation.hh"
 
+#include <utility>
+
+#include "event.hh"
 #include "logging.hh"
+#include "parallel.hh"
 #include "sim_object.hh"
 
 namespace pciesim
@@ -16,6 +20,59 @@ Simulation::registerObject(SimObject *obj)
     panicIf(initialized_,
             "object '", obj->name(), "' created after initialize()");
     objects_.push_back(obj);
+}
+
+unsigned
+Simulation::addDomain()
+{
+    panicIf(initialized_, "domain added after initialize()");
+    if (extraQueues_.empty())
+        eventq_.configureParallelKeys(0);
+    const unsigned id = numDomains();
+    extraQueues_.push_back(std::make_unique<EventQueue>());
+    extraQueues_.back()->configureParallelKeys(id);
+    return id;
+}
+
+EventQueue &
+Simulation::domainQueue(unsigned d)
+{
+    panicIf(d >= numDomains(), "no such domain ", d);
+    return d == 0 ? eventq_ : *extraQueues_[d - 1];
+}
+
+void
+Simulation::setupParallel(unsigned threads, Tick quantum)
+{
+    panicIf(engine_ != nullptr, "parallel engine already attached");
+    panicIf(numDomains() < 2,
+            "setupParallel() needs a partitioned topology");
+    std::vector<EventQueue *> queues;
+    queues.reserve(numDomains());
+    for (unsigned d = 0; d < numDomains(); ++d)
+        queues.push_back(&domainQueue(d));
+    engine_ = std::make_unique<ParallelEngine>(std::move(queues),
+                                               quantum, threads);
+}
+
+void
+Simulation::callAt(unsigned d, Tick when, std::function<void()> fn)
+{
+    EventQueue &q = domainQueue(d);
+    if (par::engineActive && par::currentQueue() != &q) {
+        engine_->postCall(q, when, std::move(fn));
+        return;
+    }
+    q.schedule(new OneShotEvent(std::move(fn)), when);
+}
+
+std::uint64_t
+Simulation::eventsProcessed() const
+{
+    std::uint64_t total = eventq_.numProcessed();
+    for (const auto &q : extraQueues_)
+        total += q->numProcessed();
+    return total;
 }
 
 void
@@ -34,6 +91,8 @@ Tick
 Simulation::run(Tick max_tick)
 {
     initialize();
+    if (engine_)
+        return engine_->run(max_tick);
     return eventq_.run(max_tick);
 }
 
@@ -41,25 +100,26 @@ Tick
 Simulation::runFor(Tick duration)
 {
     initialize();
-    return eventq_.run(eventq_.curTick() + duration);
+    return run(curTick() + duration);
 }
 
 SimObject::SimObject(Simulation &sim, std::string name)
     : sim_(sim), name_(std::move(name))
 {
     sim.registerObject(this);
+    homeQueue_ = &sim.domainQueue(sim.buildDomain());
 }
 
 Tick
 SimObject::curTick() const
 {
-    return sim_.curTick();
+    return homeQueue_->curTick();
 }
 
 EventQueue &
 SimObject::eventq()
 {
-    return sim_.eventq();
+    return *homeQueue_;
 }
 
 stats::Registry &
@@ -71,13 +131,13 @@ SimObject::statsRegistry()
 void
 SimObject::schedule(Event &event, Tick delay)
 {
-    sim_.eventq().schedule(&event, sim_.curTick() + delay);
+    homeQueue_->schedule(&event, homeQueue_->curTick() + delay);
 }
 
 void
 SimObject::scheduleAbs(Event &event, Tick when)
 {
-    sim_.eventq().schedule(&event, when);
+    homeQueue_->schedule(&event, when);
 }
 
 } // namespace pciesim

@@ -1,23 +1,27 @@
 /**
  * @file
- * Top-level simulation context: owns the event queue, the stats
+ * Top-level simulation context: owns the event queue(s), the stats
  * registry, and the list of simulation objects.
  */
 
 #ifndef PCIESIM_SIM_SIMULATION_HH
 #define PCIESIM_SIM_SIMULATION_HH
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "event_queue.hh"
+#include "parallel_mode.hh"
 #include "stats.hh"
 #include "ticks.hh"
 
 namespace pciesim
 {
 
+class ParallelEngine;
 class SimObject;
 
 /**
@@ -27,6 +31,15 @@ class SimObject;
  * through their ports, and then driven by run()/runFor(). Simulation
  * does not own SimObjects by default (they are usually members of a
  * System struct); own() can adopt heap-allocated helpers.
+ *
+ * Parallel mode (DESIGN.md §10): a topology may partition itself
+ * into link domains at build time — addDomain() creates one event
+ * queue per extra domain and DomainScope binds the objects
+ * constructed inside it to that domain's queue. setupParallel()
+ * then attaches a quantum-synchronized engine; run() drives all
+ * domains through it. With no extra domains (the default, and the
+ * --threads 1 collapse) everything below is byte-for-byte the
+ * original single-queue behavior.
  */
 class Simulation
 {
@@ -37,11 +50,26 @@ class Simulation
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
 
+    /** The default (domain 0) event queue. */
     EventQueue &eventq() { return eventq_; }
     const EventQueue &eventq() const { return eventq_; }
     stats::Registry &statsRegistry() { return stats_; }
 
-    Tick curTick() const { return eventq_.curTick(); }
+    /**
+     * Current simulated time. Inside a parallel window this is the
+     * executing domain's local tick; outside any window all queues
+     * agree (the engine clamps them together at the end of every
+     * run), so domain 0 speaks for the simulation.
+     */
+    Tick
+    curTick() const
+    {
+        if (par::engineActive) [[unlikely]] {
+            if (const EventQueue *q = par::currentQueue())
+                return q->curTick();
+        }
+        return eventq_.curTick();
+    }
 
     /** Called by the SimObject constructor. */
     void registerObject(SimObject *obj);
@@ -56,6 +84,79 @@ class Simulation
         return raw;
     }
 
+    /** @{
+     * Domain partitioning (build time, before initialize()).
+     */
+
+    /**
+     * Create a new link domain with its own event queue and return
+     * its id. The first call also flips domain 0's queue to keyed
+     * tiebreak mode so same-tick ordering is thread-count
+     * independent across the whole fabric.
+     */
+    unsigned addDomain();
+
+    /** Number of domains (1 == unpartitioned legacy simulation). */
+    unsigned numDomains() const
+    {
+        return 1 + static_cast<unsigned>(extraQueues_.size());
+    }
+
+    /** The event queue of domain @p d. */
+    EventQueue &domainQueue(unsigned d);
+
+    /** Domain that newly constructed SimObjects bind to. */
+    unsigned buildDomain() const { return buildDomain_; }
+
+    /**
+     * RAII guard binding SimObjects constructed in its scope to a
+     * given domain. Wrapping an existing construction statement in
+     * a scope for domain 0 is a strict no-op, so topologies can
+     * partition without reordering construction (stats registration
+     * order, and with it stats.json, stays identical).
+     */
+    class DomainScope
+    {
+      public:
+        DomainScope(Simulation &sim, unsigned domain)
+            : sim_(sim), prev_(sim.buildDomain_)
+        {
+            sim.buildDomain_ = domain;
+        }
+
+        ~DomainScope() { sim_.buildDomain_ = prev_; }
+
+        DomainScope(const DomainScope &) = delete;
+        DomainScope &operator=(const DomainScope &) = delete;
+
+      private:
+        Simulation &sim_;
+        unsigned prev_;
+    };
+
+    /**
+     * Attach the parallel engine: @p threads workers advancing all
+     * domains in windows of @p quantum ticks (the minimum
+     * cross-domain link flight latency). Requires >= 2 domains.
+     */
+    void setupParallel(unsigned threads, Tick quantum);
+
+    /** The attached engine, or null (legacy single-queue run). */
+    ParallelEngine *engine() { return engine_.get(); }
+
+    /**
+     * Run @p fn at tick @p when on domain @p d's queue. From a
+     * foreign domain mid-window this is mailboxed through the
+     * engine ((when - now) must be >= the quantum); otherwise it
+     * schedules directly. Used for cross-domain side effects that
+     * are not packets (e.g. INTx wire-or toward the host GIC).
+     */
+    void callAt(unsigned d, Tick when, std::function<void()> fn);
+
+    /** Total events processed across every domain queue. */
+    std::uint64_t eventsProcessed() const;
+    /** @} */
+
     /** Run init()/startup() phases once; implied by run(). */
     void initialize();
 
@@ -67,6 +168,9 @@ class Simulation
 
   private:
     EventQueue eventq_;
+    std::vector<std::unique_ptr<EventQueue>> extraQueues_;
+    std::unique_ptr<ParallelEngine> engine_;
+    unsigned buildDomain_ = 0;
     stats::Registry stats_;
     std::vector<SimObject *> objects_;
     std::vector<std::unique_ptr<SimObject>> owned_;

@@ -1,7 +1,9 @@
 #include "trace.hh"
 
+#include <algorithm>
 #include <array>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 namespace pciesim::trace
@@ -171,12 +173,146 @@ forEachSink(Fn &&fn)
         fn(*sinks().chrome);
 }
 
+/** One buffered record from a domain's window (parallel runs). */
+struct BufRec
+{
+    enum : std::uint8_t
+    {
+        kindMessage,
+        kindBegin,
+        kindEnd,
+        kindComplete,
+        kindCounter,
+    };
+
+    std::uint8_t kind;
+    Flag flag;
+    Tick tick;
+    Tick dur;
+    std::uint64_t seq;
+    std::string track;
+    std::string text; ///< message text / span name / counter series
+    double value;
+};
+
+/** Per-domain buffer; written only by the domain's worker. */
+struct DomainBuf
+{
+    std::vector<BufRec> recs;
+    std::uint64_t seq = 0;
+};
+
+std::vector<DomainBuf> &
+domainBufs()
+{
+    static auto *v = new std::vector<DomainBuf>;
+    return *v;
+}
+
+thread_local DomainBuf *tlsBuf = nullptr;
+
+void
+emitRec(const BufRec &r)
+{
+    forEachSink([&](Sink &s) {
+        const char *flag = flagName(r.flag);
+        switch (r.kind) {
+          case BufRec::kindMessage:
+            s.message(r.tick, r.track, flag, r.text);
+            break;
+          case BufRec::kindBegin:
+            s.begin(r.tick, r.track, flag, r.text);
+            break;
+          case BufRec::kindEnd:
+            s.end(r.tick, r.track, flag);
+            break;
+          case BufRec::kindComplete:
+            s.complete(r.tick, r.dur, r.track, flag, r.text);
+            break;
+          case BufRec::kindCounter:
+            s.counter(r.tick, r.track, flag, r.text, r.value);
+            break;
+          default:
+            break;
+        }
+    });
+}
+
+void
+buffer(BufRec r)
+{
+    r.seq = tlsBuf->seq++;
+    tlsBuf->recs.push_back(std::move(r));
+}
+
 } // namespace
+
+bool
+beginParallel(unsigned n)
+{
+    if (!sinksActive)
+        return false;
+    domainBufs().resize(n);
+    return true;
+}
+
+void
+enterDomain(unsigned d)
+{
+    tlsBuf = &domainBufs()[d];
+}
+
+void
+leaveDomain()
+{
+    tlsBuf = nullptr;
+}
+
+void
+flushParallel()
+{
+    auto &bufs = domainBufs();
+    std::vector<std::pair<const BufRec *, unsigned>> merged;
+    std::size_t total = 0;
+    for (const DomainBuf &b : bufs)
+        total += b.recs.size();
+    if (total == 0)
+        return;
+    merged.reserve(total);
+    for (unsigned d = 0; d < bufs.size(); ++d) {
+        for (const BufRec &r : bufs[d].recs)
+            merged.emplace_back(&r, d);
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first->tick != b.first->tick)
+                      return a.first->tick < b.first->tick;
+                  if (a.second != b.second)
+                      return a.second < b.second;
+                  return a.first->seq < b.first->seq;
+              });
+    for (const auto &[rec, d] : merged) {
+        (void)d;
+        emitRec(*rec);
+    }
+    for (DomainBuf &b : bufs)
+        b.recs.clear();
+}
+
+void
+endParallel()
+{
+    flushParallel();
+}
 
 void
 emitMessage(Flag f, Tick tick, const std::string &track,
             const std::string &text)
 {
+    if (tlsBuf) {
+        buffer({BufRec::kindMessage, f, tick, 0, 0, track, text, 0});
+        return;
+    }
     forEachSink([&](Sink &s) {
         s.message(tick, track, flagName(f), text);
     });
@@ -186,6 +322,10 @@ void
 emitBegin(Flag f, Tick tick, const std::string &track,
           const std::string &name)
 {
+    if (tlsBuf) {
+        buffer({BufRec::kindBegin, f, tick, 0, 0, track, name, 0});
+        return;
+    }
     forEachSink([&](Sink &s) {
         s.begin(tick, track, flagName(f), name);
     });
@@ -194,6 +334,10 @@ emitBegin(Flag f, Tick tick, const std::string &track,
 void
 emitEnd(Flag f, Tick tick, const std::string &track)
 {
+    if (tlsBuf) {
+        buffer({BufRec::kindEnd, f, tick, 0, 0, track, "", 0});
+        return;
+    }
     forEachSink([&](Sink &s) { s.end(tick, track, flagName(f)); });
 }
 
@@ -201,6 +345,11 @@ void
 emitComplete(Flag f, Tick start, Tick duration,
              const std::string &track, const std::string &name)
 {
+    if (tlsBuf) {
+        buffer({BufRec::kindComplete, f, start, duration, 0, track,
+                name, 0});
+        return;
+    }
     forEachSink([&](Sink &s) {
         s.complete(start, duration, track, flagName(f), name);
     });
@@ -210,6 +359,11 @@ void
 emitCounter(Flag f, Tick tick, const std::string &track,
             const std::string &series, double value)
 {
+    if (tlsBuf) {
+        buffer({BufRec::kindCounter, f, tick, 0, 0, track, series,
+                value});
+        return;
+    }
     forEachSink([&](Sink &s) {
         s.counter(tick, track, flagName(f), series, value);
     });

@@ -129,6 +129,32 @@ void emitComplete(Flag f, Tick start, Tick duration,
 void emitCounter(Flag f, Tick tick, const std::string &track,
                  const std::string &series, double value);
 
+/** @{
+ * Shard-aware emission for parallel runs (DESIGN.md §10): while
+ * the engine runs, each domain appends records to a private buffer
+ * (bound to the worker thread while its window executes) and the
+ * barrier completion step merges them into the sinks sorted by
+ * (tick, domain id, sequence) — so trace output is byte-identical
+ * for any thread count. All hooks are no-ops (and emission stays
+ * direct) when no sink is installed.
+ */
+
+/** Engage buffering for @p n domains; false if no sink is open. */
+bool beginParallel(unsigned n);
+
+/** Bind domain @p d's buffer to this thread. */
+void enterDomain(unsigned d);
+
+/** Unbind this thread's buffer. */
+void leaveDomain();
+
+/** Merge and emit all buffered records (barrier completion). */
+void flushParallel();
+
+/** Final flush and return to direct emission. */
+void endParallel();
+/** @} */
+
 } // namespace pciesim::trace
 
 #if PCIESIM_TRACING

@@ -10,6 +10,14 @@ BaselineSystem::BaselineSystem(Simulation &sim,
                                const SystemConfig &config)
     : sim_(sim), config_(config)
 {
+    // The flat baseline has no point-to-point links, so there is no
+    // lookahead to cut domains on; parallel mode degenerates to the
+    // single-queue core.
+    if (config.threads > 1) {
+        warn("baseline system: no links to partition into domains; "
+             "running single-queue");
+    }
+
     membus_ = std::make_unique<XBar>(sim, "system.membus",
                                      config.membus);
     iobus_ = std::make_unique<XBar>(sim, "system.iobus",
@@ -51,10 +59,22 @@ BaselineSystem::BaselineSystem(Simulation &sim,
     iobus_->addMasterPort("diskPio").bind(disk_->pioPort());
     iobus_->addMasterPort("iocMaster").bind(ioCache_->slavePort());
 
-    disk_->setIntxSink([this](bool asserted) {
-        gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
-                       asserted);
-    });
+    if (config.intxLatency > 0) {
+        Tick intx_latency = config.intxLatency;
+        disk_->setIntxSink([this, intx_latency](bool asserted) {
+            unsigned line =
+                disk_->config().raw8(cfg::interruptLine);
+            sim_.callAt(0, sim_.curTick() + intx_latency,
+                        [this, line, asserted] {
+                            gic_->setLevel(line, asserted);
+                        });
+        });
+    } else {
+        disk_->setIntxSink([this](bool asserted) {
+            gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
+                           asserted);
+        });
+    }
 
     // Flat topology: the disk is the only device on bus 0.
     pciHost_->registerFunction(*disk_, Bdf{0, 0, 0});

@@ -1,5 +1,8 @@
 #include "multi_device_system.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
 
@@ -13,6 +16,34 @@ MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
     const SystemConfig &base = config.base;
     fatalIf(config_.numDevices == 0 || config_.numDevices > 16,
             "multi-device system supports 1..16 devices");
+
+    // Parallel partitioning (DESIGN.md Sec. 10): the switch and
+    // every generator get their own domain; the kernel side of the
+    // fabric stays in domain 0.
+    const bool want_parallel = base.threads >= 1;
+    const bool parallel = want_parallel && linksCuttable(base);
+    if (want_parallel && !parallel) {
+        warn("multi-device system: parallel mode requested but "
+             "faulty/NAK links cannot span domains; running "
+             "single-queue");
+    }
+    const Tick quantum =
+        std::min(linkLookahead(base, base.upstreamLinkWidth),
+                 linkLookahead(base, config.deviceLinkWidth));
+    const Tick intx_latency =
+        parallel ? std::max(base.intxLatency, quantum)
+                 : base.intxLatency;
+    // threads == 1 still partitions and runs the engine on one
+    // worker: the keyed heap order is then shared with every
+    // thread count, which is what makes 1-vs-N output
+    // byte-identical (the tier-2 parallel determinism gate).
+    const bool partition = parallel;
+    const unsigned dom_switch = partition ? sim.addDomain() : 0;
+    std::vector<unsigned> dom_gen(config_.numDevices, 0);
+    if (partition) {
+        for (unsigned i = 0; i < config_.numDevices; ++i)
+            dom_gen[i] = sim.addDomain();
+    }
 
     membus_ = std::make_unique<XBar>(sim, "system.membus",
                                      base.membus);
@@ -41,7 +72,11 @@ MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
     swp.portBufferSize = base.portBufferSize;
     swp.linkWidth = config_.deviceLinkWidth;
     swp.linkGen = static_cast<unsigned>(base.gen);
-    switch_ = std::make_unique<PcieSwitch>(sim, "system.switch", swp);
+    {
+        Simulation::DomainScope scope(sim, dom_switch);
+        switch_ = std::make_unique<PcieSwitch>(sim, "system.switch",
+                                               swp);
+    }
 
     upLink_ = std::make_unique<PcieLink>(
         sim, "system.upLink",
@@ -74,8 +109,12 @@ MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
         devLinks_.push_back(std::make_unique<PcieLink>(
             sim, "system.devLink" + std::to_string(i),
             base.makeLinkParams(config_.deviceLinkWidth, 1 + i)));
-        gens_.push_back(std::make_unique<TrafficGen>(
-            sim, "system.tgen" + std::to_string(i), config_.gen));
+        {
+            Simulation::DomainScope scope(sim, dom_gen[i]);
+            gens_.push_back(std::make_unique<TrafficGen>(
+                sim, "system.tgen" + std::to_string(i),
+                config_.gen));
+        }
 
         switch_->downstreamMaster(i).bind(devLinks_[i]->upSlave());
         devLinks_[i]->upMaster().bind(switch_->downstreamSlave(i));
@@ -83,12 +122,37 @@ MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
         gens_[i]->dmaPort().bind(devLinks_[i]->downSlave());
 
         TrafficGen *gen = gens_[i].get();
-        gens_[i]->setIntxSink([this, gen](bool asserted) {
-            gic_->setLevel(gen->config().raw8(cfg::interruptLine),
-                           asserted);
-        });
+        if (intx_latency > 0) {
+            gens_[i]->setIntxSink(
+                [this, gen, intx_latency](bool asserted) {
+                    unsigned line =
+                        gen->config().raw8(cfg::interruptLine);
+                    sim_.callAt(0, sim_.curTick() + intx_latency,
+                                [this, line, asserted] {
+                                    gic_->setLevel(line, asserted);
+                                });
+                });
+        } else {
+            gens_[i]->setIntxSink([this, gen](bool asserted) {
+                gic_->setLevel(
+                    gen->config().raw8(cfg::interruptLine),
+                    asserted);
+            });
+        }
         pciHost_->registerFunction(
             *gens_[i], Bdf{static_cast<std::uint8_t>(3 + i), 0, 0});
+    }
+
+    // Hand each link interface to its domain's queue and attach the
+    // quantum-synchronized engine.
+    if (partition) {
+        upLink_->setDomains(sim.domainQueue(0),
+                            sim.domainQueue(dom_switch));
+        for (unsigned i = 0; i < config_.numDevices; ++i) {
+            devLinks_[i]->setDomains(sim.domainQueue(dom_switch),
+                                     sim.domainQueue(dom_gen[i]));
+        }
+        sim.setupParallel(base.threads, quantum);
     }
 }
 
@@ -124,10 +188,15 @@ MultiDeviceSystem::runConcurrentWrites(unsigned active,
     panicIf(active == 0 || active > config_.numDevices,
             "bad active device count");
 
-    // The level-triggered line may re-dispatch the handler while
-    // the asynchronous DONE read is still deasserting it; use
-    // per-device idempotent completion flags.
+    // The level-triggered line re-dispatches the handler every
+    // delivery period while the asynchronous DONE read is still in
+    // flight; without a pending-read guard the ISR queues a fresh
+    // read per dispatch behind the kernel's serialized MMIO queue,
+    // which diverges whenever the read round-trip exceeds a few
+    // dispatch periods. Guard it the way a real ISR would: at most
+    // one outstanding DONE read per device.
     std::vector<bool> done_flags(active, false);
+    std::vector<bool> read_pending(active, false);
     Tick start = sim_.curTick();
     for (unsigned i = 0; i < active; ++i) {
         Addr mmio = genMmioBase(i);
@@ -141,10 +210,16 @@ MultiDeviceSystem::runConcurrentWrites(unsigned active,
         k.mmioWrite(mmio + tgen::regMode, 4, 0, [] {});
         unsigned line = kernel_->enumerate()
                             .find(gens_[i]->bdf())->irqLine;
-        k.registerIrqHandler(line, [this, i, mmio, &done_flags] {
+        k.registerIrqHandler(line, [this, i, mmio, &done_flags,
+                                    &read_pending] {
             // ISR: read DONE (deasserts INTx), flag completion.
+            if (read_pending[i] || done_flags[i])
+                return;
+            read_pending[i] = true;
             kernel_->mmioRead(mmio + tgen::regDone, 4,
-                              [i, &done_flags](std::uint64_t) {
+                              [i, &done_flags,
+                               &read_pending](std::uint64_t) {
+                read_pending[i] = false;
                 done_flags[i] = true;
             });
         });

@@ -1,5 +1,8 @@
 #include "nic_system.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "pci/config_regs.hh"
 #include "pci/platform.hh"
 #include "sim/trace.hh"
@@ -13,6 +16,30 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
     const SystemConfig &base = config.base;
     trace::applyConfig(base.traceFlags, base.traceOut);
     Packet::resetIds();
+
+    // Parallel partitioning (DESIGN.md Sec. 10): both NICs and the
+    // Ethernet wire between them form one device domain (the wire
+    // models no latency, so the NICs cannot be cut apart); the
+    // kernel side stays in domain 0 and the NIC links are the cut.
+    const bool want_parallel = base.threads >= 1;
+    const bool parallel = want_parallel && linksCuttable(base) &&
+                          base.statsSampleInterval == 0 &&
+                          base.statsDumpInterval == 0;
+    if (want_parallel && !parallel) {
+        warn("nic system: parallel mode requested but the "
+             "configuration pins the fabric to one domain (faults, "
+             "NAK, or periodic stats); running single-queue");
+    }
+    const Tick quantum = linkLookahead(base, config.nicLinkWidth);
+    const Tick intx_latency =
+        parallel ? std::max(base.intxLatency, quantum)
+                 : base.intxLatency;
+    // threads == 1 still partitions and runs the engine on one
+    // worker: the keyed heap order is then shared with every
+    // thread count, which is what makes 1-vs-N output
+    // byte-identical (the tier-2 parallel determinism gate).
+    const bool partition = parallel;
+    const unsigned dom_dev = partition ? sim.addDomain() : 0;
 
     membus_ = std::make_unique<XBar>(sim, "system.membus",
                                      base.membus);
@@ -39,8 +66,11 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
                                        *pciHost_, *gic_, *dram_,
                                        base.kernel);
 
-    wire_ = std::make_unique<EtherWire>(sim, "system.wire",
-                                        config.wire);
+    {
+        Simulation::DomainScope scope(sim, dom_dev);
+        wire_ = std::make_unique<EtherWire>(sim, "system.wire",
+                                            config.wire);
+    }
 
     kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
     ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
@@ -56,8 +86,11 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
         links_[i] = std::make_unique<PcieLink>(
             sim, "system.nicLink" + idx,
             base.makeLinkParams(config.nicLinkWidth, i));
-        nics_[i] = std::make_unique<Nic8254xPcie>(
-            sim, "system.nic" + idx, config.nic);
+        {
+            Simulation::DomainScope scope(sim, dom_dev);
+            nics_[i] = std::make_unique<Nic8254xPcie>(
+                sim, "system.nic" + idx, config.nic);
+        }
         drivers_[i] = std::make_unique<E1000eDriver>(config.driver);
 
         rootComplex_->rootPortMaster(i).bind(links_[i]->upSlave());
@@ -67,10 +100,23 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
 
         nics_[i]->attachWire(*wire_, i);
         Nic8254xPcie *nic = nics_[i].get();
-        nics_[i]->setIntxSink([this, nic](bool asserted) {
-            gic_->setLevel(nic->config().raw8(cfg::interruptLine),
-                           asserted);
-        });
+        if (intx_latency > 0) {
+            nics_[i]->setIntxSink(
+                [this, nic, intx_latency](bool asserted) {
+                    unsigned line =
+                        nic->config().raw8(cfg::interruptLine);
+                    sim_.callAt(0, sim_.curTick() + intx_latency,
+                                [this, line, asserted] {
+                                    gic_->setLevel(line, asserted);
+                                });
+                });
+        } else {
+            nics_[i]->setIntxSink([this, nic](bool asserted) {
+                gic_->setLevel(
+                    nic->config().raw8(cfg::interruptLine),
+                    asserted);
+            });
+        }
 
         // Bus numbering: root port i's subtree is bus i+1 (each
         // NIC is the only device below its root port and DFS visits
@@ -79,6 +125,16 @@ NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
         pciHost_->registerFunction(
             *nics_[i], Bdf{static_cast<std::uint8_t>(i + 1), 0, 0});
         kernel_->registerDriver(*drivers_[i]);
+    }
+
+    // Hand each link interface to its domain's queue and attach the
+    // quantum-synchronized engine.
+    if (partition) {
+        for (unsigned i = 0; i < num_nics; ++i) {
+            links_[i]->setDomains(sim.domainQueue(0),
+                                  sim.domainQueue(dom_dev));
+        }
+        sim.setupParallel(base.threads, quantum);
     }
 }
 

@@ -1,5 +1,6 @@
 #include "storage_system.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "pci/config_regs.hh"
@@ -15,6 +16,34 @@ StorageSystem::StorageSystem(Simulation &sim,
 {
     trace::applyConfig(config.traceFlags, config.traceOut);
     Packet::resetIds();
+
+    // Parallel partitioning (DESIGN.md Sec. 10): cut the fabric at
+    // its two links when requested and safe. threads == 1 keeps the
+    // single legacy queue (the degenerate partition); the knob then
+    // only selects the parallel-mode INTx wire model, which is the
+    // same for every thread count.
+    const bool want_parallel = config.threads >= 1;
+    const bool parallel = want_parallel && linksCuttable(config) &&
+                          config.statsSampleInterval == 0 &&
+                          config.statsDumpInterval == 0;
+    if (want_parallel && !parallel) {
+        warn("storage system: parallel mode requested but the "
+             "configuration pins the fabric to one domain (faults, "
+             "NAK, or periodic stats); running single-queue");
+    }
+    const Tick quantum =
+        std::min(linkLookahead(config, config.upstreamLinkWidth),
+                 linkLookahead(config, config.downstreamLinkWidth));
+    const Tick intx_latency =
+        parallel ? std::max(config.intxLatency, quantum)
+                 : config.intxLatency;
+    // threads == 1 still partitions and runs the engine on one
+    // worker: the keyed heap order is then shared with every
+    // thread count, which is what makes 1-vs-N output
+    // byte-identical (the tier-2 parallel determinism gate).
+    const bool partition = parallel;
+    const unsigned dom_switch = partition ? sim.addDomain() : 0;
+    const unsigned dom_disk = partition ? sim.addDomain() : 0;
 
     membus_ = std::make_unique<XBar>(sim, "system.membus",
                                      config.membus);
@@ -43,7 +72,11 @@ StorageSystem::StorageSystem(Simulation &sim,
     swp.portBufferSize = config.portBufferSize;
     swp.linkWidth = config.downstreamLinkWidth;
     swp.linkGen = static_cast<unsigned>(config.gen);
-    switch_ = std::make_unique<PcieSwitch>(sim, "system.switch", swp);
+    {
+        Simulation::DomainScope scope(sim, dom_switch);
+        switch_ = std::make_unique<PcieSwitch>(sim, "system.switch",
+                                               swp);
+    }
 
     upLink_ = std::make_unique<PcieLink>(
         sim, "system.upLink",
@@ -55,7 +88,10 @@ StorageSystem::StorageSystem(Simulation &sim,
     IdeDiskParams dkp = config.disk;
     if (config.completionTimeout > 0)
         dkp.dmaCompletionTimeout = config.completionTimeout;
-    disk_ = std::make_unique<IdeDisk>(sim, "system.disk", dkp);
+    {
+        Simulation::DomainScope scope(sim, dom_disk);
+        disk_ = std::make_unique<IdeDisk>(sim, "system.disk", dkp);
+    }
     KernelParams kp = config.kernel;
     if (config.completionTimeout > 0)
         kp.completionTimeout = config.completionTimeout;
@@ -90,12 +126,36 @@ StorageSystem::StorageSystem(Simulation &sim,
     downLink_->downMaster().bind(disk_->pioPort());
     disk_->dmaPort().bind(downLink_->downSlave());
 
+    // Hand each link interface to its domain's queue and attach the
+    // quantum-synchronized engine.
+    if (partition) {
+        upLink_->setDomains(sim.domainQueue(0),
+                            sim.domainQueue(dom_switch));
+        downLink_->setDomains(sim.domainQueue(dom_switch),
+                              sim.domainQueue(dom_disk));
+        sim.setupParallel(config.threads, quantum);
+    }
+
     // Legacy interrupt: the disk asserts whatever line enumeration
-    // programmed into its Interrupt Line register.
-    disk_->setIntxSink([this](bool asserted) {
-        gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
-                       asserted);
-    });
+    // programmed into its Interrupt Line register. With a modeled
+    // INTx wire latency the level change is posted onto the host
+    // domain's queue; the line number is read at assert time in the
+    // disk's own domain, as in the direct path.
+    if (intx_latency > 0) {
+        disk_->setIntxSink([this, intx_latency](bool asserted) {
+            unsigned line =
+                disk_->config().raw8(cfg::interruptLine);
+            sim_.callAt(0, sim_.curTick() + intx_latency,
+                        [this, line, asserted] {
+                            gic_->setLevel(line, asserted);
+                        });
+        });
+    } else {
+        disk_->setIntxSink([this](bool asserted) {
+            gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
+                           asserted);
+        });
+    }
 
     //
     // PCI registry. The root complex registered its VP2Ps on bus 0

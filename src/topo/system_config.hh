@@ -23,6 +23,7 @@
 #include "os/kernel.hh"
 #include "pcie/pcie_link.hh"
 #include "pcie/pcie_switch.hh"
+#include "pcie/pcie_timing.hh"
 #include "pcie/root_complex.hh"
 
 namespace pciesim
@@ -69,6 +70,28 @@ struct SystemConfig
     /** Completion timeout for non-posted requesters (kernel MMIO
      *  and device DMA). 0 disables. */
     Tick completionTimeout = 0;
+    /** @} */
+
+    /** @{ Parallel execution (DESIGN.md Sec. 10). */
+    /**
+     * Number of worker threads for parallel discrete-event
+     * execution. 0 (the default) keeps today's single-queue core
+     * bit-for-bit. Any value >= 1 switches the topology into
+     * deterministic parallel mode: link endpoints are partitioned
+     * into domains, out-of-band interrupt wires take on a modeled
+     * latency of at least one quantum (see intxLatency), and the
+     * run produces identical stats for every thread count.
+     */
+    unsigned threads = 0;
+    /**
+     * Modeled latency of the out-of-band INTx wire from a device's
+     * interrupt pin to the interrupt controller. In parallel mode
+     * the effective value is clamped up to the synchronization
+     * quantum so the hop never undercuts the lookahead; the clamp
+     * depends only on the configuration, so every thread count
+     * models the same wire.
+     */
+    Tick intxLatency = 0;
     /** @} */
 
     /** @{ Observability (DESIGN.md Sec. 8). */
@@ -128,6 +151,35 @@ struct SystemConfig
         return lp;
     }
 };
+
+/**
+ * Conservative lookahead of one link of @p width lanes under
+ * configuration @p c: the smallest possible flight time of anything
+ * the wire carries. The shortest transfer is a DLLP (8 symbols), so
+ * no event can cross the link in less than its serialization time
+ * plus the propagation delay. The synchronization quantum of a
+ * partitioned topology is the minimum lookahead over its
+ * domain-crossing links.
+ */
+inline Tick
+linkLookahead(const SystemConfig &c, unsigned width)
+{
+    return serializationTime(c.gen, width, overhead::dllpTotal) +
+           c.linkPropagation;
+}
+
+/**
+ * Whether the configured links may be cut into separate event-queue
+ * domains. Fault injection and NAK recovery retrain the link, which
+ * manipulates both interfaces atomically, so those configurations
+ * must keep each link inside one domain (and the topologies fall
+ * back to the single-queue core).
+ */
+inline bool
+linksCuttable(const SystemConfig &c)
+{
+    return c.linkBitErrorRate == 0.0 && !c.enableNak;
+}
 
 } // namespace pciesim
 

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the quantum-synchronized parallel engine
+ * (sim/parallel.hh, DESIGN.md Sec. 10), driven directly through a
+ * partitioned Simulation rather than a full topology: the edge
+ * cases here — an arrival landing exactly on a window boundary, a
+ * mailed event descheduled before or after its barrier applies,
+ * two domains posting to each other inside one quantum — are the
+ * ones a topology only hits under rare timing alignments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/invariant.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+
+using namespace pciesim;
+
+namespace
+{
+
+constexpr Tick quantum = 100;
+
+/** A Simulation partitioned into two domains with the engine
+ *  attached; nothing scheduled yet. */
+struct TwoDomainSim
+{
+    explicit TwoDomainSim(unsigned threads)
+    {
+        unsigned d1 = sim.addDomain();
+        EXPECT_EQ(d1, 1u);
+        sim.setupParallel(threads, quantum);
+    }
+
+    Simulation sim;
+};
+
+} // namespace
+
+TEST(ParallelEngineTest, CrossDomainPostOnExactQuantumBoundary)
+{
+    // The conservative contract is when >= window end; an arrival
+    // exactly AT the end of the posting window (post tick +
+    // quantum) is the legal minimum and must fire at its tick, not
+    // be rejected or deferred.
+    TwoDomainSim t(2);
+    Tick fired_at = 0;
+    EventFunctionWrapper poster(
+        [&] {
+            t.sim.callAt(1, t.sim.curTick() + quantum,
+                         [&] { fired_at = t.sim.curTick(); });
+        },
+        "test.poster");
+    t.sim.domainQueue(0).schedule(&poster, 10);
+
+    t.sim.run();
+    EXPECT_EQ(fired_at, 10 + quantum);
+}
+
+TEST(ParallelEngineTest, MailedEventDeschedulesBeforeFiring)
+{
+    // Schedule-then-deschedule of the same remote event inside one
+    // window: both operations sit in the same mailbox and apply in
+    // FIFO order at the barrier, so the event must never fire.
+    TwoDomainSim t(2);
+    int fires = 0;
+    EventFunctionWrapper victim([&] { ++fires; }, "test.victim");
+    EventFunctionWrapper poster(
+        [&] {
+            ParallelEngine &eng = *par::activeEngine;
+            EventQueue &remote = t.sim.domainQueue(1);
+            eng.postSchedule(remote, victim,
+                             t.sim.curTick() + 2 * quantum);
+            eng.postDeschedule(remote, victim);
+        },
+        "test.poster");
+    t.sim.domainQueue(0).schedule(&poster, 0);
+
+    t.sim.run();
+    EXPECT_EQ(fires, 0);
+    EXPECT_FALSE(victim.scheduled());
+}
+
+TEST(ParallelEngineTest, MailedEventDeschedulesFromLaterWindow)
+{
+    // The deschedule arrives one window after the schedule: by then
+    // the event sits in the remote heap but has not fired (it was
+    // posted two quanta out), so the cancel must still win.
+    TwoDomainSim t(2);
+    int fires = 0;
+    EventFunctionWrapper victim([&] { ++fires; }, "test.victim");
+    EventFunctionWrapper cancel(
+        [&] {
+            par::activeEngine->postDeschedule(t.sim.domainQueue(1),
+                                              victim);
+        },
+        "test.cancel");
+    EventFunctionWrapper poster(
+        [&] {
+            par::activeEngine->postSchedule(
+                t.sim.domainQueue(1), victim,
+                t.sim.curTick() + 3 * quantum);
+            // Fire the canceller in the next window.
+            t.sim.domainQueue(0).schedule(
+                &cancel, t.sim.curTick() + quantum);
+        },
+        "test.poster");
+    t.sim.domainQueue(0).schedule(&poster, 0);
+
+    t.sim.run();
+    EXPECT_EQ(fires, 0);
+    EXPECT_FALSE(victim.scheduled());
+}
+
+TEST(ParallelEngineTest, DescheduleAfterRemoteEventFiredIsTolerated)
+{
+    // A cancel can race the event in simulated time: posted in the
+    // window after the event already fired. applyMailboxes() must
+    // treat the no-longer-scheduled event as a no-op.
+    TwoDomainSim t(2);
+    int fires = 0;
+    EventFunctionWrapper victim([&] { ++fires; }, "test.victim");
+    EventFunctionWrapper cancel(
+        [&] {
+            par::activeEngine->postDeschedule(t.sim.domainQueue(1),
+                                              victim);
+        },
+        "test.cancel");
+    EventFunctionWrapper poster(
+        [&] {
+            par::activeEngine->postSchedule(
+                t.sim.domainQueue(1), victim,
+                t.sim.curTick() + quantum);
+            // By 3 quanta the victim has long fired.
+            t.sim.domainQueue(0).schedule(
+                &cancel, t.sim.curTick() + 3 * quantum);
+        },
+        "test.poster");
+    t.sim.domainQueue(0).schedule(&poster, 0);
+
+    t.sim.run();
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(victim.scheduled());
+}
+
+TEST(ParallelEngineTest, MutualPostsInSameQuantum)
+{
+    // Both domains post to each other inside the same window, for
+    // several rounds: a ping-pong that keeps both heaps non-empty
+    // and both mailbox directions full every barrier. Each side
+    // must see every message, exactly one quantum apart.
+    constexpr int rounds = 16;
+    TwoDomainSim t(2);
+    std::vector<Tick> fired0, fired1;
+
+    // Each hop re-posts to the other domain until its round count
+    // runs out. Declared as std::functions so the lambdas can
+    // reference each other.
+    std::function<void(int)> hop0, hop1;
+    hop0 = [&](int left) {
+        fired0.push_back(t.sim.curTick());
+        if (left > 0) {
+            t.sim.callAt(1, t.sim.curTick() + quantum,
+                         [&, left] { hop1(left - 1); });
+        }
+    };
+    hop1 = [&](int left) {
+        fired1.push_back(t.sim.curTick());
+        if (left > 0) {
+            t.sim.callAt(0, t.sim.curTick() + quantum,
+                         [&, left] { hop0(left - 1); });
+        }
+    };
+
+    // Symmetric kick-off: both domains start a chain at tick 0, so
+    // in every window each domain both executes and receives.
+    EventFunctionWrapper start0([&] { hop0(rounds); },
+                                "test.start0");
+    EventFunctionWrapper start1([&] { hop1(rounds); },
+                                "test.start1");
+    t.sim.domainQueue(0).schedule(&start0, 0);
+    t.sim.domainQueue(1).schedule(&start1, 0);
+
+    t.sim.run();
+
+    // Chain A fires on domain 0 at even hops, chain B at odd hops
+    // (and vice versa on domain 1), so each domain fires at every
+    // multiple of the quantum up to the round count.
+    ASSERT_EQ(fired0.size(), static_cast<std::size_t>(rounds + 1));
+    ASSERT_EQ(fired1.size(), static_cast<std::size_t>(rounds + 1));
+    for (int i = 0; i <= rounds; ++i) {
+        EXPECT_EQ(fired0[i], static_cast<Tick>(i) * quantum);
+        EXPECT_EQ(fired1[i], static_cast<Tick>(i) * quantum);
+    }
+}
+
+TEST(ParallelEngineTest, ThreadCountDoesNotChangePingPong)
+{
+    // The same mutual-post workload must produce identical fire
+    // ticks for one worker and four (domain count clamps four down
+    // to two) — the in-process slice of the determinism contract.
+    auto run = [](unsigned threads) {
+        TwoDomainSim t(threads);
+        std::vector<Tick> fired;
+        std::function<void(int)> hop;
+        hop = [&](int left) {
+            fired.push_back(t.sim.curTick());
+            if (left > 0) {
+                unsigned dst = left % 2;
+                t.sim.callAt(dst, t.sim.curTick() + 2 * quantum,
+                             [&, left] { hop(left - 1); });
+            }
+        };
+        EventFunctionWrapper start([&] { hop(12); }, "test.start");
+        t.sim.domainQueue(0).schedule(&start, 7);
+        t.sim.run();
+        return fired;
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParallelEngineDeathTest, SubQuantumCrossDomainPostPanics)
+{
+    // A cross-domain arrival inside the current window means the
+    // link's flight latency was below the quantum — the
+    // conservative guarantee is broken and audit builds must say
+    // so at the first occurrence, not corrupt causality silently.
+    if (!auditEnabled)
+        GTEST_SKIP() << "audit disabled in this build";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+
+    EXPECT_DEATH(
+        {
+            TwoDomainSim t(1);
+            EventFunctionWrapper poster(
+                [&] {
+                    t.sim.callAt(1, t.sim.curTick() + quantum / 2,
+                                 [] {});
+                },
+                "test.poster");
+            t.sim.domainQueue(0).schedule(&poster, 0);
+            t.sim.run();
+        },
+        "inside the window");
+}

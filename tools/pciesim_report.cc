@@ -570,6 +570,9 @@ cmdTrajectory(const std::vector<std::string> &args)
         std::printf("== %s ==\n", path.c_str());
         std::string line;
         std::size_t records = 0;
+        // Thread-sweep records (bench_kernel mdev16/tN) summarize
+        // into one scaling line after the per-record rows.
+        std::vector<std::pair<double, double>> sweep;
         while (std::getline(in, line)) {
             if (line.find_first_not_of(" \t\r") ==
                 std::string::npos)
@@ -585,6 +588,12 @@ cmdTrajectory(const std::vector<std::string> &args)
                 break;
             }
             ++records;
+            const Value *thr = rec.find("threads");
+            const Value *spd = rec.find("speedup_vs_1t");
+            if (thr != nullptr && spd != nullptr &&
+                thr->type == Value::Type::Number &&
+                spd->type == Value::Type::Number)
+                sweep.emplace_back(thr->number, spd->number);
             std::printf("%-10s %-12s",
                         rec.stringOr("bench", "?").c_str(),
                         rec.stringOr("config", "?").c_str());
@@ -595,6 +604,13 @@ cmdTrajectory(const std::vector<std::string> &args)
                     continue;
                 std::printf("  %s=%g", key.c_str(), v.number);
             }
+            std::printf("\n");
+        }
+        if (!sweep.empty() &&
+            (only_field.empty() || only_field == "speedup_vs_1t")) {
+            std::printf("parallel scaling:");
+            for (const auto &[threads, speedup] : sweep)
+                std::printf("  %gt=%.2fx", threads, speedup);
             std::printf("\n");
         }
         if (records == 0) {

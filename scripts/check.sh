@@ -3,17 +3,19 @@
 # The full correctness gauntlet, in cheapest-first order:
 #
 #   1. gem5_lint.py over src/ bench/ tests/   (style, seconds)
-#   2. run-tidy                               (clang-tidy, if present)
-#   3. default preset: build + tier-1 ctest
+#   2. pciesim_analyze.py over src/ + fixture corpus (semantics:
+#      layering, determinism, domain safety; seconds)
+#   3. run-tidy                               (clang-tidy, if present)
+#   4. default preset: build + tier-1 ctest
 #      (includes golden_stats_test: stats dumps vs tests/golden/)
-#   4. determinism gates: in-process seeded-rerun test plus the
+#   5. determinism gates: in-process seeded-rerun test plus the
 #      bench-level byte-identical-JSON ctests (stats.json included)
-#   5. pciesim-report self-smoke: a diff of identical stats.json
+#   6. pciesim-report self-smoke: a diff of identical stats.json
 #      dumps must exit 0
-#   6. asan-ubsan preset: build + tier-1 ctest (pool poisoning live)
-#   7. tsan preset: bench_kernel --threads 4 --smoke under
+#   7. asan-ubsan preset: build + tier-1 ctest (pool poisoning live)
+#   8. tsan preset: bench_kernel --threads 4 --smoke under
 #      ThreadSanitizer (the parallel engine's data-race gate)
-#   8. profiler overhead gate: the default build (profiler compiled
+#   9. profiler overhead gate: the default build (profiler compiled
 #      in, disabled) within 5% of the notrace build (hook removed)
 #
 # Any finding or failure exits nonzero. The audit preset is covered
@@ -34,38 +36,42 @@ done
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-echo "== [1/8] gem5_lint =="
+echo "== [1/9] gem5_lint =="
 python3 tools/gem5_lint.py src bench tests
 
-echo "== [2/8] clang-tidy (run-tidy) =="
+echo "== [2/9] pciesim_analyze (semantic checks + fixtures) =="
+python3 tools/pciesim_analyze.py --tree src
+python3 tools/analyze_fixtures_test.py
+
+echo "== [3/9] clang-tidy (run-tidy) =="
 cmake --preset default >/dev/null
 cmake --build build --target run-tidy -j "$jobs"
 
-echo "== [3/8] default build + tier-1 ctest (incl. golden stats) =="
+echo "== [4/9] default build + tier-1 ctest (incl. golden stats) =="
 cmake --build build -j "$jobs"
 ctest --test-dir build -LE tier2 -j "$jobs" --output-on-failure
 
-echo "== [4/8] determinism gates =="
+echo "== [5/9] determinism gates =="
 ctest --test-dir build -R 'determinism' -j "$jobs" \
     --output-on-failure
 
-echo "== [5/8] pciesim-report diff self-smoke =="
+echo "== [6/9] pciesim-report diff self-smoke =="
 ./build/bench/bench_fig9a --smoke --json --no-timing \
     --stats-json=build/check_stats.json >/dev/null
 ./build/tools/pciesim-report diff build/check_stats.json \
     build/check_stats.json
 
-echo "== [6/8] asan-ubsan build + tier-1 ctest =="
+echo "== [7/9] asan-ubsan build + tier-1 ctest =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan -LE tier2 -j "$jobs" --output-on-failure
 
-echo "== [7/8] tsan bench_kernel --threads 4 --smoke =="
+echo "== [8/9] tsan bench_kernel --threads 4 --smoke =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$jobs" --target bench_kernel
 ./build-tsan/bench/bench_kernel --smoke --json >/dev/null
 
-echo "== [8/8] profiler overhead gate (vs notrace) =="
+echo "== [9/9] profiler overhead gate (vs notrace) =="
 cmake --preset notrace >/dev/null
 cmake --build build-notrace -j "$jobs" --target bench_fig9a
 scripts/profiler_overhead_gate.sh

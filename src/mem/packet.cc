@@ -11,6 +11,7 @@ std::uint64_t Packet::nextId_ = 0;
 PacketPool &
 Packet::pool()
 {
+    // pciesim-analyze: ignore[shared-state]: pool locks internally
     static PacketPool pool(sizeof(Packet));
     return pool;
 }

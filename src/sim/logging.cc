@@ -18,6 +18,9 @@ bool informEnabled = true;
 std::vector<std::function<void()>> &
 crashHooks()
 {
+    // pciesim-analyze: single-threaded: hooks are registered at
+    // sink-setup time, before any worker thread exists; the crash
+    // path only reads.
     static auto *hooks = new std::vector<std::function<void()>>;
     return *hooks;
 }
@@ -26,6 +29,8 @@ crashHooks()
 void
 runCrashHooks()
 {
+    // pciesim-analyze: ignore[shared-state]: terminal crash path;
+    // a racing second panic at worst re-runs idempotent hooks.
     static bool ran = false;
     if (ran)
         return;
@@ -74,7 +79,8 @@ fatalImpl(const std::string &msg)
         throw FatalError("fatal: " + msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     runCrashHooks();
-    std::exit(1);
+    // Terminal path by design: fatal() must not return.
+    std::exit(1); // NOLINT(concurrency-mt-unsafe)
 }
 
 void

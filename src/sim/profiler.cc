@@ -40,6 +40,8 @@ struct State
 State &
 state()
 {
+    // pciesim-analyze: single-threaded: configured before the
+    // parallel engine starts; workers use their own domain State.
     static State *s = new State;
     return *s;
 }
@@ -50,6 +52,8 @@ state()
 std::vector<State *> &
 domainStates()
 {
+    // pciesim-analyze: single-threaded: grown by
+    // configureDomains() before workers start, read-only after.
     static auto *v = new std::vector<State *>;
     return *v;
 }
@@ -72,6 +76,8 @@ mergedSpots()
 {
     std::map<std::string, HotSpot> byName;
     forEachState([&](const State &st) {
+        // pciesim-analyze: ignore[unordered-emit]: merged into the
+        // ordered std::map above before anything is emitted.
         for (const auto &[name, r] : st.recs) {
             HotSpot &h = byName[name ? name : ""];
             h.name = name ? name : "";
@@ -170,6 +176,8 @@ attributedEvents()
 {
     std::uint64_t n = 0;
     forEachState([&](const State &st) {
+        // pciesim-analyze: ignore[unordered-emit]: commutative sum;
+        // the result is independent of iteration order.
         for (const auto &[name, r] : st.recs) {
             if (name != nullptr && *name != '\0')
                 n += r.count;
@@ -292,6 +300,10 @@ writeJson(std::ostream &os, std::size_t top_n)
 void
 profileProcess(Event *event)
 {
+    // pciesim-analyze: ignore[wall-clock]: sanctioned 1-in-N host
+    // time subsample; it never feeds simulated time, and stats
+    // dumps zero it under setReportTimes(false) so the
+    // determinism gates stay byte-identical.
     using Clock = std::chrono::steady_clock;
     State &st = tlsState ? *tlsState : state();
     const char *name = event->name();

@@ -31,6 +31,8 @@ sinks()
 {
     // Intentionally immortal: benches close sinks from an atexit
     // handler, which would otherwise race static destruction.
+    // pciesim-analyze: single-threaded: sinks are opened/closed
+    // between runs only; workers append to per-domain buffers.
     static Sinks *s = new Sinks;
     return *s;
 }
@@ -50,6 +52,8 @@ refreshActive()
 void
 registerCrashClose()
 {
+    // pciesim-analyze: single-threaded: only called from sink
+    // setup on the main thread.
     static bool registered = false;
     if (registered)
         return;
@@ -205,6 +209,8 @@ struct DomainBuf
 std::vector<DomainBuf> &
 domainBufs()
 {
+    // pciesim-analyze: single-threaded: sized by the engine before
+    // workers start; each worker only touches its own DomainBuf.
     static auto *v = new std::vector<DomainBuf>;
     return *v;
 }

@@ -1,0 +1,16 @@
+// Should-fail fixture: an ignore[] pragma with no reason string is
+// itself a finding, and it suppresses nothing.
+#include <chrono>
+
+namespace pciesim
+{
+
+std::uint64_t
+sloppyStamp()
+{
+    // pciesim-analyze: ignore[wall-clock]
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+} // namespace pciesim

@@ -1,0 +1,15 @@
+// Fixture: a pre-existing wall-clock read tolerated by
+// baseline.json, so the run exits clean while the debt is listed.
+#include <chrono>
+
+namespace pciesim
+{
+
+std::uint64_t
+legacyStamp()
+{
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+} // namespace pciesim

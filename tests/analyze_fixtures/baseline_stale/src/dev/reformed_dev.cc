@@ -1,0 +1,12 @@
+// Fixture: the violation this baseline entry tolerated has been
+// fixed, so the analyzer warns that the baseline must ratchet.
+namespace pciesim
+{
+
+std::uint64_t
+reformedStamp(std::uint64_t cur_tick)
+{
+    return cur_tick;
+}
+
+} // namespace pciesim

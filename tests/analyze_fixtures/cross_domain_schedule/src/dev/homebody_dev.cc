@@ -1,0 +1,25 @@
+// Clean companion: scheduling through the caller's own home queue
+// (homeQueue_) or the SimObject helper stays inside the domain.
+namespace pciesim
+{
+
+struct FakeEvent;
+
+struct FakeQueue
+{
+    void schedule(FakeEvent *e, long when);
+};
+
+struct HomebodyDev
+{
+    FakeQueue *homeQueue_;
+    FakeEvent *ev_;
+
+    void
+    kick(long when)
+    {
+        homeQueue_->schedule(ev_, when);
+    }
+};
+
+} // namespace pciesim

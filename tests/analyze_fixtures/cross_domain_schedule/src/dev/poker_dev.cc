@@ -1,0 +1,30 @@
+// Should-fail fixture: scheduling onto another object's event
+// queue bypasses the PcieLink mailbox and races its worker.
+namespace pciesim
+{
+
+struct FakeEvent;
+
+struct FakeQueue
+{
+    void schedule(FakeEvent *e, long when);
+};
+
+struct Peer
+{
+    FakeQueue *eventq();
+};
+
+struct PokerDev
+{
+    Peer *peer_;
+    FakeEvent *ev_;
+
+    void
+    pokePeer(long when)
+    {
+        peer_->eventq()->schedule(ev_, when);
+    }
+};
+
+} // namespace pciesim

@@ -1,0 +1,12 @@
+#ifndef PCIESIM_SIM_ALPHA_HH
+#define PCIESIM_SIM_ALPHA_HH
+
+// Should-fail fixture: alpha and beta include each other.
+#include "sim/beta.hh"
+
+struct Alpha
+{
+    Beta *peer;
+};
+
+#endif // PCIESIM_SIM_ALPHA_HH

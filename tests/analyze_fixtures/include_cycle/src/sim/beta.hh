@@ -1,0 +1,11 @@
+#ifndef PCIESIM_SIM_BETA_HH
+#define PCIESIM_SIM_BETA_HH
+
+#include "sim/alpha.hh"
+
+struct Beta
+{
+    Alpha *peer;
+};
+
+#endif // PCIESIM_SIM_BETA_HH

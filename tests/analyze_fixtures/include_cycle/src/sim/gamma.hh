@@ -1,0 +1,12 @@
+#ifndef PCIESIM_SIM_GAMMA_HH
+#define PCIESIM_SIM_GAMMA_HH
+
+// Clean companion: a one-way include is not a cycle.
+#include "sim/beta.hh"
+
+struct Gamma
+{
+    Beta *down;
+};
+
+#endif // PCIESIM_SIM_GAMMA_HH

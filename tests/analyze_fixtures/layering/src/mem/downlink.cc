@@ -1,0 +1,14 @@
+// Clean companion: mem may include sim and itself.
+#include "mem/addr_range.hh"
+#include "sim/ticks.hh"
+
+namespace pciesim
+{
+
+int
+downlinkProbe()
+{
+    return 0;
+}
+
+} // namespace pciesim

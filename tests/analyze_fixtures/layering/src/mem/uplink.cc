@@ -1,0 +1,14 @@
+// Should-fail fixture: a mem-layer file reaching up into pcie.
+#include "pcie/pcie_link.hh"
+#include "sim/ticks.hh"
+
+namespace pciesim
+{
+
+int
+uplinkProbe()
+{
+    return 1;
+}
+
+} // namespace pciesim

@@ -1,0 +1,16 @@
+// Clean companion: key by a stable simulation-assigned id.
+#include <map>
+
+namespace pciesim
+{
+
+std::map<int, int> ranksById;
+
+int
+rankOfId(int id)
+{
+    auto it = ranksById.find(id);
+    return it == ranksById.end() ? -1 : it->second;
+}
+
+} // namespace pciesim

@@ -1,0 +1,22 @@
+// Should-fail fixture: ordering by raw pointer value follows the
+// allocator, so any iteration order can differ run to run.
+#include <map>
+
+namespace pciesim
+{
+
+struct Obj
+{
+    int id;
+};
+
+std::map<Obj *, int> ranks;
+
+int
+rankOf(Obj *o)
+{
+    auto it = ranks.find(o);
+    return it == ranks.end() ? -1 : it->second;
+}
+
+} // namespace pciesim

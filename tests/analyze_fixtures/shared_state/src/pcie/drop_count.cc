@@ -1,0 +1,13 @@
+// Should-fail fixture: a bare mutable static is written by every
+// link domain's worker at once.
+namespace pciesim
+{
+
+int
+countDrop()
+{
+    static int dropCount = 0;
+    return ++dropCount;
+}
+
+} // namespace pciesim

@@ -1,0 +1,34 @@
+// Clean companions: atomics, a lock held on use, or an explicit
+// single-threaded annotation all satisfy the shared-state rule.
+#include <atomic>
+#include <mutex>
+
+namespace pciesim
+{
+
+int
+countAtomic()
+{
+    static std::atomic<int> count{0};
+    return ++count;
+}
+
+int
+countLocked()
+{
+    static std::mutex mutex;
+    static int count = 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    return ++count;
+}
+
+int
+countAnnotated()
+{
+    // pciesim-analyze: single-threaded: stats epoch bookkeeping,
+    // only touched by the coordinator between quanta.
+    static int count = 0;
+    return ++count;
+}
+
+} // namespace pciesim

@@ -1,0 +1,28 @@
+// Should-fail fixture: an unordered container iterated on a path
+// that feeds an emitter (dumpCounters -> collect), so the dump
+// order follows the hash table, not the model.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+namespace pciesim
+{
+
+std::unordered_map<std::string, int> counters;
+
+static std::string
+collect()
+{
+    std::string out;
+    for (const auto &kv : counters)
+        out += kv.first;
+    return out;
+}
+
+void
+dumpCounters(std::ostream &os)
+{
+    os << collect() << "\n";
+}
+
+} // namespace pciesim

@@ -1,0 +1,19 @@
+// Clean companion: ordered std::map iteration emits in key order,
+// which is stable across runs and thread counts.
+#include <iostream>
+#include <map>
+#include <string>
+
+namespace pciesim
+{
+
+std::map<std::string, int> orderedCounters;
+
+void
+dumpOrdered(std::ostream &os)
+{
+    for (const auto &kv : orderedCounters)
+        os << kv.first << " " << kv.second << "\n";
+}
+
+} // namespace pciesim

@@ -1,0 +1,16 @@
+// Should-fail fixture: libc and unseeded std <random> use.
+#include <cstdlib>
+#include <random>
+
+namespace pciesim
+{
+
+int
+noisyDraw()
+{
+    std::mt19937 gen;
+    int base = rand();
+    return base + static_cast<int>(gen());
+}
+
+} // namespace pciesim

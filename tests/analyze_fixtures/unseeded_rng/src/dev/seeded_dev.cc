@@ -1,0 +1,15 @@
+// Clean companion: engines seeded from the per-object Rng are
+// deterministic and reproducible across runs.
+#include <random>
+
+namespace pciesim
+{
+
+int
+seededDraw(std::uint64_t rng_seed)
+{
+    std::mt19937 gen(static_cast<unsigned>(rng_seed)); // Rng seed
+    return static_cast<int>(gen());
+}
+
+} // namespace pciesim

@@ -1,0 +1,11 @@
+// Clean companion: simulated time comes from the event queue.
+namespace pciesim
+{
+
+std::uint64_t
+simStamp(std::uint64_t cur_tick)
+{
+    return cur_tick + 500;
+}
+
+} // namespace pciesim

@@ -1,0 +1,14 @@
+// Should-fail fixture: model code reading the host clock.
+#include <chrono>
+
+namespace pciesim
+{
+
+std::uint64_t
+hostStampNs()
+{
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+} // namespace pciesim

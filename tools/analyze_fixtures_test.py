@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Golden-file test driver for tools/pciesim_analyze.py.
+
+Each directory under tests/analyze_fixtures/ is one case: a
+miniature src/ tree seeded with (at most) one rule violation, the
+analyzer's expected stdout in expected.txt, optionally a
+baseline.json to pass via --baseline and an expected_stderr.txt
+(exact match) for ratchet warnings.
+
+The expected exit code is derived from the golden itself: 1 when
+expected.txt contains finding lines, 0 when only the summary line.
+
+Usage: analyze_fixtures_test.py [CASE ...]   (default: all cases)
+Exits 0 when every case matches, 1 otherwise.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TOOLS_DIR.parent
+FIXTURES = REPO_ROOT / "tests" / "analyze_fixtures"
+FINDING_RE = re.compile(r"^\S+:\d+: \[[a-z-]+\]")
+
+
+def run_case(case):
+    cmd = [sys.executable, str(TOOLS_DIR / "pciesim_analyze.py"),
+           "--tree", "src"]
+    if (case / "baseline.json").exists():
+        cmd += ["--baseline", "baseline.json"]
+    proc = subprocess.run(cmd, cwd=case, capture_output=True,
+                          text=True)
+
+    errors = []
+    expected = (case / "expected.txt").read_text()
+    want_rc = 1 if any(FINDING_RE.match(l)
+                       for l in expected.splitlines()) else 0
+    if proc.stdout != expected:
+        errors.append("stdout mismatch:\n--- expected ---\n%s"
+                      "--- actual ---\n%s" % (expected, proc.stdout))
+    if proc.returncode != want_rc:
+        errors.append("exit code %d, expected %d"
+                      % (proc.returncode, want_rc))
+    stderr_golden = case / "expected_stderr.txt"
+    if stderr_golden.exists():
+        want_err = stderr_golden.read_text()
+        if proc.stderr != want_err:
+            errors.append("stderr mismatch:\n--- expected ---\n%s"
+                          "--- actual ---\n%s"
+                          % (want_err, proc.stderr))
+    return errors
+
+
+def main(argv):
+    if argv:
+        cases = [FIXTURES / name for name in argv]
+    else:
+        cases = sorted(p for p in FIXTURES.iterdir() if p.is_dir())
+    if not cases:
+        print("analyze_fixtures_test: no cases found under %s"
+              % FIXTURES, file=sys.stderr)
+        return 1
+
+    failed = 0
+    for case in cases:
+        if not (case / "expected.txt").exists():
+            print("FAIL %s: no expected.txt" % case.name)
+            failed += 1
+            continue
+        errors = run_case(case)
+        if errors:
+            failed += 1
+            print("FAIL %s" % case.name)
+            for e in errors:
+                print("  " + e.replace("\n", "\n  "))
+        else:
+            print("ok   %s" % case.name)
+    print("analyze_fixtures_test: %d case(s), %d failure(s)"
+          % (len(cases), failed))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

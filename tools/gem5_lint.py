@@ -30,13 +30,10 @@ import re
 import sys
 from pathlib import Path
 
-EXTENSIONS = {".cc", ".hh", ".cpp", ".h"}
-MAX_COLUMNS = 79
+from pciesim_common import Finding, PragmaSet, iter_files
 
-PRAGMA_IGNORE = "gem5-lint: ignore"
-PRAGMA_IGNORE_FILE = "gem5-lint: ignore-file"
-PRAGMA_OFF = "gem5-lint: off"
-PRAGMA_ON = "gem5-lint: on"
+MAX_COLUMNS = 79
+PRAGMA_TAG = "gem5-lint"
 
 CLASS_RE = re.compile(
     r"^\s*(?:template\s*<[^>]*>\s*)?(class|struct|enum(?:\s+class)?)\s+"
@@ -47,45 +44,13 @@ M_PREFIX_RE = re.compile(r"\bm_[a-z]\w*")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
 
 
-class Finding:
-    """One lint violation at a file:line location."""
-
-    def __init__(self, path, line, check, message):
-        self.path = path
-        self.line = line
-        self.check = check
-        self.message = message
-
-    def __str__(self):
-        return "%s:%d: [%s] %s" % (self.path, self.line, self.check,
-                                   self.message)
-
-
-def iter_files(paths):
-    """Expand the given paths into lintable source files."""
-    for path in paths:
-        p = Path(path)
-        if p.is_dir():
-            for f in sorted(p.rglob("*")):
-                if f.suffix in EXTENSIONS and f.is_file():
-                    yield f
-        elif p.is_file():
-            yield p
-        else:
-            raise FileNotFoundError(path)
-
-
-def active_lines(lines):
-    """Yield (lineno, line) pairs honouring the off/on pragmas."""
-    on = True
+def active_lines(lines, pragmas=None):
+    """Yield (lineno, line) pairs honouring the off/on/ignore
+    pragmas (parsed via pciesim_common.PragmaSet)."""
+    if pragmas is None:
+        pragmas = PragmaSet(PRAGMA_TAG, lines)
     for i, line in enumerate(lines, start=1):
-        if PRAGMA_OFF in line:
-            on = False
-            continue
-        if PRAGMA_ON in line:
-            on = True
-            continue
-        if on and PRAGMA_IGNORE not in line:
+        if not pragmas.line_off(i):
             yield i, line
 
 
@@ -288,7 +253,7 @@ def check_doxygen_class(path, lines, findings):
 def lint_file(path, repo_root):
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
-    if any(PRAGMA_IGNORE_FILE in l for l in lines[:10]):
+    if PragmaSet(PRAGMA_TAG, lines).skip_file:
         return []
     findings = []
     check_line_lengths(path, lines, findings)

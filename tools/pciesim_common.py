@@ -1,0 +1,191 @@
+"""Shared infrastructure for the pciesim source-checking tools.
+
+Both tools/gem5_lint.py (style) and tools/pciesim_analyze.py
+(semantics) walk the same C++ tree and honour per-line / per-file
+pragmas.  Keeping the walking and pragma grammar here means the two
+tools cannot drift on extension lists, exclusion rules, or
+suppression syntax.
+
+Pragma grammar (each tool has its own TAG, e.g. "gem5-lint" or
+"pciesim-analyze"):
+
+  // TAG: ignore               suppress all findings on this line
+  // TAG: ignore[rule]: why    suppress one rule; reason mandatory
+  // TAG: off / on             suppress findings in a region
+  // TAG: ignore-file          (first 10 lines) skip the whole file
+
+A standalone `ignore[rule]` comment line (nothing but the pragma on
+it) applies to the **next** source line, so suppressions fit the
+79-column limit.
+"""
+
+import re
+from pathlib import Path
+
+# Every extension either tool treats as C++ source.
+EXTENSIONS = (".cc", ".hh", ".cpp", ".h")
+
+# Directories never walked by either tool: build trees and the
+# analyzer's own intentionally-violating fixture corpus.
+SKIP_DIR_PATTERNS = ("build", "analyze_fixtures")
+
+
+class Finding:
+    """One tool finding at a file:line location."""
+
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.check,
+                                   self.message)
+
+
+def skip_dir(path):
+    """True when a directory must not be walked (build trees,
+    fixture corpora)."""
+    name = Path(path).name
+    return any(name.startswith(pat) for pat in SKIP_DIR_PATTERNS)
+
+
+def iter_files(paths, extensions=EXTENSIONS):
+    """Expand files/directories into checkable source files,
+    skipping build trees and fixture corpora during directory
+    walks (explicitly named files are always yielded)."""
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix not in extensions or not f.is_file():
+                    continue
+                rel = f.relative_to(p)
+                if any(skip_dir(part) for part in rel.parts[:-1]):
+                    continue
+                yield f
+        elif p.is_file():
+            yield p
+        else:
+            raise FileNotFoundError(path)
+
+
+class PragmaSet:
+    """Parsed suppression pragmas of one file for one tool TAG.
+
+    Exposes:
+      skip_file            ignore-file seen in the first 10 lines
+      line_off(i)          line i is inside an off/on region or
+                           carries a bare `ignore`
+      rule_ignores         {lineno: (rule, reason, pragma_lineno)}
+                           per-rule suppressions, already resolved
+                           to the line they apply to (standalone
+                           pragma comments bind to the next line)
+      bad_suppressions     [(lineno, rule)] ignore[rule] pragmas
+                           with no reason string
+    """
+
+    def __init__(self, tag, lines):
+        self.tag = tag
+        bare_ignore = tag + ": ignore"
+        pragma_off = tag + ": off"
+        pragma_on = tag + ": on"
+        ignore_file = tag + ": ignore-file"
+        rule_re = re.compile(
+            re.escape(tag) + r":\s*ignore\[([a-z0-9-]+)\]"
+            r"(?::\s*(\S.*))?")
+
+        self.skip_file = any(ignore_file in l for l in lines[:10])
+        self.rule_ignores = {}
+        self.bad_suppressions = []
+        self._off_lines = set()
+        self._bare_ignored = set()
+
+        on = True
+        for i, line in enumerate(lines, start=1):
+            if pragma_off in line:
+                on = False
+                self._off_lines.add(i)
+                continue
+            if pragma_on in line:
+                on = True
+                self._off_lines.add(i)
+                continue
+            if not on:
+                self._off_lines.add(i)
+                continue
+            m = rule_re.search(line)
+            if m:
+                rule, reason = m.group(1), m.group(2)
+                if not reason or not reason.strip():
+                    self.bad_suppressions.append((i, rule))
+                    continue
+                # A pragma alone on its line binds to the next
+                # source line (skipping continuation comment
+                # lines, so reasons may wrap within 79 columns);
+                # trailing pragmas bind to their own line.
+                target = i
+                if line.strip().startswith("//"):
+                    target = i + 1
+                    while target <= len(lines) and \
+                            lines[target - 1].strip() \
+                            .startswith("//"):
+                        target += 1
+                self.rule_ignores[target] = (rule, reason.strip(), i)
+                continue
+            if bare_ignore in line and "ignore-file" not in line \
+                    and "ignore[" not in line:
+                self._bare_ignored.add(i)
+
+    def line_off(self, lineno):
+        """True when all findings on this line are suppressed."""
+        return lineno in self._off_lines or \
+            lineno in self._bare_ignored
+
+    def rule_ignored(self, lineno, rule):
+        """True when `rule` is suppressed on this line by an
+        ignore[rule] pragma (with its mandatory reason)."""
+        entry = self.rule_ignores.get(lineno)
+        return entry is not None and entry[0] == rule
+
+
+def strip_comments(lines):
+    """Return the lines with //- and /* */-comment text blanked
+    (string literals are left alone; the tools' patterns do not
+    occur inside the repo's string constants).  Line count and
+    column positions of surviving code are preserved."""
+    out = []
+    in_block = False
+    for raw in lines:
+        res = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end == -1:
+                    res.append(" " * (n - i))
+                    i = n
+                else:
+                    res.append(" " * (end + 2 - i))
+                    i = end + 2
+                    in_block = False
+                continue
+            start_line = raw.find("//", i)
+            start_block = raw.find("/*", i)
+            if start_line != -1 and (start_block == -1 or
+                                     start_line < start_block):
+                res.append(raw[i:start_line])
+                res.append(" " * (n - start_line))
+                i = n
+            elif start_block != -1:
+                res.append(raw[i:start_block])
+                i = start_block + 2
+                res.append("  ")
+                in_block = True
+            else:
+                res.append(raw[i:])
+                i = n
+        out.append("".join(res))
+    return out

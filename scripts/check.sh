@@ -54,6 +54,10 @@ ctest --test-dir build -LE tier2 -j "$jobs" --output-on-failure
 echo "== [5/9] determinism gates =="
 ctest --test-dir build -R 'determinism' -j "$jobs" \
     --output-on-failure
+# Resilience gate: the error-containment smoke (degradation ladder
+# + surprise unplug) must run clean and emit valid JSON.
+ctest --test-dir build -R 'bench_smoke_bench_resilience' \
+    -j "$jobs" --output-on-failure
 
 echo "== [6/9] pciesim-report diff self-smoke =="
 ./build/bench/bench_fig9a --smoke --json --no-timing \

@@ -104,6 +104,8 @@ DmaEngine::completionTimedOut()
     if (!busy_)
         return;
     ++completionTimeouts_;
+    if (timeoutHook_)
+        timeoutHook_();
     TRACE_MSG(trace::Flag::Dma, owner_.curTick(), name_,
               "completion timeout, aborting transfer");
     inform("dma engine '", name_, "': transfer timed out with ",
@@ -116,6 +118,25 @@ DmaEngine::completionTimedOut()
     remaining_ = 0;
     waitingRetry_ = false;
     maybeComplete();
+}
+
+void
+DmaEngine::cancel()
+{
+    if (watchdogEvent_.scheduled())
+        owner_.eventq().deschedule(&watchdogEvent_);
+    if (issueEvent_.scheduled())
+        owner_.eventq().deschedule(&issueEvent_);
+    if (!busy_)
+        return;
+    TRACE_SPAN_END(trace::Flag::Dma, owner_.curTick(), name_);
+    busy_ = false;
+    outstanding_ = 0;
+    remaining_ = 0;
+    waitingRetry_ = false;
+    staleResponses_ = 0;
+    onComplete_ = nullptr;
+    onData_ = nullptr;
 }
 
 void

@@ -99,6 +99,15 @@ class DmaEngine
 
     bool busy() const { return busy_; }
 
+    /**
+     * Surprise-removal support: abandon the in-flight transfer
+     * without firing its completion callback. Unlike the watchdog
+     * abort, nothing further is owed — the owning device must drop
+     * any straggler responses itself (it is no longer present, so
+     * the fabric drops most of them anyway).
+     */
+    void cancel();
+
     /** @{ Hooks the owning device forwards its port callbacks to. */
     bool recvResp(const PacketPtr &pkt);
     void recvRetry();
@@ -112,6 +121,14 @@ class DmaEngine
     completionTimeouts() const
     {
         return completionTimeouts_;
+    }
+
+    /** Platform hook fired on each completion timeout (wired by
+     *  AER-enabled topologies toward the device's error latch). */
+    void
+    setTimeoutHook(std::function<void()> hook)
+    {
+        timeoutHook_ = std::move(hook);
     }
 
     /** Request-to-response latency of non-posted packets (ticks). */
@@ -138,6 +155,7 @@ class DmaEngine
     bool waitingRetry_ = false;
     std::function<void()> onComplete_;
     std::function<void(const PacketPtr &)> onData_;
+    std::function<void()> timeoutHook_;
     std::vector<std::uint8_t> writePayload_;
 
     MemberEventWrapper<DmaEngine, &DmaEngine::issue> issueEvent_;

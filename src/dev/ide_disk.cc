@@ -1,6 +1,7 @@
 #include "ide_disk.hh"
 
 #include "pci/config_regs.hh"
+#include "sim/trace.hh"
 
 namespace pciesim
 {
@@ -31,7 +32,9 @@ IdeDisk::IdeDisk(Simulation &sim, const std::string &name,
     : PciDevice(sim, name, makeDeviceParams(params)),
       diskParams_(params),
       mediaEvent_(this, name + ".mediaEvent"),
-      chunkGapEvent_(this, name + ".chunkGapEvent")
+      chunkGapEvent_(this, name + ".chunkGapEvent"),
+      unplugEvent_(this, name + ".unplugEvent"),
+      replugEvent_(this, name + ".replugEvent")
 {
     DmaEngineParams ep;
     ep.postedWrites = params.postedWrites;
@@ -52,6 +55,12 @@ IdeDisk::init()
     reg.add(name() + ".chunks", &chunks_, "4KB chunks transferred");
     reg.add(name() + ".activeTicks", &activeTicks_,
             "ticks spent actively transferring");
+    // Registered only when the unplug script is armed so fault-free
+    // stats dumps stay bit-identical.
+    if (diskParams_.unplugAtChunk > 0) {
+        reg.add(name() + ".unplugs", &unplugs_,
+                "scripted surprise removals");
+    }
     fatalIf(!dmaPort().isBound(),
             "disk '", name(), "' DMA port unbound");
 }
@@ -60,6 +69,10 @@ std::uint64_t
 IdeDisk::readReg(unsigned bar, Addr offset, unsigned size)
 {
     (void)size;
+    // A surprise-removed device terminates reads with all-ones
+    // (master abort), the pattern drivers use to detect removal.
+    if (dead_)
+        return ~0ULL;
     if (bar == ide::barCmd) {
         switch (offset) {
           case ide::regError:
@@ -107,6 +120,8 @@ IdeDisk::writeReg(unsigned bar, Addr offset, unsigned size,
                   std::uint64_t value)
 {
     (void)size;
+    if (dead_)
+        return;
     if (bar == ide::barCmd) {
         switch (offset) {
           case ide::regSectorCount:
@@ -235,6 +250,84 @@ IdeDisk::startNextChunk()
     nextBufferAddr_ += len;
     bytesRemaining_ -= len;
     dmaBytes_ += len;
+
+    // Scripted surprise hot-unplug: one media latency into the Nth
+    // chunk, i.e. with DMA packets genuinely in flight.
+    if (diskParams_.unplugAtChunk > 0 && !unplugFired_ &&
+        chunks_.value() + 1 == diskParams_.unplugAtChunk) {
+        unplugFired_ = true;
+        schedule(unplugEvent_, diskParams_.mediaLatency);
+    }
+}
+
+void
+IdeDisk::surpriseUnplug()
+{
+    ++unplugs_;
+    TRACE_MSG(trace::Flag::Dma, curTick(), name(),
+              "surprise hot-unplug mid-DMA");
+    inform("disk '", name(), "': surprise hot-unplug at tick ",
+           curTick());
+    dead_ = true;
+    engine_->cancel();
+    if (mediaEvent_.scheduled())
+        eventq().deschedule(&mediaEvent_);
+    if (chunkGapEvent_.scheduled())
+        eventq().deschedule(&chunkGapEvent_);
+    if (intxAsserted())
+        lowerIntx();
+    state_ = State::Idle;
+    commandPending_ = false;
+    bytesRemaining_ = 0;
+    setPresent(false);
+    if (unplugHook_)
+        unplugHook_();
+    schedule(replugEvent_, diskParams_.replugDelay);
+}
+
+void
+IdeDisk::replugged()
+{
+    TRACE_MSG(trace::Flag::Dma, curTick(), name(),
+              "device re-seated, power-on reset");
+    inform("disk '", name(), "': re-seated at tick ", curTick());
+    dead_ = false;
+    setPresent(true);
+    resetRegisterFile();
+}
+
+void
+IdeDisk::resetRegisterFile()
+{
+    status_ = ide::statusDrdy;
+    error_ = 0;
+    sectorCount_ = 0;
+    lba_ = 0;
+    device_ = 0;
+    bmCommand_ = 0;
+    bmStatus_ = 0;
+    prdAddr_ = 0;
+    state_ = State::Idle;
+    commandPending_ = false;
+    pendingCommand_ = 0;
+    bufferAddr_ = 0;
+    prdByteCount_ = 0;
+    bytesRemaining_ = 0;
+    nextBufferAddr_ = 0;
+}
+
+void
+IdeDisk::functionLevelReset()
+{
+    PciDevice::functionLevelReset();
+    engine_->cancel();
+    if (mediaEvent_.scheduled())
+        eventq().deschedule(&mediaEvent_);
+    if (chunkGapEvent_.scheduled())
+        eventq().deschedule(&chunkGapEvent_);
+    if (intxAsserted())
+        lowerIntx();
+    resetRegisterFile();
 }
 
 void
@@ -265,12 +358,18 @@ IdeDisk::commandComplete()
 bool
 IdeDisk::recvDmaResp(PacketPtr pkt)
 {
+    // Straggler completions owed by a transfer a surprise removal
+    // abandoned; the device is gone, so they fall on the floor.
+    if (dead_)
+        return true;
     return engine_->recvResp(pkt);
 }
 
 void
 IdeDisk::recvDmaRetry()
 {
+    if (dead_)
+        return;
     engine_->recvRetry();
 }
 

@@ -90,6 +90,16 @@ struct IdeDiskParams
     /** Completion timeout for the DMA engine's non-posted requests
      *  (see DmaEngineParams::completionTimeout). 0 disables. */
     Tick dmaCompletionTimeout = 0;
+    /**
+     * Scripted surprise hot-unplug (DESIGN.md §12): the disk
+     * vanishes mid-DMA, one media latency into its Nth 4 KB chunk
+     * (1-based ordinal; 0 disables). While gone it is absent from
+     * configuration space, its registers read all-ones, and its DMA
+     * engine abandons the in-flight transfer.
+     */
+    std::uint64_t unplugAtChunk = 0;
+    /** Time until the scripted device returns (power-on reset). */
+    Tick replugDelay = microseconds(50);
 };
 
 /**
@@ -124,7 +134,32 @@ class IdeDisk : public PciDevice
     {
         return engine_->completionTimeouts();
     }
+    /** Scripted surprise removals performed. */
+    std::uint64_t unplugs() const { return unplugs_.value(); }
+    /** Whether the device is currently surprise-removed. */
+    bool unplugged() const { return dead_; }
     /** @} */
+
+    /**
+     * Platform notification fired at the instant of a surprise
+     * removal (wired by the system builder toward the AER path of
+     * the upstream switch port).
+     */
+    void
+    setUnplugHook(std::function<void()> hook)
+    {
+        unplugHook_ = std::move(hook);
+    }
+
+    /** Forwarded to the DMA engine's completion-timeout hook. */
+    void
+    setDmaTimeoutHook(std::function<void()> hook)
+    {
+        engine_->setTimeoutHook(std::move(hook));
+    }
+
+    /** Config-level FLR: back to power-on register state. */
+    void functionLevelReset() override;
 
   protected:
     std::uint64_t readReg(unsigned bar, Addr offset,
@@ -157,6 +192,9 @@ class IdeDisk : public PciDevice
     void startNextChunk();
     void chunkDone();
     void commandComplete();
+    void surpriseUnplug();
+    void replugged();
+    void resetRegisterFile();
 
     IdeDiskParams diskParams_;
     std::unique_ptr<DmaEngine> engine_;
@@ -173,6 +211,11 @@ class IdeDisk : public PciDevice
     /** @} */
 
     State state_ = State::Idle;
+    /** Surprise-removed: registers read all-ones, writes drop. */
+    bool dead_ = false;
+    /** The scripted unplug fires at most once per run. */
+    bool unplugFired_ = false;
+    std::function<void()> unplugHook_;
     bool commandPending_ = false;
     std::uint8_t pendingCommand_ = 0;
     /** Decoded from the PRD entry. */
@@ -184,11 +227,15 @@ class IdeDisk : public PciDevice
 
     MemberEventWrapper<IdeDisk, &IdeDisk::mediaAccessDone> mediaEvent_;
     MemberEventWrapper<IdeDisk, &IdeDisk::startNextChunk> chunkGapEvent_;
+    MemberEventWrapper<IdeDisk, &IdeDisk::surpriseUnplug> unplugEvent_;
+    MemberEventWrapper<IdeDisk, &IdeDisk::replugged> replugEvent_;
 
     stats::Counter commands_;
     stats::Counter dmaBytes_;
     stats::Counter chunks_;
     stats::Scalar activeTicks_;
+    /** Registered only when the unplug script is armed. */
+    stats::Counter unplugs_;
 };
 
 } // namespace pciesim

@@ -85,6 +85,22 @@ class PacketQueue
         scheduleSend();
     }
 
+    /**
+     * Containment / reset support: drop every queued packet without
+     * emitting it and cancel the pending send.
+     * @return the number of packets dropped.
+     */
+    std::size_t
+    clear()
+    {
+        if (sendEvent_.scheduled())
+            eventq_.deschedule(&sendEvent_);
+        std::size_t n = queue_.size();
+        queue_.clear();
+        blocked_ = false;
+        return n;
+    }
+
     /** The peer that refused a send can now accept; try again. */
     void
     retryNotify()

@@ -16,6 +16,15 @@ E1000eDriver::probe(Kernel &kernel, const EnumeratedFunction &fn)
             "e1000e probe: BAR0 was not assigned");
     mmioBase_ = fn.bars[0].start();
     irqLine_ = fn.irqLine;
+    bdf_ = fn.bdf;
+
+    if (params_.trackRecovery) {
+        auto &reg = kernel.statsRegistry();
+        reg.add("system.e1000eDriver.recoveries", &recoveries_,
+                "frames retransmitted after a surprise removal");
+        reg.add("system.e1000eDriver.lostRequests", &lostRequests_,
+                "in-flight frames lost to surprise removals");
+    }
 
     // Interrupt setup, the way pci_enable_msix()/pci_enable_msi()
     // behave: write the enable bit, read it back; the device
@@ -188,13 +197,63 @@ E1000eDriver::sendFrame(unsigned len, std::function<void()> done)
 
     txTail_ = (txTail_ + 1) % params_.txRingSize;
     txDone_.push_back(std::move(done));
+    txLens_.push_back(len);
     ++framesSent_;
     k.mmioWrite(mmioBase_ + nicreg::tdt, 4, txTail_, [] {});
 }
 
 void
+E1000eDriver::surpriseRemove(Bdf bdf)
+{
+    if (bdf != bdf_ || removed_)
+        return;
+    removed_ = true;
+    lostRequests_ += static_cast<std::uint64_t>(txDone_.size());
+    inform("e1000e: NIC ", bdf.toString(), " surprise-removed with ",
+           txDone_.size(), " frames in flight");
+}
+
+void
+E1000eDriver::resumeAfterReset(Bdf bdf)
+{
+    if (bdf != bdf_ || !removed_)
+        return;
+    removed_ = false;
+
+    // The reset device comes back with empty rings: rewind the
+    // software indices, reinitialise the MAC (the same sequence as
+    // probe; onReady_ is already spent so it will not re-fire), and
+    // retransmit the frames whose completions were lost.
+    std::deque<std::function<void()>> pending_done;
+    std::deque<unsigned> pending_lens;
+    pending_done.swap(txDone_);
+    pending_lens.swap(txLens_);
+    txTail_ = 0;
+    txHeadSw_ = 0;
+    rxTail_ = 0;
+    rxHeadSw_ = 0;
+
+    recoveries_ += static_cast<std::uint64_t>(pending_done.size());
+    inform("e1000e: resuming after reset of ", bdf.toString(),
+           ", retransmitting ", pending_done.size(), " frames");
+
+    setOnReady([this, pending_done = std::move(pending_done),
+                pending_lens = std::move(pending_lens)]() mutable {
+        while (!pending_done.empty()) {
+            sendFrame(pending_lens.front(),
+                      std::move(pending_done.front()));
+            pending_lens.pop_front();
+            pending_done.pop_front();
+        }
+    });
+    configureMac();
+}
+
+void
 E1000eDriver::handleIrq()
 {
+    if (removed_)
+        return;
     Kernel &k = *kernel_;
     // Read ICR (clears causes and deasserts INTx).
     k.mmioRead(mmioBase_ + nicreg::icr, 4, [this,
@@ -212,6 +271,7 @@ E1000eDriver::handleIrq()
                 txHeadSw_ = (txHeadSw_ + 1) % params_.txRingSize;
                 auto cb = std::move(txDone_.front());
                 txDone_.pop_front();
+                txLens_.pop_front();
                 if (cb)
                     cb();
             }

@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "dev/nic_8254x.hh"
+#include "os/aer_handler.hh"
 #include "os/kernel.hh"
 
 namespace pciesim
@@ -30,12 +31,16 @@ struct E1000eDriverParams
     bool preferMsi = true;
     /** MSI target window base (the interrupt controller's). */
     Addr msiAddress = 0x10000000;
+    /** Register recovery stats (AER-enabled topologies only). */
+    bool trackRecovery = false;
 };
 
 /**
- * The driver.
+ * The driver. Also an AerRecoveryClient: after a surprise removal
+ * and function reset it reinitialises the MAC (the same sequence as
+ * probe) and retransmits the frames whose completions were lost.
  */
-class E1000eDriver : public Driver
+class E1000eDriver : public Driver, public AerRecoveryClient
 {
   public:
     explicit E1000eDriver(const E1000eDriverParams &params = {})
@@ -85,6 +90,19 @@ class E1000eDriver : public Driver
     std::uint64_t framesSent() const { return framesSent_; }
     std::uint64_t framesReceived() const { return framesReceived_; }
 
+    /** @{ AerRecoveryClient. */
+    void surpriseRemove(Bdf bdf) override;
+    void resumeAfterReset(Bdf bdf) override;
+    /** @} */
+
+    /** @{ Recovery introspection (tests/benches). */
+    std::uint64_t recoveries() const { return recoveries_.value(); }
+    std::uint64_t lostRequests() const
+    {
+        return lostRequests_.value();
+    }
+    /** @} */
+
   private:
     void configureMac();
     void handleIrq();
@@ -103,6 +121,7 @@ class E1000eDriver : public Driver
 
     Addr mmioBase_ = 0;
     unsigned irqLine_ = 0;
+    Bdf bdf_{};
 
     Addr txRing_ = 0;
     Addr rxRing_ = 0;
@@ -114,11 +133,21 @@ class E1000eDriver : public Driver
     unsigned rxHeadSw_ = 0; //!< next RX descriptor to check
 
     std::deque<std::function<void()>> txDone_;
+    /** Lengths of the frames behind txDone_, for retransmission
+     *  after a surprise removal. */
+    std::deque<unsigned> txLens_;
+    /** Device surprise-removed; cleared by resumeAfterReset. */
+    bool removed_ = false;
     std::function<void(unsigned)> onReceive_;
     std::function<void()> onReady_;
 
     std::uint64_t framesSent_ = 0;
     std::uint64_t framesReceived_ = 0;
+
+    /** @{ Registered only when trackRecovery. */
+    stats::Counter recoveries_;
+    stats::Counter lostRequests_;
+    /** @} */
 };
 
 } // namespace pciesim

@@ -17,9 +17,22 @@ IdeDriver::probe(Kernel &kernel, const EnumeratedFunction &fn)
     ctrlBase_ = fn.bars[ide::barCtrl].start();
     bmBase_ = fn.bars[ide::barBmdma].start();
     irqLine_ = fn.irqLine;
+    bdf_ = fn.bdf;
 
     // One single-entry PRD table, reused for every command.
     prdAddr_ = kernel.allocDma(8, 8);
+
+    if (params_.trackRecovery) {
+        auto &reg = kernel.statsRegistry();
+        reg.add("system.ideDriver.recoveries", &recoveries_,
+                "commands reissued after a surprise removal");
+        reg.add("system.ideDriver.lostRequests", &lostRequests_,
+                "in-flight commands lost to surprise removals");
+        reg.add("system.ideDriver.recoveryLatency",
+                &recoveryLatency_,
+                "surprise-removal to command-reissue latency "
+                "(ticks)", stats::Unit::Tick);
+    }
 
     kernel.registerIrqHandler(irqLine_, [this] { handleIrq(); });
     probed_ = true;
@@ -56,6 +69,12 @@ IdeDriver::issueCommand()
         static_cast<unsigned>(cmd_bytes / ide::sectorSize);
     ++commandsIssued_;
 
+    // Snapshot the command so it can be reissued if the device
+    // surprise-vanishes while it is in flight.
+    curCmdBuf_ = bufAddr_;
+    curCmdBytes_ = cmd_bytes;
+    curCmdLba_ = nextLba_;
+
     // Build the single PRD entry covering this command's buffer
     // (functional write: the table lives in kernel DMA memory and
     // the disk fetches it over the interconnect).
@@ -87,9 +106,45 @@ IdeDriver::issueCommand()
 }
 
 void
+IdeDriver::surpriseRemove(Bdf bdf)
+{
+    if (bdf != bdf_ || removed_)
+        return;
+    removed_ = true;
+    removedAt_ = kernel_->curTick();
+    if (busy_)
+        ++lostRequests_;
+    // Any half-run ISR is moot: the device that would have cleared
+    // the interrupt condition no longer exists.
+    irqInProgress_ = false;
+    inform("ide: disk ", bdf.toString(), " surprise-removed with ",
+           busy_ ? "a command" : "no command", " in flight");
+}
+
+void
+IdeDriver::resumeAfterReset(Bdf bdf)
+{
+    if (bdf != bdf_ || !removed_)
+        return;
+    removed_ = false;
+    if (!busy_)
+        return;
+    // Rewind to the lost command and reissue it; the reset device
+    // is reprogrammed from scratch by the normal issue sequence.
+    bufAddr_ = curCmdBuf_;
+    bytesLeft_ += curCmdBytes_;
+    nextLba_ = curCmdLba_;
+    ++recoveries_;
+    recoveryLatency_.sample(kernel_->curTick() - removedAt_);
+    inform("ide: resuming after reset of ", bdf.toString(),
+           ", reissuing lba=", curCmdLba_);
+    issueCommand();
+}
+
+void
 IdeDriver::handleIrq()
 {
-    if (irqInProgress_)
+    if (irqInProgress_ || removed_)
         return;
     irqInProgress_ = true;
 
@@ -98,6 +153,11 @@ IdeDriver::handleIrq()
     Kernel &k = *kernel_;
     k.mmioRead(bmBase_ + ide::regBmStatus, 1, [this,
                                                &k](std::uint64_t v) {
+        if ((v & 0xff) == 0xff) {
+            // All-ones: the device is gone (or the read aborted).
+            irqInProgress_ = false;
+            return;
+        }
         if (!(v & ide::bmStatusIntr)) {
             irqInProgress_ = false;
             return; // spurious / shared line
@@ -109,6 +169,8 @@ IdeDriver::handleIrq()
                    [this](std::uint64_t) {
             // Block-layer completion and queue restart time.
             kernel_->defer(params_.perCommandOverhead, [this] {
+                if (removed_)
+                    return; // recovery owns the state machine now
                 irqInProgress_ = false;
                 if (bytesLeft_ > 0) {
                     issueCommand();

@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "dev/ide_disk.hh"
+#include "os/aer_handler.hh"
 #include "os/kernel.hh"
 
 namespace pciesim
@@ -24,12 +25,22 @@ struct IdeDriverParams
     /** Software time from completion interrupt to the next command
      *  being programmed (IRQ exit, block layer, queue restart). */
     Tick perCommandOverhead = nanoseconds(600);
+    /**
+     * Register the recovery stats (recoveries / lostRequests /
+     * recoveryLatency). Set by AER-enabled topologies only, so
+     * fault-free stats dumps stay bit-identical.
+     */
+    bool trackRecovery = false;
 };
 
 /**
  * The driver. Register it with the kernel before probeDrivers().
+ * Also an AerRecoveryClient: on a surprise removal it loses the
+ * in-flight command, and after the function reset it reprograms the
+ * device and reissues that command, so the workload makes forward
+ * progress across the fault (DESIGN.md §12).
  */
-class IdeDriver : public Driver
+class IdeDriver : public Driver, public AerRecoveryClient
 {
   public:
     explicit IdeDriver(const IdeDriverParams &params = {})
@@ -59,6 +70,23 @@ class IdeDriver : public Driver
     /** Number of DMA commands issued so far. */
     std::uint64_t commandsIssued() const { return commandsIssued_; }
 
+    /** @{ AerRecoveryClient. */
+    void surpriseRemove(Bdf bdf) override;
+    void resumeAfterReset(Bdf bdf) override;
+    /** @} */
+
+    /** @{ Recovery introspection (tests/benches). */
+    std::uint64_t recoveries() const { return recoveries_.value(); }
+    std::uint64_t lostRequests() const
+    {
+        return lostRequests_.value();
+    }
+    const stats::Histogram &recoveryLatency() const
+    {
+        return recoveryLatency_;
+    }
+    /** @} */
+
   private:
     void issueCommand();
     void handleIrq();
@@ -66,6 +94,7 @@ class IdeDriver : public Driver
     IdeDriverParams params_;
     Kernel *kernel_ = nullptr;
     bool probed_ = false;
+    Bdf bdf_{};
 
     /** Resources discovered at probe time. */
     Addr cmdBase_ = 0;   //!< BAR0 (I/O)
@@ -85,6 +114,22 @@ class IdeDriver : public Driver
     std::uint32_t nextLba_ = 0;
     std::function<void()> onDone_;
     std::uint64_t commandsIssued_ = 0;
+
+    /** @{ In-flight command snapshot, for reissue after a surprise
+     *  removal (captured by issueCommand before it advances). */
+    Addr curCmdBuf_ = 0;
+    std::uint64_t curCmdBytes_ = 0;
+    std::uint32_t curCmdLba_ = 0;
+    /** @} */
+    /** Device surprise-removed; cleared by resumeAfterReset. */
+    bool removed_ = false;
+    Tick removedAt_ = 0;
+
+    /** @{ Registered only when IdeDriverParams::trackRecovery. */
+    stats::Counter recoveries_;
+    stats::Counter lostRequests_;
+    stats::Histogram recoveryLatency_;
+    /** @} */
 };
 
 } // namespace pciesim

@@ -65,6 +65,12 @@ Kernel::init()
                         &completionTimeouts_,
                         "MMIO operations failed by completion "
                         "timeout", Unit::Count);
+    // Gated on the knob so fault-free dumps stay bit-identical.
+    if (params_.completionTimeout > 0) {
+        statsRegistry().add(name() + ".abortedReads", &abortedReads_,
+                            "MMIO reads aborted with all-ones by "
+                            "the completion timeout", Unit::Count);
+    }
     statsRegistry().add(name() + ".mmioLatency", &mmioLatency_,
                         "MMIO issue-to-completion latency (ticks)",
                         Unit::Tick);
@@ -214,7 +220,14 @@ Kernel::mmioTimeoutFired()
     // recvMmioResp discards it on arrival.
     mmioPkt_.reset();
 
+    if (mmioTimeoutHook_)
+        mmioTimeoutHook_(op.isRead);
     if (op.isRead) {
+        ++abortedReads_;
+        // Distinct instant so aborted loads are attributable in the
+        // Perfetto timeline, separate from the generic timeout note.
+        TRACE_MSG(trace::Flag::Mmio, curTick(), name(),
+                  "aborted read @", op.addr, " (all-ones)");
         if (op.onRead)
             op.onRead(~0ULL);
     } else if (op.onWrite) {

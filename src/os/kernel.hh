@@ -162,6 +162,17 @@ class Kernel : public SimObject
     /** Run @p fn after @p delay (models software execution time). */
     void defer(Tick delay, std::function<void()> fn);
 
+    /**
+     * Platform hook fired when an MMIO operation is failed by the
+     * completion timer (wired by AER-enabled topologies toward the
+     * root port's error latch).
+     */
+    void
+    setMmioTimeoutHook(std::function<void(bool is_read)> hook)
+    {
+        mmioTimeoutHook_ = std::move(hook);
+    }
+
     PciHost &pciHost() { return host_; }
     SimpleMemory &dram() { return dram_; }
 
@@ -173,6 +184,14 @@ class Kernel : public SimObject
     completionTimeouts() const
     {
         return completionTimeouts_.value();
+    }
+
+    /** Timed-out MMIO *reads*, i.e. loads that returned the
+     *  all-ones abort pattern to software. */
+    std::uint64_t
+    abortedReads() const
+    {
+        return abortedReads_.value();
     }
 
     /** MMIO issue-to-completion latency histogram (ticks). */
@@ -204,6 +223,7 @@ class Kernel : public SimObject
     SimpleMemory &dram_;
 
     std::unique_ptr<CpuPort> cpuPort_;
+    std::function<void(bool)> mmioTimeoutHook_;
     std::deque<MmioOp> mmioQueue_;
     bool mmioInFlight_ = false;
     bool mmioWaitingRetry_ = false;
@@ -221,6 +241,8 @@ class Kernel : public SimObject
     stats::Counter mmioOps_;
     stats::Counter irqsHandled_;
     stats::Counter completionTimeouts_;
+    /** Registered only when a completion timeout is armed. */
+    stats::Counter abortedReads_;
     stats::Histogram mmioLatency_;
 };
 

@@ -1,0 +1,213 @@
+#include "aer.hh"
+
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+namespace
+{
+
+/** Registers with W1C semantics (status latches). */
+bool
+isW1c(unsigned rel)
+{
+    return rel == cfg::aerUncorrStatus || rel == cfg::aerCorrStatus ||
+           rel == cfg::aerRootErrStatus;
+}
+
+/** Registers software may rewrite freely. */
+bool
+isRw(unsigned rel)
+{
+    return rel == cfg::aerUncorrMask ||
+           rel == cfg::aerUncorrSeverity || rel == cfg::aerCorrMask ||
+           rel == cfg::aerRootErrCommand;
+}
+
+} // namespace
+
+const char *
+errSeverityName(ErrSeverity sev)
+{
+    switch (sev) {
+      case ErrSeverity::Correctable: return "ERR_COR";
+      case ErrSeverity::NonFatal: return "ERR_NONFATAL";
+      case ErrSeverity::Fatal: return "ERR_FATAL";
+    }
+    return "ERR_?";
+}
+
+void
+AerCapability::install(ConfigSpace &space, bool root_port)
+{
+    panicIf(space_ != nullptr, "AER capability installed twice");
+    space_ = &space;
+    rootPort_ = root_port;
+
+    // Extended capability header: id 0x0001, version 1, no next.
+    setReg(cfg::aerCapHeader,
+           cfg::extCapIdAer | (1u << 16));
+    // Default severities: only surprise-down is fatal (it takes the
+    // subtree out and needs containment + reset); DLL protocol
+    // errors, completion timeouts, and unsupported requests are
+    // non-fatal — the link recovers them with a retrain or the
+    // requester degrades the failed op locally.
+    setReg(cfg::aerUncorrSeverity, cfg::aerUncSurpriseDown);
+    if (rootPort_) {
+        // Report every severity; matches what an AER-aware kernel
+        // programs at boot (spec reset value is 0).
+        setReg(cfg::aerRootErrCommand,
+               cfg::aerRootCmdCorEnable | cfg::aerRootCmdNonFatalEnable |
+               cfg::aerRootCmdFatalEnable);
+    }
+}
+
+bool
+AerCapability::handleConfigWrite(unsigned offset, unsigned size,
+                                 std::uint32_t value)
+{
+    if (offset < cfg::extendedCapBase ||
+        offset >= cfg::extendedCapBase + cfg::aerCapSize)
+        return false;
+
+    unsigned rel = offset - cfg::extendedCapBase;
+    unsigned reg_rel = rel & ~3u;
+    unsigned shift = (rel & 3u) * 8;
+    std::uint32_t mask = size == 4 ? 0xffffffffU
+                                   : ((1U << (size * 8)) - 1);
+    std::uint32_t bits = (value & mask) << shift;
+
+    if (isW1c(reg_rel)) {
+        if (reg_rel == cfg::aerRootErrStatus && !rootPort_)
+            return true;
+        setReg(reg_rel, reg(reg_rel) & ~bits);
+    } else if (isRw(reg_rel)) {
+        if (reg_rel == cfg::aerRootErrCommand && !rootPort_)
+            return true;
+        std::uint32_t cur = reg(reg_rel);
+        setReg(reg_rel, (cur & ~(mask << shift)) | bits);
+    }
+    // Header, capability control, header log and source id are
+    // read-only: writes inside the window are silently dropped.
+    return true;
+}
+
+bool
+AerCapability::recordCorrectable(std::uint32_t bit)
+{
+    panicIf(!installed(), "AER correctable error before install()");
+    setReg(cfg::aerCorrStatus, reg(cfg::aerCorrStatus) | bit);
+    return (reg(cfg::aerCorrMask) & bit) == 0;
+}
+
+bool
+AerCapability::recordUncorrectable(
+    std::uint32_t bit, const std::array<std::uint32_t, 4> &hdr,
+    bool &fatal)
+{
+    panicIf(!installed(), "AER uncorrectable error before install()");
+    std::uint32_t status = reg(cfg::aerUncorrStatus);
+    if ((status & bit) == 0) {
+        // First-error pointer and header log capture the first
+        // occurrence only (spec sec. 6.2.4.2).
+        if (status == 0) {
+            unsigned ptr = 0;
+            for (std::uint32_t b = bit; (b & 1) == 0; b >>= 1)
+                ++ptr;
+            setReg(cfg::aerCapControl, ptr & 0x1f);
+            for (unsigned dw = 0; dw < 4; ++dw)
+                setReg(cfg::aerHeaderLog + 4 * dw, hdr[dw]);
+        }
+        setReg(cfg::aerUncorrStatus, status | bit);
+    }
+    fatal = (reg(cfg::aerUncorrSeverity) & bit) != 0;
+    return (reg(cfg::aerUncorrMask) & bit) == 0;
+}
+
+bool
+AerCapability::recordRootError(ErrSeverity sev, std::uint16_t source_id)
+{
+    panicIf(!rootPort_, "root error latched on a non-root function");
+    std::uint32_t status = reg(cfg::aerRootErrStatus);
+    std::uint32_t cmd = reg(cfg::aerRootErrCommand);
+    bool irq = false;
+    switch (sev) {
+      case ErrSeverity::Correctable:
+        status |= cfg::aerRootCorReceived;
+        setReg(cfg::aerErrSourceId,
+               (reg(cfg::aerErrSourceId) & 0xffff0000U) | source_id);
+        irq = cmd & cfg::aerRootCmdCorEnable;
+        break;
+      case ErrSeverity::NonFatal:
+        status |= cfg::aerRootUncorReceived | cfg::aerRootNonFatalReceived;
+        setReg(cfg::aerErrSourceId,
+               (reg(cfg::aerErrSourceId) & 0x0000ffffU) |
+               (static_cast<std::uint32_t>(source_id) << 16));
+        irq = cmd & cfg::aerRootCmdNonFatalEnable;
+        break;
+      case ErrSeverity::Fatal:
+        status |= cfg::aerRootUncorReceived | cfg::aerRootFatalReceived;
+        setReg(cfg::aerErrSourceId,
+               (reg(cfg::aerErrSourceId) & 0x0000ffffU) |
+               (static_cast<std::uint32_t>(source_id) << 16));
+        irq = cmd & cfg::aerRootCmdFatalEnable;
+        break;
+    }
+    setReg(cfg::aerRootErrStatus, status);
+    return irq;
+}
+
+void
+AerCapability::clearStatus()
+{
+    if (!installed())
+        return;
+    setReg(cfg::aerUncorrStatus, 0);
+    setReg(cfg::aerCorrStatus, 0);
+    setReg(cfg::aerCapControl, 0);
+    for (unsigned dw = 0; dw < 4; ++dw)
+        setReg(cfg::aerHeaderLog + 4 * dw, 0);
+    if (rootPort_) {
+        setReg(cfg::aerRootErrStatus, 0);
+        setReg(cfg::aerErrSourceId, 0);
+    }
+}
+
+std::uint32_t
+AerCapability::uncorrStatus() const
+{
+    return reg(cfg::aerUncorrStatus);
+}
+
+std::uint32_t
+AerCapability::corrStatus() const
+{
+    return reg(cfg::aerCorrStatus);
+}
+
+std::uint32_t
+AerCapability::rootErrStatus() const
+{
+    return reg(cfg::aerRootErrStatus);
+}
+
+std::uint32_t
+AerCapability::headerLog(unsigned dw) const
+{
+    return reg(cfg::aerHeaderLog + 4 * dw);
+}
+
+std::uint32_t
+AerCapability::reg(unsigned rel) const
+{
+    return space_->raw32(cfg::extendedCapBase + rel);
+}
+
+void
+AerCapability::setReg(unsigned rel, std::uint32_t v)
+{
+    space_->init32(cfg::extendedCapBase + rel, v);
+}
+
+} // namespace pciesim

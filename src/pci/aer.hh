@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Advanced Error Reporting extended capability (region R3).
+ *
+ * Every function carries the correctable / uncorrectable status,
+ * mask and severity registers plus the header log; root ports add
+ * the root-error-status block that latches received error messages
+ * and gates the AER interrupt. The capability is pure register
+ * state: a quiescent fabric never touches it, so installing it is
+ * free at simulation time.
+ */
+
+#ifndef PCIESIM_PCI_AER_HH
+#define PCIESIM_PCI_AER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "pci/config_space.hh"
+
+namespace pciesim
+{
+
+/** Severity of a PCIe error message (ERR_COR / ERR_NONFATAL /
+ *  ERR_FATAL). */
+enum class ErrSeverity : std::uint8_t
+{
+    Correctable,
+    NonFatal,
+    Fatal,
+};
+
+/** Human-readable severity name for logs and traces. */
+const char *errSeverityName(ErrSeverity sev);
+
+/**
+ * The AER register block of one function.
+ *
+ * Owns no storage of its own: all state lives in the function's
+ * ConfigSpace so software sees it through ordinary configuration
+ * cycles. The owning PciFunction routes configuration writes in the
+ * AER window through handleConfigWrite() for W1C semantics.
+ */
+class AerCapability
+{
+  public:
+    /**
+     * Install the capability at cfg::extendedCapBase. Root ports
+     * additionally expose the root error command/status block.
+     */
+    void install(ConfigSpace &space, bool root_port);
+
+    bool installed() const { return space_ != nullptr; }
+    bool rootPort() const { return rootPort_; }
+
+    /**
+     * Configuration-write intercept for the AER window.
+     * @return true when the write was inside the window (handled).
+     */
+    bool handleConfigWrite(unsigned offset, unsigned size,
+                           std::uint32_t value);
+
+    /**
+     * Latch a correctable error.
+     * @return true when reporting is enabled (bit unmasked).
+     */
+    bool recordCorrectable(std::uint32_t bit);
+
+    /**
+     * Latch an uncorrectable error and log the offending TLP header.
+     * @param[out] fatal severity of the error per the severity
+     *             register.
+     * @return true when reporting is enabled (bit unmasked).
+     */
+    bool recordUncorrectable(std::uint32_t bit,
+                             const std::array<std::uint32_t, 4> &hdr,
+                             bool &fatal);
+
+    /**
+     * Root-port side: latch a received error message.
+     * @return true when the root error command register enables an
+     *         interrupt for this severity.
+     */
+    bool recordRootError(ErrSeverity sev, std::uint16_t source_id);
+
+    /** Reset all latched status (function-level reset). */
+    void clearStatus();
+
+    /** @{ Register readback helpers for software and tests. */
+    std::uint32_t uncorrStatus() const;
+    std::uint32_t corrStatus() const;
+    std::uint32_t rootErrStatus() const;
+    std::uint32_t headerLog(unsigned dw) const;
+    /** @} */
+
+  private:
+    std::uint32_t reg(unsigned rel) const;
+    void setReg(unsigned rel, std::uint32_t v);
+
+    ConfigSpace *space_ = nullptr;
+    bool rootPort_ = false;
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_PCI_AER_HH

@@ -145,6 +145,48 @@ constexpr std::uint16_t deviceWildcatRp2 = 0x9c94;
 constexpr std::uint16_t deviceIdeCtrl = 0x7111;
 constexpr std::uint16_t deviceSwitchPort = 0x8796; //!< PEX8796-like
 
+/** @{ Advanced Error Reporting extended capability (region R3).
+ *     Offsets are relative to the capability base (extendedCapBase
+ *     on every function in this model). */
+constexpr std::uint16_t extCapIdAer = 0x0001;
+constexpr unsigned aerCapHeader = 0x00;     // 32 bit: id/ver/next
+constexpr unsigned aerUncorrStatus = 0x04;  // 32 bit, W1C
+constexpr unsigned aerUncorrMask = 0x08;    // 32 bit, RW
+constexpr unsigned aerUncorrSeverity = 0x0c; // 32 bit, RW
+constexpr unsigned aerCorrStatus = 0x10;    // 32 bit, W1C
+constexpr unsigned aerCorrMask = 0x14;      // 32 bit, RW
+constexpr unsigned aerCapControl = 0x18;    // 32 bit: first err ptr
+constexpr unsigned aerHeaderLog = 0x1c;     // 4 x 32 bit, RO
+constexpr unsigned aerRootErrCommand = 0x2c; // 32 bit, RW (root only)
+constexpr unsigned aerRootErrStatus = 0x30; // 32 bit, W1C (root only)
+constexpr unsigned aerErrSourceId = 0x34;   // 32 bit, RO (root only)
+constexpr unsigned aerCapSize = 0x38;
+/** @} */
+
+/** Uncorrectable error status / mask / severity bits. */
+constexpr std::uint32_t aerUncDlpError = 1 << 4;
+constexpr std::uint32_t aerUncSurpriseDown = 1 << 5;
+constexpr std::uint32_t aerUncCompletionTimeout = 1 << 14;
+constexpr std::uint32_t aerUncUnsupportedRequest = 1 << 20;
+
+/** Correctable error status / mask bits. */
+constexpr std::uint32_t aerCorReceiverError = 1 << 0;
+constexpr std::uint32_t aerCorBadTlp = 1 << 6;
+constexpr std::uint32_t aerCorBadDllp = 1 << 7;
+constexpr std::uint32_t aerCorReplayRollover = 1 << 8;
+constexpr std::uint32_t aerCorReplayTimerTimeout = 1 << 12;
+
+/** Root error status bits. */
+constexpr std::uint32_t aerRootCorReceived = 1 << 0;
+constexpr std::uint32_t aerRootUncorReceived = 1 << 2;
+constexpr std::uint32_t aerRootNonFatalReceived = 1 << 5;
+constexpr std::uint32_t aerRootFatalReceived = 1 << 6;
+
+/** Root error command bits (interrupt enables per severity). */
+constexpr std::uint32_t aerRootCmdCorEnable = 1 << 0;
+constexpr std::uint32_t aerRootCmdNonFatalEnable = 1 << 1;
+constexpr std::uint32_t aerRootCmdFatalEnable = 1 << 2;
+
 /** Value returned for accesses to non-existent devices. */
 constexpr std::uint32_t allOnes = 0xffffffffU;
 

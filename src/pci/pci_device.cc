@@ -112,6 +112,7 @@ PciDevice::PciDevice(Simulation &sim, const std::string &name,
     // applies the size mask, giving standard sizing semantics.
     for (unsigned i = 0; i < params_.bars.size(); ++i)
         config_.mask32(cfg::bar0 + 4 * i, 0xffffffff);
+    installAer(false);
 }
 
 PciDevice::~PciDevice() = default;
@@ -142,6 +143,13 @@ PciDevice::init()
 std::uint32_t
 PciDevice::configRead(unsigned offset, unsigned size)
 {
+    // An absent (surprise-removed) device terminates configuration
+    // reads with the all-ones master-abort pattern.
+    if (!present_) {
+        return size == 4 ? 0xffffffffU
+                         : ((1U << (size * 8)) - 1);
+    }
+
     // Intercept BAR reads to apply the size mask to the raw
     // software-written value.
     for (unsigned i = 0; i < params_.bars.size(); ++i) {
@@ -165,6 +173,9 @@ void
 PciDevice::configWrite(unsigned offset, unsigned size,
                        std::uint32_t value)
 {
+    if (!present_)
+        return;
+
     for (unsigned i = 0; i < params_.bars.size(); ++i) {
         unsigned bar_off = cfg::bar0 + 4 * i;
         if (offset == bar_off && size == 4) {
@@ -172,7 +183,7 @@ PciDevice::configWrite(unsigned offset, unsigned size,
             return;
         }
     }
-    config_.write(offset, size, value);
+    PciFunction::configWrite(offset, size, value);
 }
 
 Addr

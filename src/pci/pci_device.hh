@@ -83,6 +83,13 @@ class PciDevice : public SimObject, public PciFunction
     bool ioEnabled() const;
     bool busMaster() const;
 
+    /** @{ Hot-plug presence: while absent, configuration reads
+     *  return all-ones and writes are dropped, which is what the
+     *  root complex observes from an empty slot (DESIGN.md §12). */
+    void setPresent(bool present) { present_ = present; }
+    bool present() const { return present_; }
+    /** @} */
+
     /**
      * Install the platform interrupt sink for legacy INTx
      * (wired by the system builder to the interrupt controller).
@@ -135,6 +142,7 @@ class PciDevice : public SimObject, public PciFunction
     bool wantPioRetry_ = false;
     /** Raw software-written BAR values (before masking). */
     std::vector<std::uint32_t> barRaw_;
+    bool present_ = true;
     bool intxAsserted_ = false;
     std::function<void(bool)> intxSink_;
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "pci/aer.hh"
 #include "pci/config_space.hh"
 
 namespace pciesim
@@ -67,8 +68,31 @@ class PciFunction
     virtual void
     configWrite(unsigned offset, unsigned size, std::uint32_t value)
     {
+        if (aer_.handleConfigWrite(offset, size, value))
+            return;
         config_.write(offset, size, value);
     }
+
+    /**
+     * Function-level reset: device models override to return their
+     * register file and DMA machinery to power-on state. The AER
+     * status latches are cleared by the base implementation.
+     */
+    virtual void
+    functionLevelReset()
+    {
+        aer_.clearStatus();
+    }
+
+    /** Install the AER extended capability (done by subclasses). */
+    void
+    installAer(bool root_port)
+    {
+        aer_.install(config_, root_port);
+    }
+
+    AerCapability &aer() { return aer_; }
+    const AerCapability &aer() const { return aer_; }
 
     ConfigSpace &config() { return config_; }
     const ConfigSpace &config() const { return config_; }
@@ -81,6 +105,7 @@ class PciFunction
 
   protected:
     ConfigSpace config_;
+    AerCapability aer_;
 
   private:
     std::string pciName_;

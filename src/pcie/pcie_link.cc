@@ -1,5 +1,8 @@
 #include "pcie_link.hh"
 
+#include <algorithm>
+
+#include "pci/config_regs.hh"
 #include "sim/invariant.hh"
 #include "sim/parallel.hh"
 #include "sim/trace.hh"
@@ -42,7 +45,9 @@ UnidirectionalLink::send(const PciePkt &pkt)
     Tick now = srcQueue_->curTick();
     panicIf(busy(now), "unidirectional link transmit while busy");
 
-    Tick wire = pkt.wireTime(link_.params().gen, link_.params().width);
+    // Serialize at the current operating point: after a degradation
+    // the same packet occupies the wire longer.
+    Tick wire = pkt.wireTime(link_.currentGen(), link_.currentWidth());
     busyUntil_ = now + wire;
     busyTicks_ += wire;
     Tick arrive = busyUntil_ + link_.params().propagationDelay;
@@ -442,6 +447,8 @@ LinkInterface::replayTimerFired()
               "replay timeout; replaying ", replayBuffer_.size(),
               " TLPs from seq ",
               replayBuffer_.entries().front().seq());
+    link_.reportLinkError(ErrSeverity::Correctable,
+                          cfg::aerCorReplayTimerTimeout, isUpstream_);
     if (nakEnabled()) {
         noteReplayInitiated();
         if (link_.training())
@@ -467,10 +474,14 @@ LinkInterface::recvFromWire(const PciePkt &pkt)
                   "CRC error, dropping ", pktLabel(pkt));
         if (pkt.isTlp()) {
             ++crcErrorsTlp_;
+            link_.reportLinkError(ErrSeverity::Correctable,
+                                  cfg::aerCorBadTlp, isUpstream_);
             if (nakEnabled())
                 scheduleNak();
         } else {
             ++crcErrorsDllp_;
+            link_.reportLinkError(ErrSeverity::Correctable,
+                                  cfg::aerCorBadDllp, isUpstream_);
         }
         return;
     }
@@ -647,8 +658,18 @@ LinkInterface::noteReplayInitiated()
         replayNum_ = 1;
     }
     auditNakState();
-    if (replayNum_ >= link_.params().replayNumThreshold)
+    if (replayNum_ >= link_.params().replayNumThreshold) {
+        // REPLAY_NUM rollover: the link itself is suspect. The spec
+        // reports this as a correctable rollover plus an
+        // uncorrectable (non-fatal) DLL protocol error when the
+        // retrain it forces keeps failing; the model reports both
+        // on the rollover.
+        link_.reportLinkError(ErrSeverity::Correctable,
+                              cfg::aerCorReplayRollover, isUpstream_);
+        link_.reportLinkError(ErrSeverity::NonFatal,
+                              cfg::aerUncDlpError, isUpstream_);
         link_.startRetrain(*this);
+    }
 }
 
 void
@@ -748,6 +769,10 @@ PcieLink::PcieLink(Simulation &sim, const std::string &name,
           params.replayTimeoutScale)),
       ackPeriod_(ackTimerPeriod(params.gen, params.width,
                                 params.maxPayload)),
+      curGen_(params.gen), curWidth_(params.width),
+      degradeRng_(params.faults.seed ^ 0x64656772616465ULL),
+      degradeEvent_(this, name + ".degradeRetrain"),
+      upconfigureEvent_(this, name + ".upconfigureTimer"),
       retrainDoneEvent_(this, name + ".retrainDone")
 {
     fatalIf(params_.width == 0 || params_.width > 32,
@@ -839,6 +864,32 @@ PcieLink::init()
                         "RC->device wire occupancy fraction",
                         stats::Unit::Ratio);
 
+    // Degradation-ladder stats exist only when the ladder is armed,
+    // keeping fault-free stats dumps bit-identical to the
+    // pre-degradation goldens.
+    if (params_.degradeThreshold > 0) {
+        statsRegistry().add(name() + ".degradations", &degradations_,
+                            "downtrain steps taken (Gen, then width)",
+                            stats::Unit::Count);
+        statsRegistry().add(name() + ".upconfigures", &upconfigures_,
+                            "ladder steps restored after back-off",
+                            stats::Unit::Count);
+        currentGenStat_ = [this] {
+            return static_cast<double>(
+                static_cast<unsigned>(curGen_));
+        };
+        statsRegistry().add(name() + ".currentGen", &currentGenStat_,
+                            "operating speed generation at dump time",
+                            stats::Unit::Count);
+        currentWidthStat_ = [this] {
+            return static_cast<double>(curWidth_);
+        };
+        statsRegistry().add(name() + ".currentWidth",
+                            &currentWidthStat_,
+                            "operating lane width at dump time",
+                            stats::Unit::Count);
+    }
+
     fatalIf(!upMaster().isBound() || !upSlave().isBound() ||
             !downMaster().isBound() || !downSlave().isBound(),
             "link '", name(), "' has unbound ports");
@@ -848,10 +899,11 @@ void
 PcieLink::setDomains(EventQueue &up_q, EventQueue &down_q)
 {
     fatalIf(&up_q != &down_q &&
-                (params_.faults.enabled() || params_.enableNak),
-            "link '", name(), "': fault injection / NAK recovery "
-            "retrains the link, which touches both ends atomically; "
-            "such links cannot span two domains");
+                (params_.faults.enabled() || params_.enableNak ||
+                 params_.degradeThreshold > 0),
+            "link '", name(), "': fault injection / NAK recovery / "
+            "degradation retrains the link, which touches both ends "
+            "atomically; such links cannot span two domains");
     upstreamIf_->homeQueue_ = &up_q;
     downstreamIf_->homeQueue_ = &down_q;
     // Each wire's sender is the interface at the opposite end of
@@ -865,7 +917,115 @@ PcieLink::errorStats() const
 {
     LinkErrorStats s = upstreamIf_->errorStats();
     s += downstreamIf_->errorStats();
+    s.degradations = degradations_.value();
+    s.upconfigures = upconfigures_.value();
     return s;
+}
+
+bool
+PcieLink::degraded() const
+{
+    return curGen_ != params_.gen || curWidth_ != params_.width;
+}
+
+void
+PcieLink::reportLinkError(ErrSeverity sev, std::uint32_t bit,
+                          bool at_upstream_end)
+{
+    TRACE_MSG(Flag::Link, curTick(), name(), errSeverityName(sev),
+              " detected at the ",
+              at_upstream_end ? "upstream" : "downstream",
+              " end (AER bit 0x", bit, ")");
+    noteErrorForDegradation();
+    if (errorSink_)
+        errorSink_(sev, bit, at_upstream_end);
+}
+
+void
+PcieLink::noteErrorForDegradation()
+{
+    if (params_.degradeThreshold == 0)
+        return;
+    Tick now = curTick();
+    if (now - errWindowStart_ > params_.degradeWindow) {
+        errWindowStart_ = now;
+        errInWindow_ = 0;
+    }
+    if (++errInWindow_ < params_.degradeThreshold)
+        return;
+    // Sustained error rate: step the ladder down. The window
+    // restarts so the degraded link gets a fresh chance before the
+    // next step.
+    errWindowStart_ = now;
+    errInWindow_ = 0;
+    if (!canDegrade() || degradePending_)
+        return;
+    degradePending_ = true;
+    // The step is applied at the end of a retrain; piggy-back on a
+    // retrain already in progress, otherwise force one. The forcing
+    // event keeps the downtrain off this call stack - errors are
+    // detected deep inside TLP processing.
+    if (!training_ && !degradeEvent_.scheduled())
+        eventq().schedule(&degradeEvent_, now);
+}
+
+bool
+PcieLink::canDegrade() const
+{
+    return curGen_ != PcieGen::Gen1 || curWidth_ > 1;
+}
+
+void
+PcieLink::recomputeTimers()
+{
+    replayTimeout_ = static_cast<Tick>(
+        static_cast<double>(replayTimeout(curGen_, curWidth_,
+                                          params_.maxPayload)) *
+        params_.replayTimeoutScale);
+    ackPeriod_ = ackTimerPeriod(curGen_, curWidth_,
+                                params_.maxPayload);
+}
+
+void
+PcieLink::degradeRetrain()
+{
+    if (training_)
+        return; // retrainDone() applies the pending step
+    startRetrain(*upstreamIf_);
+}
+
+void
+PcieLink::scheduleUpconfigure()
+{
+    if (upconfigureEvent_.scheduled())
+        eventq().deschedule(&upconfigureEvent_);
+    // Exponential back-off per consecutive degradation, jittered by
+    // the seeded RNG so repeated attempts don't phase-lock with the
+    // workload; fully deterministic for a fixed seed.
+    unsigned shift = std::min(consecutiveDegrades_ - 1, 4u);
+    Tick backoff = params_.upconfigureDelay << shift;
+    Tick jitter = params_.upconfigureDelay == 0
+        ? 0
+        : degradeRng_.next() % (params_.upconfigureDelay / 4 + 1);
+    eventq().schedule(&upconfigureEvent_,
+                      curTick() + backoff + jitter);
+}
+
+void
+PcieLink::upconfigureTimerFired()
+{
+    if (!degraded() || degradePending_ || upconfigurePending_)
+        return;
+    if (errInWindow_ > 0 &&
+        curTick() - errWindowStart_ <= params_.degradeWindow) {
+        // The window is not clean yet; back off again without
+        // deepening the ladder.
+        scheduleUpconfigure();
+        return;
+    }
+    upconfigurePending_ = true;
+    if (!training_)
+        startRetrain(*upstreamIf_);
 }
 
 void
@@ -893,6 +1053,44 @@ PcieLink::retrainDone()
 {
     training_ = false;
     TRACE_SPAN_END(Flag::Retrain, curTick(), name());
+    // The ladder moves only across a retrain: the link comes back
+    // up at the new operating point (DESIGN.md §12).
+    if (degradePending_) {
+        degradePending_ = false;
+        if (curGen_ != PcieGen::Gen1) {
+            curGen_ = static_cast<PcieGen>(
+                static_cast<unsigned>(curGen_) - 1);
+        } else if (curWidth_ > 1) {
+            curWidth_ /= 2;
+        }
+        ++degradations_;
+        ++consecutiveDegrades_;
+        recomputeTimers();
+        TRACE_MSG(Flag::Retrain, curTick(), name(),
+                  "degraded to Gen",
+                  static_cast<unsigned>(curGen_), " x", curWidth_);
+        inform("link '", name(), "': degraded to Gen",
+               static_cast<unsigned>(curGen_), " x", curWidth_,
+               " after sustained errors");
+        scheduleUpconfigure();
+    } else if (upconfigurePending_) {
+        upconfigurePending_ = false;
+        if (curWidth_ < params_.width) {
+            curWidth_ *= 2;
+        } else if (curGen_ != params_.gen) {
+            curGen_ = static_cast<PcieGen>(
+                static_cast<unsigned>(curGen_) + 1);
+        }
+        ++upconfigures_;
+        recomputeTimers();
+        TRACE_MSG(Flag::Retrain, curTick(), name(),
+                  "upconfigured to Gen",
+                  static_cast<unsigned>(curGen_), " x", curWidth_);
+        if (degraded())
+            scheduleUpconfigure();
+        else
+            consecutiveDegrades_ = 0;
+    }
     upstreamIf_->resumeAfterRetrain();
     downstreamIf_->resumeAfterRetrain();
 }

@@ -28,17 +28,21 @@
 #ifndef PCIESIM_PCIE_PCIE_LINK_HH
 #define PCIESIM_PCIE_PCIE_LINK_HH
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 
 #include "mem/packet.hh"
 #include "mem/port.hh"
+#include "pci/aer.hh"
 #include "pcie/fault_injector.hh"
 #include "pcie/pcie_pkt.hh"
 #include "pcie/pcie_timing.hh"
 #include "pcie/replay_buffer.hh"
 #include "sim/invariant.hh"
+#include "sim/rng.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulation.hh"
 
@@ -81,6 +85,22 @@ struct PcieLinkParams
     unsigned replayNumThreshold = 4;
     /** Time the link stays down during a retrain. */
     Tick retrainLatency = microseconds(1);
+    /**
+     * Link errors within degradeWindow that trigger a downtrain —
+     * one speed Gen at a time, then width halving — so a noisy link
+     * degrades gracefully instead of livelocking in replay.
+     * 0 disables link degradation (the default; bit-identical to
+     * the pre-degradation model).
+     */
+    unsigned degradeThreshold = 0;
+    /** Window over which errors count toward degradation. */
+    Tick degradeWindow = microseconds(100);
+    /**
+     * Base back-off before an upconfigure attempt restores one
+     * ladder step; doubled per consecutive degradation and jittered
+     * by a seeded RNG so repeated attempts desynchronise.
+     */
+    Tick upconfigureDelay = milliseconds(1);
 };
 
 /**
@@ -102,6 +122,8 @@ struct LinkErrorStats
     std::uint64_t naksSent = 0;
     std::uint64_t naksReceived = 0;
     std::uint64_t retrains = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t upconfigures = 0;
 
     LinkErrorStats &
     operator+=(const LinkErrorStats &o)
@@ -118,6 +140,8 @@ struct LinkErrorStats
         naksSent += o.naksSent;
         naksReceived += o.naksReceived;
         retrains += o.retrains;
+        degradations += o.degradations;
+        upconfigures += o.upconfigures;
         return *this;
     }
 };
@@ -450,6 +474,24 @@ class PcieLink : public SimObject
     /** Whether the link is down, retraining. */
     bool training() const { return training_; }
 
+    /** @{ Current operating point — params() values until the
+     *  degradation ladder (DESIGN.md §12) steps them down. */
+    PcieGen currentGen() const { return curGen_; }
+    unsigned currentWidth() const { return curWidth_; }
+    bool degraded() const;
+    /** @} */
+
+    /**
+     * Upward error signalling: the sink receives every ERR_COR /
+     * ERR_NONFATAL / ERR_FATAL message this link generates, tagged
+     * with the AER status bit and the detecting end. Wired by the
+     * system builder toward the root complex; unset, errors stay
+     * local to the link counters (the pre-AER behaviour).
+     */
+    using ErrorSink = std::function<void(
+        ErrSeverity sev, std::uint32_t aer_bit, bool at_upstream_end)>;
+    void setErrorSink(ErrorSink sink) { errorSink_ = std::move(sink); }
+
     /** Summed error/recovery counters of both interfaces. */
     LinkErrorStats errorStats() const;
 
@@ -469,10 +511,44 @@ class PcieLink : public SimObject
     void startRetrain(LinkInterface &initiator);
     void retrainDone();
 
+    /** Escalate one detected error: sink + degradation ladder. */
+    void reportLinkError(ErrSeverity sev, std::uint32_t bit,
+                         bool at_upstream_end);
+    /** @{ Degradation ladder (DESIGN.md §12). */
+    void noteErrorForDegradation();
+    bool canDegrade() const;
+    void recomputeTimers();
+    void degradeRetrain();
+    void upconfigureTimerFired();
+    void scheduleUpconfigure();
+    /** @} */
+
     PcieLinkParams params_;
     Tick replayTimeout_;
     Tick ackPeriod_;
     bool training_ = false;
+    /** @{ Current operating point and degradation state. */
+    PcieGen curGen_;
+    unsigned curWidth_;
+    ErrorSink errorSink_;
+    Tick errWindowStart_ = 0;
+    unsigned errInWindow_ = 0;
+    bool degradePending_ = false;
+    bool upconfigurePending_ = false;
+    /** Consecutive degradations since the last full restore; feeds
+     *  the exponential upconfigure back-off. */
+    unsigned consecutiveDegrades_ = 0;
+    Rng degradeRng_;
+    stats::Counter degradations_;
+    stats::Counter upconfigures_;
+    stats::Formula currentGenStat_;
+    stats::Formula currentWidthStat_;
+    MemberEventWrapper<PcieLink,
+                       &PcieLink::degradeRetrain> degradeEvent_;
+    MemberEventWrapper<PcieLink,
+                       &PcieLink::upconfigureTimerFired>
+        upconfigureEvent_;
+    /** @} */
     std::unique_ptr<FaultInjector> faultsToUp_;
     std::unique_ptr<FaultInjector> faultsToDown_;
     std::unique_ptr<LinkInterface> upstreamIf_;

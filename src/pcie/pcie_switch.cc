@@ -127,7 +127,8 @@ class PcieSwitch::DownSlavePort : public SlavePort
 
 PcieSwitch::PcieSwitch(Simulation &sim, const std::string &name,
                        const PcieSwitchParams &params)
-    : SimObject(sim, name), params_(params)
+    : SimObject(sim, name), params_(params),
+      contained_(params.numDownstreamPorts, false)
 {
     fatalIf(params_.numDownstreamPorts == 0 ||
             params_.numDownstreamPorts > 16,
@@ -253,8 +254,68 @@ PcieSwitch::init()
     reg.add(name() + ".portResponses", &portResponses_,
             "responses forwarded per downstream port", Unit::Count);
 
+    if (params_.enableContainment) {
+        reg.add(name() + ".containments", &containments_,
+                "downstream ports taken down after a FATAL error",
+                Unit::Count);
+        reg.add(name() + ".containedDrops", &containedDrops_,
+                "TLPs dropped at contained downstream ports",
+                Unit::Count);
+        reg.add(name() + ".urCompletions", &urCompletions_,
+                "all-ones UR completions for reads to contained "
+                "ports", Unit::Count);
+    }
+
     fatalIf(!upSlave_->isBound() || !upMaster_->isBound(),
             "switch '", name(), "' upstream port unbound");
+}
+
+void
+PcieSwitch::containDownstreamPort(unsigned i)
+{
+    panicIf(!params_.enableContainment, "switch '", name(),
+            "': containment requested but not enabled");
+    panicIf(i >= params_.numDownstreamPorts, "switch '", name(),
+            "': containing nonexistent port ", i);
+    if (contained_[i])
+        return;
+    contained_[i] = true;
+    ++containments_;
+    // The port is down: whatever was queued toward (or from) the
+    // dead device is lost with it.
+    std::size_t dropped = downReqQueues_[i]->clear() +
+                          downRespQueues_[i]->clear();
+    containedDrops_ += dropped;
+    TRACE_MSG(trace::Flag::Switch, curTick(), name(),
+              "contained downstream port ", i, "; dropped ", dropped,
+              " queued TLPs");
+    inform("switch '", name(), "': downstream port ", i,
+           " contained after FATAL error (", dropped,
+           " TLPs dropped)");
+}
+
+void
+PcieSwitch::releaseDownstreamPort(unsigned i)
+{
+    panicIf(i >= params_.numDownstreamPorts, "switch '", name(),
+            "': releasing nonexistent port ", i);
+    if (!contained_[i])
+        return;
+    contained_[i] = false;
+    TRACE_MSG(trace::Flag::Switch, curTick(), name(),
+              "released downstream port ", i);
+}
+
+bool
+PcieSwitch::portContained(unsigned i) const
+{
+    return i < contained_.size() && contained_[i];
+}
+
+int
+PcieSwitch::downstreamPortForBus(unsigned bus) const
+{
+    return routeByBus(static_cast<int>(bus));
 }
 
 int
@@ -291,6 +352,42 @@ PcieSwitch::handleDownwardRequest(const PacketPtr &pkt)
     panicIf(port < 0, "switch '", name(),
             "': no downstream VP2P window claims ", pkt->toString());
 
+    if (contained_[static_cast<unsigned>(port)]) {
+        // Port is error-contained: non-posted requests complete as
+        // unsupported requests (all-ones data), posted ones vanish.
+        if (pkt->needsResponse()) {
+            if (upRespQueue_->full()) {
+                ++bufferRefusals_;
+                return false;
+            }
+            pkt->makeResponse();
+            if (pkt->isRead()) {
+                switch (pkt->size()) {
+                  case 1:
+                    pkt->set<std::uint8_t>(0xff);
+                    break;
+                  case 2:
+                    pkt->set<std::uint16_t>(0xffff);
+                    break;
+                  case 4:
+                    pkt->set<std::uint32_t>(0xffffffffu);
+                    break;
+                  default:
+                    pkt->set<std::uint64_t>(~0ULL);
+                    break;
+                }
+            }
+            ++urCompletions_;
+            TRACE_MSG(trace::Flag::Switch, curTick(), name(),
+                      "UR completion for contained port ", port, ": ",
+                      pkt->toString());
+            upRespQueue_->push(pkt, curTick() + params_.latency);
+        } else {
+            ++containedDrops_;
+        }
+        return true;
+    }
+
     auto &q = downReqQueues_[static_cast<unsigned>(port)];
     if (q->full()) {
         ++bufferRefusals_;
@@ -307,6 +404,12 @@ PcieSwitch::handleDownwardRequest(const PacketPtr &pkt)
 bool
 PcieSwitch::handleUpwardRequest(const PacketPtr &pkt, unsigned i)
 {
+    if (contained_[i]) {
+        // Stale traffic from a contained (removed) device: drop it.
+        ++containedDrops_;
+        return true;
+    }
+
     if (pkt->pciBusNumber() < 0) {
         pkt->setPciBusNumber(
             static_cast<int>(downVp2ps_[i]->secondaryBus()));
@@ -344,6 +447,11 @@ PcieSwitch::handleDownwardResponse(const PacketPtr &pkt)
     panicIf(port < 0, "switch '", name(),
             "': no downstream VP2P bus range matches response ",
             pkt->toString());
+
+    if (contained_[static_cast<unsigned>(port)]) {
+        ++containedDrops_;
+        return true;
+    }
 
     auto &q = downRespQueues_[static_cast<unsigned>(port)];
     if (q->full()) {

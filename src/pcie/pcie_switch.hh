@@ -38,6 +38,14 @@ struct PcieSwitchParams
     std::size_t portBufferSize = 16;
     unsigned linkWidth = 1;
     unsigned linkGen = 2;
+    /**
+     * Per-downstream-port error containment (DESIGN.md §12): on a
+     * FATAL error the port goes down, queued TLPs are dropped, and
+     * subsequent requests complete as unsupported requests
+     * (all-ones). Off by default; when off the containment stats
+     * are not registered either, keeping dumps identical.
+     */
+    bool enableContainment = false;
 };
 
 /**
@@ -79,6 +87,26 @@ class PcieSwitch : public SimObject
         return bufferRefusals_.value();
     }
 
+    /** @{ Per-downstream-port error containment (DESIGN.md §12).
+     *  Containing a port drops its queued TLPs; while contained,
+     *  downward reads complete all-ones (UR), everything else is
+     *  dropped. Release re-opens the port (after the device behind
+     *  it has been reset). */
+    void containDownstreamPort(unsigned i);
+    void releaseDownstreamPort(unsigned i);
+    bool portContained(unsigned i) const;
+    /** Downstream port whose bus range covers @p bus; -1 if none. */
+    int downstreamPortForBus(unsigned bus) const;
+    std::uint64_t containedDrops() const
+    {
+        return containedDrops_.value();
+    }
+    std::uint64_t urCompletions() const
+    {
+        return urCompletions_.value();
+    }
+    /** @} */
+
   private:
     class UpSlavePort;
     class UpMasterPort;
@@ -107,6 +135,9 @@ class PcieSwitch : public SimObject
     std::vector<std::unique_ptr<PacketQueue>> downReqQueues_;
     std::vector<std::unique_ptr<PacketQueue>> downRespQueues_;
 
+    /** Containment flags, one per downstream port. */
+    std::vector<bool> contained_;
+
     stats::Counter fwdDownRequests_;
     stats::Counter fwdUpRequests_;
     stats::Counter fwdDownResponses_;
@@ -115,6 +146,11 @@ class PcieSwitch : public SimObject
     /** @{ Per-downstream-port forwarding breakdown. */
     stats::Vector portRequests_;
     stats::Vector portResponses_;
+    /** @} */
+    /** @{ Containment stats (registered only when enabled). */
+    stats::Counter containments_;
+    stats::Counter containedDrops_;
+    stats::Counter urCompletions_;
     /** @} */
 };
 

@@ -20,6 +20,8 @@ Vp2p::Vp2p(const std::string &name, const Vp2pParams &params)
     cap.rootPort = params.portType == cfg::PciePortType::RootPort;
     chain.addPcie(pcieCapOffset, cap);
     chain.finalize();
+
+    installAer(cap.rootPort);
 }
 
 unsigned

@@ -1,6 +1,7 @@
 #include "storage_system.hh"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 
 #include "pci/config_regs.hh"
@@ -27,9 +28,26 @@ StorageSystem::StorageSystem(Simulation &sim,
                           config.statsSampleInterval == 0 &&
                           config.statsDumpInterval == 0;
     if (want_parallel && !parallel) {
-        warn("storage system: parallel mode requested but the "
-             "configuration pins the fabric to one domain (faults, "
-             "NAK, or periodic stats); running single-queue");
+        const char *reason =
+            config.linkBitErrorRate > 0.0
+                ? "link fault injection (BER > 0)"
+            : config.enableNak ? "NAK protocol emulation"
+            : config.aerEnabled ? "AER error reporting"
+            : config.degradeThreshold > 0 ? "link degradation"
+            : config.unplugAtChunk > 0
+                ? "scripted surprise hot-unplug"
+            : config.statsSampleInterval > 0
+                ? "periodic stats sampling"
+                : "periodic stats dump epochs";
+        // pciesim-analyze: single-threaded: construction runs
+        // before any worker threads exist
+        static bool warnedFallback = false;
+        if (!warnedFallback) {
+            warnedFallback = true;
+            warn("storage system: --threads requested but ", reason,
+                 " pins the fabric to one event-queue domain; "
+                 "running single-queue");
+        }
     }
     const Tick quantum =
         std::min(linkLookahead(config, config.upstreamLinkWidth),
@@ -72,6 +90,7 @@ StorageSystem::StorageSystem(Simulation &sim,
     swp.portBufferSize = config.portBufferSize;
     swp.linkWidth = config.downstreamLinkWidth;
     swp.linkGen = static_cast<unsigned>(config.gen);
+    swp.enableContainment = config.aerEnabled;
     {
         Simulation::DomainScope scope(sim, dom_switch);
         switch_ = std::make_unique<PcieSwitch>(sim, "system.switch",
@@ -88,6 +107,9 @@ StorageSystem::StorageSystem(Simulation &sim,
     IdeDiskParams dkp = config.disk;
     if (config.completionTimeout > 0)
         dkp.dmaCompletionTimeout = config.completionTimeout;
+    if (config.unplugAtChunk > 0)
+        dkp.unplugAtChunk = config.unplugAtChunk;
+    dkp.replugDelay = config.replugDelay;
     {
         Simulation::DomainScope scope(sim, dom_disk);
         disk_ = std::make_unique<IdeDisk>(sim, "system.disk", dkp);
@@ -98,7 +120,10 @@ StorageSystem::StorageSystem(Simulation &sim,
     kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
                                        *pciHost_, *gic_, *dram_,
                                        kp);
-    ideDriver_ = std::make_unique<IdeDriver>(config.ideDriver);
+    IdeDriverParams drvp = config.ideDriver;
+    if (config.aerEnabled)
+        drvp.trackRecovery = true;
+    ideDriver_ = std::make_unique<IdeDriver>(drvp);
 
     //
     // Wiring (paper Fig. 6 + Sec. VI-A).
@@ -174,6 +199,123 @@ StorageSystem::StorageSystem(Simulation &sim,
     pciHost_->registerFunction(*disk_, Bdf{3, 0, 0});
 
     kernel_->registerDriver(*ideDriver_);
+
+    //
+    // Error containment and recovery (DESIGN.md §12). Constructed
+    // only when enabled: every object, stat, and hook below is
+    // absent on fault-free configurations, keeping them
+    // bit-identical.
+    //
+    if (config.aerEnabled) {
+        errReporter_ = std::make_unique<ErrReporter>(
+            sim, "system.errReporter", config.aerMsgLatency);
+
+        // Detecting agents: each link end latches errors into the
+        // AER capability of the function fronting it, and unmasked
+        // errors ride the reporter to the root as ERR_* messages.
+        auto latch = [this](PciFunction &fn, std::uint16_t source,
+                            ErrSeverity sev, std::uint32_t bit) {
+            if (sev == ErrSeverity::Correctable) {
+                if (fn.aer().recordCorrectable(bit)) {
+                    errReporter_->report(
+                        {ErrSeverity::Correctable, bit, source});
+                }
+                return;
+            }
+            std::array<std::uint32_t, 4> hdr{};
+            bool is_fatal = false;
+            if (fn.aer().recordUncorrectable(bit, hdr, is_fatal)) {
+                errReporter_->report({is_fatal ? ErrSeverity::Fatal
+                                               : ErrSeverity::NonFatal,
+                                      bit, source});
+            }
+        };
+        upLink_->setErrorSink(
+            [this, latch](ErrSeverity sev, std::uint32_t bit,
+                          bool at_up) {
+                if (at_up) {
+                    latch(rootComplex_->vp2p(0),
+                          static_cast<std::uint16_t>(
+                              Bdf{0, 0, 0}.key()), sev, bit);
+                } else {
+                    latch(switch_->upstreamVp2p(),
+                          static_cast<std::uint16_t>(
+                              Bdf{1, 0, 0}.key()), sev, bit);
+                }
+            });
+        downLink_->setErrorSink(
+            [this, latch](ErrSeverity sev, std::uint32_t bit,
+                          bool at_up) {
+                if (at_up) {
+                    latch(switch_->downstreamVp2p(0),
+                          static_cast<std::uint16_t>(
+                              Bdf{2, 0, 0}.key()), sev, bit);
+                } else {
+                    latch(*disk_,
+                          static_cast<std::uint16_t>(
+                              Bdf{3, 0, 0}.key()), sev, bit);
+                }
+            });
+
+        // Surprise hot-unplug: the downstream port detects the
+        // surprise down; the reported source is the vanished device
+        // so containment and recovery target its subtree.
+        disk_->setUnplugHook([this, latch] {
+            latch(switch_->downstreamVp2p(0),
+                  static_cast<std::uint16_t>(Bdf{3, 0, 0}.key()),
+                  ErrSeverity::Fatal, cfg::aerUncSurpriseDown);
+        });
+
+        // Requester-side completion timeouts become ERR_NONFATAL
+        // from the requester's function.
+        kernel_->setMmioTimeoutHook([this, latch](bool) {
+            latch(rootComplex_->vp2p(0),
+                  static_cast<std::uint16_t>(Bdf{0, 0, 0}.key()),
+                  ErrSeverity::NonFatal, cfg::aerUncCompletionTimeout);
+        });
+        disk_->setDmaTimeoutHook([this, latch] {
+            latch(*disk_,
+                  static_cast<std::uint16_t>(Bdf{3, 0, 0}.key()),
+                  ErrSeverity::NonFatal, cfg::aerUncCompletionTimeout);
+        });
+
+        // Root-side consumer: latch into the root port's root error
+        // status block, contain the failed subtree on FATAL, and
+        // interrupt the kernel.
+        errReporter_->setSink([this](const ErrMsg &msg) {
+            bool irq = rootComplex_->vp2p(0).aer().recordRootError(
+                msg.sev, msg.sourceId);
+            if (msg.sev == ErrSeverity::Fatal) {
+                int port = switch_->downstreamPortForBus(
+                    (msg.sourceId >> 8) & 0xff);
+                if (port >= 0) {
+                    switch_->containDownstreamPort(
+                        static_cast<unsigned>(port));
+                }
+            }
+            if (irq)
+                gic_->setLevel(config_.aerIrqLine, true);
+        });
+
+        // The kernel's AER service: reads and clears the root error
+        // status through config cycles, resets the function behind
+        // a FATAL error, and coordinates driver recovery.
+        AerHandlerParams ahp;
+        ahp.irqLine = config.aerIrqLine;
+        aerHandler_ = std::make_unique<AerHandler>(
+            *kernel_, Bdf{0, 0, 0}, ahp);
+        aerHandler_->setIrqAck([this] {
+            gic_->setLevel(config_.aerIrqLine, false);
+        });
+        aerHandler_->setReleaseHook([this](Bdf bdf) {
+            int port = switch_->downstreamPortForBus(bdf.bus);
+            if (port >= 0) {
+                switch_->releaseDownstreamPort(
+                    static_cast<unsigned>(port));
+            }
+        });
+        aerHandler_->addClient(ideDriver_.get());
+    }
 
     // Periodic goodput / replay-depth sampler (off by default).
     if (config.statsSampleInterval > 0) {

@@ -17,7 +17,9 @@
 #include <memory>
 #include <vector>
 
+#include "os/aer_handler.hh"
 #include "pci/pci_host.hh"
+#include "pcie/err_reporter.hh"
 #include "sim/stats_dumper.hh"
 #include "sim/stats_sampler.hh"
 #include "topo/system_config.hh"
@@ -62,6 +64,10 @@ class StorageSystem
     StatsSampler *sampler() { return sampler_.get(); }
     /** The epoch dumper; null unless statsDumpInterval > 0. */
     StatsDumper *dumper() { return dumper_.get(); }
+    /** The error reporter; null unless aerEnabled. */
+    ErrReporter *errReporter() { return errReporter_.get(); }
+    /** The kernel AER service; null unless aerEnabled. */
+    AerHandler *aerHandler() { return aerHandler_.get(); }
     /** @} */
 
     /** Write the full registry as stats.json to @p path. */
@@ -98,6 +104,8 @@ class StorageSystem
     std::unique_ptr<IdeDriver> ideDriver_;
     std::unique_ptr<StatsSampler> sampler_;
     std::unique_ptr<StatsDumper> dumper_;
+    std::unique_ptr<ErrReporter> errReporter_;
+    std::unique_ptr<AerHandler> aerHandler_;
     /** @{ System-level dump-time formulas (stats v2). */
     stats::Formula replayFraction_;
     stats::Formula timeoutFraction_;

@@ -72,6 +72,35 @@ struct SystemConfig
     Tick completionTimeout = 0;
     /** @} */
 
+    /** @{ Error containment and recovery (DESIGN.md §12).
+     *  All defaults keep the error path quiescent and the fault-free
+     *  stats dump bit-identical to earlier builds. */
+    /**
+     * Advanced Error Reporting: links signal ERR_COR / ERR_NONFATAL
+     * / ERR_FATAL upstream, the root complex latches them and
+     * interrupts the kernel, the switch contains failed downstream
+     * ports, and the kernel drives reset + driver recovery.
+     */
+    bool aerEnabled = false;
+    /** Platform interrupt line of the root error block (below the
+     *  enumerator's INTx range, which starts at 32). */
+    unsigned aerIrqLine = 30;
+    /** In-band flight time of an error message to the root. */
+    Tick aerMsgLatency = nanoseconds(400);
+    /** Link degradation: errors per degradeWindow that trigger a
+     *  retrain one speed Gen (then width) down. 0 disables. */
+    unsigned degradeThreshold = 0;
+    Tick degradeWindow = microseconds(100);
+    /** Base back-off before a degraded link tries to upconfigure;
+     *  doubles per consecutive degrade, with seeded jitter. */
+    Tick upconfigureDelay = milliseconds(1);
+    /** Scripted surprise hot-unplug of the disk, one media latency
+     *  into its Nth 4 KB chunk (1-based; 0 disables). */
+    std::uint64_t unplugAtChunk = 0;
+    /** Time until the unplugged disk is re-seated. */
+    Tick replugDelay = microseconds(50);
+    /** @} */
+
     /** @{ Parallel execution (DESIGN.md Sec. 10). */
     /**
      * Number of worker threads for parallel discrete-event
@@ -146,6 +175,9 @@ struct SystemConfig
         lp.replayTimeoutScale = replayTimeoutScale;
         lp.enableNak = enableNak;
         lp.retrainLatency = retrainLatency;
+        lp.degradeThreshold = degradeThreshold;
+        lp.degradeWindow = degradeWindow;
+        lp.upconfigureDelay = upconfigureDelay;
         lp.faults.bitErrorRate = linkBitErrorRate;
         lp.faults.seed = faultSeed + 0x1000003ULL * link_index;
         return lp;
@@ -173,12 +205,16 @@ linkLookahead(const SystemConfig &c, unsigned width)
  * domains. Fault injection and NAK recovery retrain the link, which
  * manipulates both interfaces atomically, so those configurations
  * must keep each link inside one domain (and the topologies fall
- * back to the single-queue core).
+ * back to the single-queue core). The error-containment features
+ * pin the fabric too: AER error sinks, degradation retrains, and
+ * the unplug script all reach across link endpoints.
  */
 inline bool
 linksCuttable(const SystemConfig &c)
 {
-    return c.linkBitErrorRate == 0.0 && !c.enableNak;
+    return c.linkBitErrorRate == 0.0 && !c.enableNak &&
+           !c.aerEnabled && c.degradeThreshold == 0 &&
+           c.unplugAtChunk == 0;
 }
 
 } // namespace pciesim

@@ -1,0 +1,15 @@
+// Sanctioned fixture: the AER reporter delivers ERR_* messages by
+// scheduling onto the root complex's home queue — the one blessed
+// cross-domain hop outside the PcieLink mailbox (DESIGN.md §12).
+#include "pcie/err_reporter.hh"
+
+namespace pciesim
+{
+
+void
+ErrReporter::deliver(EventQueue *root_queue, Event *ev, Tick when)
+{
+    root_queue->schedule(ev, when);
+}
+
+} // namespace pciesim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The single-queue fallback contract (DESIGN.md §10/§12): fault
+ * configurations pin the fabric to one event-queue domain, so
+ * `--threads N` must construct and run the exact system `threads=0`
+ * does — byte-identical stats, not merely equivalent ones. Guards
+ * the warn-once fallback path in StorageSystem against quietly
+ * drifting from the legacy construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "topo/storage_system.hh"
+
+using namespace pciesim;
+using namespace pciesim::literals;
+
+namespace
+{
+
+std::string
+runOnce(SystemConfig cfg, unsigned threads)
+{
+    cfg.threads = threads;
+    Simulation sim;
+    StorageSystem system(sim, cfg);
+    DdWorkloadParams dd;
+    dd.blockBytes = 1 << 20;
+    system.runDd(dd);
+    std::ostringstream os;
+    sim.statsRegistry().dump(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(FallbackDeterminismTest, FaultConfigByteMatchesThreadsZero)
+{
+    setInformEnabled(false);
+    SystemConfig cfg;
+    cfg.linkBitErrorRate = 1e-6;
+    cfg.faultSeed = 7;
+    EXPECT_EQ(runOnce(cfg, 0), runOnce(cfg, 4));
+}
+
+TEST(FallbackDeterminismTest, AerUnplugConfigByteMatchesThreadsZero)
+{
+    setInformEnabled(false);
+    SystemConfig cfg;
+    cfg.aerEnabled = true;
+    cfg.unplugAtChunk = 8;
+    EXPECT_EQ(runOnce(cfg, 0), runOnce(cfg, 2));
+}
+
+TEST(FallbackDeterminismTest, DegradationConfigByteMatchesThreadsZero)
+{
+    setInformEnabled(false);
+    SystemConfig cfg;
+    cfg.linkBitErrorRate = 1e-5;
+    cfg.faultSeed = 3;
+    cfg.degradeThreshold = 4;
+    EXPECT_EQ(runOnce(cfg, 0), runOnce(cfg, 2));
+}

@@ -155,3 +155,28 @@ TEST(GoldenStats, SeededFaultShape)
     sim.statsRegistry().dump(os);
     checkGolden("faults_ber1e6_seed7", os.str());
 }
+
+TEST(GoldenStats, UnplugAndRecoverShape)
+{
+    // The DESIGN.md §12 containment pipeline end to end: the disk
+    // vanishes at the 8th DMA chunk, ERR_FATAL rides AER to the
+    // root, the switch contains the port, the kernel FLRs the
+    // returned function, and the driver re-issues the lost command.
+    // Locks the AER/containment/recovery counters and the recovery
+    // latency footprint.
+    Simulation sim;
+    SystemConfig cfg;
+    cfg.aerEnabled = true;
+    cfg.unplugAtChunk = 8;
+    StorageSystem system(sim, cfg);
+    DdWorkloadParams dd;
+    dd.blockBytes = 1 << 20;
+    double gbps = system.runDd(dd);
+
+    std::ostringstream os;
+    os << "# scenario: surprise unplug at chunk 8, AER recovery, "
+          "dd 1 MiB\n";
+    os << formatDouble("goodput_gbps", gbps);
+    sim.statsRegistry().dump(os);
+    checkGolden("unplug_recover_chunk8", os.str());
+}

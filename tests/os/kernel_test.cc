@@ -103,16 +103,30 @@ TEST(KernelTest, MmioCompletionTimeoutAbortsWithAllOnes)
 
     std::uint64_t read_value = 0;
     bool wrote = false;
+    unsigned hook_reads = 0, hook_writes = 0;
+    k.setMmioTimeoutHook([&](bool is_read) {
+        if (is_read)
+            ++hook_reads;
+        else
+            ++hook_writes;
+    });
     k.mmioRead(0x40000000, 4,
                [&](std::uint64_t v) { read_value = v; });
     k.mmioWrite(0x40000004, 4, 1, [&] { wrote = true; });
     sim.run();
+
+    // The platform error hook saw both timeouts, typed correctly.
+    EXPECT_EQ(hook_reads, 1u);
+    EXPECT_EQ(hook_writes, 1u);
 
     // Both ops were failed by the completion timer instead of
     // hanging the queue; the read saw the all-ones abort value.
     EXPECT_EQ(read_value, ~0ULL);
     EXPECT_TRUE(wrote);
     EXPECT_EQ(k.completionTimeouts(), 2u);
+    // Aborted loads leave their own breadcrumb: only the read
+    // counts (the write completed blind, nothing was fabricated).
+    EXPECT_EQ(k.abortedReads(), 1u);
     EXPECT_EQ(k.mmioOps(), 0u);
     EXPECT_GE(sim.curTick(), 100_us);
 

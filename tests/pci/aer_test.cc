@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the AER extended capability register block (spec
+ * sec. 7.8.4, DESIGN.md §12): status latching, W1C semantics,
+ * mask/severity gating, the first-error header log, and the root
+ * error status/command block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pci/aer.hh"
+#include "pci/config_regs.hh"
+
+using namespace pciesim;
+
+namespace
+{
+
+struct AerFixture : ::testing::Test
+{
+    AerFixture()
+    {
+        aer.install(space, /*root_port=*/false);
+        rootAer.install(rootSpace, /*root_port=*/true);
+    }
+
+    std::uint32_t
+    raw(const ConfigSpace &cs, unsigned rel) const
+    {
+        return cs.raw32(cfg::extendedCapBase + rel);
+    }
+
+    ConfigSpace space;
+    ConfigSpace rootSpace;
+    AerCapability aer;
+    AerCapability rootAer;
+    std::array<std::uint32_t, 4> hdr{{0x4a000001, 0x000000ff,
+                                      0x12345678, 0x9abcdef0}};
+};
+
+} // namespace
+
+TEST_F(AerFixture, HeaderAdvertisesAerCapability)
+{
+    std::uint32_t h = raw(space, cfg::aerCapHeader);
+    EXPECT_EQ(h & 0xffff, cfg::extCapIdAer);
+    EXPECT_EQ((h >> 16) & 0xf, 1u); // version
+}
+
+TEST_F(AerFixture, CorrectableLatchAndMaskGate)
+{
+    EXPECT_TRUE(aer.recordCorrectable(cfg::aerCorBadTlp));
+    EXPECT_EQ(aer.corrStatus(), cfg::aerCorBadTlp);
+
+    // Masked: still latched, but not reported upstream.
+    aer.handleConfigWrite(cfg::extendedCapBase + cfg::aerCorrMask, 4,
+                          cfg::aerCorReplayRollover);
+    EXPECT_FALSE(aer.recordCorrectable(cfg::aerCorReplayRollover));
+    EXPECT_EQ(aer.corrStatus(),
+              cfg::aerCorBadTlp | cfg::aerCorReplayRollover);
+}
+
+TEST_F(AerFixture, UncorrectableSeverityFollowsSeverityRegister)
+{
+    bool fatal = true;
+    EXPECT_TRUE(aer.recordUncorrectable(cfg::aerUncCompletionTimeout,
+                                        hdr, fatal));
+    // Default severity: only surprise-down is fatal.
+    EXPECT_FALSE(fatal);
+    EXPECT_TRUE(aer.recordUncorrectable(cfg::aerUncSurpriseDown, hdr,
+                                        fatal));
+    EXPECT_TRUE(fatal);
+    EXPECT_EQ(aer.uncorrStatus(),
+              cfg::aerUncCompletionTimeout | cfg::aerUncSurpriseDown);
+}
+
+TEST_F(AerFixture, HeaderLogCapturesFirstErrorOnly)
+{
+    bool fatal = false;
+    aer.recordUncorrectable(cfg::aerUncDlpError, hdr, fatal);
+    for (unsigned dw = 0; dw < 4; ++dw)
+        EXPECT_EQ(aer.headerLog(dw), hdr[dw]);
+    // First-error pointer names bit 4 (DLP error).
+    EXPECT_EQ(raw(space, cfg::aerCapControl) & 0x1f, 4u);
+
+    // A second error must not overwrite the log.
+    std::array<std::uint32_t, 4> other{{1, 2, 3, 4}};
+    aer.recordUncorrectable(cfg::aerUncSurpriseDown, other, fatal);
+    for (unsigned dw = 0; dw < 4; ++dw)
+        EXPECT_EQ(aer.headerLog(dw), hdr[dw]);
+}
+
+TEST_F(AerFixture, StatusRegistersAreW1C)
+{
+    bool fatal = false;
+    aer.recordUncorrectable(cfg::aerUncDlpError, hdr, fatal);
+    aer.recordCorrectable(cfg::aerCorBadDllp);
+
+    // Writing 1s to other bits leaves the latched bit alone.
+    aer.handleConfigWrite(cfg::extendedCapBase + cfg::aerUncorrStatus,
+                          4, ~cfg::aerUncDlpError);
+    EXPECT_EQ(aer.uncorrStatus(), cfg::aerUncDlpError);
+    // Writing the latched bit clears it.
+    aer.handleConfigWrite(cfg::extendedCapBase + cfg::aerUncorrStatus,
+                          4, cfg::aerUncDlpError);
+    EXPECT_EQ(aer.uncorrStatus(), 0u);
+    aer.handleConfigWrite(cfg::extendedCapBase + cfg::aerCorrStatus,
+                          4, cfg::aerCorBadDllp);
+    EXPECT_EQ(aer.corrStatus(), 0u);
+}
+
+TEST_F(AerFixture, WritesOutsideTheWindowAreNotClaimed)
+{
+    EXPECT_FALSE(aer.handleConfigWrite(cfg::command, 2, 0xffff));
+    EXPECT_FALSE(aer.handleConfigWrite(
+        cfg::extendedCapBase + cfg::aerCapSize, 4, 0xffffffffU));
+}
+
+TEST_F(AerFixture, RootErrorStatusLatchesSeverityAndSource)
+{
+    // Non-root functions have no root block to latch into.
+    EXPECT_EQ(rootAer.rootErrStatus(), 0u);
+
+    EXPECT_TRUE(rootAer.recordRootError(ErrSeverity::Fatal, 0x0300));
+    std::uint32_t st = rootAer.rootErrStatus();
+    EXPECT_NE(st & cfg::aerRootFatalReceived, 0u);
+    EXPECT_NE(st & cfg::aerRootUncorReceived, 0u);
+    EXPECT_EQ(st & cfg::aerRootNonFatalReceived, 0u);
+    // Uncorrectable source id lives in the upper half-word.
+    EXPECT_EQ(raw(rootSpace, cfg::aerErrSourceId) >> 16, 0x0300u);
+
+    EXPECT_TRUE(rootAer.recordRootError(ErrSeverity::Correctable,
+                                        0x0100));
+    EXPECT_NE(rootAer.rootErrStatus() & cfg::aerRootCorReceived, 0u);
+    EXPECT_EQ(raw(rootSpace, cfg::aerErrSourceId) & 0xffff, 0x0100u);
+}
+
+TEST_F(AerFixture, RootErrCommandGatesTheInterrupt)
+{
+    // Disable the fatal interrupt enable; the message still latches
+    // but no interrupt is requested.
+    rootAer.handleConfigWrite(
+        cfg::extendedCapBase + cfg::aerRootErrCommand, 4,
+        cfg::aerRootCmdCorEnable);
+    EXPECT_FALSE(rootAer.recordRootError(ErrSeverity::Fatal, 0x300));
+    EXPECT_NE(rootAer.rootErrStatus() & cfg::aerRootFatalReceived,
+              0u);
+    EXPECT_TRUE(
+        rootAer.recordRootError(ErrSeverity::Correctable, 0x100));
+}
+
+TEST_F(AerFixture, ClearStatusRestoresPowerOnState)
+{
+    bool fatal = false;
+    aer.recordUncorrectable(cfg::aerUncSurpriseDown, hdr, fatal);
+    aer.recordCorrectable(cfg::aerCorReceiverError);
+    aer.clearStatus();
+    EXPECT_EQ(aer.uncorrStatus(), 0u);
+    EXPECT_EQ(aer.corrStatus(), 0u);
+    for (unsigned dw = 0; dw < 4; ++dw)
+        EXPECT_EQ(aer.headerLog(dw), 0u);
+
+    rootAer.recordRootError(ErrSeverity::Fatal, 0x300);
+    rootAer.clearStatus();
+    EXPECT_EQ(rootAer.rootErrStatus(), 0u);
+}

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "../common/test_ports.hh"
+#include "dev/dma_engine.hh"
 #include "pcie/pcie_link.hh"
 
 using namespace pciesim;
@@ -455,4 +456,132 @@ TEST(PcieLinkConfig, InvalidParamsAreFatal)
     p.replayBufferSize = 0;
     EXPECT_THROW(PcieLink(sim, "bad3", p), FatalError);
     setLoggingThrows(false);
+}
+
+TEST_F(LinkFixture, SeqWrapDuringActiveRetrainDeliversInOrder)
+{
+    // Corrupt every transmission in a wire-ordinal span starting at
+    // the TLP that carries sequence number 4095 (the 4096th
+    // transmission: sendSeq starts at 0). The head TLP's replays
+    // are corrupted too, REPLAY_NUM rolls over, and the retrain
+    // fires while the outstanding window straddles the 4095 -> 0
+    // wrap. The post-retrain full replay must walk the buffer
+    // across the wrap and deliver everything exactly once.
+    PcieLinkParams p;
+    p.replayBufferSize = 4;
+    p.retrainLatency = 1_us;
+    for (std::uint64_t n = 4096; n < 4096 + 25; ++n)
+        p.faults.corruptTlpNumbers.push_back(n);
+    build(p);
+
+    constexpr unsigned total = 4100;
+    for (unsigned i = 0; i < total; ++i) {
+        while (!rcSrc.sendTimingReq(Packet::makeRequest(
+            MemCmd::WriteReq, 0x40000000 + 8 * (i % 512), 8))) {
+            sim.runFor(10_us);
+        }
+    }
+    sim.run();
+
+    ASSERT_EQ(devPio.requests.size(), total);
+    for (unsigned i = 0; i < total; ++i) {
+        ASSERT_EQ(devPio.requests[i]->addr(),
+                  0x40000000 + 8 * (i % 512))
+            << "out of order at TLP " << i;
+    }
+    // The rollover actually retrained the link at the wrap.
+    EXPECT_GE(link->errorStats().retrains, 1u);
+    EXPECT_GE(link->errorStats().crcErrorsTlp,
+              static_cast<std::uint64_t>(p.replayNumThreshold));
+    EXPECT_FALSE(link->training());
+}
+
+namespace
+{
+
+/** A device-side DMA engine harness driving the link's downstream
+ *  slave, for timeout-during-retrain scenarios. */
+class LinkDmaHarness : public SimObject
+{
+  public:
+    class Port : public MasterPort
+    {
+      public:
+        explicit Port(LinkDmaHarness &h)
+            : MasterPort("dmaHarness.port"), h_(h)
+        {}
+
+        bool
+        recvTimingResp(PacketPtr pkt) override
+        {
+            return h_.engine->recvResp(pkt);
+        }
+
+        void recvReqRetry() override { h_.engine->recvRetry(); }
+
+      private:
+        LinkDmaHarness &h_;
+    };
+
+    LinkDmaHarness(Simulation &sim, const DmaEngineParams &params)
+        : SimObject(sim, "dmaHarness"), port(*this)
+    {
+        engine = std::make_unique<DmaEngine>(*this, port,
+                                             "dmaHarness.dma",
+                                             params);
+    }
+
+    Port port;
+    std::unique_ptr<DmaEngine> engine;
+};
+
+} // namespace
+
+TEST(PcieLinkTimeout, CompletionTimeoutFiresWhileLinkIsDown)
+{
+    // A corruption window outlasting several REPLAY_NUM rollovers
+    // keeps the link retraining; the requester's completion
+    // watchdog must fire *during* a link-down interval, abort the
+    // transfer, and the simulation must drain cleanly (stragglers
+    // replayed after the window are dropped as stale).
+    Simulation sim;
+    PcieLinkParams p;
+    p.replayBufferSize = 8;
+    p.retrainLatency = 200_us; // long downs: timeouts land inside
+    p.faults.corruptWindowBegin = 0;
+    p.faults.corruptWindowEnd = 2_ms;
+    auto link = std::make_unique<PcieLink>(sim, "link", p);
+    RecordingMasterPort rcSrc{"rcSrc"};
+    RecordingSlavePort rcSink{"rcSink",
+                              {AddrRange{0x80000000, 0x90000000}}};
+    RecordingSlavePort devPio{"devPio",
+                              {AddrRange{0x40000000, 0x40001000}}};
+    rcSrc.bind(link->upSlave());
+    link->upMaster().bind(rcSink);
+    link->downMaster().bind(devPio);
+    rcSink.autoRespond = true;
+
+    DmaEngineParams ep;
+    ep.completionTimeout = 300_us;
+    LinkDmaHarness h(sim, ep);
+    h.port.bind(link->downSlave());
+    sim.initialize();
+
+    bool done = false;
+    bool down_at_timeout = false;
+    h.engine->setTimeoutHook(
+        [&] { down_at_timeout = link->training(); });
+    h.engine->startRead(0x80000000, 512, [&] { done = true; });
+    sim.run();
+
+    // The watchdog aborted the transfer while the link was down.
+    EXPECT_TRUE(done);
+    EXPECT_EQ(h.engine->completionTimeouts(), 1u);
+    EXPECT_TRUE(down_at_timeout);
+    EXPECT_GE(link->errorStats().retrains, 1u);
+    EXPECT_FALSE(h.engine->busy());
+    EXPECT_FALSE(link->training());
+    // Whatever the post-window replay delivered arrived after the
+    // abort and was discarded without a protocol violation.
+    EXPECT_GE(sim.curTick(), 2_ms);
 }

@@ -228,3 +228,87 @@ TEST_F(SwitchFixture, SwitchLatencySweepShiftsDelivery)
         EXPECT_EQ(s.curTick(), latency);
     }
 }
+
+TEST(SwitchContainment, ContainedPortCompletesReadsWithAllOnes)
+{
+    // DESIGN.md §12: after a FATAL error the downstream port is
+    // contained - non-posted requests get an immediate UR/all-ones
+    // completion instead of vanishing into the dead subtree.
+    Simulation sim;
+    PcieSwitchParams params;
+    params.numDownstreamPorts = 2;
+    params.latency = 150_ns;
+    params.portBufferSize = 4;
+    params.enableContainment = true;
+    auto swp = std::make_unique<PcieSwitch>(sim, "swc", params);
+    PcieSwitch *sw = swp.get();
+    RecordingMasterPort upSrc{"upSrc"};
+    RecordingSlavePort upSink{"upSink",
+                              {AddrRange{0x80000000, 0x90000000}}};
+    RecordingSlavePort downSink[2] = {
+        RecordingSlavePort{"down0", {}},
+        RecordingSlavePort{"down1", {}}};
+    RecordingMasterPort downSrc[2] = {RecordingMasterPort{"src0"},
+                                      RecordingMasterPort{"src1"}};
+    upSrc.bind(sw->upstreamSlavePort());
+    sw->upstreamMasterPort().bind(upSink);
+    for (unsigned i = 0; i < 2; ++i) {
+        sw->downstreamMaster(i).bind(downSink[i]);
+        downSrc[i].bind(sw->downstreamSlave(i));
+    }
+    auto programVp2p = [](Vp2p &vp, Addr base, Addr limit,
+                          unsigned pri, unsigned sec, unsigned sub) {
+        ConfigSpace &cs = vp.config();
+        BridgeHeader::programBusNumbers(cs, pri, sec, sub);
+        BridgeHeader::programMemWindow(cs, base, limit);
+        cs.write(cfg::command, 2,
+                 cfg::cmdMemEnable | cfg::cmdIoEnable |
+                 cfg::cmdBusMaster);
+    };
+    programVp2p(sw->upstreamVp2p(), 0x40000000, 0x403fffff, 1, 2, 4);
+    programVp2p(sw->downstreamVp2p(0), 0x40000000, 0x401fffff, 2, 3,
+                3);
+    programVp2p(sw->downstreamVp2p(1), 0x40200000, 0x403fffff, 2, 4,
+                4);
+    sim.initialize();
+
+    sw->containDownstreamPort(0);
+    EXPECT_TRUE(sw->portContained(0));
+    EXPECT_FALSE(sw->portContained(1));
+
+    upSrc.sendTimingReq(Packet::makeRequest(MemCmd::ReadReq,
+                                            0x40100000, 4));
+    sim.run();
+    // Nothing reached the dead subtree; the UR completion came
+    // back all-ones.
+    EXPECT_EQ(downSink[0].requests.size(), 0u);
+    ASSERT_EQ(upSrc.responses.size(), 1u);
+    EXPECT_EQ(upSrc.responses[0]->get<std::uint32_t>(),
+              0xffffffffu);
+    EXPECT_EQ(sw->urCompletions(), 1u);
+
+    // Posted writes to the contained subtree are silently dropped.
+    upSrc.sendTimingReq(Packet::makeRequest(MemCmd::PostedWriteReq,
+                                            0x40100000, 4));
+    // Upward traffic from the contained port is dropped too.
+    downSrc[0].sendTimingReq(Packet::makeRequest(MemCmd::WriteReq,
+                                                 0x80000000, 64));
+    sim.run();
+    EXPECT_EQ(downSink[0].requests.size(), 0u);
+    EXPECT_EQ(upSink.requests.size(), 0u);
+    EXPECT_GE(sw->containedDrops(), 2u);
+
+    // The neighbouring port is unaffected.
+    upSrc.sendTimingReq(Packet::makeRequest(MemCmd::ReadReq,
+                                            0x40300000, 4));
+    sim.run();
+    EXPECT_EQ(downSink[1].requests.size(), 1u);
+
+    // Release: traffic flows to port 0 again.
+    sw->releaseDownstreamPort(0);
+    EXPECT_FALSE(sw->portContained(0));
+    upSrc.sendTimingReq(Packet::makeRequest(MemCmd::ReadReq,
+                                            0x40100000, 4));
+    sim.run();
+    EXPECT_EQ(downSink[0].requests.size(), 1u);
+}

@@ -58,6 +58,11 @@ ctest --test-dir build -R 'determinism' -j "$jobs" \
 # + surprise unplug) must run clean and emit valid JSON.
 ctest --test-dir build -R 'bench_smoke_bench_resilience' \
     -j "$jobs" --output-on-failure
+# Fabric gate: the declarative builder must construct and drive a
+# 1024-endpoint topology (beyond the 255-bus enumeration ceiling)
+# with valid JSON output (ISSUE 9 acceptance).
+ctest --test-dir build -R 'fabric_smoke' \
+    -j "$jobs" --output-on-failure
 
 echo "== [6/9] pciesim-report diff self-smoke =="
 ./build/bench/bench_fig9a --smoke --json --no-timing \

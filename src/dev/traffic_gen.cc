@@ -110,6 +110,21 @@ TrafficGen::writeReg(unsigned bar, Addr offset, unsigned size,
 }
 
 void
+TrafficGen::directStart(Addr target, std::uint32_t burst_bytes,
+                        std::uint32_t bursts, bool read_mode)
+{
+    configWrite(cfg::command, 2,
+                cfg::cmdMemEnable | cfg::cmdBusMaster);
+    addrLo_ = static_cast<std::uint32_t>(target & 0xffffffff);
+    addrHi_ = static_cast<std::uint32_t>(target >> 32);
+    length_ = burst_bytes;
+    count_ = bursts;
+    mode_ = read_mode ? 1 : 0;
+    if (!running_)
+        startRun();
+}
+
+void
 TrafficGen::startRun()
 {
     panicIf(length_ == 0, "traffic generator '", name(),

@@ -68,6 +68,16 @@ class TrafficGen : public PciDevice
 
     void init() override;
 
+    /**
+     * Program and start a run directly, without kernel MMIO: the
+     * builder's driving path for fabrics too large to enumerate
+     * (no BAR assignment, no bus numbers). Enables memory decode
+     * and bus mastering itself — exactly the command-register bits
+     * enumeration would have set — then starts like a CTRL write.
+     */
+    void directStart(Addr target, std::uint32_t burst_bytes,
+                     std::uint32_t bursts, bool read_mode = false);
+
     /** @{ Introspection. */
     std::uint64_t burstsCompleted() const { return done_; }
     std::uint64_t bytesMoved() const { return bytes_.value(); }

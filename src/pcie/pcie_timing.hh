@@ -28,6 +28,8 @@ enum class PcieGen : std::uint8_t
     Gen1 = 1, //!< 2.5 Gbps/lane, 8b/10b
     Gen2 = 2, //!< 5 Gbps/lane, 8b/10b
     Gen3 = 3, //!< 8 Gbps/lane, 128b/130b
+    Gen4 = 4, //!< 16 Gbps/lane, 128b/130b
+    Gen5 = 5, //!< 32 Gbps/lane, 128b/130b
 };
 
 /** Table I: TLP and DLLP overheads, in bytes (symbols). */
@@ -68,9 +70,13 @@ genInfo(PcieGen gen)
 {
     switch (gen) {
       case PcieGen::Gen1:
-        return {2.5, 10.0};           // 8b/10b
+        return {2.5, 10.0};            // 8b/10b
       case PcieGen::Gen2:
-        return {5.0, 10.0};           // 8b/10b
+        return {5.0, 10.0};            // 8b/10b
+      case PcieGen::Gen4:
+        return {16.0, 8.0 * 130 / 128}; // 128b/130b
+      case PcieGen::Gen5:
+        return {32.0, 8.0 * 130 / 128}; // 128b/130b
       case PcieGen::Gen3:
       default:
         return {8.0, 8.0 * 130 / 128}; // 128b/130b

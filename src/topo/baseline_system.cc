@@ -1,108 +1,28 @@
 #include "baseline_system.hh"
 
-#include "pci/config_regs.hh"
-#include "pci/platform.hh"
-
 namespace pciesim
 {
 
+FabricDesc
+BaselineSystem::makeDesc(const SystemConfig &config)
+{
+    FabricDesc desc;
+    desc.source = "<baseline>";
+    desc.style = "legacy-io";
+    desc.config = config;
+
+    FabricNodeDesc disk;
+    disk.name = "disk";
+    disk.kind = "ide_disk";
+    desc.nodes.push_back(disk);
+    return desc;
+}
+
 BaselineSystem::BaselineSystem(Simulation &sim,
                                const SystemConfig &config)
-    : sim_(sim), config_(config)
-{
-    // The flat baseline has no point-to-point links, so there is no
-    // lookahead to cut domains on; parallel mode degenerates to the
-    // single-queue core.
-    if (config.threads > 1) {
-        warn("baseline system: no links to partition into domains; "
-             "running single-queue");
-    }
-
-    membus_ = std::make_unique<XBar>(sim, "system.membus",
-                                     config.membus);
-    iobus_ = std::make_unique<XBar>(sim, "system.iobus",
-                                    config.membus);
-    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
-                                           config.dram);
-    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
-    gic_ = std::make_unique<IntController>(sim, "system.gic",
-                                           config.gic);
-
-    // The MemBus -> IOBus bridge claims the whole off-chip range.
-    BridgeParams bp;
-    bp.delay = nanoseconds(50);
-    bp.ranges = {platform::offChipRange};
-    bridge_ = std::make_unique<Bridge>(sim, "system.bridge", bp);
-
-    IOCacheParams ioc = config.ioCache;
-    if (ioc.ranges.empty())
-        ioc.ranges = {platform::dramRange};
-    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
-
-    disk_ = std::make_unique<IdeDisk>(sim, "system.disk",
-                                      config.disk);
-    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
-                                       *pciHost_, *gic_, *dram_,
-                                       config.kernel);
-    ideDriver_ = std::make_unique<IdeDriver>(config.ideDriver);
-
-    // MemBus wiring.
-    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
-    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
-    membus_->addMasterPort("dramMaster").bind(dram_->port());
-    membus_->addMasterPort("bridgeMaster")
-        .bind(bridge_->slavePort());
-
-    // IOBus wiring: PIO in from the bridge, DMA out via IOCache.
-    bridge_->masterPort().bind(iobus_->addSlavePort("bridgeSlave"));
-    disk_->dmaPort().bind(iobus_->addSlavePort("diskDma"));
-    iobus_->addMasterPort("diskPio").bind(disk_->pioPort());
-    iobus_->addMasterPort("iocMaster").bind(ioCache_->slavePort());
-
-    if (config.intxLatency > 0) {
-        Tick intx_latency = config.intxLatency;
-        disk_->setIntxSink([this, intx_latency](bool asserted) {
-            unsigned line =
-                disk_->config().raw8(cfg::interruptLine);
-            sim_.callAt(0, sim_.curTick() + intx_latency,
-                        [this, line, asserted] {
-                            gic_->setLevel(line, asserted);
-                        });
-        });
-    } else {
-        disk_->setIntxSink([this](bool asserted) {
-            gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
-                           asserted);
-        });
-    }
-
-    // Flat topology: the disk is the only device on bus 0.
-    pciHost_->registerFunction(*disk_, Bdf{0, 0, 0});
-    kernel_->registerDriver(*ideDriver_);
-}
+    : fabric_(sim, makeDesc(config))
+{}
 
 BaselineSystem::~BaselineSystem() = default;
-
-void
-BaselineSystem::boot()
-{
-    sim_.initialize();
-    kernel_->enumerate();
-    kernel_->probeDrivers();
-    fatalIf(!ideDriver_->probed(),
-            "boot failed: the IDE driver did not probe the disk");
-}
-
-double
-BaselineSystem::runDd(const DdWorkloadParams &dd)
-{
-    boot();
-    DdWorkload workload(*kernel_, *ideDriver_, dd);
-    bool done = false;
-    workload.run([&done] { done = true; });
-    sim_.run();
-    fatalIf(!done, "dd did not complete (deadlock?)");
-    return workload.throughputGbps();
-}
 
 } // namespace pciesim

@@ -10,24 +10,21 @@
  *                   DRAM  <- IOCache <---+     (DMA path)
  *
  * Used by the ablation bench to quantify what the PCIe model adds.
+ * A thin wrapper over the "legacy-io" style of the declarative
+ * fabric builder (see examples/topologies/baseline.json).
  */
 
 #ifndef PCIESIM_TOPO_BASELINE_SYSTEM_HH
 #define PCIESIM_TOPO_BASELINE_SYSTEM_HH
 
-#include <memory>
-
-#include "mem/bridge.hh"
-#include "pci/pci_host.hh"
-#include "topo/system_config.hh"
+#include "topo/fabric_builder.hh"
 
 namespace pciesim
 {
 
 /**
- * The paper's baseline topology (Sec. VI-A): one root complex, one
- * PCI-Express link, one traffic-generator endpoint, main memory
- * behind a host bridge.
+ * The paper's baseline topology (Sec. VI-A): the disk on a flat
+ * IOBus behind a host bridge, with no PCIe fabric in between.
  */
 class BaselineSystem
 {
@@ -35,29 +32,27 @@ class BaselineSystem
     BaselineSystem(Simulation &sim, const SystemConfig &config);
     ~BaselineSystem();
 
-    void boot();
+    void boot() { fabric_.boot(); }
 
-    Kernel &kernel() { return *kernel_; }
-    IdeDriver &ideDriver() { return *ideDriver_; }
-    IdeDisk &disk() { return *disk_; }
+    Kernel &kernel() { return fabric_.kernel(); }
+    IdeDriver &ideDriver() { return fabric_.ideDriver(0); }
+    IdeDisk &disk() { return fabric_.disk(0); }
+    /** The underlying declarative fabric. */
+    Fabric &fabric() { return fabric_; }
 
     /** Run a dd workload; @return reported throughput in Gbit/s. */
-    double runDd(const DdWorkloadParams &dd);
+    double
+    runDd(const DdWorkloadParams &dd)
+    {
+        return fabric_.runDd(dd);
+    }
+
+    /** The description this class instantiates; also the reference
+     *  for examples/topologies/baseline.json. */
+    static FabricDesc makeDesc(const SystemConfig &config);
 
   private:
-    Simulation &sim_;
-    SystemConfig config_;
-
-    std::unique_ptr<XBar> membus_;
-    std::unique_ptr<XBar> iobus_;
-    std::unique_ptr<Bridge> bridge_;
-    std::unique_ptr<SimpleMemory> dram_;
-    std::unique_ptr<PciHost> pciHost_;
-    std::unique_ptr<IntController> gic_;
-    std::unique_ptr<IOCache> ioCache_;
-    std::unique_ptr<IdeDisk> disk_;
-    std::unique_ptr<Kernel> kernel_;
-    std::unique_ptr<IdeDriver> ideDriver_;
+    Fabric fabric_;
 };
 
 } // namespace pciesim

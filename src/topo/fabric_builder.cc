@@ -1,0 +1,1624 @@
+#include "fabric_builder.hh"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "os/mmio_probe.hh"
+#include "pci/config_regs.hh"
+#include "pci/platform.hh"
+#include "sim/trace.hh"
+
+namespace pciesim
+{
+
+namespace
+{
+
+using topo::Json;
+
+[[noreturn]] void
+jfail(const std::string &src, unsigned line, const std::string &what)
+{
+    if (line > 0)
+        fatal("topology ", src, ":", line, ": ", what);
+    fatal("topology ", src, ": ", what);
+}
+
+double
+needNum(const std::string &src, const std::string &key,
+        const Json &v)
+{
+    if (v.type != Json::Type::Number)
+        jfail(src, v.line, "key '" + key + "' must be a number");
+    return v.number;
+}
+
+std::uint64_t
+needUInt(const std::string &src, const std::string &key,
+         const Json &v)
+{
+    double d = needNum(src, key, v);
+    if (d < 0 || d != static_cast<double>(
+                          static_cast<std::uint64_t>(d))) {
+        jfail(src, v.line,
+              "key '" + key + "' must be a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(d);
+}
+
+Tick
+needNsTick(const std::string &src, const std::string &key,
+           const Json &v)
+{
+    double d = needNum(src, key, v);
+    if (d < 0)
+        jfail(src, v.line, "key '" + key + "' must be >= 0");
+    return static_cast<Tick>(d * static_cast<double>(tickPerNs));
+}
+
+bool
+needBool(const std::string &src, const std::string &key,
+         const Json &v)
+{
+    if (v.type != Json::Type::Bool)
+        jfail(src, v.line, "key '" + key + "' must be a bool");
+    return v.boolean;
+}
+
+std::string
+needStr(const std::string &src, const std::string &key,
+        const Json &v)
+{
+    if (v.type != Json::Type::String)
+        jfail(src, v.line, "key '" + key + "' must be a string");
+    return v.str;
+}
+
+void
+applyConfigKey(SystemConfig &c, const std::string &src,
+               const std::string &key, const Json &v)
+{
+    if (key == "gen") {
+        std::uint64_t g = needUInt(src, key, v);
+        if (g < 1 || g > 5)
+            jfail(src, v.line, "config gen must be 1..5");
+        c.gen = static_cast<PcieGen>(g);
+    } else if (key == "upstream_link_width") {
+        c.upstreamLinkWidth =
+            static_cast<unsigned>(needUInt(src, key, v));
+    } else if (key == "downstream_link_width") {
+        c.downstreamLinkWidth =
+            static_cast<unsigned>(needUInt(src, key, v));
+    } else if (key == "rc_latency_ns") {
+        c.rcLatency = needNsTick(src, key, v);
+    } else if (key == "switch_latency_ns") {
+        c.switchLatency = needNsTick(src, key, v);
+    } else if (key == "port_buffer_size") {
+        c.portBufferSize =
+            static_cast<std::size_t>(needUInt(src, key, v));
+    } else if (key == "replay_buffer_size") {
+        c.replayBufferSize =
+            static_cast<std::size_t>(needUInt(src, key, v));
+    } else if (key == "link_propagation_ns") {
+        c.linkPropagation = needNsTick(src, key, v);
+    } else if (key == "ack_immediate") {
+        c.ackImmediate = needBool(src, key, v);
+    } else if (key == "replay_timeout_scale") {
+        c.replayTimeoutScale = needNum(src, key, v);
+    } else if (key == "switch_downstream_ports") {
+        c.switchDownstreamPorts =
+            static_cast<unsigned>(needUInt(src, key, v));
+    } else if (key == "link_bit_error_rate") {
+        c.linkBitErrorRate = needNum(src, key, v);
+    } else if (key == "fault_seed") {
+        c.faultSeed = needUInt(src, key, v);
+    } else if (key == "enable_nak") {
+        c.enableNak = needBool(src, key, v);
+    } else if (key == "retrain_latency_ns") {
+        c.retrainLatency = needNsTick(src, key, v);
+    } else if (key == "completion_timeout_ns") {
+        c.completionTimeout = needNsTick(src, key, v);
+    } else if (key == "aer_enabled") {
+        c.aerEnabled = needBool(src, key, v);
+    } else if (key == "aer_irq_line") {
+        c.aerIrqLine = static_cast<unsigned>(needUInt(src, key, v));
+    } else if (key == "aer_msg_latency_ns") {
+        c.aerMsgLatency = needNsTick(src, key, v);
+    } else if (key == "degrade_threshold") {
+        c.degradeThreshold =
+            static_cast<unsigned>(needUInt(src, key, v));
+    } else if (key == "degrade_window_ns") {
+        c.degradeWindow = needNsTick(src, key, v);
+    } else if (key == "upconfigure_delay_ns") {
+        c.upconfigureDelay = needNsTick(src, key, v);
+    } else if (key == "unplug_at_chunk") {
+        c.unplugAtChunk = needUInt(src, key, v);
+    } else if (key == "replug_delay_ns") {
+        c.replugDelay = needNsTick(src, key, v);
+    } else if (key == "threads") {
+        c.threads = static_cast<unsigned>(needUInt(src, key, v));
+    } else if (key == "intx_latency_ns") {
+        c.intxLatency = needNsTick(src, key, v);
+    } else if (key == "stats_sample_interval_ns") {
+        c.statsSampleInterval = needNsTick(src, key, v);
+    } else if (key == "stats_dump_interval_ns") {
+        c.statsDumpInterval = needNsTick(src, key, v);
+    } else if (key == "stats_dump_path") {
+        c.statsDumpPath = needStr(src, key, v);
+    } else if (key == "stats_json_out") {
+        c.statsJsonOut = needStr(src, key, v);
+    } else if (key == "trace_flags") {
+        c.traceFlags = needStr(src, key, v);
+    } else if (key == "trace_out") {
+        c.traceOut = needStr(src, key, v);
+    } else {
+        jfail(src, v.line, "unknown config key '" + key + "'");
+    }
+}
+
+FabricLinkDesc
+parseLinkDesc(const std::string &src, const Json &v)
+{
+    if (v.type != Json::Type::Object)
+        jfail(src, v.line, "key 'link' must be an object");
+    FabricLinkDesc link;
+    for (const auto &[key, lv] : v.obj) {
+        if (key == "name") {
+            link.name = needStr(src, key, lv);
+        } else if (key == "width") {
+            link.width = static_cast<unsigned>(needUInt(src, key, lv));
+        } else if (key == "gen") {
+            link.gen = static_cast<int>(needUInt(src, key, lv));
+        } else if (key == "bit_error_rate") {
+            link.bitErrorRate = needNum(src, key, lv);
+        } else if (key == "replay_buffer_size") {
+            link.replayBufferSize =
+                static_cast<std::size_t>(needUInt(src, key, lv));
+        } else {
+            jfail(src, lv.line, "unknown link key '" + key + "'");
+        }
+    }
+    return link;
+}
+
+/** One description entry, before count expansion. */
+struct RawNode
+{
+    FabricNodeDesc node;
+    unsigned count = 1;
+};
+
+RawNode
+parseNodeDesc(const std::string &src, const Json &v)
+{
+    if (v.type != Json::Type::Object)
+        jfail(src, v.line, "each node must be an object");
+    RawNode raw;
+    FabricNodeDesc &n = raw.node;
+    n.sourceLine = v.line;
+    for (const auto &[key, nv] : v.obj) {
+        if (key == "name") {
+            n.name = needStr(src, key, nv);
+        } else if (key == "kind") {
+            n.kind = needStr(src, key, nv);
+        } else if (key == "parent") {
+            n.parent = needStr(src, key, nv);
+        } else if (key == "count") {
+            raw.count =
+                static_cast<unsigned>(needUInt(src, key, nv));
+            if (raw.count == 0)
+                jfail(src, nv.line, "node count must be >= 1");
+        } else if (key == "link") {
+            n.link = parseLinkDesc(src, nv);
+        } else if (key == "ports") {
+            n.ports = static_cast<unsigned>(needUInt(src, key, nv));
+        } else if (key == "latency_ns") {
+            n.latency = needNsTick(src, key, nv);
+        } else if (key == "port_buffer_size") {
+            n.portBufferSize =
+                static_cast<std::size_t>(needUInt(src, key, nv));
+        } else if (key == "wire") {
+            n.wire = needStr(src, key, nv);
+        } else if (key == "chunk_size") {
+            n.chunkSize =
+                static_cast<long>(needUInt(src, key, nv));
+        } else if (key == "media_latency_ns") {
+            n.mediaLatencyNs = needNum(src, key, nv);
+        } else if (key == "inter_burst_gap_ns") {
+            n.interBurstGapNs = needNum(src, key, nv);
+        } else if (key == "posted_writes") {
+            n.postedWrites = needBool(src, key, nv) ? 1 : 0;
+        } else if (key == "desc_processing_ns") {
+            n.descProcessingNs = needNum(src, key, nv);
+        } else if (key == "allow_msi") {
+            n.allowMsi = needBool(src, key, nv) ? 1 : 0;
+        } else {
+            jfail(src, nv.line, "unknown node key '" + key + "'");
+        }
+    }
+    if (n.name.empty())
+        jfail(src, v.line, "node is missing a 'name'");
+    if (n.kind.empty())
+        jfail(src, v.line, "node is missing a 'kind'");
+    return raw;
+}
+
+} // namespace
+
+FabricDesc
+parseFabricDesc(const Json &root, const std::string &source)
+{
+    FabricDesc desc;
+    desc.source = source;
+    if (root.type != Json::Type::Object)
+        jfail(source, root.line, "document must be an object");
+
+    std::vector<RawNode> raw;
+    for (const auto &[key, v] : root.obj) {
+        if (key == "style") {
+            desc.style = needStr(source, key, v);
+            if (desc.style != "pcie" && desc.style != "legacy-io") {
+                jfail(source, v.line,
+                      "style must be \"pcie\" or \"legacy-io\"");
+            }
+        } else if (key == "enumerate") {
+            desc.enumerate = needBool(source, key, v);
+        } else if (key == "system_stats") {
+            desc.systemStats = needBool(source, key, v);
+        } else if (key == "config") {
+            if (v.type != Json::Type::Object) {
+                jfail(source, v.line,
+                      "key 'config' must be an object");
+            }
+            for (const auto &[ck, cv] : v.obj)
+                applyConfigKey(desc.config, source, ck, cv);
+        } else if (key == "traffic_gen") {
+            if (v.type != Json::Type::Object) {
+                jfail(source, v.line,
+                      "key 'traffic_gen' must be an object");
+            }
+            for (const auto &[tk, tv] : v.obj) {
+                if (tk == "inter_burst_gap_ns") {
+                    desc.gen.interBurstGap =
+                        needNsTick(source, tk, tv);
+                } else if (tk == "pio_latency_ns") {
+                    desc.gen.pioLatency = needNsTick(source, tk, tv);
+                } else if (tk == "posted_writes") {
+                    desc.gen.postedWrites = needBool(source, tk, tv);
+                } else {
+                    jfail(source, tv.line,
+                          "unknown traffic_gen key '" + tk + "'");
+                }
+            }
+        } else if (key == "nodes") {
+            if (v.type != Json::Type::Array)
+                jfail(source, v.line, "key 'nodes' must be an array");
+            for (const Json &nv : v.arr)
+                raw.push_back(parseNodeDesc(source, nv));
+        } else {
+            jfail(source, v.line, "unknown key '" + key + "'");
+        }
+    }
+
+    // Count expansion: a node with "count": N becomes N instances
+    // name0..nameN-1; children naming an expanded group as their
+    // parent are distributed round-robin across it.
+    std::map<std::string, unsigned> groups;
+    for (const RawNode &r : raw) {
+        if (r.count == 1) {
+            desc.nodes.push_back(r.node);
+            continue;
+        }
+        groups[r.node.name] = r.count;
+        for (unsigned i = 0; i < r.count; ++i) {
+            FabricNodeDesc n = r.node;
+            n.name += std::to_string(i);
+            if (!n.link.name.empty())
+                n.link.name += std::to_string(i);
+            auto g = groups.find(n.parent);
+            if (g != groups.end())
+                n.parent += std::to_string(i % g->second);
+            desc.nodes.push_back(std::move(n));
+        }
+    }
+    // Round-robin parents for singleton children of a group too.
+    for (FabricNodeDesc &n : desc.nodes) {
+        auto g = groups.find(n.parent);
+        if (g != groups.end())
+            n.parent += "0";
+    }
+    return desc;
+}
+
+FabricDesc
+loadFabricDesc(const std::string &path)
+{
+    return parseFabricDesc(topo::loadJsonFile(path), path);
+}
+
+//
+// Construction.
+//
+
+Fabric::Fabric(Simulation &sim, const FabricDesc &desc)
+    : sim_(sim), desc_(desc)
+{
+    validate();
+    if (desc_.style == "legacy-io")
+        buildLegacyIo();
+    else
+        buildPcie();
+    buildObservability();
+    auditConfig();
+}
+
+Fabric::~Fabric() = default;
+
+void
+Fabric::failNode(const FabricNodeDesc &n, const std::string &what)
+{
+    if (n.sourceLine > 0)
+        fatal("topology ", desc_.source, ":", n.sourceLine, ": ",
+              what);
+    fatal("topology ", desc_.source, ": ", what);
+}
+
+void
+Fabric::validate()
+{
+    const SystemConfig &config = desc_.config;
+    fatalIf(desc_.style != "pcie" && desc_.style != "legacy-io",
+            "topology ", desc_.source,
+            ": style must be \"pcie\" or \"legacy-io\"");
+    fatalIf(desc_.style == "legacy-io" && !desc_.enumerate,
+            "topology ", desc_.source,
+            ": legacy-io fabrics are always enumerable; remove "
+            "\"enumerate\": false");
+    fatalIf(config.linkBitErrorRate < 0.0 ||
+                config.linkBitErrorRate >= 1.0,
+            "topology ", desc_.source,
+            ": config link_bit_error_rate must be in [0, 1)");
+    fatalIf(static_cast<unsigned>(config.gen) < 1 ||
+                static_cast<unsigned>(config.gen) > 5,
+            "topology ", desc_.source, ": config gen must be 1..5");
+    fatalIf(config.upstreamLinkWidth == 0 ||
+                config.upstreamLinkWidth > 32 ||
+                config.downstreamLinkWidth == 0 ||
+                config.downstreamLinkWidth > 32,
+            "topology ", desc_.source,
+            ": config link widths must be 1..32 lanes");
+
+    std::map<std::string, int> by_name;
+    std::map<std::string, unsigned> link_names;
+    std::map<std::string, unsigned> wire_nics;
+    std::map<int, unsigned> child_count;
+    for (const FabricNodeDesc &d : desc_.nodes) {
+        Node n;
+        n.desc = d;
+        if (d.name.empty())
+            failNode(d, "node is missing a 'name'");
+        if (d.name == "rc") {
+            failNode(d, "device name 'rc' is reserved for the root "
+                        "complex");
+        }
+        if (by_name.count(d.name))
+            failNode(d, "duplicate device name '" + d.name + "'");
+        if (d.kind != "switch" && d.kind != "ide_disk" &&
+            d.kind != "traffic_gen" && d.kind != "nic") {
+            failNode(d, "unknown device kind '" + d.kind +
+                            "' (expected switch, ide_disk, "
+                            "traffic_gen, or nic)");
+        }
+        if (d.link.gen != 0 && (d.link.gen < 1 || d.link.gen > 5))
+            failNode(d, "link gen must be 1..5");
+        if (d.link.width > 32)
+            failNode(d, "link width must be 1..32 lanes");
+        if (d.link.bitErrorRate >= 1.0)
+            failNode(d, "link bit error rate must be in [0, 1)");
+        if (d.kind == "switch") {
+            n.ports = d.ports ? d.ports
+                              : config.switchDownstreamPorts;
+            if (d.ports == 0)
+                usedSwitchPorts_ = true;
+            if (n.ports == 0 || n.ports > 16) {
+                failNode(d, "switch ports must be 1..16");
+            }
+        }
+        if (d.link.width == 0) {
+            if (d.kind == "switch")
+                usedUpstreamWidth_ = true;
+            else
+                usedDownstreamWidth_ = true;
+        }
+        if (d.parent == "rc") {
+            n.parentIndex = -1;
+            n.portOnParent =
+                static_cast<unsigned>(rootChildren_.size());
+            n.depth = 1;
+            rootChildren_.push_back(
+                static_cast<int>(nodes_.size()));
+        } else {
+            auto it = by_name.find(d.parent);
+            if (it == by_name.end()) {
+                failNode(d, "unknown parent '" + d.parent +
+                                "' (parents must be switches "
+                                "declared before their children)");
+            }
+            Node &p = nodes_[it->second];
+            if (p.desc.kind != "switch") {
+                failNode(d, "parent '" + d.parent +
+                                "' is not a switch");
+            }
+            n.parentIndex = it->second;
+            n.portOnParent = child_count[it->second]++;
+            if (n.portOnParent >= p.ports) {
+                failNode(d, "switch '" + d.parent + "' has more "
+                            "children than its " +
+                            std::to_string(p.ports) +
+                            " downstream ports");
+            }
+            n.depth = p.depth + 1;
+        }
+        if (d.kind == "nic") {
+            if (++wire_nics[d.wire] > 2) {
+                failNode(d, "Ethernet wire '" + d.wire +
+                                "' connects more than two NICs");
+            }
+        }
+        std::string lname = d.link.name.empty() ? d.name + "Link"
+                                                : d.link.name;
+        if (link_names.count(lname))
+            failNode(d, "duplicate link name '" + lname + "'");
+        link_names[lname] = 1;
+        by_name[d.name] = static_cast<int>(nodes_.size());
+        unsigned idx = static_cast<unsigned>(nodes_.size());
+        if (d.kind == "switch")
+            switchIdx_.push_back(idx);
+        else if (d.kind == "ide_disk")
+            diskIdx_.push_back(idx);
+        else if (d.kind == "traffic_gen")
+            genIdx_.push_back(idx);
+        else
+            nicIdx_.push_back(idx);
+        nodes_.push_back(std::move(n));
+    }
+
+    if (desc_.style == "legacy-io") {
+        fatalIf(nodes_.size() != 1 ||
+                    nodes_[0].desc.kind != "ide_disk",
+                "topology ", desc_.source,
+                ": legacy-io style supports exactly one ide_disk "
+                "node");
+        nodes_[0].bdf = Bdf{0, 0, 0};
+        return;
+    }
+
+    fatalIf(rootChildren_.size() > 8, "topology ", desc_.source,
+            ": ", rootChildren_.size(), " devices attached to the "
+            "root complex, which supports at most 8 root ports; "
+            "put a switch level in between");
+
+    if (!desc_.enumerate) {
+        fatalIf(config.aerEnabled, "topology ", desc_.source,
+                ": AER requires an enumerable fabric");
+        for (const Node &n : nodes_) {
+            if (n.desc.kind == "ide_disk" || n.desc.kind == "nic") {
+                failNode(n.desc, "non-enumerated fabrics support "
+                                 "only switch and traffic_gen "
+                                 "nodes");
+            }
+            if (n.desc.kind == "traffic_gen") {
+                bool posted =
+                    n.desc.postedWrites == 1 ||
+                    (n.desc.postedWrites < 0 &&
+                     desc_.gen.postedWrites);
+                if (!posted) {
+                    failNode(n.desc,
+                             "non-enumerated fabrics require "
+                             "posted_writes on every traffic "
+                             "generator (completions cannot route "
+                             "without bus numbers)");
+                }
+            }
+        }
+        return;
+    }
+
+    // Emulate the enumerator's depth-first bus numbering (see
+    // pci/enumerator.cc): every bridge — root port, switch
+    // upstream, and each switch downstream port, occupied or not —
+    // consumes one secondary bus, in device-slot order.
+    std::vector<std::vector<int>> kids(nodes_.size());
+    for (unsigned i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].parentIndex >= 0)
+            kids[nodes_[i].parentIndex].push_back(
+                static_cast<int>(i));
+    }
+    unsigned counter = 0;
+    auto next_bus = [&]() {
+        ++counter;
+        fatalIf(counter > 255, "topology ", desc_.source,
+                ": the tree needs more than 255 buses; set "
+                "\"enumerate\": false to build it without "
+                "configuration-space enumeration");
+        return counter;
+    };
+    std::function<void(int, unsigned)> assign =
+        [&](int idx, unsigned bus) {
+            Node &n = nodes_[idx];
+            n.bdf = Bdf{static_cast<std::uint8_t>(bus), 0, 0};
+            if (n.desc.kind != "switch")
+                return;
+            n.internalBus = next_bus();
+            std::vector<int> at_port(n.ports, -1);
+            for (int k : kids[idx])
+                at_port[nodes_[k].portOnParent] = k;
+            for (unsigned j = 0; j < n.ports; ++j) {
+                unsigned child_bus = next_bus();
+                if (at_port[j] >= 0)
+                    assign(at_port[j], child_bus);
+            }
+        };
+    unsigned num_root_ports = std::max<unsigned>(
+        3, static_cast<unsigned>(rootChildren_.size()));
+    for (unsigned i = 0; i < num_root_ports; ++i) {
+        unsigned bus = next_bus();
+        if (i < rootChildren_.size())
+            assign(rootChildren_[i], bus);
+    }
+}
+
+unsigned
+Fabric::effLinkWidth(const FabricNodeDesc &n) const
+{
+    if (n.link.width > 0)
+        return n.link.width;
+    return n.kind == "switch" ? desc_.config.upstreamLinkWidth
+                              : desc_.config.downstreamLinkWidth;
+}
+
+PcieGen
+Fabric::effLinkGen(const FabricNodeDesc &n) const
+{
+    return n.link.gen > 0 ? static_cast<PcieGen>(n.link.gen)
+                          : desc_.config.gen;
+}
+
+double
+Fabric::effLinkBer(const FabricNodeDesc &n) const
+{
+    return n.link.bitErrorRate >= 0.0
+               ? n.link.bitErrorRate
+               : desc_.config.linkBitErrorRate;
+}
+
+void
+Fabric::installIntxSink(PciDevice &dev, Tick intx_latency)
+{
+    PciDevice *d = &dev;
+    if (intx_latency > 0) {
+        dev.setIntxSink([this, d, intx_latency](bool asserted) {
+            unsigned line = d->config().raw8(cfg::interruptLine);
+            sim_.callAt(0, sim_.curTick() + intx_latency,
+                        [this, line, asserted] {
+                            gic_->setLevel(line, asserted);
+                        });
+        });
+    } else {
+        dev.setIntxSink([this, d](bool asserted) {
+            gic_->setLevel(d->config().raw8(cfg::interruptLine),
+                           asserted);
+        });
+    }
+}
+
+void
+Fabric::buildPcie()
+{
+    const SystemConfig &config = desc_.config;
+    trace::applyConfig(config.traceFlags, config.traceOut);
+    Packet::resetIds();
+
+    // Parallel partitioning (DESIGN.md Sec. 10): cut the fabric at
+    // its links when requested and safe. threads == 1 keeps the
+    // degenerate one-worker partition whose keyed heap order is
+    // shared with every thread count (1-vs-N byte identity).
+    bool link_faults = false;
+    for (const Node &n : nodes_) {
+        if (effLinkBer(n.desc) > 0.0)
+            link_faults = true;
+    }
+    const bool want_parallel = config.threads >= 1;
+    const bool parallel = want_parallel && !nodes_.empty() &&
+                          linksCuttable(config) && !link_faults &&
+                          config.statsSampleInterval == 0 &&
+                          config.statsDumpInterval == 0;
+    if (want_parallel && !parallel) {
+        const char *reason =
+            nodes_.empty() ? "an empty fabric (no links to cut)"
+            : link_faults ? "link fault injection (BER > 0)"
+            : config.enableNak ? "NAK protocol emulation"
+            : config.aerEnabled ? "AER error reporting"
+            : config.degradeThreshold > 0 ? "link degradation"
+            : config.unplugAtChunk > 0
+                ? "scripted surprise hot-unplug"
+            : config.statsSampleInterval > 0
+                ? "periodic stats sampling"
+                : "periodic stats dump epochs";
+        warn("fabric: --threads requested but ", reason,
+             " pins the fabric to one event-queue domain; "
+             "running single-queue");
+    }
+
+    // Quantum: the minimum lookahead over every (per-link
+    // configured) link of the fabric.
+    Tick quantum = maxTick;
+    for (const Node &n : nodes_) {
+        Tick la = serializationTime(effLinkGen(n.desc),
+                                    effLinkWidth(n.desc),
+                                    overhead::dllpTotal) +
+                  config.linkPropagation;
+        quantum = std::min(quantum, la);
+    }
+    if (nodes_.empty())
+        quantum = 0;
+    const Tick intx_latency =
+        parallel ? std::max(config.intxLatency, quantum)
+                 : config.intxLatency;
+
+    // Domain assignment, in declaration order: one domain per
+    // switch or endpoint; NICs sharing an Ethernet wire share one
+    // domain (the wire models no latency, so they cannot be cut
+    // apart). Domain 0 is the host side.
+    partitioned_ = parallel;
+    std::map<std::string, unsigned> wire_domains;
+    for (Node &n : nodes_) {
+        if (!partitioned_) {
+            n.domain = 0;
+        } else if (n.desc.kind == "nic") {
+            auto it = wire_domains.find(n.desc.wire);
+            if (it == wire_domains.end()) {
+                n.domain = sim_.addDomain();
+                wire_domains.emplace(n.desc.wire, n.domain);
+            } else {
+                n.domain = it->second;
+            }
+        } else {
+            n.domain = sim_.addDomain();
+        }
+    }
+
+    membus_ = std::make_unique<XBar>(sim_, "system.membus",
+                                     config.membus);
+    dram_ = std::make_unique<SimpleMemory>(sim_, "system.dram",
+                                           config.dram);
+    pciHost_ = std::make_unique<PciHost>(sim_, "system.pciHost");
+    gic_ = std::make_unique<IntController>(sim_, "system.gic",
+                                           config.gic);
+
+    IOCacheParams ioc = config.ioCache;
+    if (ioc.ranges.empty())
+        ioc.ranges = {platform::dramRange};
+    ioCache_ = std::make_unique<IOCache>(sim_, "system.ioCache",
+                                         ioc);
+
+    RootComplexParams rcp;
+    rcp.numRootPorts = std::max<unsigned>(
+        3, static_cast<unsigned>(rootChildren_.size()));
+    rcp.latency = config.rcLatency;
+    rcp.portBufferSize = config.portBufferSize;
+    if (!rootChildren_.empty()) {
+        const Node &first = nodes_[rootChildren_[0]];
+        rcp.linkWidth = effLinkWidth(first.desc);
+        rcp.linkGen =
+            static_cast<unsigned>(effLinkGen(first.desc));
+    }
+    rootComplex_ = std::make_unique<RootComplex>(sim_, "system.rc",
+                                                 *pciHost_, rcp);
+
+    KernelParams kp = config.kernel;
+    if (config.completionTimeout > 0)
+        kp.completionTimeout = config.completionTimeout;
+    kernel_ = std::make_unique<Kernel>(sim_, "system.kernel",
+                                       *pciHost_, *gic_, *dram_,
+                                       kp);
+
+    // Ethernet wires, one per group, in first-use order, living in
+    // the group's device domain.
+    std::map<std::string, unsigned> wire_index;
+    for (const Node &n : nodes_) {
+        if (n.desc.kind != "nic" || wire_index.count(n.desc.wire))
+            continue;
+        Simulation::DomainScope scope(sim_, n.domain);
+        wires_.push_back(std::make_unique<EtherWire>(
+            sim_, "system." + n.desc.wire, desc_.wire));
+        wire_index.emplace(
+            n.desc.wire,
+            static_cast<unsigned>(wires_.size() - 1));
+    }
+
+    // MemBus: CPU and IOCache in, DRAM and root complex out; the
+    // MSI path exists only on fabrics with NICs (keeps NIC-less
+    // stats dumps byte-identical to the legacy classes).
+    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
+    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
+    membus_->addMasterPort("dramMaster").bind(dram_->port());
+    membus_->addMasterPort("rcMaster")
+        .bind(rootComplex_->upstreamSlavePort());
+    if (!nicIdx_.empty())
+        membus_->addMasterPort("msiMaster").bind(gic_->msiPort());
+    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
+
+    // The tree, in declaration order: each node's upstream link,
+    // then the object itself inside its domain, its driver, the
+    // port bindings, and the INTx wire.
+    std::map<std::string, unsigned> wire_ports;
+    for (unsigned i = 0; i < nodes_.size(); ++i) {
+        Node &n = nodes_[i];
+        std::string link_name = n.desc.link.name.empty()
+                                    ? n.desc.name + "Link"
+                                    : n.desc.link.name;
+        PcieLinkParams lp =
+            config.makeLinkParams(effLinkWidth(n.desc), i);
+        lp.gen = effLinkGen(n.desc);
+        lp.faults.bitErrorRate = effLinkBer(n.desc);
+        if (n.desc.link.replayBufferSize > 0)
+            lp.replayBufferSize = n.desc.link.replayBufferSize;
+        links_.push_back(std::make_unique<PcieLink>(
+            sim_, "system." + link_name, lp));
+        n.link = links_.back().get();
+
+        {
+            Simulation::DomainScope scope(sim_, n.domain);
+            if (n.desc.kind == "switch") {
+                PcieSwitchParams swp;
+                swp.numDownstreamPorts = n.ports;
+                swp.latency = n.desc.latency
+                                  ? n.desc.latency
+                                  : config.switchLatency;
+                swp.portBufferSize = n.desc.portBufferSize
+                                         ? n.desc.portBufferSize
+                                         : config.portBufferSize;
+                swp.linkWidth = config.downstreamLinkWidth;
+                swp.linkGen = static_cast<unsigned>(config.gen);
+                for (unsigned j = i + 1; j < nodes_.size(); ++j) {
+                    if (nodes_[j].parentIndex ==
+                        static_cast<int>(i)) {
+                        swp.linkWidth = effLinkWidth(nodes_[j].desc);
+                        swp.linkGen = static_cast<unsigned>(
+                            effLinkGen(nodes_[j].desc));
+                        break;
+                    }
+                }
+                swp.enableContainment = config.aerEnabled;
+                switches_.push_back(std::make_unique<PcieSwitch>(
+                    sim_, "system." + n.desc.name, swp));
+                n.sw = switches_.back().get();
+            } else if (n.desc.kind == "ide_disk") {
+                IdeDiskParams dkp = config.disk;
+                if (config.completionTimeout > 0)
+                    dkp.dmaCompletionTimeout =
+                        config.completionTimeout;
+                if (config.unplugAtChunk > 0)
+                    dkp.unplugAtChunk = config.unplugAtChunk;
+                dkp.replugDelay = config.replugDelay;
+                if (n.desc.chunkSize >= 0) {
+                    dkp.chunkSize =
+                        static_cast<unsigned>(n.desc.chunkSize);
+                }
+                if (n.desc.mediaLatencyNs >= 0) {
+                    dkp.mediaLatency = static_cast<Tick>(
+                        n.desc.mediaLatencyNs *
+                        static_cast<double>(tickPerNs));
+                }
+                disks_.push_back(std::make_unique<IdeDisk>(
+                    sim_, "system." + n.desc.name, dkp));
+                n.dev = disks_.back().get();
+            } else if (n.desc.kind == "traffic_gen") {
+                TrafficGenParams tp = desc_.gen;
+                if (n.desc.interBurstGapNs >= 0) {
+                    tp.interBurstGap = static_cast<Tick>(
+                        n.desc.interBurstGapNs *
+                        static_cast<double>(tickPerNs));
+                }
+                if (n.desc.postedWrites >= 0)
+                    tp.postedWrites = n.desc.postedWrites == 1;
+                gens_.push_back(std::make_unique<TrafficGen>(
+                    sim_, "system." + n.desc.name, tp));
+                n.dev = gens_.back().get();
+            } else {
+                NicParams np = desc_.nic;
+                if (n.desc.descProcessingNs >= 0) {
+                    np.descProcessing = static_cast<Tick>(
+                        n.desc.descProcessingNs *
+                        static_cast<double>(tickPerNs));
+                }
+                if (n.desc.allowMsi >= 0)
+                    np.allowMsi = n.desc.allowMsi == 1;
+                nics_.push_back(std::make_unique<Nic8254xPcie>(
+                    sim_, "system." + n.desc.name, np));
+                n.dev = nics_.back().get();
+            }
+        }
+
+        if (n.desc.kind == "ide_disk") {
+            IdeDriverParams drvp = config.ideDriver;
+            if (config.aerEnabled)
+                drvp.trackRecovery = true;
+            ideDrivers_.push_back(
+                std::make_unique<IdeDriver>(drvp));
+        } else if (n.desc.kind == "nic") {
+            nicDrivers_.push_back(
+                std::make_unique<E1000eDriver>(desc_.nicDriver));
+        }
+
+        // Parent port <-> link <-> node.
+        if (n.parentIndex < 0) {
+            rootComplex_->rootPortMaster(n.portOnParent)
+                .bind(n.link->upSlave());
+            n.link->upMaster().bind(
+                rootComplex_->rootPortSlave(n.portOnParent));
+        } else {
+            PcieSwitch *psw = nodes_[n.parentIndex].sw;
+            psw->downstreamMaster(n.portOnParent)
+                .bind(n.link->upSlave());
+            n.link->upMaster().bind(
+                psw->downstreamSlave(n.portOnParent));
+        }
+        if (n.sw != nullptr) {
+            n.link->downMaster().bind(n.sw->upstreamSlavePort());
+            n.sw->upstreamMasterPort().bind(n.link->downSlave());
+        } else {
+            n.link->downMaster().bind(n.dev->pioPort());
+            n.dev->dmaPort().bind(n.link->downSlave());
+        }
+        if (n.desc.kind == "nic") {
+            nics_.back()->attachWire(
+                *wires_[wire_index[n.desc.wire]],
+                wire_ports[n.desc.wire]++);
+        }
+        if (desc_.enumerate && n.dev != nullptr)
+            installIntxSink(*n.dev, intx_latency);
+    }
+
+    registerTree();
+
+    // Hand each link interface to its domain's queue and attach
+    // the quantum-synchronized engine.
+    if (partitioned_) {
+        for (Node &n : nodes_) {
+            unsigned up_dom = n.parentIndex < 0
+                                  ? 0
+                                  : nodes_[n.parentIndex].domain;
+            n.link->setDomains(sim_.domainQueue(up_dom),
+                               sim_.domainQueue(n.domain));
+        }
+        sim_.setupParallel(config.threads, quantum);
+    }
+
+    if (config.aerEnabled)
+        wireAer();
+}
+
+void
+Fabric::registerTree()
+{
+    if (!desc_.enumerate)
+        return;
+    for (Node &n : nodes_) {
+        if (n.sw != nullptr) {
+            pciHost_->registerFunction(n.sw->upstreamVp2p(),
+                                       n.bdf);
+            for (unsigned j = 0; j < n.ports; ++j) {
+                pciHost_->registerFunction(
+                    n.sw->downstreamVp2p(j),
+                    Bdf{static_cast<std::uint8_t>(n.internalBus),
+                        static_cast<std::uint8_t>(j), 0});
+            }
+        } else {
+            pciHost_->registerFunction(*n.dev, n.bdf);
+        }
+    }
+    for (auto &drv : ideDrivers_)
+        kernel_->registerDriver(*drv);
+    for (auto &drv : nicDrivers_)
+        kernel_->registerDriver(*drv);
+}
+
+PcieSwitch *
+Fabric::containingSwitch(unsigned bus, int &port)
+{
+    // Ancestors' bridge windows cover every descendant bus, so the
+    // switch owning the *deepest* claiming downstream port is the
+    // one fronting the failed subtree.
+    PcieSwitch *best = nullptr;
+    unsigned best_depth = 0;
+    port = -1;
+    for (unsigned idx : switchIdx_) {
+        Node &n = nodes_[idx];
+        int p = n.sw->downstreamPortForBus(bus);
+        if (p >= 0 && (best == nullptr || n.depth > best_depth)) {
+            best = n.sw;
+            best_depth = n.depth;
+            port = p;
+        }
+    }
+    return best;
+}
+
+void
+Fabric::wireAer()
+{
+    const SystemConfig &config = desc_.config;
+    errReporter_ = std::make_unique<ErrReporter>(
+        sim_, "system.errReporter", config.aerMsgLatency);
+
+    // Detecting agents: each link end latches errors into the AER
+    // capability of the function fronting it, and unmasked errors
+    // ride the reporter to the root as ERR_* messages.
+    auto latch = [this](PciFunction &fn, std::uint16_t source,
+                        ErrSeverity sev, std::uint32_t bit) {
+        if (sev == ErrSeverity::Correctable) {
+            if (fn.aer().recordCorrectable(bit)) {
+                errReporter_->report(
+                    {ErrSeverity::Correctable, bit, source});
+            }
+            return;
+        }
+        std::array<std::uint32_t, 4> hdr{};
+        bool is_fatal = false;
+        if (fn.aer().recordUncorrectable(bit, hdr, is_fatal)) {
+            errReporter_->report({is_fatal ? ErrSeverity::Fatal
+                                           : ErrSeverity::NonFatal,
+                                  bit, source});
+        }
+    };
+
+    for (Node &n : nodes_) {
+        PciFunction *up_fn;
+        std::uint16_t up_key;
+        if (n.parentIndex < 0) {
+            up_fn = &rootComplex_->vp2p(n.portOnParent);
+            up_key = static_cast<std::uint16_t>(
+                Bdf{0, static_cast<std::uint8_t>(n.portOnParent),
+                    0}
+                    .key());
+        } else {
+            Node &p = nodes_[n.parentIndex];
+            up_fn = &p.sw->downstreamVp2p(n.portOnParent);
+            up_key = static_cast<std::uint16_t>(
+                Bdf{static_cast<std::uint8_t>(p.internalBus),
+                    static_cast<std::uint8_t>(n.portOnParent), 0}
+                    .key());
+        }
+        PciFunction *down_fn =
+            n.sw != nullptr
+                ? static_cast<PciFunction *>(&n.sw->upstreamVp2p())
+                : static_cast<PciFunction *>(n.dev);
+        std::uint16_t down_key =
+            static_cast<std::uint16_t>(n.bdf.key());
+        n.link->setErrorSink(
+            [latch, up_fn, up_key, down_fn, down_key](
+                ErrSeverity sev, std::uint32_t bit, bool at_up) {
+                if (at_up)
+                    latch(*up_fn, up_key, sev, bit);
+                else
+                    latch(*down_fn, down_key, sev, bit);
+            });
+
+        // Surprise hot-unplug: the downstream port above the disk
+        // detects the surprise down; the reported source is the
+        // vanished device so containment targets its subtree.
+        if (n.desc.kind == "ide_disk") {
+            IdeDisk *disk = static_cast<IdeDisk *>(n.dev);
+            std::uint16_t dev_key =
+                static_cast<std::uint16_t>(n.bdf.key());
+            disk->setUnplugHook([latch, up_fn, dev_key] {
+                latch(*up_fn, dev_key, ErrSeverity::Fatal,
+                      cfg::aerUncSurpriseDown);
+            });
+            disk->setDmaTimeoutHook([latch, down_fn, dev_key] {
+                latch(*down_fn, dev_key, ErrSeverity::NonFatal,
+                      cfg::aerUncCompletionTimeout);
+            });
+        }
+    }
+
+    // Requester-side completion timeouts become ERR_NONFATAL from
+    // the requester's function.
+    kernel_->setMmioTimeoutHook([this, latch](bool) {
+        latch(rootComplex_->vp2p(0),
+              static_cast<std::uint16_t>(Bdf{0, 0, 0}.key()),
+              ErrSeverity::NonFatal, cfg::aerUncCompletionTimeout);
+    });
+
+    // Root-side consumer: latch into the root port's root error
+    // status block, contain the failed subtree on FATAL, and
+    // interrupt the kernel.
+    errReporter_->setSink([this](const ErrMsg &msg) {
+        bool irq = rootComplex_->vp2p(0).aer().recordRootError(
+            msg.sev, msg.sourceId);
+        if (msg.sev == ErrSeverity::Fatal) {
+            int port = -1;
+            PcieSwitch *sw =
+                containingSwitch((msg.sourceId >> 8) & 0xff, port);
+            if (sw != nullptr)
+                sw->containDownstreamPort(
+                    static_cast<unsigned>(port));
+        }
+        if (irq)
+            gic_->setLevel(desc_.config.aerIrqLine, true);
+    });
+
+    // The kernel's AER service: reads and clears the root error
+    // status through config cycles, resets the function behind a
+    // FATAL error, and coordinates driver recovery.
+    AerHandlerParams ahp;
+    ahp.irqLine = config.aerIrqLine;
+    aerHandler_ = std::make_unique<AerHandler>(*kernel_,
+                                               Bdf{0, 0, 0}, ahp);
+    aerHandler_->setIrqAck([this] {
+        gic_->setLevel(desc_.config.aerIrqLine, false);
+    });
+    aerHandler_->setReleaseHook([this](Bdf bdf) {
+        int port = -1;
+        PcieSwitch *sw = containingSwitch(bdf.bus, port);
+        if (sw != nullptr)
+            sw->releaseDownstreamPort(static_cast<unsigned>(port));
+    });
+    for (auto &drv : ideDrivers_)
+        aerHandler_->addClient(drv.get());
+}
+
+void
+Fabric::buildLegacyIo()
+{
+    const SystemConfig &config = desc_.config;
+    trace::applyConfig(config.traceFlags, config.traceOut);
+    Packet::resetIds();
+
+    // The flat baseline has no point-to-point links, so there is
+    // no lookahead to cut domains on; parallel mode degenerates to
+    // the single-queue core.
+    if (config.threads > 1) {
+        warn("fabric: no links to partition into domains; "
+             "running single-queue");
+    }
+
+    Node &n = nodes_[0];
+
+    membus_ = std::make_unique<XBar>(sim_, "system.membus",
+                                     config.membus);
+    iobus_ = std::make_unique<XBar>(sim_, "system.iobus",
+                                    config.membus);
+    dram_ = std::make_unique<SimpleMemory>(sim_, "system.dram",
+                                           config.dram);
+    pciHost_ = std::make_unique<PciHost>(sim_, "system.pciHost");
+    gic_ = std::make_unique<IntController>(sim_, "system.gic",
+                                           config.gic);
+
+    // The MemBus -> IOBus bridge claims the whole off-chip range.
+    BridgeParams bp;
+    bp.delay = nanoseconds(50);
+    bp.ranges = {platform::offChipRange};
+    bridge_ = std::make_unique<Bridge>(sim_, "system.bridge", bp);
+
+    IOCacheParams ioc = config.ioCache;
+    if (ioc.ranges.empty())
+        ioc.ranges = {platform::dramRange};
+    ioCache_ = std::make_unique<IOCache>(sim_, "system.ioCache",
+                                         ioc);
+
+    IdeDiskParams dkp = config.disk;
+    if (config.completionTimeout > 0)
+        dkp.dmaCompletionTimeout = config.completionTimeout;
+    if (n.desc.chunkSize >= 0)
+        dkp.chunkSize = static_cast<unsigned>(n.desc.chunkSize);
+    if (n.desc.mediaLatencyNs >= 0) {
+        dkp.mediaLatency = static_cast<Tick>(
+            n.desc.mediaLatencyNs * static_cast<double>(tickPerNs));
+    }
+    disks_.push_back(std::make_unique<IdeDisk>(
+        sim_, "system." + n.desc.name, dkp));
+    n.dev = disks_.back().get();
+
+    KernelParams kp = config.kernel;
+    if (config.completionTimeout > 0)
+        kp.completionTimeout = config.completionTimeout;
+    kernel_ = std::make_unique<Kernel>(sim_, "system.kernel",
+                                       *pciHost_, *gic_, *dram_,
+                                       kp);
+    ideDrivers_.push_back(
+        std::make_unique<IdeDriver>(config.ideDriver));
+
+    // MemBus wiring.
+    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
+    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
+    membus_->addMasterPort("dramMaster").bind(dram_->port());
+    membus_->addMasterPort("bridgeMaster")
+        .bind(bridge_->slavePort());
+
+    // IOBus wiring: PIO in from the bridge, DMA out via IOCache.
+    bridge_->masterPort().bind(iobus_->addSlavePort("bridgeSlave"));
+    n.dev->dmaPort().bind(iobus_->addSlavePort("diskDma"));
+    iobus_->addMasterPort("diskPio").bind(n.dev->pioPort());
+    iobus_->addMasterPort("iocMaster").bind(ioCache_->slavePort());
+
+    installIntxSink(*n.dev, config.intxLatency);
+
+    // Flat topology: the disk is the only device on bus 0.
+    pciHost_->registerFunction(*n.dev, n.bdf);
+    kernel_->registerDriver(*ideDrivers_[0]);
+}
+
+void
+Fabric::buildObservability()
+{
+    const SystemConfig &config = desc_.config;
+
+    // Periodic goodput / replay-depth sampler (off by default).
+    if (config.statsSampleInterval > 0) {
+        sampler_ = std::make_unique<StatsSampler>(
+            sim_, "system.sampler", config.statsSampleInterval);
+        std::vector<IdeDisk *> ds;
+        for (auto &d : disks_)
+            ds.push_back(d.get());
+        std::vector<TrafficGen *> gs;
+        for (auto &g : gens_)
+            gs.push_back(g.get());
+        sampler_->addRate("goodputBytesPerSec", [ds, gs] {
+            double total = 0.0;
+            for (IdeDisk *d : ds)
+                total += static_cast<double>(d->bytesTransferred());
+            for (TrafficGen *g : gs)
+                total += static_cast<double>(g->bytesMoved());
+            return total;
+        });
+        for (auto &l : links_) {
+            PcieLink *link = l.get();
+            LinkInterface *down = &link->downstreamIf();
+            LinkInterface *up = &link->upstreamIf();
+            sampler_->addGauge(
+                link->name() + ".up.replayDepth", [down] {
+                    return static_cast<double>(down->replayDepth());
+                });
+            sampler_->addGauge(
+                link->name() + ".down.replayDepth", [up] {
+                    return static_cast<double>(up->replayDepth());
+                });
+        }
+    }
+
+    // m5out-style dump/reset stats epochs (off by default).
+    if (config.statsDumpInterval > 0) {
+        dumper_ = std::make_unique<StatsDumper>(
+            sim_, "system.dumper", config.statsDumpInterval,
+            config.statsDumpPath);
+    }
+
+    // System-level derived stats over every link's device-side
+    // interface. Opt-in per description so fabrics without them
+    // (NIC, multi-device) stay byte-identical to their legacy
+    // classes, which never registered these formulas.
+    if (!desc_.systemStats || links_.empty())
+        return;
+    const bool two = links_.size() == 2;
+    replayFraction_ = [this] {
+        std::uint64_t tx = 0;
+        std::uint64_t replays = 0;
+        for (auto &l : links_) {
+            tx += l->downstreamIf().txTlps();
+            replays += l->downstreamIf().replayedTlps();
+        }
+        return tx == 0 ? 0.0
+                       : static_cast<double>(replays) /
+                             static_cast<double>(tx);
+    };
+    sim_.statsRegistry().add(
+        "system.replayFraction", &replayFraction_,
+        two ? "replayed / transmitted TLPs, device-side interfaces "
+              "of both links"
+            : "replayed / transmitted TLPs, device-side interfaces "
+              "of all links",
+        stats::Unit::Ratio);
+    timeoutFraction_ = [this] {
+        std::uint64_t tx = 0;
+        std::uint64_t timeouts = 0;
+        for (auto &l : links_) {
+            tx += l->downstreamIf().txTlps();
+            timeouts += l->downstreamIf().timeouts();
+        }
+        return tx == 0 ? 0.0
+                       : static_cast<double>(timeouts) /
+                             static_cast<double>(tx);
+    };
+    sim_.statsRegistry().add(
+        "system.timeoutFraction", &timeoutFraction_,
+        two ? "replay-timer timeouts / transmitted TLPs, "
+              "device-side interfaces of both links"
+            : "replay-timer timeouts / transmitted TLPs, "
+              "device-side interfaces of all links",
+        stats::Unit::Ratio);
+}
+
+void
+Fabric::auditConfig()
+{
+    const SystemConfig &c = desc_.config;
+    const SystemConfig def;
+    const bool legacy_io = desc_.style == "legacy-io";
+    const bool have_links = !links_.empty();
+    const bool have_disk = !disks_.empty();
+    bool have_endpoint = false;
+    for (const Node &n : nodes_)
+        have_endpoint = have_endpoint || n.dev != nullptr;
+
+    // One entry per knob that some topology shapes ignore: a knob
+    // explicitly set away from its default but never consumed by
+    // this fabric is almost certainly a configuration mistake, so
+    // say so instead of silently simulating something else.
+    struct Knob
+    {
+        const char *name;
+        bool set;
+        bool used;
+    };
+    const Knob knobs[] = {
+        {"gen", c.gen != def.gen, have_links},
+        {"upstream_link_width",
+         c.upstreamLinkWidth != def.upstreamLinkWidth,
+         usedUpstreamWidth_},
+        {"downstream_link_width",
+         c.downstreamLinkWidth != def.downstreamLinkWidth,
+         usedDownstreamWidth_},
+        {"rc_latency_ns", c.rcLatency != def.rcLatency, !legacy_io},
+        {"switch_latency_ns", c.switchLatency != def.switchLatency,
+         !switchIdx_.empty()},
+        {"port_buffer_size",
+         c.portBufferSize != def.portBufferSize, !legacy_io},
+        {"replay_buffer_size",
+         c.replayBufferSize != def.replayBufferSize, have_links},
+        {"link_propagation_ns",
+         c.linkPropagation != def.linkPropagation, have_links},
+        {"ack_immediate", c.ackImmediate != def.ackImmediate,
+         have_links},
+        {"replay_timeout_scale",
+         c.replayTimeoutScale != def.replayTimeoutScale,
+         have_links},
+        {"switch_downstream_ports",
+         c.switchDownstreamPorts != def.switchDownstreamPorts,
+         usedSwitchPorts_},
+        {"link_bit_error_rate",
+         c.linkBitErrorRate != def.linkBitErrorRate, have_links},
+        {"fault_seed", c.faultSeed != def.faultSeed, have_links},
+        {"enable_nak", c.enableNak != def.enableNak, have_links},
+        {"retrain_latency_ns",
+         c.retrainLatency != def.retrainLatency, have_links},
+        {"aer_enabled", c.aerEnabled != def.aerEnabled, !legacy_io},
+        {"degrade_threshold",
+         c.degradeThreshold != def.degradeThreshold, have_links},
+        {"unplug_at_chunk", c.unplugAtChunk != def.unplugAtChunk,
+         have_disk},
+        {"replug_delay_ns", c.replugDelay != def.replugDelay,
+         have_disk},
+        {"intx_latency_ns", c.intxLatency != def.intxLatency,
+         desc_.enumerate && have_endpoint},
+    };
+    for (const Knob &k : knobs) {
+        if (k.set && !k.used) {
+            warn("fabric: config knob '", k.name,
+                 "' is set but unused by this topology");
+        }
+    }
+}
+
+void
+Fabric::boot()
+{
+    if (booted_)
+        return;
+    fatalIf(!desc_.enumerate,
+            "fabric '", desc_.source, "' was built with "
+            "\"enumerate\": false and cannot boot; drive it with "
+            "runDirectWrites()");
+    booted_ = true;
+    sim_.initialize();
+    kernel_->enumerate();
+    if (!ideDrivers_.empty() || !nicDrivers_.empty())
+        kernel_->probeDrivers();
+    if (!nicDrivers_.empty()) {
+        // Let the timed probe sequence (reset, EEPROM, rings)
+        // finish.
+        sim_.run();
+        fatalIf(!nicDrivers_[0]->probed(),
+                "boot failed: e1000e driver did not finish probing");
+    }
+    for (auto &drv : ideDrivers_) {
+        fatalIf(!drv->probed(),
+                "boot failed: the IDE driver did not probe the disk");
+    }
+}
+
+double
+Fabric::runDd(const DdWorkloadParams &dd)
+{
+    fatalIf(disks_.empty(),
+            "fabric '", desc_.source, "' has no IDE disk to dd");
+    boot();
+    DdWorkload workload(*kernel_, *ideDrivers_[0], dd);
+    bool done = false;
+    workload.run([&done] { done = true; });
+    sim_.run();
+    fatalIf(!done, "dd did not complete (deadlock?)");
+    // Flush the final partial epoch (without resetting, so the
+    // caller's end-of-run readouts survive), then export
+    // machine-readable stats while the workload is still alive.
+    if (dumper_)
+        dumper_->dumpEpoch(false);
+    if (!desc_.config.statsJsonOut.empty())
+        exportStatsJson(desc_.config.statsJsonOut);
+    return workload.throughputGbps();
+}
+
+Addr
+Fabric::genMmioBase(unsigned i)
+{
+    boot();
+    const EnumeratedFunction *fn =
+        kernel_->enumerate().find(gens_.at(i)->bdf());
+    panicIf(fn == nullptr || fn->bars.empty(),
+            "traffic generator was not enumerated");
+    return fn->bars[0].start();
+}
+
+Addr
+Fabric::nicMmioBase(unsigned i)
+{
+    const EnumeratedFunction *fn =
+        kernel_->enumerate().find(nics_.at(i)->bdf());
+    panicIf(fn == nullptr || fn->bars.empty(),
+            "NIC was not enumerated");
+    return fn->bars[0].start();
+}
+
+double
+Fabric::runConcurrentWrites(unsigned active, unsigned bursts,
+                            std::uint32_t burst_bytes)
+{
+    boot();
+    panicIf(active == 0 || active > gens_.size(),
+            "bad active device count");
+
+    // The level-triggered line re-dispatches the handler every
+    // delivery period while the asynchronous DONE read is still in
+    // flight; without a pending-read guard the ISR queues a fresh
+    // read per dispatch behind the kernel's serialized MMIO queue,
+    // which diverges whenever the read round-trip exceeds a few
+    // dispatch periods. Guard it the way a real ISR would: at most
+    // one outstanding DONE read per device.
+    std::vector<bool> done_flags(active, false);
+    std::vector<bool> read_pending(active, false);
+    Tick start = sim_.curTick();
+    for (unsigned i = 0; i < active; ++i) {
+        Addr mmio = genMmioBase(i);
+        Addr target = kernel_->allocDma(burst_bytes, 4096);
+        Kernel &k = *kernel_;
+        k.mmioWrite(mmio + tgen::regAddrLo, 4,
+                    target & 0xffffffff, [] {});
+        k.mmioWrite(mmio + tgen::regAddrHi, 4, target >> 32, [] {});
+        k.mmioWrite(mmio + tgen::regLength, 4, burst_bytes, [] {});
+        k.mmioWrite(mmio + tgen::regCount, 4, bursts, [] {});
+        k.mmioWrite(mmio + tgen::regMode, 4, 0, [] {});
+        unsigned line = kernel_->enumerate()
+                            .find(gens_[i]->bdf())->irqLine;
+        k.registerIrqHandler(line, [this, i, mmio, &done_flags,
+                                    &read_pending] {
+            // ISR: read DONE (deasserts INTx), flag completion.
+            if (read_pending[i] || done_flags[i])
+                return;
+            read_pending[i] = true;
+            kernel_->mmioRead(mmio + tgen::regDone, 4,
+                              [i, &done_flags,
+                               &read_pending](std::uint64_t) {
+                read_pending[i] = false;
+                done_flags[i] = true;
+            });
+        });
+        k.mmioWrite(mmio + tgen::regCtrl, 4, tgen::ctrlStart, [] {});
+    }
+    sim_.run();
+    unsigned completed = 0;
+    for (bool f : done_flags)
+        completed += f ? 1 : 0;
+    fatalIf(completed != active,
+            "concurrent run did not complete (", completed, " of ",
+            active, ")");
+
+    Tick elapsed = sim_.curTick() - start;
+    double bytes = static_cast<double>(active) * bursts * burst_bytes;
+    return bytes * 8.0 / ticksToSeconds(elapsed) / 1e9;
+}
+
+Tick
+Fabric::measureMmioReadLatency(unsigned iterations)
+{
+    boot();
+    // Read the STATUS register, as a kernel module would.
+    MmioProbe probe(*kernel_, nicMmioBase(0) + nicreg::status);
+    bool done = false;
+    probe.run(iterations, [&done] { done = true; });
+    sim_.run();
+    fatalIf(!done, "MMIO probe did not complete");
+    return probe.meanLatency();
+}
+
+double
+Fabric::runDirectWrites(std::uint32_t bursts,
+                        std::uint32_t burst_bytes)
+{
+    fatalIf(gens_.empty(),
+            "fabric '", desc_.source,
+            "' has no traffic generators to drive");
+    sim_.initialize();
+    Tick start = sim_.curTick();
+    for (auto &g : gens_) {
+        Addr target = kernel_->allocDma(burst_bytes, 4096);
+        g->directStart(target, burst_bytes, bursts);
+    }
+    sim_.run();
+    for (auto &g : gens_) {
+        fatalIf(g->burstsCompleted() < bursts,
+                "direct run did not complete on '", g->name(), "' (",
+                g->burstsCompleted(), " of ", bursts, " bursts)");
+    }
+    Tick elapsed = sim_.curTick() - start;
+    double bytes = static_cast<double>(gens_.size()) * bursts *
+                   burst_bytes;
+    return elapsed == 0
+               ? 0.0
+               : bytes * 8.0 / ticksToSeconds(elapsed) / 1e9;
+}
+
+void
+Fabric::exportStatsJson(const std::string &path)
+{
+    std::ofstream os(path);
+    fatalIf(!os, "cannot open stats.json output '", path, "'");
+    sim_.statsRegistry().dumpJson(
+        os, sim_.curTick(), dumper_ ? dumper_->epochsDumped() : 0);
+}
+
+double
+Fabric::diskUplinkReplayFraction()
+{
+    panicIf(diskIdx_.empty(), "fabric has no disk");
+    const auto &iface =
+        nodes_[diskIdx_[0]].link->downstreamIf();
+    std::uint64_t tx = iface.txTlps();
+    return tx == 0 ? 0.0
+                   : static_cast<double>(iface.replayedTlps()) /
+                         static_cast<double>(tx);
+}
+
+std::uint64_t
+Fabric::diskUplinkTimeouts()
+{
+    panicIf(diskIdx_.empty(), "fabric has no disk");
+    return nodes_[diskIdx_[0]].link->downstreamIf().timeouts();
+}
+
+RootComplex &
+Fabric::rootComplex()
+{
+    panicIf(rootComplex_ == nullptr,
+            "legacy-io fabrics have no root complex");
+    return *rootComplex_;
+}
+
+unsigned
+Fabric::numSwitches() const
+{
+    return static_cast<unsigned>(switches_.size());
+}
+
+PcieSwitch &
+Fabric::pcieSwitch(unsigned i)
+{
+    panicIf(i >= switches_.size(), "switch ", i, " does not exist");
+    return *switches_[i];
+}
+
+std::vector<PcieLink *>
+Fabric::links() const
+{
+    std::vector<PcieLink *> out;
+    for (auto &l : links_)
+        out.push_back(l.get());
+    return out;
+}
+
+PcieLink &
+Fabric::link(unsigned i)
+{
+    panicIf(i >= links_.size(), "link ", i, " does not exist");
+    return *links_[i];
+}
+
+PcieLink *
+Fabric::findLink(const std::string &name)
+{
+    std::string full = "system." + name;
+    for (auto &l : links_) {
+        if (l->name() == full)
+            return l.get();
+    }
+    return nullptr;
+}
+
+unsigned
+Fabric::numDisks() const
+{
+    return static_cast<unsigned>(disks_.size());
+}
+
+IdeDisk &
+Fabric::disk(unsigned i)
+{
+    panicIf(i >= disks_.size(), "disk ", i, " does not exist");
+    return *disks_[i];
+}
+
+IdeDriver &
+Fabric::ideDriver(unsigned i)
+{
+    panicIf(i >= ideDrivers_.size(),
+            "IDE driver ", i, " does not exist");
+    return *ideDrivers_[i];
+}
+
+unsigned
+Fabric::numTrafficGens() const
+{
+    return static_cast<unsigned>(gens_.size());
+}
+
+TrafficGen &
+Fabric::trafficGen(unsigned i)
+{
+    panicIf(i >= gens_.size(),
+            "traffic generator ", i, " does not exist");
+    return *gens_[i];
+}
+
+unsigned
+Fabric::numNics() const
+{
+    return static_cast<unsigned>(nics_.size());
+}
+
+Nic8254xPcie &
+Fabric::nic(unsigned i)
+{
+    panicIf(i >= nics_.size(), "NIC ", i, " not instantiated");
+    return *nics_[i];
+}
+
+E1000eDriver &
+Fabric::nicDriver(unsigned i)
+{
+    panicIf(i >= nicDrivers_.size(),
+            "driver ", i, " not instantiated");
+    return *nicDrivers_[i];
+}
+
+EtherWire &
+Fabric::wire(unsigned i)
+{
+    panicIf(i >= wires_.size(), "wire ", i, " does not exist");
+    return *wires_[i];
+}
+
+} // namespace pciesim

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Declarative topology layer (DESIGN.md Sec. 13): a FabricDesc
+ * describes a whole system — root complex, switch tree, endpoints,
+ * per-link gen/width/BER/buffer overrides, per-device knobs — and
+ * Fabric instantiates it from the existing device, switch, and link
+ * objects, wiring one event-queue domain per link so `--threads N`
+ * partitioning applies to any shape automatically.
+ *
+ * Descriptions come from C++ (the four legacy system classes are
+ * thin wrappers that build one) or from JSON files under
+ * examples/topologies/ (see parseFabricDesc / loadFabricDesc and
+ * the schema reference in examples/topologies/SCHEMA.md).
+ *
+ * This header is the sanctioned registration surface between the
+ * topo layer and the dev layer: topo code reaches device types
+ * through it rather than including dev/ headers directly (enforced
+ * by pciesim_analyze's topo-dev-include rule).
+ */
+
+#ifndef PCIESIM_TOPO_FABRIC_BUILDER_HH
+#define PCIESIM_TOPO_FABRIC_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dev/ether_wire.hh"
+#include "dev/nic_8254x.hh"
+#include "dev/traffic_gen.hh"
+#include "mem/bridge.hh"
+#include "os/aer_handler.hh"
+#include "os/e1000e_driver.hh"
+#include "pci/pci_host.hh"
+#include "pcie/err_reporter.hh"
+#include "sim/stats_dumper.hh"
+#include "sim/stats_sampler.hh"
+#include "topo/system_config.hh"
+#include "topo/topo_parser.hh"
+
+namespace pciesim
+{
+
+/**
+ * Per-link overrides of one node's upstream link. Zero /
+ * negative values inherit the SystemConfig defaults.
+ */
+struct FabricLinkDesc
+{
+    /** Instance name ("" -> "<node>Link"); "system." prefixed. */
+    std::string name;
+    /** Lane count (0: role default — upstreamLinkWidth for switch
+     *  links, downstreamLinkWidth for endpoint links). */
+    unsigned width = 0;
+    /** Generation 1..5 (0: SystemConfig::gen). */
+    int gen = 0;
+    /** Per-link bit error rate (< 0: SystemConfig value). */
+    double bitErrorRate = -1.0;
+    /** Replay buffer entries (0: SystemConfig value). */
+    std::size_t replayBufferSize = 0;
+};
+
+/** One device or switch of the fabric tree. */
+struct FabricNodeDesc
+{
+    /** Instance name, unique; "system." prefixed; "rc" reserved. */
+    std::string name;
+    /** "switch", "ide_disk", "traffic_gen", or "nic". */
+    std::string kind;
+    /** Name of the parent switch, or "rc" for a root port. Parents
+     *  must be declared before their children. */
+    std::string parent = "rc";
+    /** The link from the parent port down to this node. */
+    FabricLinkDesc link;
+    /** switch: downstream port count (0: switchDownstreamPorts). */
+    unsigned ports = 0;
+    /** switch: forwarding latency in ticks (0: switchLatency). */
+    Tick latency = 0;
+    /** switch: per-port buffer depth (0: portBufferSize). */
+    std::size_t portBufferSize = 0;
+    /** nic: Ethernet wire group; NICs sharing a group share one
+     *  wire (at most two) and one event-queue domain. */
+    std::string wire = "wire";
+    /** @{ Per-device knob overrides (negative: inherit). */
+    /** ide_disk: DMA chunk size in bytes. */
+    long chunkSize = -1;
+    /** ide_disk: media access latency in nanoseconds. */
+    double mediaLatencyNs = -1.0;
+    /** traffic_gen: gap between bursts in nanoseconds. */
+    double interBurstGapNs = -1.0;
+    /** traffic_gen: posted (response-less) DMA writes (0/1). */
+    int postedWrites = -1;
+    /** nic: per-descriptor processing time in nanoseconds. */
+    double descProcessingNs = -1.0;
+    /** nic: writable MSI enable (0/1). */
+    int allowMsi = -1;
+    /** @} */
+    /** Source line for error context (0: built from C++). */
+    unsigned sourceLine = 0;
+};
+
+/** A complete declarative system description. */
+struct FabricDesc
+{
+    /** Input name cited by error messages. */
+    std::string source = "<desc>";
+    /** "pcie" (root complex + links) or "legacy-io" (the flat
+     *  IOBus baseline the paper improves on). */
+    std::string style = "pcie";
+    /** Register functions with the PCI host and allow boot().
+     *  False skips registration for fabrics beyond the 256-bus
+     *  enumeration ceiling; such fabrics hold only switches and
+     *  posted-write traffic generators and are driven through
+     *  runDirectWrites(). */
+    bool enumerate = true;
+    /** Register the system.replayFraction / timeoutFraction
+     *  dump-time formulas over all link device-side interfaces. */
+    bool systemStats = false;
+    /** Common knobs; per-node fields override selectively. */
+    SystemConfig config;
+    /** @{ Defaults for device kinds instantiated by nodes. */
+    TrafficGenParams gen;
+    NicParams nic;
+    E1000eDriverParams nicDriver;
+    EtherWireParams wire;
+    /** @} */
+    /** The tree, in declaration order (parents first). */
+    std::vector<FabricNodeDesc> nodes;
+};
+
+/**
+ * Validate and convert a parsed topology document into a
+ * FabricDesc. Unknown keys, bad types, out-of-range values,
+ * duplicate names, and unresolvable parents are fatal() errors
+ * citing @p source and the offending line.
+ */
+FabricDesc parseFabricDesc(const topo::Json &root,
+                           const std::string &source);
+
+/** Load a topology JSON file into a FabricDesc. */
+FabricDesc loadFabricDesc(const std::string &path);
+
+/**
+ * A constructed system: owns every object the description named,
+ * plus the substrate (memory bus, DRAM, PCI host, interrupt
+ * controller, IO cache, kernel, and — in pcie style — the root
+ * complex). Stats, golden dumps, and parallel partitioning behave
+ * exactly as the legacy hand-coded topologies did; the four legacy
+ * classes are wrappers over this builder.
+ */
+class Fabric
+{
+  public:
+    Fabric(Simulation &sim, const FabricDesc &desc);
+    ~Fabric();
+
+    /** Run enumeration and driver probing (enumerable only). */
+    void boot();
+
+    /** @{ Substrate access. */
+    Simulation &sim() { return sim_; }
+    Kernel &kernel() { return *kernel_; }
+    PciHost &pciHost() { return *pciHost_; }
+    IntController &gic() { return *gic_; }
+    SimpleMemory &dram() { return *dram_; }
+    IOCache &ioCache() { return *ioCache_; }
+    /** The root complex; pcie style only. */
+    RootComplex &rootComplex();
+    /** @} */
+
+    /** @{ Fabric objects, in declaration order per kind. */
+    unsigned numSwitches() const;
+    PcieSwitch &pcieSwitch(unsigned i = 0);
+    std::vector<PcieLink *> links() const;
+    PcieLink &link(unsigned i);
+    /** Link lookup by instance name (without "system." prefix);
+     *  null when absent. */
+    PcieLink *findLink(const std::string &name);
+    unsigned numDisks() const;
+    IdeDisk &disk(unsigned i = 0);
+    IdeDriver &ideDriver(unsigned i = 0);
+    unsigned numTrafficGens() const;
+    TrafficGen &trafficGen(unsigned i = 0);
+    unsigned numNics() const;
+    Nic8254xPcie &nic(unsigned i = 0);
+    E1000eDriver &nicDriver(unsigned i = 0);
+    EtherWire &wire(unsigned i = 0);
+    /** @} */
+
+    /** @{ Observability objects (null unless configured). */
+    StatsSampler *sampler() { return sampler_.get(); }
+    StatsDumper *dumper() { return dumper_.get(); }
+    ErrReporter *errReporter() { return errReporter_.get(); }
+    AerHandler *aerHandler() { return aerHandler_.get(); }
+    /** @} */
+
+    /** Write the full registry as stats.json to @p path. */
+    void exportStatsJson(const std::string &path);
+
+    /** @{ Canonical workloads (see the legacy system classes). */
+    /** dd through the first IDE disk; returns goodput in Gbit/s. */
+    double runDd(const DdWorkloadParams &dd);
+    /** Program and start @p active traffic generators over kernel
+     *  MMIO; returns aggregate goodput in Gbit/s. */
+    double runConcurrentWrites(unsigned active, unsigned bursts,
+                               std::uint32_t burst_bytes);
+    /** Mean 4-byte MMIO read latency of NIC 0's STATUS register. */
+    Tick measureMmioReadLatency(unsigned iterations = 100);
+    /**
+     * Drive every traffic generator directly (no enumeration, no
+     * kernel MMIO): each DMA-writes @p bursts bursts of
+     * @p burst_bytes into its own DRAM region. The only workload
+     * available beyond the 256-bus enumeration ceiling.
+     * @return aggregate goodput in Gbit/s.
+     */
+    double runDirectWrites(std::uint32_t bursts,
+                           std::uint32_t burst_bytes);
+    /** @} */
+
+    /** BAR0 base of traffic generator @p i (valid after boot). */
+    Addr genMmioBase(unsigned i);
+    /** BAR0 base of NIC @p i (valid after boot). */
+    Addr nicMmioBase(unsigned i);
+
+    /** @{ Paper Sec. VI-B readouts on disk 0's uplink. */
+    double diskUplinkReplayFraction();
+    std::uint64_t diskUplinkTimeouts();
+    /** @} */
+
+  private:
+    /** Constructed state of one description node. */
+    struct Node
+    {
+        FabricNodeDesc desc;
+        int parentIndex = -1;    //!< -1: attached to the rc
+        unsigned portOnParent = 0;
+        unsigned depth = 1;      //!< 1 = below a root port
+        unsigned domain = 0;
+        PcieLink *link = nullptr;
+        PcieSwitch *sw = nullptr;
+        PciDevice *dev = nullptr;
+        unsigned ports = 0;      //!< switch: resolved port count
+        Bdf bdf{0, 0, 0};        //!< endpoint / switch upstream
+        unsigned internalBus = 0; //!< switch: downstream VP2P bus
+    };
+
+    [[noreturn]] void failNode(const FabricNodeDesc &n,
+                               const std::string &what);
+    void validate();
+    void buildPcie();
+    void buildLegacyIo();
+    void buildObservability();
+    void wireAer();
+    void registerTree();
+    void auditConfig();
+    void installIntxSink(PciDevice &dev, Tick intx_latency);
+    unsigned effLinkWidth(const FabricNodeDesc &n) const;
+    PcieGen effLinkGen(const FabricNodeDesc &n) const;
+    double effLinkBer(const FabricNodeDesc &n) const;
+    /** Deepest switch owning a downstream port routing @p bus. */
+    PcieSwitch *containingSwitch(unsigned bus, int &port);
+
+    Simulation &sim_;
+    FabricDesc desc_;
+
+    std::vector<Node> nodes_;
+    std::vector<int> rootChildren_;  //!< node index per root port
+    std::vector<unsigned> switchIdx_; //!< node idx of switch i
+    std::vector<unsigned> diskIdx_;
+    std::vector<unsigned> genIdx_;
+    std::vector<unsigned> nicIdx_;
+    bool partitioned_ = false;
+    bool booted_ = false;
+    /** @{ Knob-audit state (see auditConfig). */
+    bool usedUpstreamWidth_ = false;
+    bool usedDownstreamWidth_ = false;
+    bool usedSwitchPorts_ = false;
+    /** @} */
+
+    std::unique_ptr<XBar> membus_;
+    std::unique_ptr<XBar> iobus_;    //!< legacy-io only
+    std::unique_ptr<Bridge> bridge_; //!< legacy-io only
+    std::unique_ptr<SimpleMemory> dram_;
+    std::unique_ptr<PciHost> pciHost_;
+    std::unique_ptr<IntController> gic_;
+    std::unique_ptr<IOCache> ioCache_;
+    std::unique_ptr<RootComplex> rootComplex_;
+    std::unique_ptr<Kernel> kernel_;
+    std::vector<std::unique_ptr<EtherWire>> wires_;
+    std::vector<std::unique_ptr<PcieLink>> links_;
+    std::vector<std::unique_ptr<PcieSwitch>> switches_;
+    std::vector<std::unique_ptr<IdeDisk>> disks_;
+    std::vector<std::unique_ptr<TrafficGen>> gens_;
+    std::vector<std::unique_ptr<Nic8254xPcie>> nics_;
+    std::vector<std::unique_ptr<IdeDriver>> ideDrivers_;
+    std::vector<std::unique_ptr<E1000eDriver>> nicDrivers_;
+    std::unique_ptr<StatsSampler> sampler_;
+    std::unique_ptr<StatsDumper> dumper_;
+    std::unique_ptr<ErrReporter> errReporter_;
+    std::unique_ptr<AerHandler> aerHandler_;
+    /** @{ System-level dump-time formulas (stats v2). */
+    stats::Formula replayFraction_;
+    stats::Formula timeoutFraction_;
+    /** @} */
+};
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_FABRIC_BUILDER_HH

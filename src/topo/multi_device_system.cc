@@ -1,241 +1,45 @@
 #include "multi_device_system.hh"
 
-#include <algorithm>
 #include <string>
-
-#include "pci/config_regs.hh"
-#include "pci/platform.hh"
 
 namespace pciesim
 {
 
-MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
-                                     const MultiDeviceConfig &config)
-    : sim_(sim), config_(config)
+FabricDesc
+MultiDeviceSystem::makeDesc(const MultiDeviceConfig &config)
 {
-    const SystemConfig &base = config.base;
-    fatalIf(config_.numDevices == 0 || config_.numDevices > 16,
+    fatalIf(config.numDevices == 0 || config.numDevices > 16,
             "multi-device system supports 1..16 devices");
 
-    // Parallel partitioning (DESIGN.md Sec. 10): the switch and
-    // every generator get their own domain; the kernel side of the
-    // fabric stays in domain 0.
-    const bool want_parallel = base.threads >= 1;
-    const bool parallel = want_parallel && linksCuttable(base);
-    if (want_parallel && !parallel) {
-        warn("multi-device system: parallel mode requested but "
-             "faulty/NAK links cannot span domains; running "
-             "single-queue");
+    FabricDesc desc;
+    desc.source = "<multi-device>";
+    desc.config = config.base;
+    desc.gen = config.gen;
+
+    FabricNodeDesc sw;
+    sw.name = "switch";
+    sw.kind = "switch";
+    sw.ports = config.numDevices;
+    sw.link.name = "upLink";
+    desc.nodes.push_back(sw);
+
+    for (unsigned i = 0; i < config.numDevices; ++i) {
+        FabricNodeDesc gen;
+        gen.name = "tgen" + std::to_string(i);
+        gen.kind = "traffic_gen";
+        gen.parent = "switch";
+        gen.link.name = "devLink" + std::to_string(i);
+        gen.link.width = config.deviceLinkWidth;
+        desc.nodes.push_back(gen);
     }
-    const Tick quantum =
-        std::min(linkLookahead(base, base.upstreamLinkWidth),
-                 linkLookahead(base, config.deviceLinkWidth));
-    const Tick intx_latency =
-        parallel ? std::max(base.intxLatency, quantum)
-                 : base.intxLatency;
-    // threads == 1 still partitions and runs the engine on one
-    // worker: the keyed heap order is then shared with every
-    // thread count, which is what makes 1-vs-N output
-    // byte-identical (the tier-2 parallel determinism gate).
-    const bool partition = parallel;
-    const unsigned dom_switch = partition ? sim.addDomain() : 0;
-    std::vector<unsigned> dom_gen(config_.numDevices, 0);
-    if (partition) {
-        for (unsigned i = 0; i < config_.numDevices; ++i)
-            dom_gen[i] = sim.addDomain();
-    }
-
-    membus_ = std::make_unique<XBar>(sim, "system.membus",
-                                     base.membus);
-    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
-                                           base.dram);
-    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
-    gic_ = std::make_unique<IntController>(sim, "system.gic",
-                                           base.gic);
-
-    IOCacheParams ioc = base.ioCache;
-    if (ioc.ranges.empty())
-        ioc.ranges = {platform::dramRange};
-    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
-
-    RootComplexParams rcp;
-    rcp.latency = base.rcLatency;
-    rcp.portBufferSize = base.portBufferSize;
-    rcp.linkWidth = base.upstreamLinkWidth;
-    rcp.linkGen = static_cast<unsigned>(base.gen);
-    rootComplex_ = std::make_unique<RootComplex>(sim, "system.rc",
-                                                 *pciHost_, rcp);
-
-    PcieSwitchParams swp;
-    swp.numDownstreamPorts = config_.numDevices;
-    swp.latency = base.switchLatency;
-    swp.portBufferSize = base.portBufferSize;
-    swp.linkWidth = config_.deviceLinkWidth;
-    swp.linkGen = static_cast<unsigned>(base.gen);
-    {
-        Simulation::DomainScope scope(sim, dom_switch);
-        switch_ = std::make_unique<PcieSwitch>(sim, "system.switch",
-                                               swp);
-    }
-
-    upLink_ = std::make_unique<PcieLink>(
-        sim, "system.upLink",
-        base.makeLinkParams(base.upstreamLinkWidth, 0));
-
-    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
-                                       *pciHost_, *gic_, *dram_,
-                                       base.kernel);
-
-    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
-    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
-    membus_->addMasterPort("dramMaster").bind(dram_->port());
-    membus_->addMasterPort("rcMaster")
-        .bind(rootComplex_->upstreamSlavePort());
-    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
-
-    rootComplex_->rootPortMaster(0).bind(upLink_->upSlave());
-    upLink_->upMaster().bind(rootComplex_->rootPortSlave(0));
-    upLink_->downMaster().bind(switch_->upstreamSlavePort());
-    switch_->upstreamMasterPort().bind(upLink_->downSlave());
-
-    // Registry: bus 1 = switch upstream VP2P, bus 2 = internal bus
-    // (downstream VP2Ps), bus 3+i = device i.
-    pciHost_->registerFunction(switch_->upstreamVp2p(), Bdf{1, 0, 0});
-    for (unsigned i = 0; i < config_.numDevices; ++i) {
-        pciHost_->registerFunction(
-            switch_->downstreamVp2p(i),
-            Bdf{2, static_cast<std::uint8_t>(i), 0});
-
-        devLinks_.push_back(std::make_unique<PcieLink>(
-            sim, "system.devLink" + std::to_string(i),
-            base.makeLinkParams(config_.deviceLinkWidth, 1 + i)));
-        {
-            Simulation::DomainScope scope(sim, dom_gen[i]);
-            gens_.push_back(std::make_unique<TrafficGen>(
-                sim, "system.tgen" + std::to_string(i),
-                config_.gen));
-        }
-
-        switch_->downstreamMaster(i).bind(devLinks_[i]->upSlave());
-        devLinks_[i]->upMaster().bind(switch_->downstreamSlave(i));
-        devLinks_[i]->downMaster().bind(gens_[i]->pioPort());
-        gens_[i]->dmaPort().bind(devLinks_[i]->downSlave());
-
-        TrafficGen *gen = gens_[i].get();
-        if (intx_latency > 0) {
-            gens_[i]->setIntxSink(
-                [this, gen, intx_latency](bool asserted) {
-                    unsigned line =
-                        gen->config().raw8(cfg::interruptLine);
-                    sim_.callAt(0, sim_.curTick() + intx_latency,
-                                [this, line, asserted] {
-                                    gic_->setLevel(line, asserted);
-                                });
-                });
-        } else {
-            gens_[i]->setIntxSink([this, gen](bool asserted) {
-                gic_->setLevel(
-                    gen->config().raw8(cfg::interruptLine),
-                    asserted);
-            });
-        }
-        pciHost_->registerFunction(
-            *gens_[i], Bdf{static_cast<std::uint8_t>(3 + i), 0, 0});
-    }
-
-    // Hand each link interface to its domain's queue and attach the
-    // quantum-synchronized engine.
-    if (partition) {
-        upLink_->setDomains(sim.domainQueue(0),
-                            sim.domainQueue(dom_switch));
-        for (unsigned i = 0; i < config_.numDevices; ++i) {
-            devLinks_[i]->setDomains(sim.domainQueue(dom_switch),
-                                     sim.domainQueue(dom_gen[i]));
-        }
-        sim.setupParallel(base.threads, quantum);
-    }
+    return desc;
 }
+
+MultiDeviceSystem::MultiDeviceSystem(Simulation &sim,
+                                     const MultiDeviceConfig &config)
+    : fabric_(sim, makeDesc(config))
+{}
 
 MultiDeviceSystem::~MultiDeviceSystem() = default;
-
-void
-MultiDeviceSystem::boot()
-{
-    if (booted_)
-        return;
-    booted_ = true;
-    sim_.initialize();
-    kernel_->enumerate();
-}
-
-Addr
-MultiDeviceSystem::genMmioBase(unsigned i)
-{
-    boot();
-    const EnumeratedFunction *fn =
-        kernel_->enumerate().find(gens_.at(i)->bdf());
-    panicIf(fn == nullptr || fn->bars.empty(),
-            "traffic generator was not enumerated");
-    return fn->bars[0].start();
-}
-
-double
-MultiDeviceSystem::runConcurrentWrites(unsigned active,
-                                       unsigned bursts,
-                                       std::uint32_t burst_bytes)
-{
-    boot();
-    panicIf(active == 0 || active > config_.numDevices,
-            "bad active device count");
-
-    // The level-triggered line re-dispatches the handler every
-    // delivery period while the asynchronous DONE read is still in
-    // flight; without a pending-read guard the ISR queues a fresh
-    // read per dispatch behind the kernel's serialized MMIO queue,
-    // which diverges whenever the read round-trip exceeds a few
-    // dispatch periods. Guard it the way a real ISR would: at most
-    // one outstanding DONE read per device.
-    std::vector<bool> done_flags(active, false);
-    std::vector<bool> read_pending(active, false);
-    Tick start = sim_.curTick();
-    for (unsigned i = 0; i < active; ++i) {
-        Addr mmio = genMmioBase(i);
-        Addr target = kernel_->allocDma(burst_bytes, 4096);
-        Kernel &k = *kernel_;
-        k.mmioWrite(mmio + tgen::regAddrLo, 4,
-                    target & 0xffffffff, [] {});
-        k.mmioWrite(mmio + tgen::regAddrHi, 4, target >> 32, [] {});
-        k.mmioWrite(mmio + tgen::regLength, 4, burst_bytes, [] {});
-        k.mmioWrite(mmio + tgen::regCount, 4, bursts, [] {});
-        k.mmioWrite(mmio + tgen::regMode, 4, 0, [] {});
-        unsigned line = kernel_->enumerate()
-                            .find(gens_[i]->bdf())->irqLine;
-        k.registerIrqHandler(line, [this, i, mmio, &done_flags,
-                                    &read_pending] {
-            // ISR: read DONE (deasserts INTx), flag completion.
-            if (read_pending[i] || done_flags[i])
-                return;
-            read_pending[i] = true;
-            kernel_->mmioRead(mmio + tgen::regDone, 4,
-                              [i, &done_flags,
-                               &read_pending](std::uint64_t) {
-                read_pending[i] = false;
-                done_flags[i] = true;
-            });
-        });
-        k.mmioWrite(mmio + tgen::regCtrl, 4, tgen::ctrlStart, [] {});
-    }
-    sim_.run();
-    unsigned completed = 0;
-    for (bool f : done_flags)
-        completed += f ? 1 : 0;
-    fatalIf(completed != active,
-            "concurrent run did not complete (", completed, " of ",
-            active, ")");
-
-    Tick elapsed = sim_.curTick() - start;
-    double bytes = static_cast<double>(active) * bursts * burst_bytes;
-    return bytes * 8.0 / ticksToSeconds(elapsed) / 1e9;
-}
 
 } // namespace pciesim

@@ -9,20 +9,17 @@
  *   Kernel ── MemBus ── RC ═upstream═ Switch ═x1═ TrafficGen 0
  *                │        │              ═x1═ TrafficGen 1
  *              DRAM    IOCache           ═x1═ ...
+ *
+ * A thin wrapper over the declarative fabric builder (see
+ * examples/topologies/multi_device.json).
  */
 
 #ifndef PCIESIM_TOPO_MULTI_DEVICE_SYSTEM_HH
 #define PCIESIM_TOPO_MULTI_DEVICE_SYSTEM_HH
 
-#include <memory>
 #include <vector>
 
-#include "dev/traffic_gen.hh"
-#include "pci/pci_host.hh"
-#include "pcie/pcie_link.hh"
-#include "pcie/pcie_switch.hh"
-#include "pcie/root_complex.hh"
-#include "topo/system_config.hh"
+#include "topo/fabric_builder.hh"
 
 namespace pciesim
 {
@@ -49,51 +46,44 @@ class MultiDeviceSystem
                       const MultiDeviceConfig &config);
     ~MultiDeviceSystem();
 
-    void boot();
+    void boot() { fabric_.boot(); }
 
-    Kernel &kernel() { return *kernel_; }
-    TrafficGen &device(unsigned i) { return *gens_.at(i); }
-    unsigned numDevices() const { return config_.numDevices; }
-    RootComplex &rootComplex() { return *rootComplex_; }
-    PcieSwitch &pcieSwitch() { return *switch_; }
-    PcieLink &upstreamLink() { return *upLink_; }
+    Kernel &kernel() { return fabric_.kernel(); }
+    TrafficGen &device(unsigned i) { return fabric_.trafficGen(i); }
+    unsigned numDevices() const { return fabric_.numTrafficGens(); }
+    RootComplex &rootComplex() { return fabric_.rootComplex(); }
+    PcieSwitch &pcieSwitch() { return fabric_.pcieSwitch(0); }
+    PcieLink &upstreamLink() { return fabric_.link(0); }
     /** All links of the fabric, for generic per-link stats. */
-    std::vector<PcieLink *>
-    links()
-    {
-        std::vector<PcieLink *> out = {upLink_.get()};
-        for (const auto &link : devLinks_)
-            out.push_back(link.get());
-        return out;
-    }
+    std::vector<PcieLink *> links() { return fabric_.links(); }
+    /** The underlying declarative fabric. */
+    Fabric &fabric() { return fabric_; }
 
     /** BAR0 base of generator @p i (valid after boot). */
-    Addr genMmioBase(unsigned i);
+    Addr genMmioBase(unsigned i)
+    {
+        return fabric_.genMmioBase(i);
+    }
 
     /**
      * Program and start @p active generators, each DMA-writing
      * @p bursts bursts of @p burst_bytes into its own DRAM region,
      * run to completion, and return the aggregate goodput in Gbps.
      */
-    double runConcurrentWrites(unsigned active, unsigned bursts,
-                               std::uint32_t burst_bytes);
+    double
+    runConcurrentWrites(unsigned active, unsigned bursts,
+                        std::uint32_t burst_bytes)
+    {
+        return fabric_.runConcurrentWrites(active, bursts,
+                                           burst_bytes);
+    }
+
+    /** The description this class instantiates; also the reference
+     *  for examples/topologies/multi_device.json. */
+    static FabricDesc makeDesc(const MultiDeviceConfig &config);
 
   private:
-    Simulation &sim_;
-    MultiDeviceConfig config_;
-
-    std::unique_ptr<XBar> membus_;
-    std::unique_ptr<SimpleMemory> dram_;
-    std::unique_ptr<PciHost> pciHost_;
-    std::unique_ptr<IntController> gic_;
-    std::unique_ptr<IOCache> ioCache_;
-    std::unique_ptr<RootComplex> rootComplex_;
-    std::unique_ptr<PcieSwitch> switch_;
-    std::unique_ptr<PcieLink> upLink_;
-    std::vector<std::unique_ptr<PcieLink>> devLinks_;
-    std::vector<std::unique_ptr<TrafficGen>> gens_;
-    std::unique_ptr<Kernel> kernel_;
-    bool booted_ = false;
+    Fabric fabric_;
 };
 
 } // namespace pciesim

@@ -1,195 +1,36 @@
 #include "nic_system.hh"
 
-#include <algorithm>
 #include <string>
-
-#include "pci/config_regs.hh"
-#include "pci/platform.hh"
-#include "sim/trace.hh"
 
 namespace pciesim
 {
 
-NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
-    : sim_(sim), config_(config)
+FabricDesc
+NicSystem::makeDesc(const NicSystemConfig &config)
 {
-    const SystemConfig &base = config.base;
-    trace::applyConfig(base.traceFlags, base.traceOut);
-    Packet::resetIds();
-
-    // Parallel partitioning (DESIGN.md Sec. 10): both NICs and the
-    // Ethernet wire between them form one device domain (the wire
-    // models no latency, so the NICs cannot be cut apart); the
-    // kernel side stays in domain 0 and the NIC links are the cut.
-    const bool want_parallel = base.threads >= 1;
-    const bool parallel = want_parallel && linksCuttable(base) &&
-                          base.statsSampleInterval == 0 &&
-                          base.statsDumpInterval == 0;
-    if (want_parallel && !parallel) {
-        warn("nic system: parallel mode requested but the "
-             "configuration pins the fabric to one domain (faults, "
-             "NAK, or periodic stats); running single-queue");
-    }
-    const Tick quantum = linkLookahead(base, config.nicLinkWidth);
-    const Tick intx_latency =
-        parallel ? std::max(base.intxLatency, quantum)
-                 : base.intxLatency;
-    // threads == 1 still partitions and runs the engine on one
-    // worker: the keyed heap order is then shared with every
-    // thread count, which is what makes 1-vs-N output
-    // byte-identical (the tier-2 parallel determinism gate).
-    const bool partition = parallel;
-    const unsigned dom_dev = partition ? sim.addDomain() : 0;
-
-    membus_ = std::make_unique<XBar>(sim, "system.membus",
-                                     base.membus);
-    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
-                                           base.dram);
-    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
-    gic_ = std::make_unique<IntController>(sim, "system.gic",
-                                           base.gic);
-
-    IOCacheParams ioc = base.ioCache;
-    if (ioc.ranges.empty())
-        ioc.ranges = {platform::dramRange};
-    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
-
-    RootComplexParams rcp;
-    rcp.latency = base.rcLatency;
-    rcp.portBufferSize = base.portBufferSize;
-    rcp.linkWidth = config.nicLinkWidth;
-    rcp.linkGen = static_cast<unsigned>(base.gen);
-    rootComplex_ = std::make_unique<RootComplex>(sim, "system.rc",
-                                                 *pciHost_, rcp);
-
-    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
-                                       *pciHost_, *gic_, *dram_,
-                                       base.kernel);
-
-    {
-        Simulation::DomainScope scope(sim, dom_dev);
-        wire_ = std::make_unique<EtherWire>(sim, "system.wire",
-                                            config.wire);
-    }
-
-    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
-    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
-    membus_->addMasterPort("dramMaster").bind(dram_->port());
-    membus_->addMasterPort("rcMaster")
-        .bind(rootComplex_->upstreamSlavePort());
-    membus_->addMasterPort("msiMaster").bind(gic_->msiPort());
-    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
+    FabricDesc desc;
+    desc.source = "<nic>";
+    desc.config = config.base;
+    desc.nic = config.nic;
+    desc.nicDriver = config.driver;
+    desc.wire = config.wire;
 
     unsigned num_nics = config.twoNics ? 2 : 1;
     for (unsigned i = 0; i < num_nics; ++i) {
-        std::string idx = std::to_string(i);
-        links_[i] = std::make_unique<PcieLink>(
-            sim, "system.nicLink" + idx,
-            base.makeLinkParams(config.nicLinkWidth, i));
-        {
-            Simulation::DomainScope scope(sim, dom_dev);
-            nics_[i] = std::make_unique<Nic8254xPcie>(
-                sim, "system.nic" + idx, config.nic);
-        }
-        drivers_[i] = std::make_unique<E1000eDriver>(config.driver);
-
-        rootComplex_->rootPortMaster(i).bind(links_[i]->upSlave());
-        links_[i]->upMaster().bind(rootComplex_->rootPortSlave(i));
-        links_[i]->downMaster().bind(nics_[i]->pioPort());
-        nics_[i]->dmaPort().bind(links_[i]->downSlave());
-
-        nics_[i]->attachWire(*wire_, i);
-        Nic8254xPcie *nic = nics_[i].get();
-        if (intx_latency > 0) {
-            nics_[i]->setIntxSink(
-                [this, nic, intx_latency](bool asserted) {
-                    unsigned line =
-                        nic->config().raw8(cfg::interruptLine);
-                    sim_.callAt(0, sim_.curTick() + intx_latency,
-                                [this, line, asserted] {
-                                    gic_->setLevel(line, asserted);
-                                });
-                });
-        } else {
-            nics_[i]->setIntxSink([this, nic](bool asserted) {
-                gic_->setLevel(
-                    nic->config().raw8(cfg::interruptLine),
-                    asserted);
-            });
-        }
-
-        // Bus numbering: root port i's subtree is bus i+1 (each
-        // NIC is the only device below its root port and DFS visits
-        // root ports in device order: root port 0 -> bus 1, root
-        // port 1 -> bus 2).
-        pciHost_->registerFunction(
-            *nics_[i], Bdf{static_cast<std::uint8_t>(i + 1), 0, 0});
-        kernel_->registerDriver(*drivers_[i]);
+        FabricNodeDesc nic;
+        nic.name = "nic" + std::to_string(i);
+        nic.kind = "nic";
+        nic.link.name = "nicLink" + std::to_string(i);
+        nic.link.width = config.nicLinkWidth;
+        desc.nodes.push_back(nic);
     }
-
-    // Hand each link interface to its domain's queue and attach the
-    // quantum-synchronized engine.
-    if (partition) {
-        for (unsigned i = 0; i < num_nics; ++i) {
-            links_[i]->setDomains(sim.domainQueue(0),
-                                  sim.domainQueue(dom_dev));
-        }
-        sim.setupParallel(base.threads, quantum);
-    }
+    return desc;
 }
+
+NicSystem::NicSystem(Simulation &sim, const NicSystemConfig &config)
+    : fabric_(sim, makeDesc(config))
+{}
 
 NicSystem::~NicSystem() = default;
-
-Nic8254xPcie &
-NicSystem::nic(unsigned i)
-{
-    panicIf(nics_[i] == nullptr, "NIC ", i, " not instantiated");
-    return *nics_[i];
-}
-
-E1000eDriver &
-NicSystem::driver(unsigned i)
-{
-    panicIf(drivers_[i] == nullptr, "driver ", i, " not instantiated");
-    return *drivers_[i];
-}
-
-void
-NicSystem::boot()
-{
-    if (booted_)
-        return;
-    booted_ = true;
-    sim_.initialize();
-    kernel_->enumerate();
-    kernel_->probeDrivers();
-    // Let the timed probe sequence (reset, EEPROM, rings) finish.
-    sim_.run();
-    fatalIf(!drivers_[0]->probed(),
-            "boot failed: e1000e driver did not finish probing");
-}
-
-Addr
-NicSystem::nicMmioBase(unsigned i)
-{
-    const auto &result = kernel_->enumerate();
-    const EnumeratedFunction *fn = result.find(nics_[i]->bdf());
-    panicIf(fn == nullptr || fn->bars.empty(),
-            "NIC was not enumerated");
-    return fn->bars[0].start();
-}
-
-Tick
-NicSystem::measureMmioReadLatency(unsigned iterations)
-{
-    boot();
-    // Read the STATUS register, as a kernel module would.
-    MmioProbe probe(*kernel_, nicMmioBase(0) + nicreg::status);
-    bool done = false;
-    probe.run(iterations, [&done] { done = true; });
-    sim_.run();
-    fatalIf(!done, "MMIO probe did not complete");
-    return probe.meanLatency();
-}
 
 } // namespace pciesim

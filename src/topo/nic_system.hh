@@ -4,21 +4,16 @@
  * to a root complex root port ("we connect a gem5 NIC model to a
  * root port and sweep the root complex latency", paper Sec. VI-B),
  * plus an Ethernet wire so two NICs (or a loopback) can exchange
- * frames for the networking examples.
+ * frames for the networking examples. A thin wrapper over the
+ * declarative fabric builder (see examples/topologies/nic.json).
  */
 
 #ifndef PCIESIM_TOPO_NIC_SYSTEM_HH
 #define PCIESIM_TOPO_NIC_SYSTEM_HH
 
-#include <memory>
 #include <vector>
 
-#include "dev/ether_wire.hh"
-#include "dev/nic_8254x.hh"
-#include "os/e1000e_driver.hh"
-#include "os/mmio_probe.hh"
-#include "pci/pci_host.hh"
-#include "topo/system_config.hh"
+#include "topo/fabric_builder.hh"
 
 namespace pciesim
 {
@@ -49,52 +44,46 @@ class NicSystem
 
     /** Run enumeration and driver probing, then let the timed
      *  probe/config sequence finish. */
-    void boot();
+    void boot() { fabric_.boot(); }
 
-    Simulation &sim() { return sim_; }
-    Kernel &kernel() { return *kernel_; }
-    Nic8254xPcie &nic(unsigned i = 0);
-    E1000eDriver &driver(unsigned i = 0);
-    RootComplex &rootComplex() { return *rootComplex_; }
-    EtherWire &wire() { return *wire_; }
-    PciHost &pciHost() { return *pciHost_; }
-    IntController &gic() { return *gic_; }
+    Simulation &sim() { return fabric_.sim(); }
+    Kernel &kernel() { return fabric_.kernel(); }
+    Nic8254xPcie &nic(unsigned i = 0) { return fabric_.nic(i); }
+    E1000eDriver &
+    driver(unsigned i = 0)
+    {
+        return fabric_.nicDriver(i);
+    }
+    RootComplex &rootComplex() { return fabric_.rootComplex(); }
+    EtherWire &wire() { return fabric_.wire(0); }
+    PciHost &pciHost() { return fabric_.pciHost(); }
+    IntController &gic() { return fabric_.gic(); }
+    /** The underlying declarative fabric. */
+    Fabric &fabric() { return fabric_; }
 
     /** All instantiated links, for generic per-link stats. */
-    std::vector<PcieLink *>
-    links()
-    {
-        std::vector<PcieLink *> out;
-        for (const auto &link : links_) {
-            if (link)
-                out.push_back(link.get());
-        }
-        return out;
-    }
+    std::vector<PcieLink *> links() { return fabric_.links(); }
 
     /** BAR0 base of NIC @p i (valid after boot). */
-    Addr nicMmioBase(unsigned i = 0);
+    Addr nicMmioBase(unsigned i = 0)
+    {
+        return fabric_.nicMmioBase(i);
+    }
 
     /** Run the Table II measurement: mean 4-byte MMIO read latency
      *  of a NIC register over @p iterations reads. */
-    Tick measureMmioReadLatency(unsigned iterations = 100);
+    Tick
+    measureMmioReadLatency(unsigned iterations = 100)
+    {
+        return fabric_.measureMmioReadLatency(iterations);
+    }
+
+    /** The description this class instantiates; also the reference
+     *  for examples/topologies/nic.json. */
+    static FabricDesc makeDesc(const NicSystemConfig &config);
 
   private:
-    Simulation &sim_;
-    NicSystemConfig config_;
-
-    std::unique_ptr<XBar> membus_;
-    std::unique_ptr<SimpleMemory> dram_;
-    std::unique_ptr<PciHost> pciHost_;
-    std::unique_ptr<IntController> gic_;
-    std::unique_ptr<IOCache> ioCache_;
-    std::unique_ptr<RootComplex> rootComplex_;
-    std::unique_ptr<PcieLink> links_[2];
-    std::unique_ptr<Nic8254xPcie> nics_[2];
-    std::unique_ptr<E1000eDriver> drivers_[2];
-    std::unique_ptr<EtherWire> wire_;
-    std::unique_ptr<Kernel> kernel_;
-    bool booted_ = false;
+    Fabric fabric_;
 };
 
 } // namespace pciesim

@@ -1,439 +1,36 @@
 #include "storage_system.hh"
 
-#include <algorithm>
-#include <array>
-#include <fstream>
-
-#include "pci/config_regs.hh"
-#include "pci/platform.hh"
-#include "sim/trace.hh"
-
 namespace pciesim
 {
 
+FabricDesc
+StorageSystem::makeDesc(const SystemConfig &config)
+{
+    FabricDesc desc;
+    desc.source = "<storage>";
+    desc.systemStats = true;
+    desc.config = config;
+
+    FabricNodeDesc sw;
+    sw.name = "switch";
+    sw.kind = "switch";
+    sw.link.name = "upLink";
+    desc.nodes.push_back(sw);
+
+    FabricNodeDesc disk;
+    disk.name = "disk";
+    disk.kind = "ide_disk";
+    disk.parent = "switch";
+    disk.link.name = "downLink";
+    desc.nodes.push_back(disk);
+    return desc;
+}
+
 StorageSystem::StorageSystem(Simulation &sim,
                              const SystemConfig &config)
-    : sim_(sim), config_(config)
-{
-    trace::applyConfig(config.traceFlags, config.traceOut);
-    Packet::resetIds();
-
-    // Parallel partitioning (DESIGN.md Sec. 10): cut the fabric at
-    // its two links when requested and safe. threads == 1 keeps the
-    // single legacy queue (the degenerate partition); the knob then
-    // only selects the parallel-mode INTx wire model, which is the
-    // same for every thread count.
-    const bool want_parallel = config.threads >= 1;
-    const bool parallel = want_parallel && linksCuttable(config) &&
-                          config.statsSampleInterval == 0 &&
-                          config.statsDumpInterval == 0;
-    if (want_parallel && !parallel) {
-        const char *reason =
-            config.linkBitErrorRate > 0.0
-                ? "link fault injection (BER > 0)"
-            : config.enableNak ? "NAK protocol emulation"
-            : config.aerEnabled ? "AER error reporting"
-            : config.degradeThreshold > 0 ? "link degradation"
-            : config.unplugAtChunk > 0
-                ? "scripted surprise hot-unplug"
-            : config.statsSampleInterval > 0
-                ? "periodic stats sampling"
-                : "periodic stats dump epochs";
-        // pciesim-analyze: single-threaded: construction runs
-        // before any worker threads exist
-        static bool warnedFallback = false;
-        if (!warnedFallback) {
-            warnedFallback = true;
-            warn("storage system: --threads requested but ", reason,
-                 " pins the fabric to one event-queue domain; "
-                 "running single-queue");
-        }
-    }
-    const Tick quantum =
-        std::min(linkLookahead(config, config.upstreamLinkWidth),
-                 linkLookahead(config, config.downstreamLinkWidth));
-    const Tick intx_latency =
-        parallel ? std::max(config.intxLatency, quantum)
-                 : config.intxLatency;
-    // threads == 1 still partitions and runs the engine on one
-    // worker: the keyed heap order is then shared with every
-    // thread count, which is what makes 1-vs-N output
-    // byte-identical (the tier-2 parallel determinism gate).
-    const bool partition = parallel;
-    const unsigned dom_switch = partition ? sim.addDomain() : 0;
-    const unsigned dom_disk = partition ? sim.addDomain() : 0;
-
-    membus_ = std::make_unique<XBar>(sim, "system.membus",
-                                     config.membus);
-    dram_ = std::make_unique<SimpleMemory>(sim, "system.dram",
-                                           config.dram);
-    pciHost_ = std::make_unique<PciHost>(sim, "system.pciHost");
-    gic_ = std::make_unique<IntController>(sim, "system.gic",
-                                           config.gic);
-
-    IOCacheParams ioc = config.ioCache;
-    if (ioc.ranges.empty())
-        ioc.ranges = {platform::dramRange};
-    ioCache_ = std::make_unique<IOCache>(sim, "system.ioCache", ioc);
-
-    RootComplexParams rcp;
-    rcp.latency = config.rcLatency;
-    rcp.portBufferSize = config.portBufferSize;
-    rcp.linkWidth = config.upstreamLinkWidth;
-    rcp.linkGen = static_cast<unsigned>(config.gen);
-    rootComplex_ = std::make_unique<RootComplex>(sim, "system.rc",
-                                                 *pciHost_, rcp);
-
-    PcieSwitchParams swp;
-    swp.numDownstreamPorts = config.switchDownstreamPorts;
-    swp.latency = config.switchLatency;
-    swp.portBufferSize = config.portBufferSize;
-    swp.linkWidth = config.downstreamLinkWidth;
-    swp.linkGen = static_cast<unsigned>(config.gen);
-    swp.enableContainment = config.aerEnabled;
-    {
-        Simulation::DomainScope scope(sim, dom_switch);
-        switch_ = std::make_unique<PcieSwitch>(sim, "system.switch",
-                                               swp);
-    }
-
-    upLink_ = std::make_unique<PcieLink>(
-        sim, "system.upLink",
-        config.makeLinkParams(config.upstreamLinkWidth, 0));
-    downLink_ = std::make_unique<PcieLink>(
-        sim, "system.downLink",
-        config.makeLinkParams(config.downstreamLinkWidth, 1));
-
-    IdeDiskParams dkp = config.disk;
-    if (config.completionTimeout > 0)
-        dkp.dmaCompletionTimeout = config.completionTimeout;
-    if (config.unplugAtChunk > 0)
-        dkp.unplugAtChunk = config.unplugAtChunk;
-    dkp.replugDelay = config.replugDelay;
-    {
-        Simulation::DomainScope scope(sim, dom_disk);
-        disk_ = std::make_unique<IdeDisk>(sim, "system.disk", dkp);
-    }
-    KernelParams kp = config.kernel;
-    if (config.completionTimeout > 0)
-        kp.completionTimeout = config.completionTimeout;
-    kernel_ = std::make_unique<Kernel>(sim, "system.kernel",
-                                       *pciHost_, *gic_, *dram_,
-                                       kp);
-    IdeDriverParams drvp = config.ideDriver;
-    if (config.aerEnabled)
-        drvp.trackRecovery = true;
-    ideDriver_ = std::make_unique<IdeDriver>(drvp);
-
-    //
-    // Wiring (paper Fig. 6 + Sec. VI-A).
-    //
-
-    // MemBus: CPU and IOCache in, DRAM and root complex out.
-    kernel_->cpuPort().bind(membus_->addSlavePort("cpuSlave"));
-    ioCache_->masterPort().bind(membus_->addSlavePort("iocSlave"));
-    membus_->addMasterPort("dramMaster").bind(dram_->port());
-    membus_->addMasterPort("rcMaster")
-        .bind(rootComplex_->upstreamSlavePort());
-
-    // DMA path: root complex -> IOCache -> MemBus.
-    rootComplex_->upstreamMasterPort().bind(ioCache_->slavePort());
-
-    // Root port 0 <-> x4 link <-> switch upstream port.
-    rootComplex_->rootPortMaster(0).bind(upLink_->upSlave());
-    upLink_->upMaster().bind(rootComplex_->rootPortSlave(0));
-    upLink_->downMaster().bind(switch_->upstreamSlavePort());
-    switch_->upstreamMasterPort().bind(upLink_->downSlave());
-
-    // Switch downstream port 0 <-> x1 link <-> disk.
-    switch_->downstreamMaster(0).bind(downLink_->upSlave());
-    downLink_->upMaster().bind(switch_->downstreamSlave(0));
-    downLink_->downMaster().bind(disk_->pioPort());
-    disk_->dmaPort().bind(downLink_->downSlave());
-
-    // Hand each link interface to its domain's queue and attach the
-    // quantum-synchronized engine.
-    if (partition) {
-        upLink_->setDomains(sim.domainQueue(0),
-                            sim.domainQueue(dom_switch));
-        downLink_->setDomains(sim.domainQueue(dom_switch),
-                              sim.domainQueue(dom_disk));
-        sim.setupParallel(config.threads, quantum);
-    }
-
-    // Legacy interrupt: the disk asserts whatever line enumeration
-    // programmed into its Interrupt Line register. With a modeled
-    // INTx wire latency the level change is posted onto the host
-    // domain's queue; the line number is read at assert time in the
-    // disk's own domain, as in the direct path.
-    if (intx_latency > 0) {
-        disk_->setIntxSink([this, intx_latency](bool asserted) {
-            unsigned line =
-                disk_->config().raw8(cfg::interruptLine);
-            sim_.callAt(0, sim_.curTick() + intx_latency,
-                        [this, line, asserted] {
-                            gic_->setLevel(line, asserted);
-                        });
-        });
-    } else {
-        disk_->setIntxSink([this](bool asserted) {
-            gic_->setLevel(disk_->config().raw8(cfg::interruptLine),
-                           asserted);
-        });
-    }
-
-    //
-    // PCI registry. The root complex registered its VP2Ps on bus 0
-    // (devices 0..2). The depth-first enumeration then assigns:
-    // bus 1 = below root port 0 (the switch upstream VP2P), bus 2 =
-    // the switch internal bus (downstream VP2Ps), bus 3 = below
-    // switch downstream port 0 (the disk), bus 4.. = the remaining
-    // empty downstream ports / root ports.
-    //
-    pciHost_->registerFunction(switch_->upstreamVp2p(), Bdf{1, 0, 0});
-    for (unsigned i = 0; i < switch_->numDownstreamPorts(); ++i) {
-        pciHost_->registerFunction(
-            switch_->downstreamVp2p(i),
-            Bdf{2, static_cast<std::uint8_t>(i), 0});
-    }
-    pciHost_->registerFunction(*disk_, Bdf{3, 0, 0});
-
-    kernel_->registerDriver(*ideDriver_);
-
-    //
-    // Error containment and recovery (DESIGN.md §12). Constructed
-    // only when enabled: every object, stat, and hook below is
-    // absent on fault-free configurations, keeping them
-    // bit-identical.
-    //
-    if (config.aerEnabled) {
-        errReporter_ = std::make_unique<ErrReporter>(
-            sim, "system.errReporter", config.aerMsgLatency);
-
-        // Detecting agents: each link end latches errors into the
-        // AER capability of the function fronting it, and unmasked
-        // errors ride the reporter to the root as ERR_* messages.
-        auto latch = [this](PciFunction &fn, std::uint16_t source,
-                            ErrSeverity sev, std::uint32_t bit) {
-            if (sev == ErrSeverity::Correctable) {
-                if (fn.aer().recordCorrectable(bit)) {
-                    errReporter_->report(
-                        {ErrSeverity::Correctable, bit, source});
-                }
-                return;
-            }
-            std::array<std::uint32_t, 4> hdr{};
-            bool is_fatal = false;
-            if (fn.aer().recordUncorrectable(bit, hdr, is_fatal)) {
-                errReporter_->report({is_fatal ? ErrSeverity::Fatal
-                                               : ErrSeverity::NonFatal,
-                                      bit, source});
-            }
-        };
-        upLink_->setErrorSink(
-            [this, latch](ErrSeverity sev, std::uint32_t bit,
-                          bool at_up) {
-                if (at_up) {
-                    latch(rootComplex_->vp2p(0),
-                          static_cast<std::uint16_t>(
-                              Bdf{0, 0, 0}.key()), sev, bit);
-                } else {
-                    latch(switch_->upstreamVp2p(),
-                          static_cast<std::uint16_t>(
-                              Bdf{1, 0, 0}.key()), sev, bit);
-                }
-            });
-        downLink_->setErrorSink(
-            [this, latch](ErrSeverity sev, std::uint32_t bit,
-                          bool at_up) {
-                if (at_up) {
-                    latch(switch_->downstreamVp2p(0),
-                          static_cast<std::uint16_t>(
-                              Bdf{2, 0, 0}.key()), sev, bit);
-                } else {
-                    latch(*disk_,
-                          static_cast<std::uint16_t>(
-                              Bdf{3, 0, 0}.key()), sev, bit);
-                }
-            });
-
-        // Surprise hot-unplug: the downstream port detects the
-        // surprise down; the reported source is the vanished device
-        // so containment and recovery target its subtree.
-        disk_->setUnplugHook([this, latch] {
-            latch(switch_->downstreamVp2p(0),
-                  static_cast<std::uint16_t>(Bdf{3, 0, 0}.key()),
-                  ErrSeverity::Fatal, cfg::aerUncSurpriseDown);
-        });
-
-        // Requester-side completion timeouts become ERR_NONFATAL
-        // from the requester's function.
-        kernel_->setMmioTimeoutHook([this, latch](bool) {
-            latch(rootComplex_->vp2p(0),
-                  static_cast<std::uint16_t>(Bdf{0, 0, 0}.key()),
-                  ErrSeverity::NonFatal, cfg::aerUncCompletionTimeout);
-        });
-        disk_->setDmaTimeoutHook([this, latch] {
-            latch(*disk_,
-                  static_cast<std::uint16_t>(Bdf{3, 0, 0}.key()),
-                  ErrSeverity::NonFatal, cfg::aerUncCompletionTimeout);
-        });
-
-        // Root-side consumer: latch into the root port's root error
-        // status block, contain the failed subtree on FATAL, and
-        // interrupt the kernel.
-        errReporter_->setSink([this](const ErrMsg &msg) {
-            bool irq = rootComplex_->vp2p(0).aer().recordRootError(
-                msg.sev, msg.sourceId);
-            if (msg.sev == ErrSeverity::Fatal) {
-                int port = switch_->downstreamPortForBus(
-                    (msg.sourceId >> 8) & 0xff);
-                if (port >= 0) {
-                    switch_->containDownstreamPort(
-                        static_cast<unsigned>(port));
-                }
-            }
-            if (irq)
-                gic_->setLevel(config_.aerIrqLine, true);
-        });
-
-        // The kernel's AER service: reads and clears the root error
-        // status through config cycles, resets the function behind
-        // a FATAL error, and coordinates driver recovery.
-        AerHandlerParams ahp;
-        ahp.irqLine = config.aerIrqLine;
-        aerHandler_ = std::make_unique<AerHandler>(
-            *kernel_, Bdf{0, 0, 0}, ahp);
-        aerHandler_->setIrqAck([this] {
-            gic_->setLevel(config_.aerIrqLine, false);
-        });
-        aerHandler_->setReleaseHook([this](Bdf bdf) {
-            int port = switch_->downstreamPortForBus(bdf.bus);
-            if (port >= 0) {
-                switch_->releaseDownstreamPort(
-                    static_cast<unsigned>(port));
-            }
-        });
-        aerHandler_->addClient(ideDriver_.get());
-    }
-
-    // Periodic goodput / replay-depth sampler (off by default).
-    if (config.statsSampleInterval > 0) {
-        sampler_ = std::make_unique<StatsSampler>(
-            sim, "system.sampler", config.statsSampleInterval);
-        IdeDisk *disk = disk_.get();
-        sampler_->addRate("goodputBytesPerSec", [disk] {
-            return static_cast<double>(disk->bytesTransferred());
-        });
-        for (PcieLink *link : links()) {
-            LinkInterface *down = &link->downstreamIf();
-            LinkInterface *up = &link->upstreamIf();
-            sampler_->addGauge(
-                link->name() + ".up.replayDepth", [down] {
-                    return static_cast<double>(down->replayDepth());
-                });
-            sampler_->addGauge(
-                link->name() + ".down.replayDepth", [up] {
-                    return static_cast<double>(up->replayDepth());
-                });
-        }
-    }
-
-    // m5out-style dump/reset stats epochs (off by default; epochs
-    // reset counters, see SystemConfig::statsDumpInterval).
-    if (config.statsDumpInterval > 0) {
-        dumper_ = std::make_unique<StatsDumper>(
-            sim, "system.dumper", config.statsDumpInterval,
-            config.statsDumpPath);
-    }
-
-    // System-level derived stats, replacing the ad-hoc arithmetic
-    // the benches used to carry. Same counters, same summation
-    // order, so bench output stays bit-identical.
-    replayFraction_ = [this] {
-        std::uint64_t tx = downLink_->downstreamIf().txTlps() +
-                           upLink_->downstreamIf().txTlps();
-        std::uint64_t replays =
-            downLink_->downstreamIf().replayedTlps() +
-            upLink_->downstreamIf().replayedTlps();
-        return tx == 0 ? 0.0
-                       : static_cast<double>(replays) /
-                             static_cast<double>(tx);
-    };
-    sim.statsRegistry().add(
-        "system.replayFraction", &replayFraction_,
-        "replayed / transmitted TLPs, device-side interfaces of "
-        "both links", stats::Unit::Ratio);
-    timeoutFraction_ = [this] {
-        std::uint64_t tx = downLink_->downstreamIf().txTlps() +
-                           upLink_->downstreamIf().txTlps();
-        std::uint64_t timeouts =
-            downLink_->downstreamIf().timeouts() +
-            upLink_->downstreamIf().timeouts();
-        return tx == 0 ? 0.0
-                       : static_cast<double>(timeouts) /
-                             static_cast<double>(tx);
-    };
-    sim.statsRegistry().add(
-        "system.timeoutFraction", &timeoutFraction_,
-        "replay-timer timeouts / transmitted TLPs, device-side "
-        "interfaces of both links", stats::Unit::Ratio);
-}
+    : fabric_(sim, makeDesc(config))
+{}
 
 StorageSystem::~StorageSystem() = default;
-
-void
-StorageSystem::boot()
-{
-    sim_.initialize();
-    kernel_->enumerate();
-    kernel_->probeDrivers();
-    fatalIf(!ideDriver_->probed(),
-            "boot failed: the IDE driver did not probe the disk");
-}
-
-double
-StorageSystem::runDd(const DdWorkloadParams &dd)
-{
-    boot();
-    DdWorkload workload(*kernel_, *ideDriver_, dd);
-    bool done = false;
-    workload.run([&done] { done = true; });
-    sim_.run();
-    fatalIf(!done, "dd did not complete (deadlock?)");
-    // Flush the final partial epoch (without resetting, so the
-    // caller's end-of-run readouts survive), then export
-    // machine-readable stats while the workload is still alive.
-    if (dumper_)
-        dumper_->dumpEpoch(false);
-    if (!config_.statsJsonOut.empty())
-        exportStatsJson(config_.statsJsonOut);
-    return workload.throughputGbps();
-}
-
-void
-StorageSystem::exportStatsJson(const std::string &path)
-{
-    std::ofstream os(path);
-    fatalIf(!os, "cannot open stats.json output '", path, "'");
-    sim_.statsRegistry().dumpJson(
-        os, sim_.curTick(), dumper_ ? dumper_->epochsDumped() : 0);
-}
-
-double
-StorageSystem::diskUplinkReplayFraction()
-{
-    const auto &iface = downLink_->downstreamIf();
-    std::uint64_t tx = iface.txTlps();
-    return tx == 0 ? 0.0
-                   : static_cast<double>(iface.replayedTlps()) /
-                         static_cast<double>(tx);
-}
-
-std::uint64_t
-StorageSystem::diskUplinkTimeouts()
-{
-    return downLink_->downstreamIf().timeouts();
-}
 
 } // namespace pciesim

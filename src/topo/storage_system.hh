@@ -7,8 +7,12 @@
  *                   DRAM      IOCache (DMA path back to MemBus)
  *
  * plus the PCI Host, interrupt controller, IDE driver, and a dd
- * workload harness. One object owns and wires everything; this is
- * the topology every dd figure (Fig. 9a-d) runs on.
+ * workload harness. Since the declarative fabric builder landed
+ * (DESIGN.md Sec. 13) this class is a thin wrapper over Fabric:
+ * it builds the equivalent FabricDesc — the same description that
+ * examples/topologies/storage.json expresses in JSON — and
+ * delegates everything. This is the topology every dd figure
+ * (Fig. 9a-d) runs on.
  */
 
 #ifndef PCIESIM_TOPO_STORAGE_SYSTEM_HH
@@ -17,12 +21,7 @@
 #include <memory>
 #include <vector>
 
-#include "os/aer_handler.hh"
-#include "pci/pci_host.hh"
-#include "pcie/err_reporter.hh"
-#include "sim/stats_dumper.hh"
-#include "sim/stats_sampler.hh"
-#include "topo/system_config.hh"
+#include "topo/fabric_builder.hh"
 
 namespace pciesim
 {
@@ -39,77 +38,72 @@ class StorageSystem
     ~StorageSystem();
 
     /** Run enumeration and driver probing (functional). */
-    void boot();
+    void boot() { fabric_.boot(); }
 
     /** @{ Component access. */
-    Simulation &sim() { return sim_; }
-    Kernel &kernel() { return *kernel_; }
-    IdeDriver &ideDriver() { return *ideDriver_; }
-    IdeDisk &disk() { return *disk_; }
-    PciHost &pciHost() { return *pciHost_; }
-    RootComplex &rootComplex() { return *rootComplex_; }
-    PcieSwitch &pcieSwitch() { return *switch_; }
-    PcieLink &upstreamLink() { return *upLink_; }
-    PcieLink &downstreamLink() { return *downLink_; }
+    Simulation &sim() { return fabric_.sim(); }
+    Kernel &kernel() { return fabric_.kernel(); }
+    IdeDriver &ideDriver() { return fabric_.ideDriver(0); }
+    IdeDisk &disk() { return fabric_.disk(0); }
+    PciHost &pciHost() { return fabric_.pciHost(); }
+    RootComplex &rootComplex() { return fabric_.rootComplex(); }
+    PcieSwitch &pcieSwitch() { return fabric_.pcieSwitch(0); }
+    PcieLink &upstreamLink() { return fabric_.link(0); }
+    PcieLink &downstreamLink() { return fabric_.link(1); }
     /** All links of the fabric, for generic per-link stats. */
-    std::vector<PcieLink *>
-    links()
-    {
-        return {upLink_.get(), downLink_.get()};
-    }
-    IOCache &ioCache() { return *ioCache_; }
-    SimpleMemory &dram() { return *dram_; }
-    IntController &gic() { return *gic_; }
+    std::vector<PcieLink *> links() { return fabric_.links(); }
+    IOCache &ioCache() { return fabric_.ioCache(); }
+    SimpleMemory &dram() { return fabric_.dram(); }
+    IntController &gic() { return fabric_.gic(); }
     /** The periodic sampler; null unless statsSampleInterval > 0. */
-    StatsSampler *sampler() { return sampler_.get(); }
+    StatsSampler *sampler() { return fabric_.sampler(); }
     /** The epoch dumper; null unless statsDumpInterval > 0. */
-    StatsDumper *dumper() { return dumper_.get(); }
+    StatsDumper *dumper() { return fabric_.dumper(); }
     /** The error reporter; null unless aerEnabled. */
-    ErrReporter *errReporter() { return errReporter_.get(); }
+    ErrReporter *errReporter() { return fabric_.errReporter(); }
     /** The kernel AER service; null unless aerEnabled. */
-    AerHandler *aerHandler() { return aerHandler_.get(); }
+    AerHandler *aerHandler() { return fabric_.aerHandler(); }
+    /** The underlying declarative fabric. */
+    Fabric &fabric() { return fabric_; }
     /** @} */
 
     /** Write the full registry as stats.json to @p path. */
-    void exportStatsJson(const std::string &path);
+    void
+    exportStatsJson(const std::string &path)
+    {
+        fabric_.exportStatsJson(path);
+    }
 
     /**
      * Run a dd workload to completion.
      * @return the reported throughput in Gbit/s.
      */
-    double runDd(const DdWorkloadParams &dd);
+    double runDd(const DdWorkloadParams &dd)
+    {
+        return fabric_.runDd(dd);
+    }
 
     /** Fraction of transmitted TLPs that were replayed on the
      *  disk -> switch upstream direction (paper Sec. VI-B). */
-    double diskUplinkReplayFraction();
+    double
+    diskUplinkReplayFraction()
+    {
+        return fabric_.diskUplinkReplayFraction();
+    }
 
     /** Timeout count on the disk -> switch upstream direction. */
-    std::uint64_t diskUplinkTimeouts();
+    std::uint64_t
+    diskUplinkTimeouts()
+    {
+        return fabric_.diskUplinkTimeouts();
+    }
+
+    /** The description this class instantiates; also the reference
+     *  for examples/topologies/storage.json. */
+    static FabricDesc makeDesc(const SystemConfig &config);
 
   private:
-    Simulation &sim_;
-    SystemConfig config_;
-
-    std::unique_ptr<XBar> membus_;
-    std::unique_ptr<SimpleMemory> dram_;
-    std::unique_ptr<PciHost> pciHost_;
-    std::unique_ptr<IntController> gic_;
-    std::unique_ptr<IOCache> ioCache_;
-    std::unique_ptr<RootComplex> rootComplex_;
-    std::unique_ptr<PcieSwitch> switch_;
-    std::unique_ptr<PcieLink> upLink_;
-    std::unique_ptr<PcieLink> downLink_;
-    std::unique_ptr<IdeDisk> disk_;
-    std::unique_ptr<Kernel> kernel_;
-    std::unique_ptr<IdeDriver> ideDriver_;
-    std::unique_ptr<StatsSampler> sampler_;
-    std::unique_ptr<StatsDumper> dumper_;
-    std::unique_ptr<ErrReporter> errReporter_;
-    std::unique_ptr<AerHandler> aerHandler_;
-    /** @{ System-level dump-time formulas (stats v2). */
-    stats::Formula replayFraction_;
-    stats::Formula timeoutFraction_;
-    /** @} */
+    Fabric fabric_;
 };
 
 } // namespace pciesim

@@ -1,0 +1,300 @@
+#include "topo_parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace pciesim
+{
+
+namespace topo
+{
+
+const char *
+Json::typeName() const
+{
+    switch (type) {
+      case Type::Null:
+        return "null";
+      case Type::Bool:
+        return "bool";
+      case Type::Number:
+        return "number";
+      case Type::String:
+        return "string";
+      case Type::Array:
+        return "array";
+      case Type::Object:
+      default:
+        return "object";
+    }
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent reader over one topology document. Tracks the
+ * current line so both syntax errors (here) and semantic errors
+ * (in the fabric builder, via Json::line) carry file:line context.
+ */
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &source)
+        : text_(text), source_(source)
+    {}
+
+    Json
+    parse()
+    {
+        Json root = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return root;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        fatal("topology ", source_, ":", line_, ": ", what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '\n')
+                ++line_;
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c, const char *what)
+    {
+        if (peek() != c)
+            fail(what);
+        ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        char c = peek();
+        Json v;
+        v.line = line_;
+        if (c == '{')
+            parseObject(v);
+        else if (c == '[')
+            parseArray(v);
+        else if (c == '"') {
+            v.type = Json::Type::String;
+            v.str = parseString();
+        } else if (c == '-' ||
+                   std::isdigit(static_cast<unsigned char>(c))) {
+            parseNumber(v);
+        } else if (literal("true")) {
+            v.type = Json::Type::Bool;
+            v.boolean = true;
+        } else if (literal("false")) {
+            v.type = Json::Type::Bool;
+            v.boolean = false;
+        } else if (literal("null")) {
+            v.type = Json::Type::Null;
+        } else {
+            fail("unexpected character");
+        }
+        return v;
+    }
+
+    void
+    parseObject(Json &out)
+    {
+        out.type = Json::Type::Object;
+        expect('{', "expected '{'");
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key");
+            unsigned key_line = line_;
+            std::string key = parseString();
+            if (out.find(key) != nullptr) {
+                line_ = key_line;
+                fail("duplicate key '" + key + "'");
+            }
+            expect(':', "expected ':' after object key");
+            out.obj.emplace_back(std::move(key), parseValue());
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    void
+    parseArray(Json &out)
+    {
+        out.type = Json::Type::Array;
+        expect('[', "expected '['");
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            out.arr.push_back(parseValue());
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"', "expected '\"'");
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\n')
+                fail("unterminated string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated string escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              default:
+                fail("unsupported string escape (topology files "
+                     "are plain ASCII)");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    void
+    parseNumber(Json &out)
+    {
+        std::size_t start = pos_;
+        if (text_[pos_] == '-')
+            ++pos_;
+        std::size_t digits = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == digits)
+            fail("bad number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            std::size_t frac = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == frac)
+                fail("bad number fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            std::size_t exp = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == exp)
+                fail("bad number exponent");
+        }
+        out.type = Json::Type::Number;
+        out.number = std::strtod(text_.c_str() + start, nullptr);
+    }
+
+    const std::string &text_;
+    std::string source_;
+    std::size_t pos_ = 0;
+    unsigned line_ = 1;
+};
+
+} // namespace
+
+Json
+parseJson(const std::string &text, const std::string &source)
+{
+    return Parser(text, source).parse();
+}
+
+Json
+loadJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.good(), "topology ", path, ": cannot open file");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseJson(ss.str(), path);
+}
+
+} // namespace topo
+
+} // namespace pciesim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Self-contained JSON reader for declarative topology files, in the
+ * style of tools/pciesim_report.cc but with two additions the
+ * builder needs: every value remembers the 1-based source line it
+ * started on (so semantic errors can cite file:line), and every
+ * syntax error is a fatal() carrying the same context. No external
+ * dependencies.
+ */
+
+#ifndef PCIESIM_TOPO_TOPO_PARSER_HH
+#define PCIESIM_TOPO_TOPO_PARSER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pciesim
+{
+
+namespace topo
+{
+
+/**
+ * One parsed JSON value. Objects keep insertion order so the
+ * builder can walk nodes in declaration order; duplicate keys
+ * within one object are a parse error.
+ */
+struct Json
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+    /** 1-based line of the value's first character (0: synthetic). */
+    unsigned line = 0;
+
+    /** Key lookup on an object; null when absent. */
+    const Json *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    const char *typeName() const;
+};
+
+/**
+ * Parse @p text as one JSON document. @p source names the input in
+ * error messages ("topology <source>:<line>: ..."); every syntax
+ * error is a fatal().
+ */
+Json parseJson(const std::string &text, const std::string &source);
+
+/** Read @p path and parse it; fatal() if unreadable. */
+Json loadJsonFile(const std::string &path);
+
+} // namespace topo
+
+} // namespace pciesim
+
+#endif // PCIESIM_TOPO_TOPO_PARSER_HH

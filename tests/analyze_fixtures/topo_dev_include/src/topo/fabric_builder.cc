@@ -1,0 +1,15 @@
+// Clean companion: the registration surface itself may name
+// device models.
+#include "dev/traffic_gen.hh"
+#include "sim/ticks.hh"
+
+namespace pciesim
+{
+
+int
+builderProbe()
+{
+    return 0;
+}
+
+} // namespace pciesim

@@ -1,0 +1,15 @@
+// Should-fail fixture: a topology wrapper wiring a device model by
+// hand instead of describing it through the fabric builder.
+#include "dev/traffic_gen.hh"
+#include "sim/ticks.hh"
+
+namespace pciesim
+{
+
+int
+gpuSystemProbe()
+{
+    return 1;
+}
+
+} // namespace pciesim

@@ -28,6 +28,10 @@ Rule ids:
 
   layering               upward or sideways #include between layers
   include-cycle          cycle in the file-level include graph
+  topo-dev-include       src/topo/ file other than the fabric
+                         builder's registration surface including a
+                         dev/ header; topologies are declarative
+                         descriptions, only the builder names models
   wall-clock             std::chrono clocks, time(), gettimeofday()
   unseeded-rng           rand()/srand(), std::random_device, or a
                          std <random> engine with no Rng-derived seed
@@ -211,6 +215,33 @@ def check_layering(info, report):
                    "(order: %s)"
                    % (info.layer, tlayer,
                       " <- ".join(LAYER_ORDER)))
+
+
+# The builder's registration surface: the only topo files allowed
+# to name concrete device models. Everything else under src/topo/
+# (topology wrappers, future shapes) must stay declarative and go
+# through FabricDesc/FabricNodeDesc instead.
+TOPO_DEV_ALLOWED = {
+    "topo/fabric_builder.hh",
+    "topo/fabric_builder.cc",
+    "topo/system_config.hh",
+}
+
+
+def check_topo_dev(info, report):
+    """Downward dev/ includes are legal layering-wise, but in topo
+    they re-open the door the declarative builder closed: a wrapper
+    that wires device objects by hand can drift from the JSON path
+    it is supposed to mirror."""
+    if info.layer != "topo" or info.src_rel in TOPO_DEV_ALLOWED:
+        return
+    for lineno, target in info.includes:
+        if target.split("/")[0] == "dev":
+            report(info, lineno, "topo-dev-include",
+                   "topo file includes '%s'; device models are "
+                   "reachable only through the fabric builder's "
+                   "registration surface (%s)"
+                   % (target, ", ".join(sorted(TOPO_DEV_ALLOWED))))
 
 
 def resolve_include(info, target, by_rel):
@@ -532,6 +563,7 @@ def analyze(paths):
                 "'// %s: ignore[%s]: <why this is safe>'"
                 % (rule, PRAGMA_TAG, rule)))
         check_layering(info, report)
+        check_topo_dev(info, report)
         check_determinism_lines(info, report)
         check_unordered_emit(info, report)
         check_cross_domain(info, report)

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/parallel.hh"
 #include "sim/profiler.hh"
 #include "sim/trace.hh"
 #include "topo/storage_system.hh"
@@ -142,6 +143,38 @@ applyObservability(const BenchArgs &args, SystemConfig &config)
     config.statsDumpInterval = nanoseconds(args.statsDumpNs);
     config.statsJsonOut = args.statsJsonOut;
     config.threads = args.threads;
+}
+
+/**
+ * Parallel-engine telemetry snapshot of one run (DESIGN.md §14).
+ * All zeros when the run stayed single-queue (no engine) or the
+ * build has PCIESIM_PROFILING=0; every field except syncFraction
+ * is a pure function of simulated history, and syncFraction reads
+ * 0 under --no-timing — so records stay byte-deterministic.
+ */
+struct ParallelTelemetry
+{
+    double domains = 0.0;
+    double windows = 0.0;
+    double syncFraction = 0.0;
+    double loadImbalance = 0.0;
+    double mailboxOps = 0.0;
+};
+
+inline ParallelTelemetry
+readParallelTelemetry(Simulation &sim)
+{
+    ParallelTelemetry t;
+    ParallelEngine *eng = sim.engine();
+    if (eng == nullptr)
+        return t;
+    t.domains = static_cast<double>(eng->numDomains());
+    t.windows = static_cast<double>(eng->windowsSynced());
+    t.syncFraction = eng->syncOverheadFraction();
+    t.loadImbalance = eng->loadImbalance();
+    for (unsigned d = 0; d < eng->numDomains(); ++d)
+        t.mailboxOps += static_cast<double>(eng->mailboxSent(d));
+    return t;
 }
 
 /** Result of one dd run. */

@@ -191,6 +191,22 @@ runFabric(JsonEmitter &json, const std::string &label,
     double rss_per_ep =
         endpoints > 0 ? rssKb() / endpoints : rssKb();
 
+    // Partition summary (DESIGN.md §14): how buildPcie() cut the
+    // fabric, and what the engine's flight recorder saw. All
+    // fields are zero for a single-queue run.
+    ParallelTelemetry pt = readParallelTelemetry(sim);
+    double quantum_ns = 0.0;
+    double ep_per_domain = 0.0;
+    if (ParallelEngine *eng = sim.engine()) {
+        quantum_ns = ticksToNs(eng->quantum());
+        // Domain 0 is the host; endpoints live in the cut domains.
+        if (eng->numDomains() > 1) {
+            ep_per_domain =
+                static_cast<double>(endpoints) /
+                static_cast<double>(eng->numDomains() - 1);
+        }
+    }
+
     if (json.enabled()) {
         json.record(label,
                     {{"endpoints", static_cast<double>(endpoints)},
@@ -207,7 +223,16 @@ runFabric(JsonEmitter &json, const std::string &label,
                      {"events", events},
                      {"events_per_sec", eps},
                      {"rss_kb_per_endpoint", rss_per_ep},
-                     {"gbps", gbps}});
+                     {"gbps", gbps},
+                     {"threads", static_cast<double>(
+                                     globalArgs().threads)},
+                     {"domains", pt.domains},
+                     {"endpoints_per_domain", ep_per_domain},
+                     {"lookahead_ns", quantum_ns},
+                     {"windows", pt.windows},
+                     {"sync_fraction", pt.syncFraction},
+                     {"load_imbalance", pt.loadImbalance},
+                     {"mailbox_ops", pt.mailboxOps}});
     } else {
         std::printf("%-12s %5u ep %3u sw %5zu links %s "
                     "build %7.2f ms enum %7.2f ms "
@@ -216,6 +241,22 @@ runFabric(JsonEmitter &json, const std::string &label,
                     fabric.numSwitches(), fabric.links().size(),
                     desc.enumerate ? "enum  " : "direct",
                     build_ms, enum_ms, eps, rss_per_ep, gbps);
+        if (pt.domains > 0.0) {
+            char sync[32] = "";
+            if (pt.syncFraction > 0.0) {
+                std::snprintf(sync, sizeof(sync), ", sync frac %.3f",
+                              pt.syncFraction);
+            }
+            std::printf("  partition: %.0f domains, %.2f ep/domain, "
+                        "lookahead %.0f ns, %.0f windows, "
+                        "imbalance %.2f, %.0f mailbox ops%s\n",
+                        pt.domains, ep_per_domain, quantum_ns,
+                        pt.windows, pt.loadImbalance, pt.mailboxOps,
+                        sync);
+        } else if (globalArgs().threads >= 1) {
+            std::printf("  partition: single-queue (partitioning "
+                        "unavailable for this configuration)\n");
+        }
     }
 }
 

@@ -119,7 +119,13 @@ runChurn(std::uint64_t target_ops)
  * stall every sender at ~10% of line rate and push ACK queueing
  * past even the scaled timeout.
  */
-DdResult
+struct MdevResult
+{
+    DdResult dd;
+    ParallelTelemetry par;
+};
+
+MdevResult
 runMdev(unsigned threads, unsigned bursts)
 {
     MultiDeviceConfig cfg;
@@ -135,15 +141,19 @@ runMdev(unsigned threads, unsigned bursts)
 
     Simulation sim;
     MultiDeviceSystem system(sim, cfg);
-    DdResult r;
+    MdevResult r;
     WallTimer timer;
-    r.gbps = system.runConcurrentWrites(16, bursts, 4096);
-    r.wall_ms = timer.elapsedMs();
-    r.eventsProcessed = sim.eventsProcessed();
-    if (r.wall_ms > 0.0) {
-        r.events_per_sec = static_cast<double>(r.eventsProcessed) /
-                           (r.wall_ms / 1e3);
+    r.dd.gbps = system.runConcurrentWrites(16, bursts, 4096);
+    r.dd.wall_ms = timer.elapsedMs();
+    r.dd.eventsProcessed = sim.eventsProcessed();
+    if (r.dd.wall_ms > 0.0) {
+        r.dd.events_per_sec =
+            static_cast<double>(r.dd.eventsProcessed) /
+            (r.dd.wall_ms / 1e3);
     }
+    // Read inside this scope: the engine (and its flight recorder)
+    // lives on the local Simulation.
+    r.par = readParallelTelemetry(sim);
     return r;
 }
 
@@ -203,26 +213,31 @@ main(int argc, char **argv)
     unsigned bursts = args.scale == Scale::Smoke ? 4 : 48;
     double base_wall = 0.0;
     for (unsigned t : {1u, 2u, 4u, 8u}) {
-        DdResult mdev = runMdev(t, bursts);
+        MdevResult mdev = runMdev(t, bursts);
         if (t == 1)
-            base_wall = mdev.wall_ms;
-        double speedup = mdev.wall_ms > 0.0
-            ? base_wall / mdev.wall_ms
+            base_wall = mdev.dd.wall_ms;
+        double speedup = mdev.dd.wall_ms > 0.0
+            ? base_wall / mdev.dd.wall_ms
             : 0.0;
         char label[32];
         std::snprintf(label, sizeof(label), "mdev16/t%u", t);
         if (!args.json) {
             std::printf("%-10s %12.1f M events/s %10.2fx vs 1t "
                         "%8.1f ms\n",
-                        label, mdev.events_per_sec / 1e6, speedup,
-                        mdev.wall_ms);
+                        label, mdev.dd.events_per_sec / 1e6, speedup,
+                        mdev.dd.wall_ms);
         }
         json.record(label,
                     {{"threads", static_cast<double>(t)},
-                     {"gbps", mdev.gbps},
-                     {"events_per_sec", mdev.events_per_sec},
+                     {"gbps", mdev.dd.gbps},
+                     {"events_per_sec", mdev.dd.events_per_sec},
                      {"speedup_vs_1t", speedup},
-                     {"wall_ms", mdev.wall_ms}});
+                     {"wall_ms", mdev.dd.wall_ms},
+                     {"domains", mdev.par.domains},
+                     {"windows", mdev.par.windows},
+                     {"sync_fraction", mdev.par.syncFraction},
+                     {"load_imbalance", mdev.par.loadImbalance},
+                     {"mailbox_ops", mdev.par.mailboxOps}});
     }
 
     return 0;

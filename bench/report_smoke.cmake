@@ -6,12 +6,16 @@
 #   4. an injected counter regression makes the diff exit nonzero
 #   5. `pciesim-report top` renders the embedded profiler section
 #   6. `pciesim-report trajectory` renders the bench records and
-#      the checked-in BENCH_*.json history
+#      the checked-in BENCH_*.json history (TRAJ, plus the
+#      optional TRAJ2 — the fabric sweep trajectory)
+#   7. `pciesim-report scaling` renders the thread-sweep records
+#      embedded in the checked-in trajectories
 #
 # Invoked by ctest as:
 #   cmake -DBENCH_BIN=<bench> -DREPORT_BIN=<pciesim-report>
 #         -DVALIDATOR=<json_validate> -DWORK=<scratch prefix>
-#         -DTRAJ=<checked-in BENCH_*.json> -P report_smoke.cmake
+#         -DTRAJ=<checked-in BENCH_*.json>
+#         [-DTRAJ2=<second BENCH_*.json>] -P report_smoke.cmake
 
 foreach(var BENCH_BIN REPORT_BIN VALIDATOR WORK TRAJ)
     if(NOT ${var})
@@ -80,11 +84,27 @@ if(NOT rv EQUAL 0)
         "pciesim-report top exited ${rv} on a profiled dump")
 endif()
 
+set(trajs "${TRAJ}")
+if(TRAJ2)
+    list(APPEND trajs "${TRAJ2}")
+endif()
 execute_process(
-    COMMAND "${REPORT_BIN}" trajectory "${WORK}_bench.json" "${TRAJ}"
+    COMMAND "${REPORT_BIN}" trajectory "${WORK}_bench.json" ${trajs}
     RESULT_VARIABLE rv
     OUTPUT_QUIET
 )
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "pciesim-report trajectory exited ${rv}")
+endif()
+
+# The checked-in trajectories carry --threads sweep records; the
+# scaling view must render them (exit 0 requires at least one
+# record with a threads >= 1 field).
+execute_process(
+    COMMAND "${REPORT_BIN}" scaling ${trajs}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET
+)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "pciesim-report scaling exited ${rv}")
 endif()

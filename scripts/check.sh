@@ -16,7 +16,10 @@
 #   8. tsan preset: bench_kernel --threads 4 --smoke under
 #      ThreadSanitizer (the parallel engine's data-race gate)
 #   9. profiler overhead gate: the default build (profiler compiled
-#      in, disabled) within 5% of the notrace build (hook removed)
+#      in, disabled; parallel flight recorder live) within 5% of
+#      the notrace build (hook and recorder removed) — bench_fig9a
+#      for the event core, bench_kernel for the telemetry-on
+#      mdev thread sweep
 #
 # Any finding or failure exits nonzero. The audit preset is covered
 # by `ctest --preset audit` and is not part of this quick gate; run
@@ -82,7 +85,8 @@ cmake --build build-tsan -j "$jobs" --target bench_kernel
 
 echo "== [9/9] profiler overhead gate (vs notrace) =="
 cmake --preset notrace >/dev/null
-cmake --build build-notrace -j "$jobs" --target bench_fig9a
+cmake --build build-notrace -j "$jobs" --target bench_fig9a \
+    bench_kernel
 scripts/profiler_overhead_gate.sh
 
 if [ "$with_audit" = 1 ]; then

@@ -265,6 +265,10 @@ LinkInterface::registerStats()
     reg.add(name_ + ".acceptRefusals", &acceptRefusals_,
             "TLPs refused from external ports (replay buffer full)",
             Unit::Count);
+    reg.add(name_ + ".creditStallTicks", &creditStallTicks_,
+            "ticks spent refusing TLPs for lack of replay-buffer "
+            "credit (closed stall intervals)",
+            Unit::Tick);
     reg.add(name_ + ".crcErrorsTlp", &crcErrorsTlp_,
             "received TLPs discarded for LCRC failure", Unit::Count);
     reg.add(name_ + ".crcErrorsDllp", &crcErrorsDllp_,
@@ -333,6 +337,10 @@ LinkInterface::acceptTlp(const PacketPtr &pkt)
 {
     if (!canAcceptTlp()) {
         ++acceptRefusals_;
+        if (!creditStalled_) {
+            creditStalled_ = true;
+            creditStallStart_ = homeQueue_->curTick();
+        }
         if (pkt->isRequest())
             wantReqRetry_ = true;
         else
@@ -746,6 +754,11 @@ LinkInterface::notifyExternalRetry()
 {
     if (!canAcceptTlp())
         return;
+    if (creditStalled_) {
+        creditStalled_ = false;
+        creditStallTicks_ +=
+            homeQueue_->curTick() - creditStallStart_;
+    }
     if (wantReqRetry_) {
         wantReqRetry_ = false;
         extSlave_->sendRetryReq();
@@ -926,6 +939,32 @@ bool
 PcieLink::degraded() const
 {
     return curGen_ != params_.gen || curWidth_ != params_.width;
+}
+
+Tick
+PcieLink::wireUpBusyTicks() const
+{
+    return toUpstream_->busyTicks();
+}
+
+Tick
+PcieLink::wireDownBusyTicks() const
+{
+    return toDownstream_->busyTicks();
+}
+
+Tick
+PcieLink::creditStallTicks() const
+{
+    return upstreamIf_->creditStallTicks() +
+           downstreamIf_->creditStallTicks();
+}
+
+std::uint64_t
+PcieLink::acceptRefusals() const
+{
+    return upstreamIf_->acceptRefusals() +
+           downstreamIf_->acceptRefusals();
 }
 
 void

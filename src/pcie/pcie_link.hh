@@ -268,6 +268,21 @@ class LinkInterface
     std::uint64_t naksSent() const { return naksSent_.value(); }
     std::uint64_t naksReceived() const { return naksReceived_.value(); }
     std::uint64_t retrains() const { return retrains_.value(); }
+    std::uint64_t acceptRefusals() const
+    {
+        return acceptRefusals_.value();
+    }
+
+    /**
+     * Simulated ticks this interface spent refusing new TLPs for
+     * lack of replay-buffer credit (closed intervals: first refusal
+     * to the retry notification that reopened acceptance). The
+     * fabric roll-up (DESIGN.md §14) sums this across links.
+     */
+    Tick creditStallTicks() const
+    {
+        return static_cast<Tick>(creditStallTicks_.value());
+    }
 
     /** TLPs currently resident in the replay buffer (sampler). */
     std::size_t replayDepth() const { return replayBuffer_.size(); }
@@ -389,6 +404,11 @@ class LinkInterface
     bool wantReqRetry_ = false;
     bool wantRespRetry_ = false;
 
+    /** A credit-stall interval is open: the first refusal has been
+     *  seen and acceptance has not resumed since. */
+    bool creditStalled_ = false;
+    Tick creditStallStart_ = 0;
+
     MemberEventWrapper<LinkInterface,
                        &LinkInterface::tryTransmit> txEvent_;
     MemberEventWrapper<LinkInterface,
@@ -406,6 +426,7 @@ class LinkInterface
     stats::Counter outOfOrderDrops_;
     stats::Counter deliveryRefusals_;
     stats::Counter acceptRefusals_;
+    stats::Counter creditStallTicks_;
     stats::Counter crcErrorsTlp_;
     stats::Counter crcErrorsDllp_;
     stats::Counter naksSent_;
@@ -494,6 +515,20 @@ class PcieLink : public SimObject
 
     /** Summed error/recovery counters of both interfaces. */
     LinkErrorStats errorStats() const;
+
+    /** @{
+     * Fabric roll-up hooks (DESIGN.md §14): raw occupancy and
+     * credit-stall totals the topology builder aggregates into
+     * "system.fabric.*" formulas.
+     */
+    /** Busy ticks per wire direction ("up" carries device -> RC). */
+    Tick wireUpBusyTicks() const;
+    Tick wireDownBusyTicks() const;
+    /** Credit-stall ticks summed over both interfaces. */
+    Tick creditStallTicks() const;
+    /** Accept refusals summed over both interfaces. */
+    std::uint64_t acceptRefusals() const;
+    /** @} */
 
     /** @{ Per-direction fault state (tests, benches). The
      *  "toward upstream" wire carries device -> RC traffic. */

@@ -142,12 +142,18 @@ class EventQueue
      * Run every event strictly inside the window, i.e. with tick
      * <= @p horizon, without advancing curTick_ to the horizon
      * afterwards (the engine owns end-of-run clamping).
+     * @return the number of events executed, the engine's
+     *         per-domain telemetry unit (DESIGN.md §14) — a pure
+     *         function of simulated history, so thread-count
+     *         independent.
      */
-    void
+    std::uint64_t
     runWindow(Tick horizon)
     {
+        const std::uint64_t before = numProcessed_;
         while (step(horizon)) {
         }
+        return numProcessed_ - before;
     }
 
     /** Clamp curTick_ forward to @p t (end of a parallel run). */

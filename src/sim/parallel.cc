@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -52,6 +53,25 @@ ParallelEngine::ParallelEngine(std::vector<EventQueue *> queues,
     panicIf(quantum_ == 0, "parallel engine needs a nonzero quantum");
     panicIf(queues_.size() < 2,
             "parallel engine needs at least two domains");
+
+    if constexpr (prof::compiledIn) {
+        const std::size_t n = queues_.size();
+        labels_.reserve(n);
+        for (std::size_t d = 0; d < n; ++d)
+            labels_.push_back("domain" + std::to_string(d));
+        domainEvents_.init(n);
+        domainActiveWindows_.init(n);
+        domainStallWindows_.init(n);
+        mailboxSent_.init(n);
+        mailboxReceived_.init(n);
+        windowsRun_.assign(n, 0);
+        execSampled_.assign(n, 0);
+        execNs_.assign(n, 0);
+        barrierSeen_.assign(threads_, 0);
+        barrierSampled_.assign(threads_, 0);
+        barrierNs_.assign(threads_, 0);
+        pairOps_.assign(n * n, 0);
+    }
 }
 
 std::vector<ParallelEngine::Op> &
@@ -105,6 +125,18 @@ ParallelEngine::applyMailboxes()
         EventQueue &q = *queues_[dst];
         for (std::size_t src = 0; src < n; ++src) {
             auto &box = mail_[src * n + dst];
+#if PCIESIM_PROFILING
+            // Mailbox telemetry rides the drain the barrier already
+            // pays for: one size() per non-empty box, nothing on
+            // the per-post hot path. Deterministic (simulated
+            // history only), so safe in 1-vs-N byte-identical dumps.
+            if (!box.empty()) {
+                const std::uint64_t ops = box.size();
+                mailboxSent_[src] += ops;
+                mailboxReceived_[dst] += ops;
+                pairOps_[src * n + dst] += ops;
+            }
+#endif
             for (Op &op : box) {
                 if (op.kind == Op::Kind::deschedule) {
                     // Tolerant: the event may have fired (or been
@@ -158,6 +190,7 @@ ParallelEngine::computeWindow(Tick max_tick)
         end = maxTick; // saturate on overflow
     if (max_tick != maxTick && end > max_tick + 1)
         end = max_tick + 1;
+    windowStart_ = global_min;
     windowEnd_ = end;
 }
 
@@ -187,6 +220,56 @@ ParallelEngine::leaveDomain()
 #endif
 }
 
+void
+ParallelEngine::runDomainWindow(unsigned d, Tick horizon)
+{
+    enterDomain(d);
+#if PCIESIM_PROFILING
+    // pciesim-analyze: ignore[wall-clock]: sanctioned 1-in-N host
+    // time subsample (DESIGN.md §14); sampled only when the
+    // profiler is on (--profile) and times are reported, exactly
+    // like prof's estMs — so unprofiled (and --no-timing) dumps
+    // never see a wall-derived value.
+    using clock = std::chrono::steady_clock;
+    const bool timed =
+        prof::enabled() && prof::reportTimes() &&
+        (windowsRun_[d] & (wallSamplePeriod - 1)) == 0;
+    ++windowsRun_[d];
+    clock::time_point t0;
+    if (timed) [[unlikely]]
+        t0 = clock::now();
+    const std::uint64_t executed = queues_[d]->runWindow(horizon);
+    if (timed) [[unlikely]] {
+        execNs_[d] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - t0)
+                .count());
+        ++execSampled_[d];
+    }
+    if (executed > 0) {
+        domainEvents_[d] += executed;
+        ++domainActiveWindows_[d];
+#if PCIESIM_TRACING
+        // One X span per active window on the domain's track —
+        // buffered through the per-domain merge, so the trace stays
+        // thread-count independent.
+        if (tracing_ && d < trackNames_.size()) {
+            TRACE_COMPLETE(trace::Flag::Parallel, windowStart_,
+                           windowEnd_ - windowStart_, trackNames_[d],
+                           "events=", executed);
+        }
+#endif
+    } else if (!queues_[d]->empty()) {
+        // Pending work beyond the horizon and nothing executable:
+        // the domain is lookahead-limited this window.
+        ++domainStallWindows_[d];
+    }
+#else
+    queues_[d]->runWindow(horizon);
+#endif
+    leaveDomain();
+}
+
 Tick
 ParallelEngine::run(Tick max_tick)
 {
@@ -197,6 +280,16 @@ ParallelEngine::run(Tick max_tick)
 #endif
 #if PCIESIM_TRACING
     tracing_ = trace::beginParallel(nq);
+    if (tracing_ && trace::enabled(trace::Flag::Parallel) &&
+        trackNames_.empty()) {
+        trackNames_.reserve(nq);
+        for (unsigned d = 0; d < nq; ++d) {
+            trackNames_.push_back(
+                "system.parallel." +
+                (d < labels_.size() ? labels_[d]
+                                    : "domain" + std::to_string(d)));
+        }
+    }
 #endif
     par::engineActive = true;
     par::activeEngine = this;
@@ -206,10 +299,22 @@ ParallelEngine::run(Tick max_tick)
 
     auto on_completion = [this, max_tick]() noexcept {
 #if PCIESIM_TRACING
-        if (tracing_)
+        if (tracing_) {
             trace::flushParallel();
+            // Barrier B/E span on the engine track: one span per
+            // window, its end marking the barrier that closed it.
+            if (!trackNames_.empty() && windowEnd_ > windowStart_) {
+                trace::emitBegin(trace::Flag::Parallel, windowStart_,
+                                 "system.parallel.engine", "window");
+                trace::emitEnd(trace::Flag::Parallel, windowEnd_ - 1,
+                               "system.parallel.engine");
+            }
+        }
 #endif
         applyMailboxes();
+#if PCIESIM_PROFILING
+        ++windows_;
+#endif
         computeWindow(max_tick);
     };
 
@@ -221,26 +326,51 @@ ParallelEngine::run(Tick max_tick)
         // legacy single-queue run.
         while (!stop_.load(std::memory_order_relaxed)) {
             const Tick horizon = windowEnd_ - 1;
-            for (unsigned d = 0; d < nq; ++d) {
-                enterDomain(d);
-                queues_[d]->runWindow(horizon);
-                leaveDomain();
-            }
+            for (unsigned d = 0; d < nq; ++d)
+                runDomainWindow(d, horizon);
             on_completion();
         }
     } else {
         std::barrier barrier(threads_, on_completion);
 
         auto work = [&](unsigned w) {
+#if PCIESIM_PROFILING
+            std::uint64_t seen = 0;
+#endif
             while (!stop_.load(std::memory_order_relaxed)) {
                 const Tick horizon = windowEnd_ - 1;
-                for (unsigned d = w; d < nq; d += threads_) {
-                    enterDomain(d);
-                    queues_[d]->runWindow(horizon);
-                    leaveDomain();
+                for (unsigned d = w; d < nq; d += threads_)
+                    runDomainWindow(d, horizon);
+#if PCIESIM_PROFILING
+                // pciesim-analyze: ignore[wall-clock]: sanctioned
+                // 1-in-N barrier-wait subsample (DESIGN.md §14),
+                // taken only under --profile with times reported.
+                const bool timed =
+                    prof::enabled() && prof::reportTimes() &&
+                    (seen++ & (wallSamplePeriod - 1)) == 0;
+                if (timed) [[unlikely]] {
+                    // pciesim-analyze: ignore[wall-clock]: same
+                    // sanctioned barrier-wait subsample gate as
+                    // above.
+                    using clock = std::chrono::steady_clock;
+                    const clock::time_point t0 = clock::now();
+                    barrier.arrive_and_wait();
+                    barrierNs_[w] += static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(clock::now() -
+                                                      t0)
+                            .count());
+                    ++barrierSampled_[w];
+                } else {
+                    barrier.arrive_and_wait();
                 }
+#else
                 barrier.arrive_and_wait();
+#endif
             }
+#if PCIESIM_PROFILING
+            barrierSeen_[w] += seen;
+#endif
         };
 
         std::vector<std::thread> workers;
@@ -271,6 +401,241 @@ ParallelEngine::run(Tick max_tick)
     for (EventQueue *q : queues_)
         q->advanceTo(result);
     return result;
+}
+
+//
+// Telemetry (DESIGN.md §14)
+//
+
+double
+ParallelEngine::estExecNs() const
+{
+#if PCIESIM_PROFILING
+    double total = 0.0;
+    for (std::size_t d = 0; d < execNs_.size(); ++d) {
+        if (execSampled_[d] == 0)
+            continue;
+        total += static_cast<double>(execNs_[d]) *
+                 static_cast<double>(windowsRun_[d]) /
+                 static_cast<double>(execSampled_[d]);
+    }
+    return total;
+#else
+    return 0.0;
+#endif
+}
+
+double
+ParallelEngine::estSyncNs() const
+{
+#if PCIESIM_PROFILING
+    double total = 0.0;
+    for (std::size_t w = 0; w < barrierNs_.size(); ++w) {
+        if (barrierSampled_[w] == 0)
+            continue;
+        total += static_cast<double>(barrierNs_[w]) *
+                 static_cast<double>(barrierSeen_[w]) /
+                 static_cast<double>(barrierSampled_[w]);
+    }
+    return total;
+#else
+    return 0.0;
+#endif
+}
+
+void
+ParallelEngine::registerStats(stats::Registry &reg,
+                              const std::vector<std::string> &labels)
+{
+#if PCIESIM_PROFILING
+    using stats::Unit;
+    const std::size_t n = queues_.size();
+    for (std::size_t d = 0; d < n && d < labels.size(); ++d) {
+        if (labels[d].empty())
+            continue;
+        labels_[d] = labels[d];
+        domainEvents_.subname(d, labels[d]);
+        domainActiveWindows_.subname(d, labels[d]);
+        domainStallWindows_.subname(d, labels[d]);
+        mailboxSent_.subname(d, labels[d]);
+        mailboxReceived_.subname(d, labels[d]);
+    }
+
+    reg.add("system.parallel.windows", &windows_,
+            "quantum windows completed by the engine", Unit::Count);
+    reg.add("system.parallel.domainEvents", &domainEvents_,
+            "events executed per domain inside engine windows",
+            Unit::Count);
+    reg.add("system.parallel.domainActiveWindows",
+            &domainActiveWindows_,
+            "windows in which the domain executed >= 1 event",
+            Unit::Count);
+    reg.add("system.parallel.domainStallWindows",
+            &domainStallWindows_,
+            "lookahead-limited windows: pending work beyond the "
+            "horizon, nothing executable",
+            Unit::Count);
+    reg.add("system.parallel.mailboxSent", &mailboxSent_,
+            "cross-domain mailbox operations posted by each domain",
+            Unit::Count);
+    reg.add("system.parallel.mailboxReceived", &mailboxReceived_,
+            "cross-domain mailbox operations delivered to each "
+            "domain",
+            Unit::Count);
+
+    domainsStat_ = [this] {
+        return static_cast<double>(queues_.size());
+    };
+    reg.add("system.parallel.domains", &domainsStat_,
+            "link domains driven by the engine", Unit::Count);
+    quantumStat_ = [this] {
+        return static_cast<double>(quantum_);
+    };
+    reg.add("system.parallel.quantumTicks", &quantumStat_,
+            "synchronization quantum (minimum cross-domain "
+            "lookahead)",
+            Unit::Tick);
+    loadImbalanceStat_ = [this] { return loadImbalance(); };
+    reg.add("system.parallel.loadImbalance", &loadImbalanceStat_,
+            "max/mean events per domain (1.0 == perfectly "
+            "balanced)",
+            Unit::Ratio);
+    mailboxIntensityStat_ = [this] {
+        const std::uint64_t events = domainEvents_.total();
+        return events == 0
+                   ? 0.0
+                   : static_cast<double>(mailboxSent_.total()) /
+                         static_cast<double>(events);
+    };
+    reg.add("system.parallel.mailboxIntensity",
+            &mailboxIntensityStat_,
+            "cross-domain mailbox operations per executed event",
+            Unit::Ratio);
+
+    // Wall-clock-derived formulas: read 0 whenever time reporting
+    // is suppressed (--no-timing), which keeps 1-vs-N stats dumps
+    // byte-identical — the same contract as the profiler's estMs.
+    syncOverheadStat_ = [this] { return syncOverheadFraction(); };
+    reg.add("system.parallel.syncOverheadFraction",
+            &syncOverheadStat_,
+            "estimated barrier-wait wall time over total engine "
+            "wall time; reads 0 under --no-timing",
+            Unit::Ratio);
+    execMsEstStat_ = [this] {
+        return prof::enabled() && prof::reportTimes()
+                   ? estExecNs() / 1e6
+                   : 0.0;
+    };
+    reg.add("system.parallel.execMsEst", &execMsEstStat_,
+            "estimated wall ms executing domain windows (0 under "
+            "--no-timing)");
+    syncWaitMsEstStat_ = [this] {
+        return prof::enabled() && prof::reportTimes()
+                   ? estSyncNs() / 1e6
+                   : 0.0;
+    };
+    reg.add("system.parallel.syncWaitMsEst", &syncWaitMsEstStat_,
+            "estimated wall ms waiting at window barriers (0 under "
+            "--no-timing)");
+#else
+    (void)reg;
+    (void)labels;
+#endif
+}
+
+std::uint64_t
+ParallelEngine::windowsSynced() const
+{
+    return windows_.value();
+}
+
+std::uint64_t
+ParallelEngine::domainEvents(unsigned d) const
+{
+    return d < domainEvents_.size() ? domainEvents_[d].value() : 0;
+}
+
+std::uint64_t
+ParallelEngine::stallWindows(unsigned d) const
+{
+    return d < domainStallWindows_.size()
+               ? domainStallWindows_[d].value()
+               : 0;
+}
+
+std::uint64_t
+ParallelEngine::mailboxSent(unsigned d) const
+{
+    return d < mailboxSent_.size() ? mailboxSent_[d].value() : 0;
+}
+
+std::uint64_t
+ParallelEngine::mailboxReceived(unsigned d) const
+{
+    return d < mailboxReceived_.size() ? mailboxReceived_[d].value()
+                                       : 0;
+}
+
+std::uint64_t
+ParallelEngine::mailboxPair(unsigned src, unsigned dst) const
+{
+    const std::size_t n = queues_.size();
+    const std::size_t i =
+        static_cast<std::size_t>(src) * n + dst;
+    return i < pairOps_.size() ? pairOps_[i] : 0;
+}
+
+std::pair<unsigned, std::uint64_t>
+ParallelEngine::hottestPeerOf(unsigned d) const
+{
+    const std::size_t n = queues_.size();
+    unsigned best = d;
+    std::uint64_t best_ops = 0;
+    for (unsigned src = 0; src < n; ++src) {
+        const std::uint64_t ops = mailboxPair(src, d);
+        if (ops > best_ops) {
+            best = src;
+            best_ops = ops;
+        }
+    }
+    return {best, best_ops};
+}
+
+double
+ParallelEngine::loadImbalance() const
+{
+    if (domainEvents_.size() == 0)
+        return 0.0;
+    std::uint64_t max = 0;
+    const std::uint64_t total = domainEvents_.total();
+    for (std::size_t d = 0; d < domainEvents_.size(); ++d)
+        max = std::max(max, domainEvents_[d].value());
+    if (total == 0)
+        return 0.0;
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(domainEvents_.size());
+    return static_cast<double>(max) / mean;
+}
+
+double
+ParallelEngine::syncOverheadFraction() const
+{
+#if PCIESIM_PROFILING
+    if (!prof::enabled() || !prof::reportTimes())
+        return 0.0;
+    const double sync = estSyncNs();
+    const double exec = estExecNs();
+    return sync + exec > 0.0 ? sync / (sync + exec) : 0.0;
+#else
+    return 0.0;
+#endif
+}
+
+const std::string &
+ParallelEngine::domainLabel(unsigned d) const
+{
+    static const std::string empty;
+    return d < labels_.size() ? labels_[d] : empty;
 }
 
 } // namespace pciesim

@@ -29,10 +29,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "event_queue.hh"
 #include "parallel_mode.hh"
+#include "stats.hh"
 #include "ticks.hh"
 
 namespace pciesim
@@ -73,6 +76,59 @@ class ParallelEngine
 
     Tick quantum() const { return quantum_; }
     unsigned threads() const { return threads_; }
+    unsigned numDomains() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+
+    /** @{
+     * Per-domain flight recorder (DESIGN.md §14). Everything here
+     * is a pure function of simulated history — events executed,
+     * window classification, mailbox traffic — so the counters are
+     * byte-identical for any thread count. Wall-clock quantities
+     * (window execution time, barrier wait) are estimated from a
+     * 1-in-N steady_clock subsample taken only while the profiler
+     * is on (--profile) with times reported, and exposed only
+     * through dump-time Formulas that read 0 otherwise — the same
+     * contract as the profiler's estMs, so unprofiled and
+     * --no-timing dumps never contain a wall-derived value. The
+     * whole block compiles out under PCIESIM_PROFILING=0.
+     */
+
+    /**
+     * Register the telemetry block with @p reg under
+     * "system.parallel.*". @p labels names each domain (index ==
+     * domain id; short names become Vector subnames and Perfetto
+     * track names). A no-op in PCIESIM_PROFILING=0 builds.
+     */
+    void registerStats(stats::Registry &reg,
+                       const std::vector<std::string> &labels);
+
+    /** Quantum windows completed (== barrier passes). */
+    std::uint64_t windowsSynced() const;
+    /** Events domain @p d executed inside engine windows. */
+    std::uint64_t domainEvents(unsigned d) const;
+    /** Windows where @p d had pending work beyond the horizon but
+     *  executed nothing (lookahead-limited). */
+    std::uint64_t stallWindows(unsigned d) const;
+    /** Cross-domain mailbox operations sent by / delivered to
+     *  domain @p d. */
+    std::uint64_t mailboxSent(unsigned d) const;
+    std::uint64_t mailboxReceived(unsigned d) const;
+    /** Mailbox operations from @p src to @p dst (the peer matrix). */
+    std::uint64_t mailboxPair(unsigned src, unsigned dst) const;
+    /** Busiest incoming peer of @p d: (src domain, op count);
+     *  (d, 0) when nothing arrived. */
+    std::pair<unsigned, std::uint64_t> hottestPeerOf(unsigned d) const;
+    /** Max/mean events per domain; 0 with no events. */
+    double loadImbalance() const;
+    /** Estimated barrier+idle wall time over total wall time; 0
+     *  unless the profiler is on with times reported (--profile
+     *  without --no-timing). */
+    double syncOverheadFraction() const;
+    /** The label registered for domain @p d ("domain<d>" default). */
+    const std::string &domainLabel(unsigned d) const;
+    /** @} */
 
     /** @{
      * Cross-domain posts. Callable only from a worker inside its
@@ -119,6 +175,15 @@ class ParallelEngine
     void enterDomain(unsigned d);
     void leaveDomain();
 
+    /** One window of domain @p d: enter, run, classify, leave. */
+    void runDomainWindow(unsigned d, Tick horizon);
+
+    /** Estimated wall ns executing windows / waiting at barriers
+     *  (1-in-N subsample scaled to all windows; 0 when times are
+     *  suppressed or nothing was sampled). */
+    double estExecNs() const;
+    double estSyncNs() const;
+
     std::vector<EventQueue *> queues_;
     const Tick quantum_;
     const unsigned threads_;
@@ -128,9 +193,51 @@ class ParallelEngine
      *  reader — the barrier itself provides the ordering. */
     std::vector<std::vector<Op>> mail_;
 
+    Tick windowStart_ = 0;
     Tick windowEnd_ = 0;
     std::atomic<bool> stop_{false};
     bool tracing_ = false;
+
+    /** @{ Telemetry state (DESIGN.md §14). The registered stats
+     *  are written only from sanctioned single-writer contexts:
+     *  per-domain slots from the worker owning that domain's
+     *  window, totals from the barrier completion step. */
+    /** Time 1 in this many windows (and barrier waits). */
+    static constexpr std::uint64_t wallSamplePeriod = 16;
+
+    std::vector<std::string> labels_;
+    stats::Vector domainEvents_;
+    stats::Vector domainActiveWindows_;
+    stats::Vector domainStallWindows_;
+    stats::Vector mailboxSent_;
+    stats::Vector mailboxReceived_;
+    stats::Counter windows_;
+    stats::Formula domainsStat_;
+    stats::Formula quantumStat_;
+    stats::Formula loadImbalanceStat_;
+    stats::Formula mailboxIntensityStat_;
+    stats::Formula syncOverheadStat_;
+    stats::Formula execMsEstStat_;
+    stats::Formula syncWaitMsEstStat_;
+
+    /** Raw accumulators behind the wall-time estimates. Windows
+     *  run / sampled / sampled-ns per domain; barrier waits per
+     *  worker (a worker's wait is sync overhead, not any single
+     *  domain's). Cumulative across stats epochs by design. */
+    std::vector<std::uint64_t> windowsRun_;
+    std::vector<std::uint64_t> execSampled_;
+    std::vector<std::uint64_t> execNs_;
+    std::vector<std::uint64_t> barrierSeen_;
+    std::vector<std::uint64_t> barrierSampled_;
+    std::vector<std::uint64_t> barrierNs_;
+
+    /** Per-(src, dst) mailbox op counts; sized n^2 alongside
+     *  mail_. Updated only in applyMailboxes (single-threaded). */
+    std::vector<std::uint64_t> pairOps_;
+
+    /** Perfetto track names, built lazily when tracing engages. */
+    std::vector<std::string> trackNames_;
+    /** @} */
 };
 
 namespace par

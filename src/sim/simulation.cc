@@ -23,15 +23,26 @@ Simulation::registerObject(SimObject *obj)
 }
 
 unsigned
-Simulation::addDomain()
+Simulation::addDomain(const std::string &label)
 {
     panicIf(initialized_, "domain added after initialize()");
-    if (extraQueues_.empty())
+    if (extraQueues_.empty()) {
         eventq_.configureParallelKeys(0);
+        domainLabels_.assign(1, "host");
+    }
     const unsigned id = numDomains();
     extraQueues_.push_back(std::make_unique<EventQueue>());
     extraQueues_.back()->configureParallelKeys(id);
+    domainLabels_.push_back(
+        label.empty() ? "domain" + std::to_string(id) : label);
     return id;
+}
+
+const std::string &
+Simulation::domainLabel(unsigned d) const
+{
+    static const std::string fallback;
+    return d < domainLabels_.size() ? domainLabels_[d] : fallback;
 }
 
 EventQueue &
@@ -53,6 +64,11 @@ Simulation::setupParallel(unsigned threads, Tick quantum)
         queues.push_back(&domainQueue(d));
     engine_ = std::make_unique<ParallelEngine>(std::move(queues),
                                                quantum, threads);
+    // The telemetry block (DESIGN.md §14) registers here rather
+    // than in the engine constructor so direct engine construction
+    // (unit tests) stays registry-free; every partitioned topology
+    // comes through this path.
+    engine_->registerStats(stats_, domainLabels_);
 }
 
 void

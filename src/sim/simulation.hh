@@ -92,9 +92,16 @@ class Simulation
      * Create a new link domain with its own event queue and return
      * its id. The first call also flips domain 0's queue to keyed
      * tiebreak mode so same-tick ordering is thread-count
-     * independent across the whole fabric.
+     * independent across the whole fabric. @p label names the
+     * domain in telemetry output (stats Vector subnames, Perfetto
+     * tracks, pciesim-report imbalance); empty keeps the default
+     * "domain<id>".
      */
-    unsigned addDomain();
+    unsigned addDomain(const std::string &label = "");
+
+    /** Telemetry label of domain @p d ("host" for domain 0 unless
+     *  overridden). */
+    const std::string &domainLabel(unsigned d) const;
 
     /** Number of domains (1 == unpartitioned legacy simulation). */
     unsigned numDomains() const
@@ -138,6 +145,9 @@ class Simulation
      * Attach the parallel engine: @p threads workers advancing all
      * domains in windows of @p quantum ticks (the minimum
      * cross-domain link flight latency). Requires >= 2 domains.
+     * Also registers the engine's per-domain telemetry block
+     * ("system.parallel.*", DESIGN.md §14) with the stats registry,
+     * using the labels given to addDomain().
      */
     void setupParallel(unsigned threads, Tick quantum);
 
@@ -169,6 +179,8 @@ class Simulation
   private:
     EventQueue eventq_;
     std::vector<std::unique_ptr<EventQueue>> extraQueues_;
+    /** Index == domain id; [0] defaults to "host". */
+    std::vector<std::string> domainLabels_;
     std::unique_ptr<ParallelEngine> engine_;
     unsigned buildDomain_ = 0;
     stats::Registry stats_;

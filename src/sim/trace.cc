@@ -16,8 +16,8 @@ namespace
 {
 
 constexpr std::array<const char *, numFlags> flagNames = {
-    "Link",   "Replay", "Retrain",  "Tlp",   "Dma",
-    "Mmio",   "Switch", "Rc",       "Workload", "Stats",
+    "Link",   "Replay", "Retrain",  "Tlp",      "Dma",   "Mmio",
+    "Switch", "Rc",     "Workload", "Stats",    "Parallel",
 };
 
 struct Sinks
@@ -98,7 +98,7 @@ parseFlags(const std::string &spec)
         }
         fatalIf(!found, "unknown trace flag '", tok,
                 "' (try: Link,Replay,Retrain,Tlp,Dma,Mmio,Switch,"
-                "Rc,Workload,Stats,All)");
+                "Rc,Workload,Stats,Parallel,All)");
     }
     return mask;
 }

@@ -54,6 +54,7 @@ enum class Flag : std::uint32_t
     Rc,       ///< root-complex forwarding
     Workload, ///< workload-level phases (dd blocks)
     Stats,    ///< periodic stats-sampler time series
+    Parallel, ///< parallel-engine window/barrier schedule
     NumFlags
 };
 

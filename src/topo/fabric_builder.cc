@@ -681,13 +681,15 @@ Fabric::buildPcie()
         } else if (n.desc.kind == "nic") {
             auto it = wire_domains.find(n.desc.wire);
             if (it == wire_domains.end()) {
-                n.domain = sim_.addDomain();
+                // Shared wire domains are named after the wire
+                // group, not the first NIC that happened to open it.
+                n.domain = sim_.addDomain(n.desc.wire);
                 wire_domains.emplace(n.desc.wire, n.domain);
             } else {
                 n.domain = it->second;
             }
         } else {
-            n.domain = sim_.addDomain();
+            n.domain = sim_.addDomain(n.desc.name);
         }
     }
 
@@ -1197,6 +1199,75 @@ Fabric::buildObservability()
         dumper_ = std::make_unique<StatsDumper>(
             sim_, "system.dumper", config.statsDumpInterval,
             config.statsDumpPath);
+    }
+
+    // Fabric roll-up (DESIGN.md §14): wire-occupancy spread and
+    // credit-stall pressure across every link, the link-level
+    // complement of the engine's per-domain flight recorder.
+    // Registered for every fabric with links; all values derive
+    // from simulated time only, so dumps stay thread-count
+    // independent.
+    if (!links_.empty()) {
+        auto &reg = sim_.statsRegistry();
+        fabricLinks_ = [this] {
+            return static_cast<double>(links_.size());
+        };
+        reg.add("system.fabric.links", &fabricLinks_,
+                "PCIe links instantiated by the topology",
+                stats::Unit::Count);
+        // Per-direction occupancy fraction of one wire at dump time.
+        auto util = [](Tick busy, Tick now) {
+            return now == 0 ? 0.0
+                            : static_cast<double>(busy) /
+                                  static_cast<double>(now);
+        };
+        fabricMeanWireUtil_ = [this, util] {
+            Tick now = sim_.curTick();
+            double sum = 0.0;
+            for (auto &l : links_) {
+                sum += util(l->wireUpBusyTicks(), now);
+                sum += util(l->wireDownBusyTicks(), now);
+            }
+            return sum / (2.0 * static_cast<double>(links_.size()));
+        };
+        reg.add("system.fabric.meanWireUtilization",
+                &fabricMeanWireUtil_,
+                "mean wire occupancy over every link direction",
+                stats::Unit::Ratio);
+        fabricMaxWireUtil_ = [this, util] {
+            Tick now = sim_.curTick();
+            double top = 0.0;
+            for (auto &l : links_) {
+                top = std::max(top, util(l->wireUpBusyTicks(), now));
+                top = std::max(top,
+                               util(l->wireDownBusyTicks(), now));
+            }
+            return top;
+        };
+        reg.add("system.fabric.maxWireUtilization",
+                &fabricMaxWireUtil_,
+                "hottest single wire direction's occupancy",
+                stats::Unit::Ratio);
+        fabricCreditStallTicks_ = [this] {
+            Tick total = 0;
+            for (auto &l : links_)
+                total += l->creditStallTicks();
+            return static_cast<double>(total);
+        };
+        reg.add("system.fabric.creditStallTicks",
+                &fabricCreditStallTicks_,
+                "ticks any interface spent refusing TLPs for "
+                "replay-buffer credit, summed over the fabric",
+                stats::Unit::Tick);
+        fabricStalledIfs_ = [this] {
+            unsigned n = 0;
+            for (auto &l : links_)
+                n += l->acceptRefusals() > 0 ? 1 : 0;
+            return static_cast<double>(n);
+        };
+        reg.add("system.fabric.stalledLinks", &fabricStalledIfs_,
+                "links that refused at least one TLP for credit",
+                stats::Unit::Count);
     }
 
     // System-level derived stats over every link's device-side

@@ -217,6 +217,11 @@ class Fabric
                            std::uint32_t burst_bytes);
     /** @} */
 
+    /** Whether buildPcie() cut the fabric into link domains
+     *  (--threads honored; see sim().numDomains() / engine() for
+     *  the partition itself). */
+    bool partitioned() const { return partitioned_; }
+
     /** BAR0 base of traffic generator @p i (valid after boot). */
     Addr genMmioBase(unsigned i);
     /** BAR0 base of NIC @p i (valid after boot). */
@@ -301,6 +306,15 @@ class Fabric
     /** @{ System-level dump-time formulas (stats v2). */
     stats::Formula replayFraction_;
     stats::Formula timeoutFraction_;
+    /** @} */
+    /** @{ Fabric roll-up over every link (DESIGN.md §14):
+     *  utilization spread and credit-stall pressure, feeding
+     *  pciesim-report's scaling diagnosis. */
+    stats::Formula fabricLinks_;
+    stats::Formula fabricMeanWireUtil_;
+    stats::Formula fabricMaxWireUtil_;
+    stats::Formula fabricCreditStallTicks_;
+    stats::Formula fabricStalledIfs_;
     /** @} */
 };
 

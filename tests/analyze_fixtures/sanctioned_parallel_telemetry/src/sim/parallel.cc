@@ -1,0 +1,40 @@
+// Sanctioned fixture: the flight recorder's cross-domain counter
+// aggregation (DESIGN.md §14) lives in the parallel engine — the
+// barrier completion step is the single writer that drains every
+// mailbox, bumps the per-domain telemetry slots, and schedules the
+// mailed events onto their destination queues. That foreign-queue
+// schedule is the engine's own machinery, so sim/parallel.cc is on
+// the analyzer's sanctioned file set.
+namespace pciesim
+{
+
+struct FakeEvent;
+
+struct FakeQueue
+{
+    void schedule(FakeEvent *e, long when);
+};
+
+struct FakeDomain
+{
+    FakeQueue *queue();
+    unsigned long mailboxReceived;
+};
+
+struct FakeEngine
+{
+    FakeDomain *domains_;
+    unsigned n_;
+
+    void
+    applyMailboxes(FakeEvent *op_ev, long when)
+    {
+        for (unsigned d = 0; d < n_; ++d) {
+            FakeDomain *dst = &domains_[d];
+            ++dst->mailboxReceived;
+            dst->queue()->schedule(op_ev, when);
+        }
+    }
+};
+
+} // namespace pciesim

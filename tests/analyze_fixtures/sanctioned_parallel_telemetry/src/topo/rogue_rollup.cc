@@ -1,0 +1,39 @@
+// Should-fail fixture: a fabric roll-up that aggregates per-domain
+// telemetry by scheduling a collection event straight onto each
+// domain's queue. The sanction is file-scoped to the engine —
+// topology code must read the engine's accessors (or registered
+// stats) instead of reaching into foreign queues.
+namespace pciesim
+{
+
+struct FakeEvent;
+
+struct FakeQueue
+{
+    void schedule(FakeEvent *e, long when);
+};
+
+struct FakeDomain
+{
+    FakeQueue *queue();
+    unsigned long events;
+};
+
+struct RogueRollup
+{
+    FakeDomain *domains_;
+    unsigned n_;
+    unsigned long total_;
+
+    void
+    collect(FakeEvent *probe, long when)
+    {
+        for (unsigned d = 0; d < n_; ++d) {
+            FakeDomain *dom = &domains_[d];
+            total_ += dom->events;
+            dom->queue()->schedule(probe, when);
+        }
+    }
+};
+
+} // namespace pciesim

@@ -17,6 +17,15 @@
  *       Render one-object-per-line bench records (the perf
  *       trajectory convention) as an aligned table.
  *
+ *   pciesim-report scaling BENCH_*.json...
+ *       Tabulate a --threads sweep (events/sec, speedup, sync
+ *       fraction per thread count) and diagnose where lost
+ *       speedup went (DESIGN.md Sec. 14).
+ *
+ *   pciesim-report imbalance stats.json [--top=N]
+ *       Rank the hottest and most starved link domains from the
+ *       system.parallel.* flight-recorder block of a stats dump.
+ *
  * Self-contained: a small recursive-descent JSON reader, no
  * dependency on the simulator library, so the tool keeps working on
  * dumps from any build (or from a wholly different machine).
@@ -623,6 +632,319 @@ cmdTrajectory(const std::vector<std::string> &args)
     return status;
 }
 
+//
+// scaling
+//
+
+/** Strip a "/t<N>" thread-count suffix so a sweep's records group
+ *  under one configuration name. */
+std::string
+sweepKey(const std::string &config)
+{
+    std::size_t slash = config.rfind("/t");
+    if (slash == std::string::npos)
+        return config;
+    std::size_t digits = slash + 2;
+    if (digits >= config.size())
+        return config;
+    for (std::size_t i = digits; i < config.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(config[i])))
+            return config;
+    }
+    return config.substr(0, slash);
+}
+
+int
+cmdScaling(const std::vector<std::string> &args)
+{
+    std::vector<std::string> paths;
+    for (const std::string &a : args)
+        paths.push_back(a);
+    if (paths.empty()) {
+        std::fprintf(stderr, "usage: pciesim-report scaling "
+                             "BENCH_*.json...\n");
+        return 2;
+    }
+
+    struct Point
+    {
+        double threads;
+        double eps;       //!< events per second
+        double sync;      //!< sync overhead fraction (-1: absent)
+        double imbalance; //!< load imbalance (-1: absent)
+    };
+    // Group (bench, config-without-/tN) -> thread sweep points,
+    // in file order.
+    std::vector<std::pair<std::string, std::vector<Point>>> groups;
+    int status = 0;
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr,
+                         "pciesim-report: cannot open %s\n",
+                         path.c_str());
+            status = 2;
+            continue;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find_first_not_of(" \t\r") ==
+                std::string::npos)
+                continue;
+            Value rec;
+            std::string error;
+            Parser parser(line);
+            if (!parser.parse(rec, error)) {
+                std::fprintf(stderr, "pciesim-report: %s: %s\n",
+                             path.c_str(), error.c_str());
+                status = 2;
+                break;
+            }
+            const Value *thr = rec.find("threads");
+            if (thr == nullptr || thr->type != Value::Type::Number)
+                continue; // not a thread-sweep record
+            if (thr->number < 1.0)
+                continue; // single-queue run, not part of a sweep
+            std::string key = rec.stringOr("bench", "?") + " " +
+                              sweepKey(rec.stringOr("config", "?"));
+            Point p;
+            p.threads = thr->number;
+            p.eps = rec.numberOr("events_per_sec", 0.0);
+            p.sync = rec.numberOr("sync_fraction", -1.0);
+            p.imbalance = rec.numberOr("load_imbalance", -1.0);
+            auto it = std::find_if(
+                groups.begin(), groups.end(),
+                [&](const auto &g) { return g.first == key; });
+            if (it == groups.end()) {
+                groups.push_back({key, {}});
+                it = groups.end() - 1;
+            }
+            it->second.push_back(p);
+        }
+    }
+    if (groups.empty()) {
+        std::fprintf(stderr,
+                     "pciesim-report: no thread-sweep records "
+                     "(need a 'threads' field; run the bench with "
+                     "--json across --threads values)\n");
+        return status ? status : 1;
+    }
+
+    for (auto &[key, pts] : groups) {
+        std::sort(pts.begin(), pts.end(),
+                  [](const Point &a, const Point &b) {
+                      return a.threads < b.threads;
+                  });
+        double base = 0.0;
+        for (const Point &p : pts)
+            if (p.threads == 1.0)
+                base = p.eps;
+        if (base == 0.0 && !pts.empty())
+            base = pts.front().eps;
+        std::printf("== %s ==\n", key.c_str());
+        std::printf("%8s %14s %9s %11s %10s %11s\n", "threads",
+                    "events/sec", "speedup", "efficiency",
+                    "sync_frac", "imbalance");
+        double worst_sync = -1.0;
+        for (const Point &p : pts) {
+            double speedup = base > 0.0 ? p.eps / base : 0.0;
+            double eff =
+                p.threads > 0.0 ? speedup / p.threads : 0.0;
+            char sync[16] = "-";
+            if (p.sync >= 0.0) {
+                std::snprintf(sync, sizeof(sync), "%.3f", p.sync);
+                worst_sync = std::max(worst_sync, p.sync);
+            }
+            char imb[16] = "-";
+            if (p.imbalance >= 0.0)
+                std::snprintf(imb, sizeof(imb), "%.2f",
+                              p.imbalance);
+            std::printf("%8g %14.3g %8.2fx %10.1f%% %10s %11s\n",
+                        p.threads, p.eps, speedup, eff * 100.0,
+                        sync, imb);
+        }
+        // One-line diagnosis: where did the lost speedup go?
+        const Point &last = pts.back();
+        double speedup = base > 0.0 ? last.eps / base : 0.0;
+        double eff = last.threads > 0.0 ? speedup / last.threads
+                                        : 0.0;
+        if (pts.size() < 2) {
+            std::printf("verdict: single point; rerun across "
+                        "--threads values for a sweep\n");
+        } else if (eff >= 0.7) {
+            std::printf("verdict: scaling healthy "
+                        "(%.0f%% efficient at %g threads)\n",
+                        eff * 100.0, last.threads);
+        } else if (worst_sync >= 0.3) {
+            std::printf("verdict: synchronization-bound (%.0f%% of "
+                        "wall time at barriers); grow the quantum "
+                        "or fuse chatty domains\n",
+                        worst_sync * 100.0);
+        } else if (last.imbalance >= 2.0) {
+            std::printf("verdict: load-imbalanced (hottest domain "
+                        "%.1fx the mean); see pciesim-report "
+                        "imbalance for the partition map\n",
+                        last.imbalance);
+        } else {
+            std::printf("verdict: %.0f%% efficient at %g threads; "
+                        "check imbalance and sync_frac with "
+                        "--profile telemetry\n",
+                        eff * 100.0, last.threads);
+        }
+    }
+    return status;
+}
+
+//
+// imbalance
+//
+
+/** Find one stat record by name in a stats dump; null if absent. */
+const Value *
+findStat(const Value &dump, const std::string &name)
+{
+    const Value *stats = dump.find("stats");
+    if (!stats)
+        return nullptr;
+    for (const Value &s : stats->arr)
+        if (s.stringOr("name", "") == name)
+            return &s;
+    return nullptr;
+}
+
+double
+statValue(const Value &dump, const std::string &name)
+{
+    const Value *s = findStat(dump, name);
+    return s ? headline(*s) : 0.0;
+}
+
+int
+cmdImbalance(const std::vector<std::string> &args)
+{
+    std::size_t top_n = 5;
+    std::vector<std::string> paths;
+    for (const std::string &a : args) {
+        if (a.rfind("--top=", 0) == 0)
+            top_n = std::strtoul(a.c_str() + 6, nullptr, 10);
+        else
+            paths.push_back(a);
+    }
+    if (paths.size() != 1) {
+        std::fprintf(stderr, "usage: pciesim-report imbalance "
+                             "stats.json [--top=N]\n");
+        return 2;
+    }
+
+    Value dump;
+    if (!loadStatsDump(paths[0], dump))
+        return 2;
+    const Value *events =
+        findStat(dump, "system.parallel.domainEvents");
+    if (events == nullptr) {
+        std::fprintf(stderr,
+                     "pciesim-report: %s has no parallel telemetry "
+                     "(system.parallel.*); run with --threads >= 1 "
+                     "on a partitionable fabric, in a profiling "
+                     "build\n",
+                     paths[0].c_str());
+        return 1;
+    }
+
+    // Pull the per-domain vectors apart; they share subname order.
+    const Value *subnames = events->find("subnames");
+    const Value *values = events->find("values");
+    if (subnames == nullptr || values == nullptr ||
+        subnames->arr.size() != values->arr.size()) {
+        std::fprintf(stderr,
+                     "pciesim-report: %s: malformed domainEvents "
+                     "vector\n",
+                     paths[0].c_str());
+        return 2;
+    }
+    auto vecValues = [&](const char *name) {
+        std::vector<double> out(values->arr.size(), 0.0);
+        const Value *s = findStat(dump, name);
+        const Value *v = s ? s->find("values") : nullptr;
+        if (v == nullptr || v->arr.size() != out.size())
+            return out;
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = v->arr[i].number;
+        return out;
+    };
+    std::vector<double> ev(values->arr.size());
+    for (std::size_t i = 0; i < ev.size(); ++i)
+        ev[i] = values->arr[i].number;
+    std::vector<double> active =
+        vecValues("system.parallel.domainActiveWindows");
+    std::vector<double> stalls =
+        vecValues("system.parallel.domainStallWindows");
+    std::vector<double> sent =
+        vecValues("system.parallel.mailboxSent");
+    std::vector<double> recv =
+        vecValues("system.parallel.mailboxReceived");
+
+    double total = 0.0;
+    for (double e : ev)
+        total += e;
+    const double mean =
+        ev.empty() ? 0.0 : total / static_cast<double>(ev.size());
+    std::printf("domains: %zu   windows: %g   events: %g   "
+                "quantum: %g ticks\n",
+                ev.size(), statValue(dump, "system.parallel.windows"),
+                total,
+                statValue(dump, "system.parallel.quantumTicks"));
+    std::printf("load imbalance (max/mean events): %.2f   "
+                "mailbox ops/window: %.3f\n",
+                statValue(dump, "system.parallel.loadImbalance"),
+                statValue(dump,
+                          "system.parallel.mailboxIntensity"));
+    double sync =
+        statValue(dump, "system.parallel.syncOverheadFraction");
+    if (sync > 0.0)
+        std::printf("sync overhead fraction: %.3f\n", sync);
+
+    std::vector<std::size_t> order(ev.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    auto row = [&](std::size_t i) {
+        std::printf("  %-20s %12.0f %7.1f%% %9.0f %9.0f %9.0f "
+                    "%9.0f\n",
+                    subnames->arr[i].str.c_str(), ev[i],
+                    total > 0.0 ? ev[i] / total * 100.0 : 0.0,
+                    active[i], stalls[i], sent[i], recv[i]);
+    };
+    std::printf("hottest domains (of mean %.0f events):\n", mean);
+    std::printf("  %-20s %12s %8s %9s %9s %9s %9s\n", "domain",
+                "events", "share", "active", "stalled", "mailTx",
+                "mailRx");
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (ev[a] != ev[b])
+                      return ev[a] > ev[b];
+                  return a < b;
+              });
+    for (std::size_t i = 0; i < order.size() && i < top_n; ++i)
+        row(order[i]);
+
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (stalls[a] != stalls[b])
+                      return stalls[a] > stalls[b];
+                  return a < b;
+              });
+    if (!order.empty() && stalls[order[0]] > 0.0) {
+        std::printf("most starved (lookahead-limited windows):\n");
+        for (std::size_t i = 0; i < order.size() && i < top_n; ++i) {
+            if (stalls[order[i]] == 0.0)
+                break;
+            row(order[i]);
+        }
+    }
+    return 0;
+}
+
 int
 usage()
 {
@@ -635,7 +957,13 @@ usage()
         "  top stats.json [--top=N]\n"
         "      print the embedded profiler hot-spot table\n"
         "  trajectory BENCH_*.json... [--field=NAME]\n"
-        "      render one-object-per-line bench records\n");
+        "      render one-object-per-line bench records\n"
+        "  scaling BENCH_*.json...\n"
+        "      tabulate a --threads sweep (events/sec, speedup,\n"
+        "      sync fraction) and diagnose lost parallel speedup\n"
+        "  imbalance stats.json [--top=N]\n"
+        "      rank the hottest / most starved link domains from\n"
+        "      the system.parallel.* telemetry in a stats dump\n");
     return 2;
 }
 
@@ -654,5 +982,9 @@ main(int argc, char **argv)
         return cmdTop(args);
     if (cmd == "trajectory")
         return cmdTrajectory(args);
+    if (cmd == "scaling")
+        return cmdScaling(args);
+    if (cmd == "imbalance")
+        return cmdImbalance(args);
     return usage();
 }
